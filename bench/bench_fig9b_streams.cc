@@ -1,0 +1,41 @@
+// Regenerates Figure 9(b): the number of simultaneously supported
+// streams as a function of the parity group size when the farm is sized
+// at the minimum number of disks holding the working set (W = 100 GB).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "model/cost.h"
+
+int main() {
+  using namespace ftms;
+  bench::Banner(
+      "Figure 9(b) — Number of streams vs parity group size "
+      "(minimum disks for W = 100 GB, K = 5)");
+  DesignParameters design;
+  SystemParameters params;
+  params.k_reserve = 5;
+
+  std::printf("%4s %6s %14s %14s %14s %14s\n", "C", "disks",
+              "StreamingRAID", "Staggered", "NonClustered", "ImprovedBW");
+  for (int c = 2; c <= 10; ++c) {
+    std::printf("%4d %6d", c, DisksForWorkingSet(design, params, c));
+    for (Scheme scheme : kAllSchemes) {
+      const auto point = EvaluateDesign(design, params, scheme, c);
+      if (point.ok()) {
+        std::printf(" %14d", point->max_streams);
+      } else {
+        std::printf(" %14s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nShapes to compare with the paper's plot:\n"
+      " * Improved-bandwidth supports the most streams at every C and its\n"
+      "   curve DECREASES with C (fewer disks needed to hold W).\n"
+      " * Streaming RAID sits above Staggered/Non-clustered (k' = C-1\n"
+      "   amortizes the seek better) and all clustered curves stay within\n"
+      "   a narrow band around 1.2k streams.\n");
+  return 0;
+}

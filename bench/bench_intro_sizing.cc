@@ -1,0 +1,75 @@
+// Regenerates the introduction's farm-sizing arithmetic (Section 1) and
+// extends it with the mixed MPEG-1/MPEG-2 population model: how capacity
+// trades off as "good TV quality" titles displace "low TV quality" ones.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "model/capacity.h"
+#include "model/sizing.h"
+#include "tests/sched_test_util.h"
+#include "util/units.h"
+
+int main() {
+  using namespace ftms;
+  bench::Banner("Section 1 — farm sizing examples (1000 x 1 GB disks)");
+
+  std::printf("%-52s %10s %10s\n", "Quantity", "ours", "paper");
+  std::printf("%-52s %10.0f %10s\n",
+              "90-min MPEG-2 movies stored (4.5 Mb/s)",
+              MoviesStorable(1000, 1000, kMpeg2RateMbS, 90), "~300");
+  std::printf("%-52s %10.0f %10s\n",
+              "90-min MPEG-1 movies stored (1.5 Mb/s)",
+              MoviesStorable(1000, 1000, kMpeg1RateMbS, 90), "~900");
+  std::printf("%-52s %10.0f %10s\n",
+              "concurrent MPEG-2 viewers (4 MB/s disks)",
+              ViewersSupportable(1000, 4.0, kMpeg2RateMbS), "~6500");
+  std::printf("%-52s %10.0f %10s\n",
+              "concurrent MPEG-1 viewers (4 MB/s disks)",
+              ViewersSupportable(1000, 4.0, kMpeg1RateMbS), "~20000");
+  std::printf(
+      "(The paper rounds the raw bandwidth quotients down for\n"
+      " scheduling overheads; our capacity model makes that precise\n"
+      " below.)\n");
+
+  bench::Section(
+      "Extension: mixed MPEG-1/MPEG-2 populations (Table 1 farm, "
+      "cycle-based capacity, k' = 4, D' = 80)");
+  SystemParameters p;
+  std::printf("%14s %14s %16s %18s\n", "MPEG-2 share", "max streams",
+              "MPEG-2 streams", "delivered MB/s");
+  for (double f = 0.0; f <= 1.0001; f += 0.25) {
+    const double n =
+        MixedRateMaxStreams(p, 4, 80.0, kMpeg2RateMbS, f).value();
+    const double rate =
+        n * ((1 - f) * p.object_rate_mb_s + f * kMpeg2RateMbS);
+    std::printf("%13.0f%% %14.0f %16.0f %18.1f\n", f * 100, n, n * f,
+                rate);
+  }
+  std::printf(
+      "\nThe constraint caps delivered bandwidth, not stream count: every\n"
+      "MPEG-2 title displaces three MPEG-1 viewers (4.5/1.5), matching\n"
+      "the introduction's 6500-vs-20000 ratio.\n");
+
+  bench::Section(
+      "Simulation confirmation (NC scheduler, multi-rate mode, 20 disks)");
+  // 1 MPEG-2 stream (3 tracks/cycle) + 9 MPEG-1 per cluster position:
+  // equivalent load 12 tracks/disk/cycle = exactly the slot budget.
+  {
+    SchedRig rig = MakeRig(Scheme::kNonClustered, 5, 20);
+    for (int i = 0; i < 4 * 4; ++i) {
+      rig.sched->AddStream(TestObject(i % 4, 240, kMpeg2RateMbS)).value();
+      for (int j = 0; j < 9; ++j) {
+        rig.sched->AddStream(TestObject(i % 4, 80, kMpeg1RateMbS)).value();
+      }
+      rig.sched->RunCycle();
+    }
+    rig.sched->RunCycles(100);
+    std::printf(
+        "16 MPEG-2 + 144 MPEG-1 streams (192 base-equivalents = the\n"
+        "slot-exact capacity): dropped reads %lld, hiccups %lld.\n",
+        static_cast<long long>(rig.sched->metrics().dropped_reads),
+        static_cast<long long>(rig.sched->metrics().hiccups));
+  }
+  return 0;
+}

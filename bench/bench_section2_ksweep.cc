@@ -1,0 +1,68 @@
+// Regenerates the two inline tables of Section 2: streams per disk
+// (N/D') as a function of k (tracks read per read cycle, k = k') for the
+// example disk with T_seek = 30 ms, T_trk = 10 ms, B = 100 KB, at object
+// rates 1.5 Mb/s (variation ~5%) and 4.5 Mb/s (variation ~15%, the
+// motivation for larger k and thus for the memory-conscious schemes).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "model/capacity.h"
+#include "util/units.h"
+
+namespace {
+
+ftms::SystemParameters Section2Disk(double rate_mb_s) {
+  ftms::SystemParameters p;
+  p.disk.seek_time_s = 0.030;
+  p.disk.track_time_s = 0.010;
+  p.disk.track_mb = 0.100;
+  p.object_rate_mb_s = rate_mb_s;
+  return p;
+}
+
+void Sweep(double rate_mb_s, const char* label, const double* paper,
+           const int* paper_k, int paper_n) {
+  ftms::bench::Section(label);
+  std::printf("%6s %12s %12s %8s\n", "k", "N/D' (ours)", "N/D' (paper)",
+              "dev");
+  const ftms::SystemParameters p = Section2Disk(rate_mb_s);
+  for (int k : {1, 2, 3, 4, 5, 10}) {
+    const double ours = ftms::StreamsPerDataDisk(p, k);
+    double ref = -1;
+    for (int i = 0; i < paper_n; ++i) {
+      if (paper_k[i] == k) ref = paper[i];
+    }
+    if (ref >= 0) {
+      std::printf("%6d %12.2f %12.1f %8s\n", k, ours, ref,
+                  ftms::bench::Deviation(ours, ref).c_str());
+    } else {
+      std::printf("%6d %12.2f %12s\n", k, ours, "-");
+    }
+  }
+  const double spread = (ftms::StreamsPerDataDisk(p, 10) -
+                         ftms::StreamsPerDataDisk(p, 1)) /
+                        ftms::StreamsPerDataDisk(p, 10);
+  std::printf("k=1 -> k=10 variation: %.1f%%\n", spread * 100.0);
+}
+
+}  // namespace
+
+int main() {
+  ftms::bench::Banner(
+      "Section 2 inline tables — streams/disk vs k "
+      "(T_seek=30ms, T_trk=10ms, B=100KB)");
+  // The OCR of the 1.5 Mb/s table is garbled in our source; the paper
+  // states only the ~5% variation, which we verify.
+  Sweep(ftms::kMpeg1RateMbS, "b_o = 1.5 Mb/s (MPEG-1): paper reports ~5%",
+        nullptr, nullptr, 0);
+  const int paper_k[] = {1, 2, 10};
+  const double paper_n[] = {14.7, 16.2, 17.4};
+  Sweep(ftms::kMpeg2RateMbS, "b_o = 4.5 Mb/s (MPEG-2)", paper_n, paper_k,
+        3);
+  std::printf(
+      "\nConclusion (paper): for MPEG-2 the ~15%% spread justifies larger\n"
+      "k at the price of buffer memory — the tradeoff this paper studies\n"
+      "jointly with fault tolerance.\n");
+  return 0;
+}

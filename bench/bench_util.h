@@ -1,0 +1,34 @@
+#ifndef FTMS_BENCH_BENCH_UTIL_H_
+#define FTMS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+namespace ftms::bench {
+
+// Shared formatting for the paper-reproduction harnesses: every bench
+// prints a header naming the table/figure it regenerates, then rows of
+// "paper vs measured" values.
+
+inline void Banner(const std::string& title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void Section(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+// Relative deviation as a percentage string, "n/a" when reference is 0.
+inline std::string Deviation(double ours, double paper) {
+  if (paper == 0) return "n/a";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%",
+                (ours - paper) / paper * 100.0);
+  return buf;
+}
+
+}  // namespace ftms::bench
+
+#endif  // FTMS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,112 @@
+// Failure drill: subject all four schemes to the same failure scenario
+// and compare what viewers experience — the operational view of the
+// paper's Sections 2-4.
+//
+//   $ ./failure_drill [cycles_before_failure]
+//
+// Scenario: a busy server, one data disk dies (once at a cycle boundary,
+// once mid-sweep), is repaired an hour later. For the Non-clustered
+// scheme both transition strategies are shown.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "server/server.h"
+
+namespace {
+
+struct DrillResult {
+  std::string label;
+  long long hiccups_boundary = 0;
+  long long hiccups_mid = 0;
+  long long reconstructed = 0;
+  long long buffer_peak = 0;
+};
+
+DrillResult Drill(const std::string& label, ftms::Scheme scheme,
+                  ftms::NcTransition transition, int warmup_cycles) {
+  using namespace ftms;
+  DrillResult result;
+  result.label = label;
+  for (int mid = 0; mid <= 1; ++mid) {
+    ServerConfig config;
+    config.scheme = scheme;
+    config.parity_group_size = 5;
+    config.params.num_disks =
+        scheme == Scheme::kImprovedBandwidth ? 16 : 20;
+    config.params.k_reserve = 2;
+    config.nc_transition = transition;
+    auto server = std::move(MultimediaServer::Create(config).value());
+
+    MediaObject movie;
+    movie.id = 0;
+    movie.rate_mb_s = config.params.object_rate_mb_s;
+    movie.num_tracks = 400;
+    server->AddObject(movie).ok();
+    // Stagger admissions one cycle apart so viewers sit at different
+    // positions within their parity groups when the disk dies — the
+    // population mix of Figures 5-7.
+    for (int viewer = 0; viewer < 8; ++viewer) {
+      server->StartStream(0).value();
+      server->RunCycles(1);
+    }
+
+    server->RunCycles(warmup_cycles);
+    server->FailDisk(3, /*mid_cycle=*/mid == 1).ok();
+    server->RunCycles(60);
+    server->RepairDisk(3).ok();
+    server->RunCycles(600);  // drain all streams
+
+    const SchedulerMetrics& m = server->scheduler().metrics();
+    (mid == 0 ? result.hiccups_boundary : result.hiccups_mid) = m.hiccups;
+    result.reconstructed += m.reconstructed;
+    result.buffer_peak =
+        std::max(result.buffer_peak,
+                 static_cast<long long>(
+                     server->scheduler().buffer_pool().peak_in_use()));
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ftms;
+  const int warmup = argc > 1 ? std::atoi(argv[1]) : 10;
+
+  std::printf(
+      "Failure drill: 8 viewers, disk 3 dies after %d cycles (boundary "
+      "and mid-cycle),\nrepaired 60 cycles later.\n\n",
+      warmup);
+  std::printf("%-34s %10s %10s %14s %12s\n", "Scheme", "boundary",
+              "mid-cycle", "reconstructed", "buffer peak");
+
+  const DrillResult results[] = {
+      Drill("Streaming RAID", Scheme::kStreamingRaid,
+            NcTransition::kDeferredRead, warmup),
+      Drill("Staggered-group", Scheme::kStaggeredGroup,
+            NcTransition::kDeferredRead, warmup),
+      Drill("Non-clustered (immediate)", Scheme::kNonClustered,
+            NcTransition::kImmediateShift, warmup),
+      Drill("Non-clustered (deferred)", Scheme::kNonClustered,
+            NcTransition::kDeferredRead, warmup),
+      Drill("Improved-bandwidth", Scheme::kImprovedBandwidth,
+            NcTransition::kDeferredRead, warmup),
+  };
+  for (const DrillResult& r : results) {
+    std::printf("%-34s %10lld %10lld %14lld %12lld\n", r.label.c_str(),
+                r.hiccups_boundary, r.hiccups_mid, r.reconstructed,
+                r.buffer_peak);
+  }
+  std::printf(
+      "\nHow to read this (paper Sections 2-4):\n"
+      " * SR and SG mask everything — at 2C and ~C/2+2 buffers per "
+      "stream.\n"
+      " * NC runs on 2 buffers per stream but loses a few tracks during\n"
+      "   the transition; the deferred strategy loses fewer.\n"
+      " * IB uses every disk's bandwidth in normal mode; only a failure\n"
+      "   in the middle of a sweep costs one isolated hiccup per\n"
+      "   affected stream.\n");
+  return 0;
+}

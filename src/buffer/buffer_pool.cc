@@ -1,0 +1,59 @@
+#include "buffer/buffer_pool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace ftms {
+
+Status BufferPool::Acquire(int64_t tracks) {
+  assert(tracks >= 0);
+  if (!unlimited() && in_use_ + tracks > capacity_) {
+    ++failed_acquires_;
+    return Status::ResourceExhausted(
+        "buffer pool full: want " + std::to_string(tracks) + ", free " +
+        std::to_string(capacity_ - in_use_));
+  }
+  in_use_ += tracks;
+  peak_ = std::max(peak_, in_use_);
+  return Status::Ok();
+}
+
+void BufferPool::Release(int64_t tracks) {
+  assert(tracks >= 0);
+  assert(tracks <= in_use_);
+  in_use_ -= tracks;
+}
+
+BufferServerPool::BufferServerPool(int num_servers,
+                                   int64_t tracks_per_server)
+    : num_servers_(num_servers), tracks_per_server_(tracks_per_server) {}
+
+Status BufferServerPool::AttachToCluster(int cluster) {
+  if (IsAttached(cluster)) {
+    return Status::AlreadyExists("cluster already holds a buffer server");
+  }
+  if (servers_in_use() >= num_servers_) {
+    ++exhausted_;
+    return Status::ResourceExhausted(
+        "all " + std::to_string(num_servers_) + " buffer servers busy");
+  }
+  attached_.push_back(cluster);
+  return Status::Ok();
+}
+
+Status BufferServerPool::DetachFromCluster(int cluster) {
+  auto it = std::find(attached_.begin(), attached_.end(), cluster);
+  if (it == attached_.end()) {
+    return Status::NotFound("cluster holds no buffer server");
+  }
+  attached_.erase(it);
+  return Status::Ok();
+}
+
+bool BufferServerPool::IsAttached(int cluster) const {
+  return std::find(attached_.begin(), attached_.end(), cluster) !=
+         attached_.end();
+}
+
+}  // namespace ftms

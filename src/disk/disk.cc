@@ -1,0 +1,26 @@
+#include "disk/disk.h"
+
+namespace ftms {
+
+const char* DiskStateName(DiskState state) {
+  switch (state) {
+    case DiskState::kOperational:
+      return "operational";
+    case DiskState::kFailed:
+      return "failed";
+    case DiskState::kRebuilding:
+      return "rebuilding";
+  }
+  return "unknown";
+}
+
+bool Disk::Read(int tracks) {
+  if (state_ != DiskState::kOperational) {
+    ++failed_reads_;
+    return false;
+  }
+  tracks_read_ += tracks;
+  return true;
+}
+
+}  // namespace ftms

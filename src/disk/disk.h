@@ -1,0 +1,64 @@
+#ifndef FTMS_DISK_DISK_H_
+#define FTMS_DISK_DISK_H_
+
+#include <cstdint>
+
+#include "disk/disk_model.h"
+
+namespace ftms {
+
+// Operational state of a single simulated drive (Section 1's three modes
+// are system-level; per-disk we track whether the drive itself serves I/O).
+enum class DiskState {
+  kOperational,
+  kFailed,
+  kRebuilding,  // replaced drive being reloaded from parity/tertiary
+};
+
+const char* DiskStateName(DiskState state);
+
+// One simulated disk drive: state machine plus I/O counters. Timing is not
+// modeled here (the cycle-based schedulers account time via DiskParameters);
+// a Disk knows only whether a read can succeed and how much work it did.
+class Disk {
+ public:
+  explicit Disk(int id) : id_(id) {}
+
+  int id() const { return id_; }
+  DiskState state() const { return state_; }
+  bool operational() const { return state_ == DiskState::kOperational; }
+
+  // Marks the disk failed; subsequent reads fail until Repair()/Rebuild().
+  void Fail() {
+    if (state_ != DiskState::kFailed) ++times_failed_;
+    state_ = DiskState::kFailed;
+  }
+
+  // A replacement drive is spinning and being reloaded.
+  void StartRebuild() { state_ = DiskState::kRebuilding; }
+
+  // The drive (or its replacement) is fully operational again.
+  void Repair() { state_ = DiskState::kOperational; }
+
+  // Attempts to read `tracks` tracks this cycle. Returns true and bumps the
+  // counters when the disk is operational; returns false (recording the
+  // failed attempt) otherwise. Rebuilding drives can serve reads only for
+  // already-rebuilt data; the schedulers treat them as non-operational for
+  // simplicity, matching the paper's normal/degraded-mode focus.
+  bool Read(int tracks);
+
+  int64_t tracks_read() const { return tracks_read_; }
+  int64_t failed_reads() const { return failed_reads_; }
+  int64_t times_failed() const { return times_failed_; }
+
+ private:
+  int id_;
+  DiskState state_ = DiskState::kOperational;
+  int64_t tracks_read_ = 0;
+  int64_t failed_reads_ = 0;
+  int64_t times_failed_ = 0;
+};
+
+}  // namespace ftms
+
+#endif  // FTMS_DISK_DISK_H_

@@ -1,0 +1,79 @@
+#include "disk/disk_array.h"
+
+#include <string>
+
+namespace ftms {
+
+DiskArray::DiskArray(int num_disks, int cluster_size,
+                     const DiskParameters& params)
+    : cluster_size_(cluster_size), params_(params) {
+  disks_.reserve(static_cast<size_t>(num_disks));
+  for (int i = 0; i < num_disks; ++i) disks_.emplace_back(i);
+}
+
+StatusOr<DiskArray> DiskArray::Create(int num_disks, int cluster_size,
+                                      const DiskParameters& params) {
+  if (num_disks <= 0) {
+    return Status::InvalidArgument("num_disks must be positive");
+  }
+  if (cluster_size <= 0) {
+    return Status::InvalidArgument("cluster_size must be positive");
+  }
+  if (num_disks % cluster_size != 0) {
+    return Status::InvalidArgument(
+        "num_disks (" + std::to_string(num_disks) +
+        ") must be a multiple of cluster_size (" +
+        std::to_string(cluster_size) + ")");
+  }
+  FTMS_RETURN_IF_ERROR(params.Validate());
+  return DiskArray(num_disks, cluster_size, params);
+}
+
+Status DiskArray::FailDisk(int id) {
+  if (id < 0 || id >= num_disks()) {
+    return Status::OutOfRange("disk id out of range");
+  }
+  disks_[static_cast<size_t>(id)].Fail();
+  return Status::Ok();
+}
+
+Status DiskArray::RepairDisk(int id) {
+  if (id < 0 || id >= num_disks()) {
+    return Status::OutOfRange("disk id out of range");
+  }
+  disks_[static_cast<size_t>(id)].Repair();
+  return Status::Ok();
+}
+
+int DiskArray::NumFailed() const {
+  int n = 0;
+  for (const Disk& d : disks_) {
+    if (!d.operational()) ++n;
+  }
+  return n;
+}
+
+int DiskArray::NumFailedInCluster(int cluster) const {
+  int n = 0;
+  for (int i = 0; i < cluster_size_; ++i) {
+    if (!disk(DiskId(cluster, i)).operational()) ++n;
+  }
+  return n;
+}
+
+bool DiskArray::HasCatastrophicClusterFailure() const {
+  for (int c = 0; c < num_clusters(); ++c) {
+    if (NumFailedInCluster(c) >= 2) return true;
+  }
+  return false;
+}
+
+std::vector<int> DiskArray::FailedDisks() const {
+  std::vector<int> out;
+  for (const Disk& d : disks_) {
+    if (!d.operational()) out.push_back(d.id());
+  }
+  return out;
+}
+
+}  // namespace ftms

@@ -1,0 +1,77 @@
+#ifndef FTMS_DISK_DISK_ARRAY_H_
+#define FTMS_DISK_DISK_ARRAY_H_
+
+#include <vector>
+
+#include "disk/disk.h"
+#include "disk/disk_model.h"
+#include "util/status.h"
+
+namespace ftms {
+
+// A farm of identical disks partitioned into fixed-size clusters.
+//
+// For the Streaming-RAID-family schemes a cluster holds C disks: C-1 data
+// disks followed by one dedicated parity disk (the last disk of the
+// cluster, as in the paper's Figure 3). For the Improved-bandwidth scheme
+// the cluster holds only data-role disks and parity lives on the next
+// cluster, so `cluster_size` is the number of disks grouped together and
+// the caller decides what roles they play.
+class DiskArray {
+ public:
+  // Creates `num_disks` disks in clusters of `cluster_size`. `num_disks`
+  // must be a positive multiple of `cluster_size`.
+  static StatusOr<DiskArray> Create(int num_disks, int cluster_size,
+                                    const DiskParameters& params);
+
+  int num_disks() const { return static_cast<int>(disks_.size()); }
+  int cluster_size() const { return cluster_size_; }
+  int num_clusters() const { return num_disks() / cluster_size_; }
+  const DiskParameters& params() const { return params_; }
+
+  Disk& disk(int id) { return disks_[static_cast<size_t>(id)]; }
+  const Disk& disk(int id) const { return disks_[static_cast<size_t>(id)]; }
+
+  // Cluster index of disk `id`.
+  int ClusterOf(int id) const { return id / cluster_size_; }
+
+  // Position of disk `id` within its cluster, in [0, cluster_size).
+  int IndexInCluster(int id) const { return id % cluster_size_; }
+
+  // Global id of disk `index` of cluster `cluster`.
+  int DiskId(int cluster, int index) const {
+    return cluster * cluster_size_ + index;
+  }
+
+  // Last disk of the cluster: the dedicated parity disk in the clustered
+  // (SR/SG/NC) layouts.
+  int ParityDiskOf(int cluster) const {
+    return DiskId(cluster, cluster_size_ - 1);
+  }
+
+  // Failure / repair injection.
+  Status FailDisk(int id);
+  Status RepairDisk(int id);
+
+  // Number of currently failed (or rebuilding) disks, total and per cluster.
+  int NumFailed() const;
+  int NumFailedInCluster(int cluster) const;
+
+  // True when some cluster has >= 2 failed disks: with one parity block per
+  // group this is the paper's "catastrophic failure" for clustered layouts.
+  bool HasCatastrophicClusterFailure() const;
+
+  // List of currently failed disk ids (ascending).
+  std::vector<int> FailedDisks() const;
+
+ private:
+  DiskArray(int num_disks, int cluster_size, const DiskParameters& params);
+
+  int cluster_size_;
+  DiskParameters params_;
+  std::vector<Disk> disks_;
+};
+
+}  // namespace ftms
+
+#endif  // FTMS_DISK_DISK_ARRAY_H_

@@ -1,0 +1,22 @@
+#include "disk/disk_model.h"
+
+namespace ftms {
+
+Status DiskParameters::Validate() const {
+  if (seek_time_s < 0) return Status::InvalidArgument("negative seek time");
+  if (track_time_s <= 0) {
+    return Status::InvalidArgument("track time must be positive");
+  }
+  if (track_mb <= 0) {
+    return Status::InvalidArgument("track size must be positive");
+  }
+  if (capacity_mb < track_mb) {
+    return Status::InvalidArgument("capacity smaller than one track");
+  }
+  if (mttf_hours <= 0 || mttr_hours <= 0) {
+    return Status::InvalidArgument("MTTF/MTTR must be positive");
+  }
+  return Status::Ok();
+}
+
+}  // namespace ftms

@@ -1,0 +1,53 @@
+#ifndef FTMS_DISK_DISK_MODEL_H_
+#define FTMS_DISK_DISK_MODEL_H_
+
+#include "util/status.h"
+
+namespace ftms {
+
+// The paper's simple disk model (Section 2):
+//
+//   T(r) = T_seek + r * T_trk
+//
+// where T_seek is the maximum seek between extreme cylinders, charged once
+// per scheduling cycle (the cycle's reads are sorted into one sweep), and
+// T_trk is the per-track time including the start/stop portion of each
+// track's seek. The unit of I/O is one track; a full-track read starts at
+// the next sector boundary so rotational latency is negligible.
+//
+// Defaults follow Table 1 (similar to a Seagate ST31200N "Hawk" drive).
+struct DiskParameters {
+  double seek_time_s = 0.025;    // T_seek: full-stroke seek (s)
+  double track_time_s = 0.020;   // T_trk: time charged per track read (s)
+  double track_mb = 0.050;       // B: bytes per track (MB) = 50 KB
+  double capacity_mb = 1000.0;   // S_d: usable capacity (MB)
+  double mttf_hours = 300000.0;  // mean time to failure
+  double mttr_hours = 1.0;       // mean time to repair (swap + reload)
+
+  // Maximum time to read `tracks` tracks within one cycle: T(r).
+  double ReadTime(int tracks) const {
+    return seek_time_s + static_cast<double>(tracks) * track_time_s;
+  }
+
+  // Largest r such that T(r) <= cycle_s: the per-disk track budget of one
+  // scheduling cycle ("slots" in Section 3's transition discussion).
+  int TracksPerCycle(double cycle_s) const {
+    if (cycle_s <= seek_time_s) return 0;
+    return static_cast<int>((cycle_s - seek_time_s) / track_time_s);
+  }
+
+  // Sustained transfer bandwidth implied by the model (MB/s); ~2.5 MB/s for
+  // the defaults, consistent with the paper's "32 mbps" disk (footnote 2).
+  double BandwidthMbS() const { return track_mb / track_time_s; }
+
+  int TracksPerDisk() const {
+    return static_cast<int>(capacity_mb / track_mb);
+  }
+
+  // Validates physical sanity (all positive, capacity at least one track).
+  Status Validate() const;
+};
+
+}  // namespace ftms
+
+#endif  // FTMS_DISK_DISK_MODEL_H_

@@ -1,0 +1,66 @@
+#include "disk/seek_curve.h"
+
+#include <cmath>
+
+namespace ftms {
+
+double SeekCurve::SeekTimeS(int distance) const {
+  if (distance <= 0) return 0;
+  if (distance < threshold_cyl) {
+    return short_a_s + short_b_s * std::sqrt(static_cast<double>(distance));
+  }
+  return long_c_s + long_e_s * static_cast<double>(distance);
+}
+
+double SeekCurve::SweepSeekS(int requests) const {
+  if (requests <= 0) return 0;
+  const int hop = cylinders / (requests + 1);
+  return static_cast<double>(requests) * SeekTimeS(hop);
+}
+
+Status SeekCurve::Validate() const {
+  if (short_a_s < 0 || short_b_s < 0 || long_c_s < 0 || long_e_s < 0) {
+    return Status::InvalidArgument("seek coefficients must be >= 0");
+  }
+  if (threshold_cyl <= 0 || cylinders <= threshold_cyl) {
+    return Status::InvalidArgument(
+        "need 0 < threshold_cyl < cylinders");
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+int LargestBudget(double cycle_s, double track_time_s,
+                  double (*seek_total)(const SeekCurve&, int),
+                  const SeekCurve& curve) {
+  int r = 0;
+  while (seek_total(curve, r + 1) +
+             static_cast<double>(r + 1) * track_time_s <=
+         cycle_s) {
+    ++r;
+    if (r > 1000000) break;  // guard against degenerate parameters
+  }
+  return r;
+}
+
+}  // namespace
+
+int TracksPerCycleUnderCurve(const SeekCurve& curve, double track_time_s,
+                             double cycle_s) {
+  return LargestBudget(
+      cycle_s, track_time_s,
+      [](const SeekCurve& c, int r) { return c.SweepSeekS(r); }, curve);
+}
+
+int TracksPerCycleFifo(const SeekCurve& curve, double track_time_s,
+                       double cycle_s) {
+  return LargestBudget(
+      cycle_s, track_time_s,
+      [](const SeekCurve& c, int r) {
+        return static_cast<double>(r) * c.AverageRandomSeekS();
+      },
+      curve);
+}
+
+}  // namespace ftms

@@ -1,0 +1,64 @@
+#ifndef FTMS_DISK_SEEK_CURVE_H_
+#define FTMS_DISK_SEEK_CURVE_H_
+
+#include "util/status.h"
+
+namespace ftms {
+
+// Distance-dependent seek-time curve after Ruemmler & Wilkes, "An
+// Introduction to Disk Drive Modeling" (the paper's reference [9]):
+// short seeks are dominated by arm settle time and grow with the square
+// root of the distance; long seeks approach a linear coast:
+//
+//   seek(0) = 0
+//   seek(d) = a + b * sqrt(d)   for 0 < d < threshold
+//   seek(d) = c + e * d         for d >= threshold
+//
+// Defaults approximate the HP 97560 figures from that paper, scaled so
+// the full stroke lands near the 25 ms T_seek of Table 1.
+//
+// The paper's analysis charges ONE full-stroke seek per cycle (the reads
+// are served in a single arm sweep). This module lets benches quantify
+// that simplification: a SCAN sweep over r uniformly spread requests
+// performs r short seeks of ~cylinders/(r+1) each, whose total — because
+// the curve is concave — EXCEEDS one full stroke, so the paper's charge
+// is optimistic at high request counts.
+struct SeekCurve {
+  double short_a_s = 0.0032;   // settle-dominated intercept (s)
+  double short_b_s = 0.00040;  // sqrt coefficient (s / sqrt(cyl))
+  double long_c_s = 0.0110;    // linear-regime intercept (s)
+  double long_e_s = 7.0e-6;    // linear coefficient (s / cyl)
+  int threshold_cyl = 400;     // crossover distance
+  int cylinders = 2000;        // total cylinders
+
+  // Seek time for a move of `distance` cylinders.
+  double SeekTimeS(int distance) const;
+
+  // Full-stroke seek (distance = cylinders - 1).
+  double FullStrokeS() const { return SeekTimeS(cylinders - 1); }
+
+  // Expected seek of a random request under FIFO service: the average
+  // move between two uniform random cylinders is cylinders/3.
+  double AverageRandomSeekS() const { return SeekTimeS(cylinders / 3); }
+
+  // Total seek time of one SCAN sweep serving `requests` uniformly
+  // spread requests: `requests` hops of cylinders/(requests+1) each.
+  double SweepSeekS(int requests) const;
+
+  Status Validate() const;
+};
+
+// Largest r such that SweepSeekS(r) + r * track_time_s <= cycle_s: the
+// per-disk track budget per cycle under the realistic curve (compare
+// with DiskParameters::TracksPerCycle, which charges one full stroke).
+int TracksPerCycleUnderCurve(const SeekCurve& curve, double track_time_s,
+                             double cycle_s);
+
+// The same budget under FIFO service (every request pays an average
+// random seek).
+int TracksPerCycleFifo(const SeekCurve& curve, double track_time_s,
+                       double cycle_s);
+
+}  // namespace ftms
+
+#endif  // FTMS_DISK_SEEK_CURVE_H_

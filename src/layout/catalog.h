@@ -1,0 +1,59 @@
+#ifndef FTMS_LAYOUT_CATALOG_H_
+#define FTMS_LAYOUT_CATALOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/layout.h"
+#include "layout/media_object.h"
+#include "util/status.h"
+
+namespace ftms {
+
+// The set of objects currently resident on the disk subsystem, with
+// capacity accounting. The full database lives on tertiary storage
+// (Figure 1); the catalog models the disk-resident working set: objects
+// are staged in (Add) and purged (Remove) to make room, and placement
+// fails with RESOURCE_EXHAUSTED when the data disks are full.
+//
+// Capacity model: striping spreads an object's groups round-robin over all
+// clusters, so space is consumed evenly; we account per data-disk tracks
+// (data tracks on data disks, parity tracks on parity disks or, for the
+// Improved-bandwidth layout, on every disk's parity fraction).
+class Catalog {
+ public:
+  // `layout` must outlive the catalog. `tracks_per_disk` bounds capacity.
+  Catalog(const Layout* layout, int64_t tracks_per_disk);
+
+  // Adds `object` if there is room. Object ids must be unique.
+  Status Add(const MediaObject& object);
+
+  // Removes (purges) the object, releasing its space.
+  Status Remove(int object_id);
+
+  StatusOr<MediaObject> Get(int object_id) const;
+  bool Contains(int object_id) const;
+
+  const std::vector<MediaObject>& objects() const { return objects_; }
+  int64_t used_data_tracks() const { return used_data_tracks_; }
+  int64_t used_parity_tracks() const { return used_parity_tracks_; }
+
+  // Total data-track capacity across the layout's data role: for clustered
+  // layouts, (C-1)/C of all tracks; for Improved-bandwidth the same
+  // fraction (each disk is (C-1)/C data).
+  int64_t data_track_capacity() const;
+
+ private:
+  // Parity groups (rounded up) occupied by an object.
+  int64_t GroupsOf(const MediaObject& object) const;
+
+  const Layout* layout_;
+  int64_t tracks_per_disk_;
+  std::vector<MediaObject> objects_;
+  int64_t used_data_tracks_ = 0;
+  int64_t used_parity_tracks_ = 0;
+};
+
+}  // namespace ftms
+
+#endif  // FTMS_LAYOUT_CATALOG_H_

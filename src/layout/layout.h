@@ -1,0 +1,174 @@
+#ifndef FTMS_LAYOUT_LAYOUT_H_
+#define FTMS_LAYOUT_LAYOUT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "layout/media_object.h"
+#include "layout/schemes.h"
+#include "util/status.h"
+
+namespace ftms {
+
+// Where one track (data block or parity block) of an object lives.
+struct BlockLocation {
+  int disk = -1;     // global disk id
+  int cluster = -1;  // cluster owning the block
+  bool is_parity = false;
+
+  friend bool operator==(const BlockLocation&, const BlockLocation&) =
+      default;
+};
+
+// Maps (object, track) -> disk for a given data layout. Layouts are pure
+// functions of the configuration: they do not track capacity (see
+// StorageAllocator for that), which lets schedulers query them cheaply.
+//
+// Terminology: a parity group consists of `DataBlocksPerGroup()` = C-1
+// consecutive data tracks of ONE object plus one parity track
+// (Observation 1: never mix objects in a group). Group j of an object whose
+// home cluster is h lives on cluster (h + j) mod Nc — the round-robin
+// allocation of Section 2.
+class Layout {
+ public:
+  virtual ~Layout() = default;
+
+  virtual Scheme scheme_family() const = 0;
+
+  int num_disks() const { return num_disks_; }
+  int parity_group_size() const { return parity_group_size_; }  // C
+  int DataBlocksPerGroup() const { return parity_group_size_ - 1; }
+
+  // Number of disk clusters. Clustered layouts group C disks; the
+  // Improved-bandwidth layout groups C-1 (all of data role).
+  virtual int num_clusters() const = 0;
+  virtual int disks_per_cluster() const = 0;
+
+  // Parity group index of data track `track`.
+  int64_t GroupOf(int64_t track) const { return track / DataBlocksPerGroup(); }
+
+  // Position of `track` within its parity group, in [0, C-1).
+  int PositionInGroup(int64_t track) const {
+    return static_cast<int>(track % DataBlocksPerGroup());
+  }
+
+  // Home cluster of object `object_id` (where its group 0 lives).
+  int HomeCluster(int object_id) const {
+    return object_id % num_clusters();
+  }
+
+  // Cluster where parity group `group` of the object lives: round-robin
+  // from the home cluster (Section 2). Virtual so the non-striped
+  // ablation layout can pin objects to their home cluster.
+  virtual int GroupCluster(int object_id, int64_t group) const {
+    return static_cast<int>(
+        (HomeCluster(object_id) + group) % num_clusters());
+  }
+
+  // Location of data track `track` of the object.
+  virtual BlockLocation DataLocation(int object_id, int64_t track) const = 0;
+
+  // Location of the parity block for group `group` of the object.
+  virtual BlockLocation ParityLocation(int object_id,
+                                       int64_t group) const = 0;
+
+  // All data locations of group `group` in group order (C-1 entries).
+  std::vector<BlockLocation> GroupDataLocations(int object_id,
+                                                int64_t group) const;
+
+ protected:
+  Layout(int num_disks, int parity_group_size)
+      : num_disks_(num_disks), parity_group_size_(parity_group_size) {}
+
+ private:
+  int num_disks_;
+  int parity_group_size_;
+};
+
+// Layout for the Streaming RAID, Staggered-group and Non-clustered schemes
+// (they share the same placement; only scheduling differs — Section 2).
+// Clusters hold C disks: data disks 0..C-2 and the dedicated parity disk
+// C-1, exactly as drawn in Figure 3.
+class ClusteredLayout : public Layout {
+ public:
+  // `num_disks` must be a positive multiple of `parity_group_size` (C).
+  static StatusOr<std::unique_ptr<ClusteredLayout>> Create(
+      int num_disks, int parity_group_size);
+
+  Scheme scheme_family() const override { return Scheme::kStreamingRaid; }
+  int num_clusters() const override {
+    return num_disks() / parity_group_size();
+  }
+  int disks_per_cluster() const override { return parity_group_size(); }
+
+  BlockLocation DataLocation(int object_id, int64_t track) const override;
+  BlockLocation ParityLocation(int object_id, int64_t group) const override;
+
+  // The dedicated parity disk of `cluster`.
+  int ParityDisk(int cluster) const {
+    return cluster * parity_group_size() + parity_group_size() - 1;
+  }
+
+ protected:
+  ClusteredLayout(int num_disks, int parity_group_size)
+      : Layout(num_disks, parity_group_size) {}
+};
+
+// Layout for the Improved-bandwidth scheme (Section 4, Figure 8): clusters
+// hold C-1 disks, all of which store data; the parity block of a group on
+// cluster i is stored on a disk of cluster i+1 (rotating over that
+// cluster's disks so parity load spreads evenly). Every disk therefore
+// holds a (C-1)/C fraction of data and a 1/C fraction of parity, and —
+// as the paper notes for disk 4 of Figure 8 — belongs to two parity
+// groups' worlds: data for its own cluster, parity for its left neighbor.
+class ImprovedBandwidthLayout : public Layout {
+ public:
+  // `num_disks` must be a positive multiple of C-1 and give >= 2 clusters
+  // (parity must land on a different cluster than its data).
+  static StatusOr<std::unique_ptr<ImprovedBandwidthLayout>> Create(
+      int num_disks, int parity_group_size);
+
+  Scheme scheme_family() const override {
+    return Scheme::kImprovedBandwidth;
+  }
+  int num_clusters() const override {
+    return num_disks() / disks_per_cluster();
+  }
+  int disks_per_cluster() const override { return parity_group_size() - 1; }
+
+  BlockLocation DataLocation(int object_id, int64_t track) const override;
+  BlockLocation ParityLocation(int object_id, int64_t group) const override;
+
+ private:
+  ImprovedBandwidthLayout(int num_disks, int parity_group_size)
+      : Layout(num_disks, parity_group_size) {}
+};
+
+// ABLATION layout: no striping — every group of an object stays on its
+// home cluster (as if each movie lived contiguously on one small array).
+// The paper's designs stripe "over all the data disks" precisely to
+// avoid what this layout exhibits: a popular title's entire load lands
+// on one cluster while the rest of the farm idles. Used by the striping
+// ablation bench; scheduling-compatible with the clustered schemes.
+class NonStripedLayout : public ClusteredLayout {
+ public:
+  static StatusOr<std::unique_ptr<NonStripedLayout>> Create(
+      int num_disks, int parity_group_size);
+
+  int GroupCluster(int object_id, int64_t /*group*/) const override {
+    return HomeCluster(object_id);
+  }
+
+ protected:
+  NonStripedLayout(int num_disks, int parity_group_size)
+      : ClusteredLayout(num_disks, parity_group_size) {}
+};
+
+// Factory dispatching on scheme.
+StatusOr<std::unique_ptr<Layout>> CreateLayout(Scheme scheme, int num_disks,
+                                               int parity_group_size);
+
+}  // namespace ftms
+
+#endif  // FTMS_LAYOUT_LAYOUT_H_

@@ -1,0 +1,18 @@
+#include "layout/media_object.h"
+
+#include <cmath>
+
+namespace ftms {
+
+MediaObject MakeMovie(int id, const std::string& name, double minutes,
+                      double rate_mb_s, double track_mb) {
+  MediaObject obj;
+  obj.id = id;
+  obj.name = name;
+  obj.rate_mb_s = rate_mb_s;
+  const double size_mb = minutes * 60.0 * rate_mb_s;
+  obj.num_tracks = static_cast<int64_t>(std::ceil(size_mb / track_mb));
+  return obj;
+}
+
+}  // namespace ftms

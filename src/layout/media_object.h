@@ -1,0 +1,36 @@
+#ifndef FTMS_LAYOUT_MEDIA_OBJECT_H_
+#define FTMS_LAYOUT_MEDIA_OBJECT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ftms {
+
+// A continuous-media object (e.g. a movie) stored on the server. Objects
+// are striped track-by-track over the disk farm and must be delivered at a
+// constant bandwidth once started (the paper's real-time requirement).
+struct MediaObject {
+  int id = 0;
+  std::string name;
+  double rate_mb_s = 0.1875;  // b_o: delivery bandwidth (MB/s); 1.5 Mb/s
+  int64_t num_tracks = 0;     // length in disk tracks of B MB each
+
+  // Total size in MB given track size `track_mb`.
+  double SizeMb(double track_mb) const {
+    return static_cast<double>(num_tracks) * track_mb;
+  }
+
+  // Playback duration in seconds given track size `track_mb`.
+  double DurationSeconds(double track_mb) const {
+    return SizeMb(track_mb) / rate_mb_s;
+  }
+};
+
+// Convenience factory: a movie of `minutes` minutes at `rate_mb_s`,
+// length rounded up to whole tracks of `track_mb` MB.
+MediaObject MakeMovie(int id, const std::string& name, double minutes,
+                      double rate_mb_s, double track_mb);
+
+}  // namespace ftms
+
+#endif  // FTMS_LAYOUT_MEDIA_OBJECT_H_

@@ -1,0 +1,33 @@
+#include "layout/schemes.h"
+
+namespace ftms {
+
+std::string_view SchemeName(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kStreamingRaid:
+      return "Streaming RAID";
+    case Scheme::kStaggeredGroup:
+      return "Staggered-group";
+    case Scheme::kNonClustered:
+      return "Non-clustered";
+    case Scheme::kImprovedBandwidth:
+      return "Improved-bandwidth";
+  }
+  return "unknown";
+}
+
+std::string_view SchemeAbbrev(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kStreamingRaid:
+      return "SR";
+    case Scheme::kStaggeredGroup:
+      return "SG";
+    case Scheme::kNonClustered:
+      return "NC";
+    case Scheme::kImprovedBandwidth:
+      return "IB";
+  }
+  return "??";
+}
+
+}  // namespace ftms

@@ -1,0 +1,35 @@
+#ifndef FTMS_LAYOUT_SCHEMES_H_
+#define FTMS_LAYOUT_SCHEMES_H_
+
+#include <string_view>
+
+namespace ftms {
+
+// The four fault-tolerance schemes compared in the paper (Section 5).
+enum class Scheme {
+  kStreamingRaid,      // SR: Section 2, after Tobagi et al. [11]
+  kStaggeredGroup,     // SG: Section 2
+  kNonClustered,       // NC: Section 3, with shared buffer-server pool
+  kImprovedBandwidth,  // IB: Section 4
+};
+
+inline constexpr Scheme kAllSchemes[] = {
+    Scheme::kStreamingRaid,
+    Scheme::kStaggeredGroup,
+    Scheme::kNonClustered,
+    Scheme::kImprovedBandwidth,
+};
+
+std::string_view SchemeName(Scheme scheme);
+std::string_view SchemeAbbrev(Scheme scheme);
+
+// True for the schemes whose clusters own a dedicated parity disk
+// (SR / SG / NC); false for Improved-bandwidth, where parity for cluster i
+// is spread over the disks of cluster i+1 and every disk serves data.
+constexpr bool UsesDedicatedParityDisk(Scheme scheme) {
+  return scheme != Scheme::kImprovedBandwidth;
+}
+
+}  // namespace ftms
+
+#endif  // FTMS_LAYOUT_SCHEMES_H_

@@ -1,0 +1,23 @@
+#include "model/ablation.h"
+
+#include "model/capacity.h"
+
+namespace ftms {
+
+double StreamsPerDataDiskFifo(const SystemParameters& p,
+                              double seek_fraction) {
+  const double per_request =
+      seek_fraction * p.seek_s() + p.track_time_s();
+  // Every track read pays its own (average) seek; the cycle length
+  // cancels out of the constraint.
+  return p.track_mb() / (p.object_rate_mb_s * per_request);
+}
+
+double SweepGainOverFifo(const SystemParameters& p, int k_prime,
+                         double seek_fraction) {
+  const double fifo = StreamsPerDataDiskFifo(p, seek_fraction);
+  if (fifo <= 0) return 0;
+  return StreamsPerDataDisk(p, k_prime) / fifo;
+}
+
+}  // namespace ftms

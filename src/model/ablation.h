@@ -1,0 +1,31 @@
+#ifndef FTMS_MODEL_ABLATION_H_
+#define FTMS_MODEL_ABLATION_H_
+
+#include "model/parameters.h"
+
+namespace ftms {
+
+// Ablations of the design choices the paper calls out.
+
+// Section 2 motivates cycle-based scheduling by the seek optimization:
+// within a cycle the reads can be served in one arm sweep, charging
+// T_seek once per cycle instead of once per request. The ablated
+// scheduler serves requests FIFO, paying an average seek per track read:
+//
+//   T_seek_avg + T_trk per request, so
+//   N/D' <= k' B / (b_o k' (T_seek_avg + T_trk))
+//         = B / (b_o (T_seek_avg + T_trk)).
+//
+// `seek_fraction` scales the average per-request seek relative to the
+// full-stroke T_seek (random requests average ~1/3 of full stroke).
+double StreamsPerDataDiskFifo(const SystemParameters& p,
+                              double seek_fraction = 1.0 / 3.0);
+
+// The multiplicative capacity gain of the sweep optimization over FIFO
+// at the given k'.
+double SweepGainOverFifo(const SystemParameters& p, int k_prime,
+                         double seek_fraction = 1.0 / 3.0);
+
+}  // namespace ftms
+
+#endif  // FTMS_MODEL_ABLATION_H_

@@ -1,0 +1,86 @@
+#include "model/buffers.h"
+
+#include <cmath>
+
+#include "model/capacity.h"
+
+namespace ftms {
+
+double BuffersPerStreamNormal(Scheme scheme, int parity_group_size) {
+  const double c = static_cast<double>(parity_group_size);
+  switch (scheme) {
+    case Scheme::kStreamingRaid:
+      return 2.0 * c;
+    case Scheme::kStaggeredGroup:
+      // C(C+1)/2 tracks shared by C-1 streams in staggered phases.
+      return c * (c + 1.0) / 2.0 / (c - 1.0);
+    case Scheme::kNonClustered:
+      return 2.0;
+    case Scheme::kImprovedBandwidth:
+      return 2.0 * (c - 1.0);
+  }
+  return 0.0;
+}
+
+namespace {
+
+// SG total (eq. 13), with the paper's rounding: streams are floored first,
+// then the group-shared buffer count is taken, rounded up.
+StatusOr<double> StaggeredGroupTracks(const SystemParameters& p, int c) {
+  StatusOr<int> n = MaxStreams(p, Scheme::kStaggeredGroup, c);
+  if (!n.ok()) return n.status();
+  const double cd = static_cast<double>(c);
+  return std::ceil(cd * (cd + 1.0) / 2.0 * static_cast<double>(*n) /
+                   (cd - 1.0));
+}
+
+// The un-ceiled SG total, used inside the NC expression (the paper keeps
+// the fractional value there).
+StatusOr<double> StaggeredGroupTracksExact(const SystemParameters& p,
+                                           int c) {
+  StatusOr<int> n = MaxStreams(p, Scheme::kStaggeredGroup, c);
+  if (!n.ok()) return n.status();
+  const double cd = static_cast<double>(c);
+  return cd * (cd + 1.0) / 2.0 * static_cast<double>(*n) / (cd - 1.0);
+}
+
+}  // namespace
+
+StatusOr<double> TotalBufferTracks(const SystemParameters& p, Scheme scheme,
+                                   int parity_group_size) {
+  if (parity_group_size < 2) {
+    return Status::InvalidArgument("parity group size must be >= 2");
+  }
+  const int c = parity_group_size;
+  StatusOr<int> n = MaxStreams(p, scheme, c);
+  if (!n.ok()) return n.status();
+  const double streams = static_cast<double>(*n);
+
+  switch (scheme) {
+    case Scheme::kStreamingRaid:
+      return 2.0 * static_cast<double>(c) * streams;  // eq. (12)
+    case Scheme::kStaggeredGroup:
+      return StaggeredGroupTracks(p, c);  // eq. (13)
+    case Scheme::kNonClustered: {  // eq. (14)
+      StatusOr<double> sg = StaggeredGroupTracksExact(p, c);
+      if (!sg.ok()) return sg.status();
+      const double data_disks = DataDisks(p, Scheme::kNonClustered, c);
+      const double clusters_over_data = data_disks / static_cast<double>(c);
+      const double degraded =
+          *sg / clusters_over_data * static_cast<double>(p.k_reserve);
+      return 2.0 * streams + std::ceil(degraded);
+    }
+    case Scheme::kImprovedBandwidth:
+      return 2.0 * static_cast<double>(c - 1) * streams;  // eq. (15)
+  }
+  return Status::Internal("unknown scheme");
+}
+
+StatusOr<double> TotalBufferMb(const SystemParameters& p, Scheme scheme,
+                               int parity_group_size) {
+  StatusOr<double> tracks = TotalBufferTracks(p, scheme, parity_group_size);
+  if (!tracks.ok()) return tracks.status();
+  return *tracks * p.track_mb();
+}
+
+}  // namespace ftms

@@ -1,0 +1,36 @@
+#ifndef FTMS_MODEL_BUFFERS_H_
+#define FTMS_MODEL_BUFFERS_H_
+
+#include "layout/schemes.h"
+#include "model/parameters.h"
+#include "util/status.h"
+
+namespace ftms {
+
+// Buffer space requirements at the maximum stream load, equations
+// (12)-(15). All results are in TRACKS (multiply by B for MB), matching
+// the "Buffers (in tracks)" rows of Tables 2/3.
+//
+//   SR (12): 2C per stream      — one group being read + one being sent.
+//   SG (13): C(C+1)/2 per C-1 streams — the staggered sawtooth of Figure 4
+//            sums (C+1) + C + ... + 2 over the C-1 phase positions.
+//   NC (14): 2 per stream, plus SG-level buffers for K_NC degraded
+//            clusters supplied by the shared buffer servers. The paper's
+//            printed denominator is garbled; D'/C (clusters counted over
+//            data disks) reproduces the tables exactly (DESIGN.md §4).
+//   IB (15): 2(C-1) per stream  — like SR but no parity block is buffered.
+
+// Buffers per single stream during normal operation (tracks).
+double BuffersPerStreamNormal(Scheme scheme, int parity_group_size);
+
+// Total buffer requirement at max streams (tracks), equations (12)-(15).
+StatusOr<double> TotalBufferTracks(const SystemParameters& p, Scheme scheme,
+                                   int parity_group_size);
+
+// Same, in MB.
+StatusOr<double> TotalBufferMb(const SystemParameters& p, Scheme scheme,
+                               int parity_group_size);
+
+}  // namespace ftms
+
+#endif  // FTMS_MODEL_BUFFERS_H_

@@ -1,0 +1,58 @@
+#include "model/capacity.h"
+
+#include <cmath>
+
+namespace ftms {
+
+double CycleSeconds(const SystemParameters& p, int k_prime) {
+  return static_cast<double>(k_prime) * p.track_mb() / p.object_rate_mb_s;
+}
+
+double StreamsPerDataDisk(const SystemParameters& p, int k_prime) {
+  const double bound =
+      p.track_mb() / (p.object_rate_mb_s * p.track_time_s()) -
+      p.seek_s() / (static_cast<double>(k_prime) * p.track_time_s());
+  return bound > 0 ? bound : 0.0;
+}
+
+int KPrimeOf(Scheme scheme, int parity_group_size) {
+  switch (scheme) {
+    case Scheme::kStreamingRaid:
+    case Scheme::kImprovedBandwidth:
+      return parity_group_size - 1;
+    case Scheme::kStaggeredGroup:
+    case Scheme::kNonClustered:
+      return 1;
+  }
+  return 1;
+}
+
+double DataDisks(const SystemParameters& p, Scheme scheme,
+                 int parity_group_size) {
+  const double d = static_cast<double>(p.num_disks);
+  if (scheme == Scheme::kImprovedBandwidth) {
+    return d - static_cast<double>(p.k_reserve);
+  }
+  return d * static_cast<double>(parity_group_size - 1) /
+         static_cast<double>(parity_group_size);
+}
+
+StatusOr<double> MaxStreamsExact(const SystemParameters& p, Scheme scheme,
+                                 int parity_group_size) {
+  FTMS_RETURN_IF_ERROR(p.Validate());
+  if (parity_group_size < 2) {
+    return Status::InvalidArgument("parity group size must be >= 2");
+  }
+  const int k_prime = KPrimeOf(scheme, parity_group_size);
+  return StreamsPerDataDisk(p, k_prime) *
+         DataDisks(p, scheme, parity_group_size);
+}
+
+StatusOr<int> MaxStreams(const SystemParameters& p, Scheme scheme,
+                         int parity_group_size) {
+  StatusOr<double> exact = MaxStreamsExact(p, scheme, parity_group_size);
+  if (!exact.ok()) return exact.status();
+  return static_cast<int>(std::floor(*exact));
+}
+
+}  // namespace ftms

@@ -1,0 +1,53 @@
+#ifndef FTMS_MODEL_CAPACITY_H_
+#define FTMS_MODEL_CAPACITY_H_
+
+#include "layout/schemes.h"
+#include "model/parameters.h"
+#include "util/status.h"
+
+namespace ftms {
+
+// Cycle-based scheduling capacity model (Section 2).
+//
+// With k' tracks transmitted per stream per cycle the cycle length is
+//   T_cyc = k' * B / b_o                                       (Section 2)
+// and a disk serving its share of N streams must finish one seek sweep
+// plus N*k'/D' track reads within a cycle:
+//   T_seek + (N k'/D') T_trk <= T_cyc
+// giving the per-data-disk stream bound
+//   N/D' <= B/(b_o T_trk) - T_seek/(k' T_trk).
+//
+// Note: the paper's equation (7) as printed divides both terms by k, which
+// contradicts its own instantiations (8)-(11); the bound above reproduces
+// every entry of Tables 2/3 as well as the inline k-sweep of Section 2
+// (where k = k'). See DESIGN.md §4.
+
+// Cycle length in seconds for `k_prime` tracks delivered per cycle.
+double CycleSeconds(const SystemParameters& p, int k_prime);
+
+// Per-data-disk stream bound N/D' for the given k' (tracks per cycle per
+// stream). Returns 0 when the seek alone exceeds the cycle.
+double StreamsPerDataDisk(const SystemParameters& p, int k_prime);
+
+// k' used by each scheme for parity group size C: SR and IB read/deliver a
+// whole group per cycle (k' = C-1); SG and NC deliver one track per cycle.
+int KPrimeOf(Scheme scheme, int parity_group_size);
+
+// Number of data-role disks D' (equations (8)-(11)):
+//   SR/SG/NC: D (C-1)/C;  IB: D - K_IB.
+double DataDisks(const SystemParameters& p, Scheme scheme,
+                 int parity_group_size);
+
+// Maximum number of simultaneously supported streams N_p, equations
+// (8)-(11), floored to an integer.
+StatusOr<int> MaxStreams(const SystemParameters& p, Scheme scheme,
+                         int parity_group_size);
+
+// Unfloored version of MaxStreams, used by the buffer and cost model where
+// the paper keeps fractional intermediate values.
+StatusOr<double> MaxStreamsExact(const SystemParameters& p, Scheme scheme,
+                                 int parity_group_size);
+
+}  // namespace ftms
+
+#endif  // FTMS_MODEL_CAPACITY_H_

@@ -1,0 +1,138 @@
+#include "model/cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/buffers.h"
+#include "model/capacity.h"
+
+namespace ftms {
+
+int DisksForWorkingSet(const DesignParameters& d, const SystemParameters& p,
+                       int parity_group_size) {
+  const double data_fraction =
+      static_cast<double>(parity_group_size - 1) /
+      static_cast<double>(parity_group_size);
+  return static_cast<int>(
+      std::ceil(d.working_set_mb / (p.disk.capacity_mb * data_fraction)));
+}
+
+StatusOr<double> SystemCost(const DesignParameters& d,
+                            const SystemParameters& p, Scheme scheme,
+                            int parity_group_size, int num_disks) {
+  SystemParameters sized = p;
+  sized.num_disks = num_disks;
+  StatusOr<double> buffer_mb =
+      TotalBufferMb(sized, scheme, parity_group_size);
+  if (!buffer_mb.ok()) return buffer_mb.status();
+  return d.memory_cost_per_mb * *buffer_mb +
+         d.disk_cost_per_mb * static_cast<double>(num_disks) *
+             p.disk.capacity_mb;
+}
+
+StatusOr<DesignPoint> EvaluateDesign(const DesignParameters& d,
+                                     const SystemParameters& p,
+                                     Scheme scheme, int parity_group_size) {
+  const int disks = DisksForWorkingSet(d, p, parity_group_size);
+  SystemParameters sized = p;
+  sized.num_disks = disks;
+  if (sized.k_reserve >= disks) {
+    return Status::InvalidArgument("working set too small for k_reserve");
+  }
+
+  DesignPoint point;
+  point.scheme = scheme;
+  point.parity_group_size = parity_group_size;
+  point.num_disks = disks;
+
+  StatusOr<int> streams = MaxStreams(sized, scheme, parity_group_size);
+  if (!streams.ok()) return streams.status();
+  point.max_streams = *streams;
+
+  StatusOr<double> buffer_mb =
+      TotalBufferMb(sized, scheme, parity_group_size);
+  if (!buffer_mb.ok()) return buffer_mb.status();
+  point.buffer_mb = *buffer_mb;
+
+  StatusOr<double> cost =
+      SystemCost(d, p, scheme, parity_group_size, disks);
+  if (!cost.ok()) return cost.status();
+  point.cost_dollars = *cost;
+  return point;
+}
+
+namespace {
+
+// Disks needed so the scheme supports `required` streams: invert equations
+// (8)-(11). Returns 0 if the per-disk bound is non-positive.
+int DisksForStreams(const SystemParameters& p, Scheme scheme,
+                    int parity_group_size, double required) {
+  const double per_disk =
+      StreamsPerDataDisk(p, KPrimeOf(scheme, parity_group_size));
+  if (per_disk <= 0) return 0;
+  const double data_disks = required / per_disk;
+  if (scheme == Scheme::kImprovedBandwidth) {
+    return static_cast<int>(
+        std::ceil(data_disks + static_cast<double>(p.k_reserve)));
+  }
+  const double c = static_cast<double>(parity_group_size);
+  return static_cast<int>(std::ceil(data_disks * c / (c - 1.0)));
+}
+
+}  // namespace
+
+StatusOr<DesignPoint> PlanCheapest(const DesignParameters& d,
+                                   const SystemParameters& p, Scheme scheme,
+                                   const PlanRequest& req) {
+  bool found = false;
+  DesignPoint best;
+  for (int c = std::max(2, req.min_group_size); c <= req.max_group_size;
+       ++c) {
+    const int for_capacity = DisksForWorkingSet(d, p, c);
+    const int for_streams =
+        DisksForStreams(p, scheme, c, req.required_streams);
+    if (for_streams == 0) continue;  // seek dominates the cycle: infeasible
+    const int disks = std::max(for_capacity, for_streams);
+    SystemParameters sized = p;
+    sized.num_disks = disks;
+    if (sized.k_reserve >= disks) continue;
+
+    StatusOr<int> streams = MaxStreams(sized, scheme, c);
+    if (!streams.ok() || *streams < req.required_streams) continue;
+    StatusOr<double> cost = SystemCost(d, p, scheme, c, disks);
+    if (!cost.ok()) continue;
+    StatusOr<double> buffer_mb = TotalBufferMb(sized, scheme, c);
+    if (!buffer_mb.ok()) continue;
+
+    if (!found || *cost < best.cost_dollars) {
+      found = true;
+      best.scheme = scheme;
+      best.parity_group_size = c;
+      best.num_disks = disks;
+      best.max_streams = *streams;
+      best.buffer_mb = *buffer_mb;
+      best.cost_dollars = *cost;
+    }
+  }
+  if (!found) {
+    return Status::NotFound("no feasible design for scheme in group range");
+  }
+  return best;
+}
+
+std::vector<DesignPoint> PlanAllSchemes(const DesignParameters& d,
+                                        const SystemParameters& p,
+                                        const PlanRequest& req) {
+  std::vector<DesignPoint> out;
+  for (Scheme scheme : kAllSchemes) {
+    StatusOr<DesignPoint> point = PlanCheapest(d, p, scheme, req);
+    if (point.ok()) out.push_back(*point);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DesignPoint& a, const DesignPoint& b) {
+              return a.cost_dollars < b.cost_dollars;
+            });
+  return out;
+}
+
+}  // namespace ftms

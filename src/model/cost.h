@@ -1,0 +1,65 @@
+#ifndef FTMS_MODEL_COST_H_
+#define FTMS_MODEL_COST_H_
+
+#include <vector>
+
+#include "layout/schemes.h"
+#include "model/parameters.h"
+#include "util/status.h"
+
+namespace ftms {
+
+// System sizing and cost model (Section 5, equations (16)-(19) and the
+// Figure 9 study): disks to hold a working set W, plus the main-memory
+// buffers the chosen scheme needs at its maximum stream load.
+
+// Minimum number of disks whose data fraction (C-1)/C holds W MB
+// (D(W,C) in the paper). Rounded up to a whole disk.
+int DisksForWorkingSet(const DesignParameters& d, const SystemParameters& p,
+                       int parity_group_size);
+
+// Total dollar cost (equations (16)-(19)) of a system of `num_disks` disks
+// running `scheme` with parity groups of C: disk cost + buffer cost at the
+// maximum supported stream count.
+StatusOr<double> SystemCost(const DesignParameters& d,
+                            const SystemParameters& p, Scheme scheme,
+                            int parity_group_size, int num_disks);
+
+// One point of the Figure 9 study: size the system at the minimum disks
+// holding W, then report cost and max streams.
+struct DesignPoint {
+  Scheme scheme;
+  int parity_group_size = 0;
+  int num_disks = 0;
+  int max_streams = 0;
+  double buffer_mb = 0;
+  double cost_dollars = 0;
+};
+
+StatusOr<DesignPoint> EvaluateDesign(const DesignParameters& d,
+                                     const SystemParameters& p,
+                                     Scheme scheme, int parity_group_size);
+
+// Capacity planning (the worked examples at the end of Section 5): the
+// cheapest (scheme, C) meeting both the working set and a required stream
+// count, buying extra disks beyond D(W,C) when bandwidth, not capacity, is
+// the binding constraint.
+struct PlanRequest {
+  double required_streams = 0;
+  int min_group_size = 2;
+  int max_group_size = 10;
+};
+
+StatusOr<DesignPoint> PlanCheapest(const DesignParameters& d,
+                                   const SystemParameters& p, Scheme scheme,
+                                   const PlanRequest& req);
+
+// Evaluates all four schemes and returns them sorted by cost (cheapest
+// first). Schemes that cannot meet the requirement are omitted.
+std::vector<DesignPoint> PlanAllSchemes(const DesignParameters& d,
+                                        const SystemParameters& p,
+                                        const PlanRequest& req);
+
+}  // namespace ftms
+
+#endif  // FTMS_MODEL_COST_H_

@@ -1,0 +1,33 @@
+#include "model/overhead.h"
+
+namespace ftms {
+
+double StorageOverheadFraction(Scheme scheme, int parity_group_size) {
+  (void)scheme;  // identical for all four schemes
+  return 1.0 / static_cast<double>(parity_group_size);
+}
+
+double StorageOverheadMb(const SystemParameters& p, Scheme scheme,
+                         int parity_group_size) {
+  const double total =
+      static_cast<double>(p.num_disks) * p.disk.capacity_mb;
+  return total * StorageOverheadFraction(scheme, parity_group_size);
+}
+
+double BandwidthOverheadFraction(const SystemParameters& p, Scheme scheme,
+                                 int parity_group_size) {
+  if (scheme == Scheme::kImprovedBandwidth) {
+    return static_cast<double>(p.k_reserve) /
+           static_cast<double>(p.num_disks);
+  }
+  return 1.0 / static_cast<double>(parity_group_size);
+}
+
+double BandwidthOverheadMbS(const SystemParameters& p, Scheme scheme,
+                            int parity_group_size) {
+  const double aggregate =
+      static_cast<double>(p.num_disks) * p.disk.BandwidthMbS();
+  return aggregate * BandwidthOverheadFraction(p, scheme, parity_group_size);
+}
+
+}  // namespace ftms

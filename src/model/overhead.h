@@ -1,0 +1,32 @@
+#ifndef FTMS_MODEL_OVERHEAD_H_
+#define FTMS_MODEL_OVERHEAD_H_
+
+#include "layout/schemes.h"
+#include "model/parameters.h"
+
+namespace ftms {
+
+// Redundancy penalties (Section 5, equations (1)-(3)).
+
+// Fraction of total disk storage devoted to parity. One block in every
+// parity group of C is parity, for every scheme: 1/C.
+double StorageOverheadFraction(Scheme scheme, int parity_group_size);
+
+// Additional disk storage in MB consumed by parity across the system
+// (equation (1)): S_p = (total storage) / C.
+double StorageOverheadMb(const SystemParameters& p, Scheme scheme,
+                         int parity_group_size);
+
+// Fraction of aggregate disk bandwidth withheld from normal-mode delivery:
+//   SR/SG/NC: the parity disks' 1/C (equation (2));
+//   IB:       K_IB reserved disks' worth, K_IB/D (equation (3)).
+double BandwidthOverheadFraction(const SystemParameters& p, Scheme scheme,
+                                 int parity_group_size);
+
+// The same, in MB/s (d = per-disk bandwidth from the disk model).
+double BandwidthOverheadMbS(const SystemParameters& p, Scheme scheme,
+                            int parity_group_size);
+
+}  // namespace ftms
+
+#endif  // FTMS_MODEL_OVERHEAD_H_

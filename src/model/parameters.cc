@@ -1,0 +1,19 @@
+#include "model/parameters.h"
+
+namespace ftms {
+
+Status SystemParameters::Validate() const {
+  FTMS_RETURN_IF_ERROR(disk.Validate());
+  if (object_rate_mb_s <= 0) {
+    return Status::InvalidArgument("object rate must be positive");
+  }
+  if (num_disks <= 0) {
+    return Status::InvalidArgument("num_disks must be positive");
+  }
+  if (k_reserve < 0 || k_reserve >= num_disks) {
+    return Status::InvalidArgument("k_reserve must be in [0, num_disks)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace ftms

@@ -1,0 +1,60 @@
+#include "model/reliability_model.h"
+
+namespace ftms {
+
+double MeanTimeToFirstFailureHours(double disk_mttf_hours, int num_disks) {
+  return disk_mttf_hours / static_cast<double>(num_disks);
+}
+
+StatusOr<double> MttfCatastrophicHours(const SystemParameters& p,
+                                       Scheme scheme,
+                                       int parity_group_size) {
+  FTMS_RETURN_IF_ERROR(p.Validate());
+  if (parity_group_size < 2) {
+    return Status::InvalidArgument("parity group size must be >= 2");
+  }
+  const double mttf = p.disk.mttf_hours;
+  const double mttr = p.disk.mttr_hours;
+  const double d = static_cast<double>(p.num_disks);
+  const double c = static_cast<double>(parity_group_size);
+  const double exposure =
+      scheme == Scheme::kImprovedBandwidth ? (2.0 * c - 1.0) : (c - 1.0);
+  return mttf * mttf / (d * exposure * mttr);
+}
+
+double KConcurrentFailuresMeanHours(double disk_mttf_hours,
+                                    double disk_mttr_hours, int num_disks,
+                                    int k) {
+  // MTTF^K / (D (D-1) ... (D-K+1) MTTR^(K-1)): the expected time until K
+  // disks are down at once, by the usual rare-event product argument.
+  // Rearranged so intermediate values stay finite:
+  //   MTTF/D * prod_{i=1}^{K-1} MTTF / ((D-i) MTTR).
+  double result = disk_mttf_hours / static_cast<double>(num_disks);
+  for (int i = 1; i < k; ++i) {
+    result *= disk_mttf_hours /
+              (static_cast<double>(num_disks - i) * disk_mttr_hours);
+  }
+  return result;
+}
+
+StatusOr<double> MttdsHours(const SystemParameters& p, Scheme scheme,
+                            int parity_group_size) {
+  FTMS_RETURN_IF_ERROR(p.Validate());
+  switch (scheme) {
+    case Scheme::kStreamingRaid:
+    case Scheme::kStaggeredGroup:
+      return MttfCatastrophicHours(p, scheme, parity_group_size);
+    case Scheme::kNonClustered:
+    case Scheme::kImprovedBandwidth:
+      if (p.k_reserve < 1) {
+        return Status::InvalidArgument(
+            "NC/IB degradation model needs k_reserve >= 1");
+      }
+      return KConcurrentFailuresMeanHours(p.disk.mttf_hours,
+                                          p.disk.mttr_hours, p.num_disks,
+                                          p.k_reserve);
+  }
+  return Status::Internal("unknown scheme");
+}
+
+}  // namespace ftms

@@ -1,0 +1,43 @@
+#ifndef FTMS_MODEL_RELIABILITY_MODEL_H_
+#define FTMS_MODEL_RELIABILITY_MODEL_H_
+
+#include "layout/schemes.h"
+#include "model/parameters.h"
+#include "util/status.h"
+
+namespace ftms {
+
+// Closed-form reliability estimates (Section 5, equations (4)-(6)),
+// following the standard RAID analysis of Chen et al. [4].
+
+// Mean time until SOME disk in a D-disk farm fails: MTTF(disk)/D. The
+// introduction's example: 1000 disks at 300,000 h each -> ~300 h (~12.5
+// days). Hours.
+double MeanTimeToFirstFailureHours(double disk_mttf_hours, int num_disks);
+
+// Mean time to catastrophic failure (data loss / unmaskable hiccups), in
+// hours:
+//   SR/SG/NC (eq. 4): MTTF(disk)^2 / (D (C-1) MTTR)
+//   IB       (eq. 5): MTTF(disk)^2 / (D (2C-1) MTTR)
+// The (2C-1) factor reflects the IB scheme's extra exposure: disks serve
+// both their own cluster's groups and the left neighbor's parity.
+StatusOr<double> MttfCatastrophicHours(const SystemParameters& p,
+                                       Scheme scheme, int parity_group_size);
+
+// Mean time to degradation of service, in hours.
+//   SR/SG: equal to the catastrophic MTTF (a cluster always reserves
+//          enough bandwidth for one failure).
+//   NC/IB (eq. 6): MTTF^K / (D (D-1) ... (D-K+1) MTTR^(K-1)), the mean
+//          time until K disks are simultaneously down (K = K_NC buffer
+//          servers / K_IB reserved-bandwidth disks).
+StatusOr<double> MttdsHours(const SystemParameters& p, Scheme scheme,
+                            int parity_group_size);
+
+// Equation (6) standalone, exposed for the Monte-Carlo cross-validation.
+double KConcurrentFailuresMeanHours(double disk_mttf_hours,
+                                    double disk_mttr_hours, int num_disks,
+                                    int k);
+
+}  // namespace ftms
+
+#endif  // FTMS_MODEL_RELIABILITY_MODEL_H_

@@ -1,0 +1,43 @@
+#include "model/sizing.h"
+
+namespace ftms {
+
+double MoviesStorable(int num_disks, double disk_capacity_mb,
+                      double rate_mb_s, double minutes) {
+  const double movie_mb = minutes * 60.0 * rate_mb_s;
+  return static_cast<double>(num_disks) * disk_capacity_mb / movie_mb;
+}
+
+double ViewersSupportable(int num_disks, double disk_bandwidth_mb_s,
+                          double rate_mb_s) {
+  return static_cast<double>(num_disks) * disk_bandwidth_mb_s / rate_mb_s;
+}
+
+StatusOr<double> MixedRateMaxStreams(const SystemParameters& p,
+                                     int k_prime, double data_disks,
+                                     double rate_high_mb_s,
+                                     double fraction_high) {
+  FTMS_RETURN_IF_ERROR(p.Validate());
+  if (k_prime < 1) {
+    return Status::InvalidArgument("k_prime must be >= 1");
+  }
+  if (rate_high_mb_s <= 0) {
+    return Status::InvalidArgument("high rate must be positive");
+  }
+  if (fraction_high < 0 || fraction_high > 1) {
+    return Status::InvalidArgument("fraction_high must be in [0, 1]");
+  }
+  const double b_lo = p.object_rate_mb_s;
+  const double b_mix =
+      (1.0 - fraction_high) * b_lo + fraction_high * rate_high_mb_s;
+  // See header: N/D' = B/(b_mix T_trk) - T_seek b_lo / (k' b_mix T_trk),
+  // the mixed-rate generalization of equations (8)-(11); reduces to
+  // StreamsPerDataDisk at fraction_high = 0.
+  const double per_disk =
+      p.track_mb() / (b_mix * p.track_time_s()) -
+      p.seek_s() * b_lo /
+          (static_cast<double>(k_prime) * b_mix * p.track_time_s());
+  return (per_disk > 0 ? per_disk : 0.0) * data_disks;
+}
+
+}  // namespace ftms

@@ -1,0 +1,41 @@
+#ifndef FTMS_MODEL_SIZING_H_
+#define FTMS_MODEL_SIZING_H_
+
+#include "model/parameters.h"
+#include "util/status.h"
+
+namespace ftms {
+
+// Back-of-envelope farm sizing from the paper's introduction: how many
+// movies a farm stores and how many viewers its raw bandwidth feeds
+// ("1000 (1 gigabyte) disks provide enough storage for approximately 300
+// (90 minute) MPEG-2 movies ... or 900 MPEG-1 movies", "enough bandwidth
+// to support approximately 6500 concurrent MPEG-2 users or 20,000 MPEG-1
+// users" at 4 MB/s per disk).
+
+// Movies of `minutes` at `rate_mb_s` storable on `num_disks` disks of
+// `disk_capacity_mb` (no parity discount — the introduction's estimate).
+double MoviesStorable(int num_disks, double disk_capacity_mb,
+                      double rate_mb_s, double minutes);
+
+// Concurrent viewers of `rate_mb_s` streams fed by the farm's aggregate
+// bandwidth of `num_disks` x `disk_bandwidth_mb_s`.
+double ViewersSupportable(int num_disks, double disk_bandwidth_mb_s,
+                          double rate_mb_s);
+
+// Mixed-rate stream capacity (extension): with cycle-based scheduling a
+// stream of rate b consumes b*T_cyc/B tracks per cycle regardless of the
+// cycle length, so the per-data-disk constraint
+//   T_seek + (sum_i N_i b_i) * T_cyc / (B D') * T_trk <= T_cyc
+// bounds the aggregate DELIVERED BANDWIDTH rather than a stream count.
+// Returns the total streams supportable when a fraction `fraction_high`
+// of them run at `rate_high_mb_s` and the rest at the configured base
+// rate, with k' tracks per cycle per base-rate stream.
+StatusOr<double> MixedRateMaxStreams(const SystemParameters& p,
+                                     int k_prime, double data_disks,
+                                     double rate_high_mb_s,
+                                     double fraction_high);
+
+}  // namespace ftms
+
+#endif  // FTMS_MODEL_SIZING_H_

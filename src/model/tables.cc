@@ -1,0 +1,139 @@
+#include "model/tables.h"
+
+#include <cstdio>
+
+#include "model/buffers.h"
+#include "model/capacity.h"
+#include "model/overhead.h"
+#include "model/reliability_model.h"
+#include "util/units.h"
+
+namespace ftms {
+
+StatusOr<std::vector<SchemeMetrics>> ComputeComparisonTable(
+    const SystemParameters& p, int parity_group_size) {
+  std::vector<SchemeMetrics> rows;
+  rows.reserve(4);
+  for (Scheme scheme : kAllSchemes) {
+    SchemeMetrics m;
+    m.scheme = scheme;
+    m.parity_group_size = parity_group_size;
+    m.storage_overhead_fraction =
+        StorageOverheadFraction(scheme, parity_group_size);
+    m.bandwidth_overhead_fraction =
+        BandwidthOverheadFraction(p, scheme, parity_group_size);
+
+    StatusOr<double> mttf = MttfCatastrophicHours(p, scheme,
+                                                  parity_group_size);
+    if (!mttf.ok()) return mttf.status();
+    m.mttf_years = HoursToYears(*mttf);
+
+    StatusOr<double> mttds = MttdsHours(p, scheme, parity_group_size);
+    if (!mttds.ok()) return mttds.status();
+    m.mttds_years = HoursToYears(*mttds);
+
+    StatusOr<int> streams = MaxStreams(p, scheme, parity_group_size);
+    if (!streams.ok()) return streams.status();
+    m.streams = *streams;
+
+    StatusOr<double> buffers =
+        TotalBufferTracks(p, scheme, parity_group_size);
+    if (!buffers.ok()) return buffers.status();
+    m.buffer_tracks = *buffers;
+
+    rows.push_back(m);
+  }
+  return rows;
+}
+
+namespace {
+
+SchemeMetrics PaperRow(Scheme scheme, int c, double storage, double bw,
+                       double mttf, double mttds, int streams,
+                       double buffers) {
+  SchemeMetrics m;
+  m.scheme = scheme;
+  m.parity_group_size = c;
+  m.storage_overhead_fraction = storage;
+  m.bandwidth_overhead_fraction = bw;
+  m.mttf_years = mttf;
+  m.mttds_years = mttds;
+  m.streams = streams;
+  m.buffer_tracks = buffers;
+  return m;
+}
+
+}  // namespace
+
+std::array<SchemeMetrics, 4> PaperTable2() {
+  // Table 2 (C = 5, D = 100, Table 1 parameters, K = 3).
+  return {
+      PaperRow(Scheme::kStreamingRaid, 5, 0.200, 0.200, 25684.9, 25684.9,
+               1041, 10410),
+      PaperRow(Scheme::kStaggeredGroup, 5, 0.200, 0.200, 25684.9, 25684.9,
+               966, 3623),
+      PaperRow(Scheme::kNonClustered, 5, 0.200, 0.200, 25684.9, 3176862.3,
+               966, 2612),
+      // Paper prints 5.0% bandwidth overhead here (K=5); 3.0% is the
+      // K=3-consistent value (see header comment).
+      PaperRow(Scheme::kImprovedBandwidth, 5, 0.200, 0.030, 11415.5,
+               3176862.3, 1263, 10104),
+  };
+}
+
+std::array<SchemeMetrics, 4> PaperTable3() {
+  // Table 3 (C = 7, D = 100, Table 1 parameters, K = 3).
+  return {
+      PaperRow(Scheme::kStreamingRaid, 7, 0.143, 0.143, 17123.3, 17123.3,
+               1125, 15750),
+      PaperRow(Scheme::kStaggeredGroup, 7, 0.143, 0.143, 17123.3, 17123.3,
+               1035, 4830),
+      PaperRow(Scheme::kNonClustered, 7, 0.143, 0.143, 17123.3, 3176862.3,
+               1035, 3254),
+      PaperRow(Scheme::kImprovedBandwidth, 7, 0.143, 0.030, 7903.1,
+               3176862.3, 1273, 15276),
+  };
+}
+
+namespace {
+
+void AppendRow(std::string& out, const char* label, const SchemeMetrics& m) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-22s %8.1f%% %8.1f%% %14.1f %14.1f %8d %10.0f\n", label,
+                m.storage_overhead_fraction * 100.0,
+                m.bandwidth_overhead_fraction * 100.0, m.mttf_years,
+                m.mttds_years, m.streams, m.buffer_tracks);
+  out += buf;
+}
+
+const char* kHeader =
+    "Scheme                   StorOvh    BwOvh     MTTF (yrs)    MTTDS (yrs)"
+    "  Streams    Buffers\n";
+
+}  // namespace
+
+std::string FormatComparisonTable(const std::vector<SchemeMetrics>& rows) {
+  std::string out(kHeader);
+  for (const SchemeMetrics& m : rows) {
+    AppendRow(out, std::string(SchemeName(m.scheme)).c_str(), m);
+  }
+  return out;
+}
+
+std::string FormatComparisonTableWithPaper(
+    const std::vector<SchemeMetrics>& rows,
+    const std::array<SchemeMetrics, 4>& paper) {
+  std::string out(kHeader);
+  for (size_t i = 0; i < rows.size() && i < paper.size(); ++i) {
+    std::string measured(SchemeAbbrev(rows[i].scheme));
+    measured += " (ours)";
+    AppendRow(out, measured.c_str(), rows[i]);
+    std::string reference(SchemeAbbrev(paper[i].scheme));
+    reference += " (paper)";
+    AppendRow(out, reference.c_str(), paper[i]);
+  }
+  return out;
+}
+
+}  // namespace ftms

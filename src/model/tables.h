@@ -1,0 +1,52 @@
+#ifndef FTMS_MODEL_TABLES_H_
+#define FTMS_MODEL_TABLES_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "layout/schemes.h"
+#include "model/parameters.h"
+#include "util/status.h"
+
+namespace ftms {
+
+// One row of the paper's comparison tables (Tables 2 and 3): the six
+// metrics of Section 5 for one scheme at a given parity group size.
+struct SchemeMetrics {
+  Scheme scheme = Scheme::kStreamingRaid;
+  int parity_group_size = 0;
+  double storage_overhead_fraction = 0;    // of total disk storage
+  double bandwidth_overhead_fraction = 0;  // of aggregate disk bandwidth
+  double mttf_years = 0;                   // mean time to catastrophe
+  double mttds_years = 0;                  // mean time to degradation
+  int streams = 0;                         // max simultaneous streams
+  double buffer_tracks = 0;                // total buffer space, in tracks
+};
+
+// Computes the four rows (SR, SG, NC, IB) of the comparison table for the
+// given parameters and parity group size.
+StatusOr<std::vector<SchemeMetrics>> ComputeComparisonTable(
+    const SystemParameters& p, int parity_group_size);
+
+// The values printed in the paper for Table 2 (C = 5) and Table 3 (C = 7),
+// used by tests and by the benches' paper-vs-measured output. Rows are in
+// scheme order SR, SG, NC, IB.
+//
+// Note (DESIGN.md §4): the paper's IB bandwidth-overhead entry in Table 2
+// is 5.0% (K=5) while every other NC/IB entry of both tables follows K=3;
+// we store the K=3-consistent value (3.0%) here and the bench prints the
+// paper's figure alongside.
+std::array<SchemeMetrics, 4> PaperTable2();
+std::array<SchemeMetrics, 4> PaperTable3();
+
+// Renders rows as an aligned text table, with optional paper reference
+// values interleaved for comparison.
+std::string FormatComparisonTable(const std::vector<SchemeMetrics>& rows);
+std::string FormatComparisonTableWithPaper(
+    const std::vector<SchemeMetrics>& rows,
+    const std::array<SchemeMetrics, 4>& paper);
+
+}  // namespace ftms
+
+#endif  // FTMS_MODEL_TABLES_H_

@@ -1,0 +1,89 @@
+#include "parity/parity.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ftms {
+
+void XorInto(std::span<uint8_t> dst, std::span<const uint8_t> src) {
+  assert(dst.size() == src.size());
+  size_t i = 0;
+  // Word-at-a-time main loop; tracks are 50 KB so this path dominates.
+  const size_t words = dst.size() / sizeof(uint64_t);
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t d;
+    uint64_t s;
+    __builtin_memcpy(&d, dst.data() + w * sizeof(uint64_t), sizeof(d));
+    __builtin_memcpy(&s, src.data() + w * sizeof(uint64_t), sizeof(s));
+    d ^= s;
+    __builtin_memcpy(dst.data() + w * sizeof(uint64_t), &d, sizeof(d));
+  }
+  for (i = words * sizeof(uint64_t); i < dst.size(); ++i) {
+    dst[i] = static_cast<uint8_t>(dst[i] ^ src[i]);
+  }
+}
+
+StatusOr<Block> ComputeParity(std::span<const Block> blocks) {
+  if (blocks.empty()) {
+    return Status::InvalidArgument("parity of empty group");
+  }
+  const size_t size = blocks.front().size();
+  for (const Block& b : blocks) {
+    if (b.size() != size) {
+      return Status::InvalidArgument("parity group blocks differ in size");
+    }
+  }
+  Block parity = blocks.front();
+  for (size_t i = 1; i < blocks.size(); ++i) {
+    XorInto(parity, blocks[i]);
+  }
+  return parity;
+}
+
+StatusOr<Block> ReconstructMissing(std::span<const Block> survivors,
+                                   const Block& parity) {
+  Block result = parity;
+  for (const Block& b : survivors) {
+    if (b.size() != result.size()) {
+      return Status::InvalidArgument(
+          "survivor block size differs from parity block size");
+    }
+    XorInto(result, b);
+  }
+  return result;
+}
+
+StatusOr<bool> VerifyGroup(std::span<const Block> data, const Block& parity) {
+  StatusOr<Block> computed = ComputeParity(data);
+  if (!computed.ok()) return computed.status();
+  if (computed->size() != parity.size()) {
+    return Status::InvalidArgument("parity block size mismatch");
+  }
+  return std::equal(computed->begin(), computed->end(), parity.begin());
+}
+
+Status ParityAccumulator::Add(std::span<const uint8_t> block) {
+  if (count_ == 0) {
+    acc_.assign(block.begin(), block.end());
+  } else {
+    if (block.size() != acc_.size()) {
+      return Status::InvalidArgument("accumulator block size mismatch");
+    }
+    XorInto(acc_, block);
+  }
+  ++count_;
+  return Status::Ok();
+}
+
+Block ParityAccumulator::Take() {
+  Block out = std::move(acc_);
+  Reset();
+  return out;
+}
+
+void ParityAccumulator::Reset() {
+  acc_.clear();
+  count_ = 0;
+}
+
+}  // namespace ftms

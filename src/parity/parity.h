@@ -1,0 +1,65 @@
+#ifndef FTMS_PARITY_PARITY_H_
+#define FTMS_PARITY_PARITY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ftms {
+
+// A data block: the contents of one disk track. All blocks in a parity
+// group must have equal size (one track, B bytes).
+using Block = std::vector<uint8_t>;
+
+// dst ^= src, byte-wise. Sizes must match.
+void XorInto(std::span<uint8_t> dst, std::span<const uint8_t> src);
+
+// Returns the bitwise XOR of all `blocks` (which must be non-empty and of
+// equal size). This is the parity block of a parity group:
+//   Xp = X0 ^ X1 ^ ... ^ X(C-2)   (paper Section 1, Figure 3).
+StatusOr<Block> ComputeParity(std::span<const Block> blocks);
+
+// Reconstructs the single missing data block of a parity group on the fly:
+// given the C-2 surviving data blocks and the parity block, the missing
+// block is their XOR. `survivors` are the available data blocks in any
+// order. This is the degraded-mode read path of every scheme in the paper.
+StatusOr<Block> ReconstructMissing(std::span<const Block> survivors,
+                                   const Block& parity);
+
+// Verifies that parity XOR all data blocks is zero, i.e. the group is
+// internally consistent.
+StatusOr<bool> VerifyGroup(std::span<const Block> data, const Block& parity);
+
+// Incremental XOR accumulator. Section 3's deferred-transition scheme
+// buffers "A0 ^ A1" after delivering A0 and A1 so the missing A2 can be
+// rebuilt later from a single buffered track instead of the whole prefix:
+// this type is that buffer. Add() folds one block in; Take() releases the
+// accumulated XOR.
+class ParityAccumulator {
+ public:
+  ParityAccumulator() = default;
+
+  // Folds `block` into the accumulator. The first Add fixes the block size;
+  // later Adds must match it.
+  Status Add(std::span<const uint8_t> block);
+
+  int count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  size_t block_size() const { return acc_.size(); }
+  const Block& value() const { return acc_; }
+
+  // Returns the accumulated XOR and resets the accumulator.
+  Block Take();
+
+  void Reset();
+
+ private:
+  Block acc_;
+  int count_ = 0;
+};
+
+}  // namespace ftms
+
+#endif  // FTMS_PARITY_PARITY_H_

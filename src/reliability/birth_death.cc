@@ -1,0 +1,46 @@
+#include "reliability/birth_death.h"
+
+namespace ftms {
+
+StatusOr<double> ExactKConcurrentMeanHours(double mttf_hours,
+                                           double mttr_hours,
+                                           int num_disks, int k) {
+  if (mttf_hours <= 0 || mttr_hours <= 0) {
+    return Status::InvalidArgument("MTTF/MTTR must be positive");
+  }
+  if (num_disks <= 0) {
+    return Status::InvalidArgument("num_disks must be positive");
+  }
+  if (k < 1 || k > num_disks) {
+    return Status::InvalidArgument("k must be in [1, num_disks]");
+  }
+  // First-step analysis: with E_j the expected time to go from j to j+1
+  // failed disks,
+  //   E_0 = 1/lambda_0,
+  //   E_j = 1/lambda_j + (mu_j/lambda_j) * E_{j-1},
+  // and the hitting time of K is the sum of E_0..E_{K-1}.
+  double total = 0;
+  double e_prev = 0;
+  for (int j = 0; j < k; ++j) {
+    const double lambda = static_cast<double>(num_disks - j) / mttf_hours;
+    const double mu = static_cast<double>(j) / mttr_hours;
+    const double e_j = (1.0 + mu * e_prev) / lambda;
+    total += e_j;
+    e_prev = e_j;
+  }
+  return total;
+}
+
+double AsymptoticKConcurrentMeanHours(double mttf_hours, double mttr_hours,
+                                      int num_disks, int k) {
+  // (K-1)! MTTF^K / (D (D-1) ... (D-K+1) MTTR^(K-1)), arranged to keep
+  // intermediates finite.
+  double result = mttf_hours / static_cast<double>(num_disks);
+  for (int i = 1; i < k; ++i) {
+    result *= static_cast<double>(i) * mttf_hours /
+              (static_cast<double>(num_disks - i) * mttr_hours);
+  }
+  return result;
+}
+
+}  // namespace ftms

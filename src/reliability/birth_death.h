@@ -1,0 +1,37 @@
+#ifndef FTMS_RELIABILITY_BIRTH_DEATH_H_
+#define FTMS_RELIABILITY_BIRTH_DEATH_H_
+
+#include "util/status.h"
+
+namespace ftms {
+
+// Exact reliability analysis of the disk farm as a birth-death Markov
+// chain (the analytical backbone behind equations (4)-(6), after Muntz &
+// Lui's disk-array analysis [6]).
+//
+// State j = number of concurrently failed disks. With D disks of
+// exponential lifetime MTTF and independent exponential repairs MTTR:
+//
+//   failure rate  lambda_j = (D - j) / MTTF
+//   repair rate   mu_j     = j / MTTR          (parallel repairs)
+//
+// The expected hitting time of state K from state 0 has the standard
+// closed recurrence; this module evaluates it exactly, which lets tests
+// and benches quantify the approximation error of the paper's equation
+// (6) (which keeps only the dominant product term and drops a (K-1)!
+// factor).
+
+// Exact expected time (hours) until `k` disks are down simultaneously,
+// starting from all-up.
+StatusOr<double> ExactKConcurrentMeanHours(double mttf_hours,
+                                           double mttr_hours, int num_disks,
+                                           int k);
+
+// The rare-event asymptote including the (K-1)! factor:
+//   (K-1)! MTTF^K / (D (D-1) ... (D-K+1) MTTR^(K-1)).
+double AsymptoticKConcurrentMeanHours(double mttf_hours, double mttr_hours,
+                                      int num_disks, int k);
+
+}  // namespace ftms
+
+#endif  // FTMS_RELIABILITY_BIRTH_DEATH_H_

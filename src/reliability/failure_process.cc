@@ -1,0 +1,41 @@
+#include "reliability/failure_process.h"
+
+#include <utility>
+
+#include "util/units.h"
+
+namespace ftms {
+
+FailureProcess::FailureProcess(Simulator* sim, DiskArray* disks,
+                               uint64_t seed, Callbacks callbacks)
+    : sim_(sim), disks_(disks), rng_(seed),
+      callbacks_(std::move(callbacks)) {}
+
+void FailureProcess::Start() {
+  for (int d = 0; d < disks_->num_disks(); ++d) ScheduleFailure(d);
+}
+
+void FailureProcess::ScheduleFailure(int disk) {
+  const double lifetime_s =
+      rng_.ExponentialMean(disks_->params().mttf_hours * kSecondsPerHour);
+  sim_->Schedule(lifetime_s, [this, disk] {
+    if (!disks_->disk(disk).operational()) return;
+    disks_->FailDisk(disk).ok();
+    ++failures_;
+    if (callbacks_.on_failure) callbacks_.on_failure(disk);
+    ScheduleRepair(disk);
+  });
+}
+
+void FailureProcess::ScheduleRepair(int disk) {
+  const double repair_s =
+      rng_.ExponentialMean(disks_->params().mttr_hours * kSecondsPerHour);
+  sim_->Schedule(repair_s, [this, disk] {
+    disks_->RepairDisk(disk).ok();
+    ++repairs_;
+    if (callbacks_.on_repair) callbacks_.on_repair(disk);
+    ScheduleFailure(disk);
+  });
+}
+
+}  // namespace ftms

@@ -1,0 +1,48 @@
+#ifndef FTMS_RELIABILITY_FAILURE_PROCESS_H_
+#define FTMS_RELIABILITY_FAILURE_PROCESS_H_
+
+#include <functional>
+
+#include "disk/disk_array.h"
+#include "sim/simulator.h"
+#include "util/random.h"
+
+namespace ftms {
+
+// Drives exponential disk failures and repairs on a DiskArray inside a
+// discrete-event simulation. Used by the server-level failure-injection
+// experiments: the scheduler sees FailDisk/RepairDisk at the simulated
+// times this process generates.
+class FailureProcess {
+ public:
+  // Callbacks fire after the array state change. Times are in SECONDS on
+  // the simulator clock (MTTF/MTTR are converted from hours).
+  struct Callbacks {
+    std::function<void(int disk)> on_failure;
+    std::function<void(int disk)> on_repair;
+  };
+
+  FailureProcess(Simulator* sim, DiskArray* disks, uint64_t seed,
+                 Callbacks callbacks);
+
+  // Schedules the initial lifetime for every disk. Call once.
+  void Start();
+
+  int64_t failures_injected() const { return failures_; }
+  int64_t repairs_completed() const { return repairs_; }
+
+ private:
+  void ScheduleFailure(int disk);
+  void ScheduleRepair(int disk);
+
+  Simulator* sim_;
+  DiskArray* disks_;
+  Rng rng_;
+  Callbacks callbacks_;
+  int64_t failures_ = 0;
+  int64_t repairs_ = 0;
+};
+
+}  // namespace ftms
+
+#endif  // FTMS_RELIABILITY_FAILURE_PROCESS_H_

@@ -1,0 +1,166 @@
+#include "reliability/markov_sim.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace ftms {
+namespace {
+
+struct Event {
+  double time;
+  int disk;
+  bool is_failure;  // false = repair completion
+};
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    return a.time > b.time;
+  }
+};
+
+Status Validate(const ReliabilitySimConfig& c) {
+  if (c.num_disks <= 0) {
+    return Status::InvalidArgument("num_disks must be positive");
+  }
+  if (c.parity_group_size < 2) {
+    return Status::InvalidArgument("parity group size must be >= 2");
+  }
+  if (c.mttf_hours <= 0 || c.mttr_hours <= 0) {
+    return Status::InvalidArgument("MTTF/MTTR must be positive");
+  }
+  if (c.trials <= 0) {
+    return Status::InvalidArgument("trials must be positive");
+  }
+  return Status::Ok();
+}
+
+// One trial: simulate until `stop(down_per_cluster, total_down, disk)`
+// returns true right after a failure event; returns the event time.
+template <typename StopFn>
+double RunTrial(const ReliabilitySimConfig& c, int cluster_size, Rng& rng,
+                StopFn stop) {
+  const int clusters = (c.num_disks + cluster_size - 1) / cluster_size;
+  std::vector<int> down_in_cluster(static_cast<size_t>(clusters), 0);
+  std::vector<bool> down(static_cast<size_t>(c.num_disks), false);
+  int total_down = 0;
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue;
+  for (int d = 0; d < c.num_disks; ++d) {
+    queue.push(Event{rng.ExponentialMean(c.mttf_hours), d, true});
+  }
+  while (!queue.empty()) {
+    const Event ev = queue.top();
+    queue.pop();
+    const size_t disk = static_cast<size_t>(ev.disk);
+    const size_t cluster = static_cast<size_t>(ev.disk / cluster_size);
+    if (ev.is_failure) {
+      down[disk] = true;
+      ++down_in_cluster[cluster];
+      ++total_down;
+      if (stop(down_in_cluster, total_down, ev.disk)) return ev.time;
+      queue.push(
+          Event{ev.time + rng.ExponentialMean(c.mttr_hours), ev.disk, false});
+    } else {
+      down[disk] = false;
+      --down_in_cluster[cluster];
+      --total_down;
+      queue.push(
+          Event{ev.time + rng.ExponentialMean(c.mttf_hours), ev.disk, true});
+    }
+  }
+  return 0;  // unreachable: the queue is never empty
+}
+
+ReliabilityEstimate Summarize(const StreamingStats& stats) {
+  ReliabilityEstimate est;
+  est.mean_hours = stats.mean();
+  est.ci95_hours = stats.ConfidenceHalfWidth95();
+  est.trials = static_cast<int>(stats.count());
+  return est;
+}
+
+}  // namespace
+
+StatusOr<ReliabilityEstimate> EstimateMttfCatastrophic(
+    const ReliabilitySimConfig& config) {
+  FTMS_RETURN_IF_ERROR(Validate(config));
+  const bool ib = config.scheme == Scheme::kImprovedBandwidth;
+  const int cluster_size =
+      ib ? config.parity_group_size - 1 : config.parity_group_size;
+  if (config.num_disks % cluster_size != 0) {
+    return Status::InvalidArgument(
+        "num_disks must be a multiple of the cluster size");
+  }
+  const int clusters = config.num_disks / cluster_size;
+
+  Rng rng(config.seed);
+  StreamingStats stats;
+  for (int t = 0; t < config.trials; ++t) {
+    const double time = RunTrial(
+        config, cluster_size, rng,
+        [&](const std::vector<int>& down_per_cluster, int /*total*/,
+            int disk) {
+          const int cl = disk / cluster_size;
+          if (down_per_cluster[static_cast<size_t>(cl)] >= 2) return true;
+          if (!ib) return false;
+          // IB: a down disk in an adjacent cluster is also fatal (shared
+          // parity dependency across the cluster boundary).
+          const int left = (cl + clusters - 1) % clusters;
+          const int right = (cl + 1) % clusters;
+          return down_per_cluster[static_cast<size_t>(left)] > 0 ||
+                 down_per_cluster[static_cast<size_t>(right)] > 0;
+        });
+    stats.Add(time);
+  }
+  return Summarize(stats);
+}
+
+StatusOr<ReliabilityEstimate> EstimateKDegradedClusters(
+    const ReliabilitySimConfig& config, int k_clusters) {
+  FTMS_RETURN_IF_ERROR(Validate(config));
+  const int cluster_size = config.parity_group_size;
+  if (config.num_disks % cluster_size != 0) {
+    return Status::InvalidArgument(
+        "num_disks must be a multiple of the cluster size");
+  }
+  const int clusters = config.num_disks / cluster_size;
+  if (k_clusters < 1 || k_clusters > clusters) {
+    return Status::InvalidArgument("k_clusters out of range");
+  }
+  Rng rng(config.seed);
+  StreamingStats stats;
+  for (int t = 0; t < config.trials; ++t) {
+    const double time = RunTrial(
+        config, cluster_size, rng,
+        [&](const std::vector<int>& down_per_cluster, int, int) {
+          int degraded = 0;
+          for (int d : down_per_cluster) {
+            if (d > 0) ++degraded;
+          }
+          return degraded >= k_clusters;
+        });
+    stats.Add(time);
+  }
+  return Summarize(stats);
+}
+
+StatusOr<ReliabilityEstimate> EstimateKConcurrent(
+    const ReliabilitySimConfig& config, int k_concurrent) {
+  FTMS_RETURN_IF_ERROR(Validate(config));
+  if (k_concurrent < 1 || k_concurrent > config.num_disks) {
+    return Status::InvalidArgument("k_concurrent out of range");
+  }
+  Rng rng(config.seed);
+  StreamingStats stats;
+  for (int t = 0; t < config.trials; ++t) {
+    const double time =
+        RunTrial(config, config.parity_group_size, rng,
+                 [&](const std::vector<int>&, int total, int) {
+                   return total >= k_concurrent;
+                 });
+    stats.Add(time);
+  }
+  return Summarize(stats);
+}
+
+}  // namespace ftms

@@ -1,0 +1,176 @@
+#include "sched/cycle_scheduler.h"
+
+#include <cassert>
+#include <string>
+
+namespace ftms {
+
+CycleScheduler::CycleScheduler(const SchedulerConfig& config,
+                               DiskArray* disks, const Layout* layout)
+    : disks_(disks), layout_(layout), config_(config), pool_(0) {
+  assert(disks_ != nullptr);
+  assert(layout_ != nullptr);
+  slots_per_disk_ = config_.slots_per_disk > 0
+                        ? config_.slots_per_disk
+                        : config_.disk.TracksPerCycle(CycleSeconds());
+  slots_used_.assign(static_cast<size_t>(disks_->num_disks()), 0);
+}
+
+double CycleScheduler::CycleSeconds() const {
+  // T_cyc = k' B / b_o; k' depends on the scheme (Section 2).
+  const int k_prime = (config_.scheme == Scheme::kStreamingRaid ||
+                       config_.scheme == Scheme::kImprovedBandwidth)
+                          ? config_.parity_group_size - 1
+                          : 1;
+  return static_cast<double>(k_prime) * config_.disk.track_mb /
+         config_.object_rate_mb_s;
+}
+
+StatusOr<StreamId> CycleScheduler::AddStream(const MediaObject& object) {
+  if (object.num_tracks <= 0) {
+    return Status::InvalidArgument("object has no tracks");
+  }
+  if (!SupportsRate(object.rate_mb_s)) {
+    return Status::InvalidArgument(
+        "object rate not servable by this scheduler's cycle structure "
+        "(base rate or, where supported, an integer multiple of it)");
+  }
+  const StreamId id = static_cast<StreamId>(streams_.size());
+  streams_.push_back(std::make_unique<Stream>(id, object));
+  DoAddStream(streams_.back().get());
+  return id;
+}
+
+void CycleScheduler::RunCycle() {
+  BeginCycle();
+  DoRunCycle();
+  pool_.Release(pending_release_);
+  pending_release_ = 0;
+  mid_cycle_failures_.clear();
+  ++cycle_;
+  ++metrics_.cycles;
+}
+
+void CycleScheduler::RunCycles(int n) {
+  for (int i = 0; i < n; ++i) RunCycle();
+}
+
+void CycleScheduler::BeginCycle() {
+  slots_used_.assign(slots_used_.size(), 0);
+}
+
+void CycleScheduler::OnDiskFailed(int disk, bool mid_cycle) {
+  disks_->FailDisk(disk).ok();
+  if (mid_cycle) mid_cycle_failures_.insert(disk);
+  DoOnDiskFailed(disk);
+}
+
+void CycleScheduler::OnDiskRepaired(int disk) {
+  disks_->RepairDisk(disk).ok();
+  DoOnDiskRepaired(disk);
+}
+
+bool CycleScheduler::DiskUp(int disk) const {
+  return disks_->disk(disk).operational();
+}
+
+bool CycleScheduler::FailedMidCycle(int disk) const {
+  return mid_cycle_failures_.find(disk) != mid_cycle_failures_.end();
+}
+
+int CycleScheduler::FreeSlots(int disk) const {
+  return slots_per_disk_ - slots_used_[static_cast<size_t>(disk)];
+}
+
+CycleScheduler::ReadOutcome CycleScheduler::TryRead(int disk,
+                                                    bool is_parity) {
+  if (FreeSlots(disk) <= 0) {
+    ++metrics_.dropped_reads;
+    return ReadOutcome::kNoSlot;
+  }
+  ++slots_used_[static_cast<size_t>(disk)];
+  if (!disks_->disk(disk).Read(1)) {
+    ++metrics_.failed_reads;
+    return ReadOutcome::kFailedDisk;
+  }
+  if (is_parity) {
+    ++metrics_.parity_reads;
+  } else {
+    ++metrics_.data_reads;
+  }
+  return ReadOutcome::kOk;
+}
+
+void CycleScheduler::DeliverTrack(Stream* stream, bool on_time) {
+  stream->Deliver(cycle_, on_time);
+  if (on_time) {
+    ++metrics_.tracks_delivered;
+  } else {
+    ++metrics_.hiccups;
+  }
+}
+
+Status CycleScheduler::PauseStream(StreamId id) {
+  Stream* stream = FindStream(id);
+  if (stream == nullptr) return Status::NotFound("unknown stream");
+  if (stream->state() != StreamState::kActive) {
+    return Status::FailedPrecondition("stream is not active");
+  }
+  stream->Pause();
+  return Status::Ok();
+}
+
+Status CycleScheduler::ResumeStream(StreamId id) {
+  Stream* stream = FindStream(id);
+  if (stream == nullptr) return Status::NotFound("unknown stream");
+  if (stream->state() != StreamState::kPaused) {
+    return Status::FailedPrecondition("stream is not paused");
+  }
+  stream->Resume();
+  return Status::Ok();
+}
+
+Status CycleScheduler::StopStream(StreamId id) {
+  Stream* stream = FindStream(id);
+  if (stream == nullptr) return Status::NotFound("unknown stream");
+  if (stream->state() != StreamState::kActive &&
+      stream->state() != StreamState::kPaused) {
+    return Status::FailedPrecondition("stream already finished");
+  }
+  stream->Terminate();
+  ++metrics_.terminated_streams;
+  DoOnStreamStopped(stream);
+  return Status::Ok();
+}
+
+Stream* CycleScheduler::FindStream(StreamId id) {
+  if (id < 0 || static_cast<size_t>(id) >= streams_.size()) return nullptr;
+  return streams_[static_cast<size_t>(id)].get();
+}
+
+int CycleScheduler::ActiveStreams() const {
+  int n = 0;
+  for (const auto& s : streams_) {
+    if (s->state() == StreamState::kActive) ++n;
+  }
+  return n;
+}
+
+int CycleScheduler::LiveStreams() const {
+  int n = 0;
+  for (const auto& s : streams_) {
+    if (s->state() == StreamState::kActive ||
+        s->state() == StreamState::kPaused) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+int64_t CycleScheduler::TotalHiccups() const {
+  int64_t n = 0;
+  for (const auto& s : streams_) n += s->hiccup_count();
+  return n;
+}
+
+}  // namespace ftms

@@ -1,0 +1,236 @@
+#ifndef FTMS_SCHED_CYCLE_SCHEDULER_H_
+#define FTMS_SCHED_CYCLE_SCHEDULER_H_
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "disk/disk_array.h"
+#include "layout/layout.h"
+#include "layout/schemes.h"
+#include "stream/stream.h"
+#include "util/status.h"
+
+namespace ftms {
+
+// How the Non-clustered scheme transitions a cluster to degraded mode
+// after a disk failure (Section 3).
+enum class NcTransition {
+  // Shift affected streams to group-at-a-time reads immediately (Figure 6):
+  // all remaining tracks of every affected group move up to the failure
+  // cycle, displacing originally scheduled reads when slots run out.
+  kImmediateShift,
+  // Delay early reads until the cycle in which they are needed for the
+  // parity computation, buffering a running XOR of already-delivered
+  // tracks (Figure 7). Loses fewer tracks.
+  kDeferredRead,
+};
+
+// Configuration shared by all cycle-based schedulers.
+struct SchedulerConfig {
+  Scheme scheme = Scheme::kStreamingRaid;
+  int parity_group_size = 5;          // C
+  double object_rate_mb_s = 0.1875;   // b_o (uniform across streams)
+  DiskParameters disk;                // timing + track size
+
+  // Per-disk track budget per cycle; 0 derives it from the disk model
+  // (TracksPerCycle of the scheme's cycle length).
+  int slots_per_disk = 0;
+
+  // NC only: transition strategy and number of shared buffer servers K.
+  NcTransition nc_transition = NcTransition::kDeferredRead;
+  int buffer_servers = 3;
+
+  // IB only: read parity proactively under light load (the "sophisticated
+  // scheduler" sketched at the end of Section 4). When true and slots
+  // allow, parity is fetched with the data so even mid-cycle failures are
+  // masked.
+  bool ib_prefetch_parity = false;
+
+  // Integrity mode (SR scheduler): carry REAL synthesized bytes through
+  // the read / reconstruct / deliver pipeline and verify every delivered
+  // track against ground truth. Catches wrong-group/wrong-parity wiring
+  // that accounting-level simulation cannot. Costs memory and XOR time;
+  // off by default.
+  bool verify_data = false;
+
+  // IB with C = 2 only: mirroring mode (paper footnote 11 — "when the
+  // cluster size is 2 we effectively have mirroring and one could use
+  // the two copies to get even more stream capacity"). A data read that
+  // finds its primary disk fully booked spills to the replica (the
+  // "parity" block, which for C = 2 is a copy) instead of dropping.
+  // The footnote's caveat applies: the spilled capacity evaporates on a
+  // failure, so streams admitted beyond the single-copy capacity drop.
+  bool ib_mirror_read_balance = false;
+};
+
+// Counters accumulated over a run. A "hiccup" is one track that missed its
+// delivery deadline; "reconstructed" counts tracks rebuilt from parity
+// on-the-fly; "dropped_reads" are reads displaced by slot exhaustion.
+struct SchedulerMetrics {
+  int64_t cycles = 0;
+  int64_t data_reads = 0;
+  int64_t parity_reads = 0;
+  int64_t failed_reads = 0;       // attempted on a failed disk
+  int64_t dropped_reads = 0;      // no slot available
+  int64_t tracks_delivered = 0;   // on time
+  int64_t hiccups = 0;
+  int64_t reconstructed = 0;
+  int64_t terminated_streams = 0;  // degradation of service
+  int64_t degradation_events = 0;
+  // Improved-bandwidth shift statistics.
+  int64_t shift_cascades = 0;   // number of parity-read displacements
+  int64_t max_shift_depth = 0;  // longest right-shift chain observed
+  // Integrity mode: delivered tracks whose bytes were checked, and
+  // mismatches found (must stay 0).
+  int64_t verified_tracks = 0;
+  int64_t verify_failures = 0;
+};
+
+// Base class for the four cycle-based schedulers. Owns the streams and the
+// per-cycle disk slot accounting; concrete schemes implement DoRunCycle().
+//
+// Time advances in fixed cycles of CycleSeconds(); disk failures injected
+// via OnDiskFailed take effect for all reads from the next RunCycle on
+// (mid_cycle=true additionally fails the reads already planned for the
+// current cycle, modeling a failure in the middle of a sweep).
+class CycleScheduler {
+ public:
+  CycleScheduler(const SchedulerConfig& config, DiskArray* disks,
+                 const Layout* layout);
+  virtual ~CycleScheduler() = default;
+
+  CycleScheduler(const CycleScheduler&) = delete;
+  CycleScheduler& operator=(const CycleScheduler&) = delete;
+
+  // Starts a new stream on `object`. The object's rate must equal the
+  // configured uniform rate. Delivery begins after the scheme's startup
+  // latency (first read cycle).
+  StatusOr<StreamId> AddStream(const MediaObject& object);
+
+  // Runs one scheduling cycle: read planning + execution, then delivery of
+  // previously read tracks.
+  void RunCycle();
+
+  // Runs `n` cycles.
+  void RunCycles(int n);
+
+  // VCR controls. Pausing keeps the stream's buffers and admission slot
+  // (bandwidth stays reserved, so resume is glitch-free); stopping
+  // releases the stream's buffers immediately.
+  Status PauseStream(StreamId id);
+  Status ResumeStream(StreamId id);
+  Status StopStream(StreamId id);
+
+  // Failure injection. `mid_cycle` models a failure in the middle of the
+  // upcoming cycle's sweep: reads planned on the disk in that cycle fail
+  // after the point of no return (Section 4's IB discussion).
+  void OnDiskFailed(int disk, bool mid_cycle);
+  void OnDiskRepaired(int disk);
+
+  int64_t cycle() const { return cycle_; }
+  double CycleSeconds() const;
+  int slots_per_disk() const { return slots_per_disk_; }
+  const SchedulerMetrics& metrics() const { return metrics_; }
+  const SchedulerConfig& config() const { return config_; }
+  const BufferPool& buffer_pool() const { return pool_; }
+
+  // All streams ever admitted (active and finished).
+  const std::vector<std::unique_ptr<Stream>>& streams() const {
+    return streams_;
+  }
+  Stream* FindStream(StreamId id);
+  int ActiveStreams() const;
+  // Streams still holding server resources: active + paused.
+  int LiveStreams() const;
+
+  // Total hiccups across all streams (== metrics().hiccups).
+  int64_t TotalHiccups() const;
+
+  // Whether this scheduler's cycle structure can serve streams of the
+  // given rate (see SupportsRate).
+  bool CanServeRate(double rate_mb_s) const {
+    return SupportsRate(rate_mb_s);
+  }
+
+  // Read slots consumed on `disk` during the most recently completed
+  // cycle (resets when the next cycle begins). The rebuild process uses
+  // this to steal only idle bandwidth (rebuild mode, Section 1).
+  int SlotsUsedLastCycle(int disk) const {
+    return slots_used_[static_cast<size_t>(disk)];
+  }
+
+ protected:
+  // Scheme-specific per-cycle work.
+  virtual void DoRunCycle() = 0;
+  // Scheme-specific stream initialization (phase assignment etc.).
+  virtual void DoAddStream(Stream* stream) = 0;
+  // Whether the scheduler can serve a stream of this rate. The default
+  // cycle structure requires the configured uniform rate; schedulers
+  // with per-track pacing may accept integer multiples (e.g. MPEG-2
+  // streams at 3x the MPEG-1 base rate).
+  virtual bool SupportsRate(double rate_mb_s) const {
+    return rate_mb_s == config_.object_rate_mb_s;
+  }
+  // Scheme-specific failure reaction (transition planning).
+  virtual void DoOnDiskFailed(int /*disk*/) {}
+  virtual void DoOnDiskRepaired(int /*disk*/) {}
+  // Scheme-specific cleanup when a stream stops: release its buffers.
+  virtual void DoOnStreamStopped(Stream* /*stream*/) {}
+
+  // --- helpers for subclasses ---
+
+  enum class ReadOutcome { kOk, kFailedDisk, kNoSlot };
+
+  // Attempts one track read on `disk` in the current cycle: consumes a
+  // slot, then succeeds iff the disk is up (and not failing mid-cycle).
+  // Updates the metrics counters.
+  ReadOutcome TryRead(int disk, bool is_parity);
+
+  // True when reads on `disk` succeed this cycle.
+  bool DiskUp(int disk) const;
+
+  // True when `disk` failed in the middle of the upcoming cycle's sweep:
+  // the failure is discovered too late for this cycle's read plan to react
+  // (no parity substitution until the next cycle).
+  bool FailedMidCycle(int disk) const;
+
+  // Remaining slots on `disk` this cycle.
+  int FreeSlots(int disk) const;
+
+  // Records an on-time (or missed) delivery for the stream.
+  void DeliverTrack(Stream* stream, bool on_time);
+
+  // Buffer accounting (tracks). A track transmitted during cycle t is in
+  // memory until t's end (transmission overlaps the next reads), so
+  // delivery paths release at cycle end; the pool peak then matches the
+  // paper's buffer equations (12)-(15).
+  void AcquireBuffers(int64_t n) { pool_.Acquire(n).ok(); }
+  void ReleaseBuffersAtCycleEnd(int64_t n) { pending_release_ += n; }
+
+  DiskArray* disks_;
+  const Layout* layout_;
+  SchedulerConfig config_;
+  SchedulerMetrics metrics_;
+
+ private:
+  void BeginCycle();
+
+  BufferPool pool_;  // unlimited; measures occupancy / peak
+  int64_t pending_release_ = 0;
+  std::vector<std::unique_ptr<Stream>> streams_;
+  int64_t cycle_ = 0;
+  int slots_per_disk_ = 0;
+  std::vector<int> slots_used_;
+  std::set<int> mid_cycle_failures_;  // applies to the next RunCycle only
+};
+
+// Creates the scheduler matching `config.scheme`.
+StatusOr<std::unique_ptr<CycleScheduler>> CreateScheduler(
+    const SchedulerConfig& config, DiskArray* disks, const Layout* layout);
+
+}  // namespace ftms
+
+#endif  // FTMS_SCHED_CYCLE_SCHEDULER_H_

@@ -1,0 +1,223 @@
+#include "sched/improved_bandwidth_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ftms {
+
+ImprovedBandwidthScheduler::ImprovedBandwidthScheduler(
+    const SchedulerConfig& config, DiskArray* disks, const Layout* layout)
+    : CycleScheduler(config, disks, layout) {
+  plan_.resize(static_cast<size_t>(disks->num_disks()));
+}
+
+void ImprovedBandwidthScheduler::DoAddStream(Stream* stream) {
+  const size_t n = static_cast<size_t>(stream->id()) + 1;
+  state_.resize(std::max(state_.size(), n));
+  missing_count_.resize(std::max(missing_count_.size(), n), 0);
+  parity_planned_.resize(std::max(parity_planned_.size(), n), false);
+}
+
+bool ImprovedBandwidthScheduler::PlannerSeesUp(int disk) const {
+  // A mid-cycle failure is invisible to this cycle's plan.
+  return DiskUp(disk) || FailedMidCycle(disk);
+}
+
+void ImprovedBandwidthScheduler::DoOnStreamStopped(Stream* stream) {
+  GroupBuffer& buf = state_[static_cast<size_t>(stream->id())];
+  if (buf.ready) {
+    ReleaseBuffersAtCycleEnd(buf.buffered_tracks);
+    buf.buffered_tracks = 0;
+    buf.ready = false;
+  }
+}
+
+void ImprovedBandwidthScheduler::DeliverGroup(Stream* stream,
+                                              GroupBuffer* buf) {
+  int missing = 0;
+  for (int i = 0; i < buf->tracks; ++i) {
+    if (!buf->have[static_cast<size_t>(i)]) ++missing;
+  }
+  const bool can_reconstruct = missing == 1 && buf->parity_ok;
+  for (int i = 0; i < buf->tracks; ++i) {
+    bool on_time = buf->have[static_cast<size_t>(i)];
+    if (!on_time && can_reconstruct) {
+      on_time = true;
+      ++metrics_.reconstructed;
+    }
+    DeliverTrack(stream, on_time);
+  }
+  ReleaseBuffersAtCycleEnd(buf->buffered_tracks);
+  buf->ready = false;
+  buf->buffered_tracks = 0;
+}
+
+void ImprovedBandwidthScheduler::PlanDataReads() {
+  for (const auto& stream : streams()) {
+    if (stream->state() != StreamState::kActive || stream->finished()) {
+      continue;
+    }
+    GroupBuffer& buf = state_[static_cast<size_t>(stream->id())];
+    if (buf.ready) continue;  // still holding an undelivered group
+    const int per_group = layout_->DataBlocksPerGroup();
+    const int64_t first = stream->position();
+    const int tracks = static_cast<int>(std::min<int64_t>(
+        per_group, stream->object().num_tracks - first));
+    buf.ready = true;
+    buf.first_track = first;
+    buf.tracks = tracks;
+    buf.have.assign(static_cast<size_t>(tracks), false);
+    buf.parity_ok = false;
+    buf.buffered_tracks = 0;
+
+    for (int i = 0; i < tracks; ++i) {
+      const BlockLocation loc =
+          layout_->DataLocation(stream->object().id, first + i);
+      auto& disk_plan = plan_[static_cast<size_t>(loc.disk)];
+      if (!PlannerSeesUp(loc.disk)) {
+        // Known failure: skip the read; parity substitution follows in
+        // PlanFailureParity().
+        ++missing_count_[static_cast<size_t>(stream->id())];
+        continue;
+      }
+      if (static_cast<int>(disk_plan.size()) >= slots_per_disk()) {
+        if (config_.ib_mirror_read_balance &&
+            config_.parity_group_size == 2) {
+          // Mirroring (footnote 11): spill the read to the replica. The
+          // block is "missing" from the primary; PlanFailureParity's
+          // machinery places the copy read on the neighbor cluster and
+          // DeliverGroup's reconstruction (XOR of a single survivor set,
+          // i.e. the copy itself) serves it.
+          ++missing_count_[static_cast<size_t>(stream->id())];
+          continue;
+        }
+        // Overcommitted disk (admission violation): a plain deadline
+        // miss. The parity substitution is reserved for FAILURES; it
+        // must not silently absorb oversubscription (the bandwidth it
+        // would use is exactly the reserve that masks real failures).
+        ++metrics_.dropped_reads;
+        buf.have[static_cast<size_t>(i)] = false;  // lost for this cycle
+        continue;
+      }
+      disk_plan.push_back(PlannedRead{stream->id(), i, false});
+    }
+  }
+}
+
+bool ImprovedBandwidthScheduler::PlaceParityRead(StreamId stream,
+                                                 int depth) {
+  metrics_.max_shift_depth =
+      std::max<int64_t>(metrics_.max_shift_depth, depth);
+  if (depth > layout_->num_clusters()) {
+    // The shift wrapped all the way around without finding idle capacity.
+    return false;
+  }
+  Stream* s = FindStream(stream);
+  const GroupBuffer& buf = state_[static_cast<size_t>(stream)];
+  const int64_t group = layout_->GroupOf(buf.first_track);
+  const BlockLocation parity =
+      layout_->ParityLocation(s->object().id, group);
+  if (!PlannerSeesUp(parity.disk)) {
+    // Parity disk itself is down: a second failure in an adjacent
+    // cluster — catastrophic for this group (Section 4).
+    return false;
+  }
+  auto& disk_plan = plan_[static_cast<size_t>(parity.disk)];
+  if (static_cast<int>(disk_plan.size()) < slots_per_disk()) {
+    disk_plan.push_back(PlannedRead{stream, 0, true});
+    parity_planned_[static_cast<size_t>(stream)] = true;
+    return true;
+  }
+  // No idle slot: drop one LOCAL data read whose group is still complete
+  // (never remove a second block from any parity group), then push the
+  // victim's parity requirement one cluster further right.
+  for (size_t i = 0; i < disk_plan.size(); ++i) {
+    const PlannedRead victim = disk_plan[i];
+    if (victim.parity) continue;
+    if (missing_count_[static_cast<size_t>(victim.stream)] > 0) continue;
+    disk_plan.erase(disk_plan.begin() + static_cast<long>(i));
+    ++missing_count_[static_cast<size_t>(victim.stream)];
+    ++metrics_.shift_cascades;
+    if (!PlaceParityRead(victim.stream, depth + 1)) {
+      // Cascade failed downstream: the victim's track is lost this cycle.
+      ++metrics_.degradation_events;
+    }
+    disk_plan.push_back(PlannedRead{stream, 0, true});
+    parity_planned_[static_cast<size_t>(stream)] = true;
+    return true;
+  }
+  return false;  // only parity reads here; nothing droppable
+}
+
+void ImprovedBandwidthScheduler::PlanFailureParity() {
+  for (const auto& stream : streams()) {
+    if (stream->state() != StreamState::kActive) continue;
+    const StreamId id = stream->id();
+    if (missing_count_[static_cast<size_t>(id)] == 1 &&
+        !parity_planned_[static_cast<size_t>(id)]) {
+      if (!PlaceParityRead(id, 0)) {
+        ++metrics_.degradation_events;
+      }
+    }
+  }
+}
+
+void ImprovedBandwidthScheduler::PlanPrefetchParity() {
+  if (!config_.ib_prefetch_parity) return;
+  for (const auto& stream : streams()) {
+    if (stream->state() != StreamState::kActive) continue;
+    const StreamId id = stream->id();
+    const GroupBuffer& buf = state_[static_cast<size_t>(id)];
+    if (!buf.ready || parity_planned_[static_cast<size_t>(id)]) continue;
+    const int64_t group = layout_->GroupOf(buf.first_track);
+    const BlockLocation parity =
+        layout_->ParityLocation(stream->object().id, group);
+    auto& disk_plan = plan_[static_cast<size_t>(parity.disk)];
+    if (PlannerSeesUp(parity.disk) &&
+        static_cast<int>(disk_plan.size()) < slots_per_disk()) {
+      disk_plan.push_back(PlannedRead{id, 0, true});
+      parity_planned_[static_cast<size_t>(id)] = true;
+    }
+  }
+}
+
+void ImprovedBandwidthScheduler::ExecutePlan() {
+  for (int disk = 0; disk < disks_->num_disks(); ++disk) {
+    for (const PlannedRead& read : plan_[static_cast<size_t>(disk)]) {
+      const ReadOutcome outcome = TryRead(disk, read.parity);
+      GroupBuffer& buf = state_[static_cast<size_t>(read.stream)];
+      if (outcome != ReadOutcome::kOk) continue;
+      ++buf.buffered_tracks;
+      if (read.parity) {
+        buf.parity_ok = true;
+      } else {
+        buf.have[static_cast<size_t>(read.pos)] = true;
+      }
+    }
+    plan_[static_cast<size_t>(disk)].clear();
+  }
+  // Account the buffered tracks for this cycle's reads.
+  for (const auto& stream : streams()) {
+    GroupBuffer& buf = state_[static_cast<size_t>(stream->id())];
+    if (buf.ready && buf.buffered_tracks > 0) {
+      AcquireBuffers(buf.buffered_tracks);
+    }
+  }
+}
+
+void ImprovedBandwidthScheduler::DoRunCycle() {
+  // Delivery of the groups read last cycle.
+  for (const auto& stream : streams()) {
+    if (stream->state() != StreamState::kActive) continue;
+    GroupBuffer& buf = state_[static_cast<size_t>(stream->id())];
+    if (buf.ready) DeliverGroup(stream.get(), &buf);
+  }
+  std::fill(missing_count_.begin(), missing_count_.end(), 0);
+  std::fill(parity_planned_.begin(), parity_planned_.end(), false);
+  PlanDataReads();
+  PlanFailureParity();
+  PlanPrefetchParity();
+  ExecutePlan();
+}
+
+}  // namespace ftms

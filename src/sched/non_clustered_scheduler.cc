@@ -1,0 +1,315 @@
+#include "sched/non_clustered_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ftms {
+
+NonClusteredScheduler::NonClusteredScheduler(const SchedulerConfig& config,
+                                             DiskArray* disks,
+                                             const Layout* layout)
+    : CycleScheduler(config, disks, layout),
+      servers_(config.buffer_servers,
+               /*tracks_per_server=*/config.parity_group_size + 1),
+      server_attached_(static_cast<size_t>(layout->num_clusters()), false) {}
+
+void NonClusteredScheduler::DoAddStream(Stream* stream) {
+  state_.resize(std::max(state_.size(),
+                         static_cast<size_t>(stream->id()) + 1));
+}
+
+int NonClusteredScheduler::FailedDataIndex(int cluster) const {
+  const int c = layout_->parity_group_size();
+  int failed = -1;
+  for (int i = 0; i < c - 1; ++i) {
+    const int disk = cluster * c + i;
+    if (!disks_->disk(disk).operational()) {
+      if (failed >= 0) return failed;  // multiple: caller checks count
+      failed = i;
+    }
+  }
+  return failed;
+}
+
+int NonClusteredScheduler::NumFailedData(int cluster) const {
+  const int c = layout_->parity_group_size();
+  int n = 0;
+  for (int i = 0; i < c - 1; ++i) {
+    if (!disks_->disk(cluster * c + i).operational()) ++n;
+  }
+  return n;
+}
+
+bool NonClusteredScheduler::ParityUp(int cluster) const {
+  const int c = layout_->parity_group_size();
+  return disks_->disk(cluster * c + c - 1).operational();
+}
+
+bool NonClusteredScheduler::CanReconstruct(int cluster) const {
+  return NumFailedData(cluster) == 1 && ParityUp(cluster);
+}
+
+bool NonClusteredScheduler::ClusterDegraded(int cluster) const {
+  return NumFailedData(cluster) > 0;
+}
+
+int64_t NonClusteredScheduler::DueTrack(const Stream& stream,
+                                        const NcState& st) const {
+  // Reads run after the delivery phase, so `position` already names the
+  // track due next cycle — exactly what normal NC operation fetches.
+  (void)st;
+  const int64_t t = stream.position();
+  return t < stream.object().num_tracks ? t : -1;
+}
+
+bool NonClusteredScheduler::SupportsRate(double rate_mb_s) const {
+  const double ratio = rate_mb_s / config_.object_rate_mb_s;
+  const double rounded = std::round(ratio);
+  return rounded >= 1.0 && rounded <= 16.0 &&
+         std::abs(ratio - rounded) < 1e-9;
+}
+
+int NonClusteredScheduler::RateMultiplier(const Stream& stream) const {
+  return static_cast<int>(
+      std::round(stream.object().rate_mb_s / config_.object_rate_mb_s));
+}
+
+void NonClusteredScheduler::BufferTrack(NcState* st, int64_t track) {
+  if (st->buffered.insert(track).second) AcquireBuffers(1);
+}
+
+void NonClusteredScheduler::DeliverPhase() {
+  for (const auto& stream : streams()) {
+    if (stream->state() != StreamState::kActive) continue;
+    NcState& st = state_[static_cast<size_t>(stream->id())];
+    if (!st.started) continue;
+    // Streams at m-times the base rate transmit m tracks per cycle.
+    const int multiplier = RateMultiplier(*stream);
+    for (int k = 0;
+         k < multiplier && stream->state() == StreamState::kActive; ++k) {
+      DeliverOneTrack(stream.get(), &st);
+    }
+  }
+}
+
+void NonClusteredScheduler::DeliverOneTrack(Stream* stream, NcState* st) {
+  const int64_t p = stream->position();
+  const bool have = st->buffered.count(p) > 0;
+  if (have) {
+    st->buffered.erase(p);
+    ReleaseBuffersAtCycleEnd(1);
+  }
+  // Deferred strategy: while a group's reconstruction is pending, fold
+  // the delivered track into the running XOR instead of discarding it.
+  const int64_t group = layout_->GroupOf(p);
+  if (config_.nc_transition == NcTransition::kDeferredRead &&
+      st->acc_group == group && have &&
+      layout_->PositionInGroup(p) == st->acc_prefix) {
+    if (!st->acc_held) {
+      AcquireBuffers(1);  // the accumulator buffer
+      st->acc_held = true;
+    }
+    ++st->acc_prefix;
+  }
+  DeliverTrack(stream, have);
+  // Drop a stale accumulator at group end (e.g. the disk was repaired
+  // before the reconstruction deadline) or at stream end.
+  const bool group_done =
+      layout_->PositionInGroup(p) == layout_->DataBlocksPerGroup() - 1;
+  if ((stream->state() != StreamState::kActive || group_done) &&
+      st->acc_group == group) {
+    if (st->acc_held) {
+      ReleaseBuffersAtCycleEnd(1);
+      st->acc_held = false;
+    }
+    st->acc_group = -1;
+    st->acc_prefix = 0;
+  }
+}
+
+void NonClusteredScheduler::ReadGroupNow(Stream* stream, NcState* st,
+                                         int64_t group, bool with_server) {
+  const int object_id = stream->object().id;
+  const int per_group = layout_->DataBlocksPerGroup();
+  const int cluster = layout_->GroupCluster(object_id, group);
+  const int64_t first = group * per_group;
+  const int64_t last = std::min<int64_t>(first + per_group,
+                                         stream->object().num_tracks);
+
+  // Read every not-yet-buffered, not-yet-delivered track of the group.
+  bool all_survivors_ok = true;
+  int64_t missing_track = -1;
+  for (int64_t t = std::max(first, stream->position()); t < last; ++t) {
+    if (st->buffered.count(t) > 0) continue;
+    const BlockLocation loc = layout_->DataLocation(object_id, t);
+    if (!DiskUp(loc.disk)) {
+      missing_track = t;
+      continue;
+    }
+    if (TryRead(loc.disk, /*is_parity=*/false) == ReadOutcome::kOk) {
+      BufferTrack(st, t);
+    } else {
+      all_survivors_ok = false;
+    }
+  }
+
+  // Parity read + on-the-fly reconstruction of the failed block. Requires
+  // the whole rest of the group in memory: every survivor just read, plus
+  // (deferred strategy) the accumulated prefix of already-delivered
+  // tracks. Without a buffer server the cluster has no memory to stage
+  // the group, so the block is lost.
+  if (missing_track >= 0) {
+    bool prefix_ok = true;
+    for (int64_t t = first; t < stream->position() && t < last; ++t) {
+      // Tracks delivered before this group read must be in the XOR
+      // accumulator (deferred) -- otherwise they are gone.
+      prefix_ok = st->acc_group == group &&
+                  st->acc_prefix >= layout_->PositionInGroup(t) + 1;
+      if (!prefix_ok) break;
+    }
+    bool parity_ok = false;
+    if (CanReconstruct(cluster) && with_server && prefix_ok &&
+        all_survivors_ok) {
+      const BlockLocation parity =
+          layout_->ParityLocation(object_id, group);
+      AcquireBuffers(1);
+      parity_ok = TryRead(parity.disk, /*is_parity=*/true) ==
+                  ReadOutcome::kOk;
+      ReleaseBuffersAtCycleEnd(1);  // folded into the reconstruction immediately
+    }
+    if (parity_ok) {
+      BufferTrack(st, missing_track);
+      ++metrics_.reconstructed;
+    }
+  }
+
+  // The group's reconstruction state is resolved; drop the accumulator.
+  if (st->acc_group == group) {
+    if (st->acc_held) {
+      ReleaseBuffersAtCycleEnd(1);
+      st->acc_held = false;
+    }
+    st->acc_group = -1;
+    st->acc_prefix = 0;
+  }
+  st->started = true;
+}
+
+void NonClusteredScheduler::GroupReadPass() {
+  for (const auto& stream : streams()) {
+    if (stream->state() != StreamState::kActive) continue;
+    NcState& st = state_[static_cast<size_t>(stream->id())];
+    const int64_t first_due = DueTrack(*stream, st);
+    if (first_due < 0) continue;
+    const int multiplier = RateMultiplier(*stream);
+    for (int k = 0; k < multiplier; ++k) {
+    const int64_t due = first_due + k;
+    if (due >= stream->object().num_tracks) break;
+    if (st.buffered.count(due) > 0) continue;
+    const int64_t group = layout_->GroupOf(due);
+    const int cluster =
+        layout_->GroupCluster(stream->object().id, group);
+    if (!ClusterDegraded(cluster)) continue;
+    const bool with_server =
+        server_attached_[static_cast<size_t>(cluster)];
+    const int pos = layout_->PositionInGroup(due);
+    const int failed = FailedDataIndex(cluster);
+
+    if (config_.nc_transition == NcTransition::kImmediateShift) {
+      // Entering the group: burst-read all of it now (Figure 6). Streams
+      // caught mid-group keep their one-track-per-cycle schedule in the
+      // normal pass and lose what the burst displaces.
+      if (pos == 0 || !st.started) {
+        ReadGroupNow(stream.get(), &st, group, with_server);
+      }
+    } else {
+      // Deferred (Figure 7): start accumulating at group entry; when the
+      // failed position comes due, read the suffix + parity just in time.
+      // Mid-group streams have no accumulated prefix, so bursting could
+      // not reconstruct anything — they stay on the normal schedule and
+      // simply lose the failed-disk track.
+      if ((pos == 0 && st.acc_group != group) && failed >= 0) {
+        st.acc_group = group;
+        st.acc_prefix = 0;
+      }
+      if (failed >= 0 && pos == failed && st.acc_group == group) {
+        ReadGroupNow(stream.get(), &st, group, with_server);
+      }
+    }
+    }
+  }
+}
+
+void NonClusteredScheduler::NormalReadPass() {
+  for (const auto& stream : streams()) {
+    if (stream->state() != StreamState::kActive) continue;
+    NcState& st = state_[static_cast<size_t>(stream->id())];
+    const int64_t first_due = DueTrack(*stream, st);
+    if (first_due < 0) continue;
+    const int multiplier = RateMultiplier(*stream);
+    for (int k = 0; k < multiplier; ++k) {
+      const int64_t due = first_due + k;
+      if (due >= stream->object().num_tracks) break;
+      if (st.buffered.count(due) > 0) {
+        st.started = true;  // a group read already staged this track
+        continue;
+      }
+      const BlockLocation loc =
+          layout_->DataLocation(stream->object().id, due);
+      if (!DiskUp(loc.disk)) {
+        // Lost to the failure; the delivery phase will record the hiccup
+        // when the track comes due.
+        st.started = true;
+        continue;
+      }
+      if (TryRead(loc.disk, /*is_parity=*/false) == ReadOutcome::kOk) {
+        BufferTrack(&st, due);
+      }
+      st.started = true;
+    }
+  }
+}
+
+void NonClusteredScheduler::DoRunCycle() {
+  DeliverPhase();
+  GroupReadPass();
+  NormalReadPass();
+}
+
+void NonClusteredScheduler::DoOnStreamStopped(Stream* stream) {
+  NcState& st = state_[static_cast<size_t>(stream->id())];
+  int64_t held = static_cast<int64_t>(st.buffered.size());
+  if (st.acc_held) ++held;
+  if (held > 0) ReleaseBuffersAtCycleEnd(held);
+  st.buffered.clear();
+  st.acc_held = false;
+  st.acc_group = -1;
+  st.acc_prefix = 0;
+}
+
+void NonClusteredScheduler::DoOnDiskFailed(int disk) {
+  const int cluster = disk / layout_->parity_group_size();
+  const int index = disk % layout_->parity_group_size();
+  if (index == layout_->parity_group_size() - 1) return;  // parity disk
+  if (!server_attached_[static_cast<size_t>(cluster)]) {
+    if (servers_.AttachToCluster(cluster).ok()) {
+      server_attached_[static_cast<size_t>(cluster)] = true;
+    } else {
+      // All K buffer servers busy: degradation of service (Section 5's
+      // MTTDS event). The cluster runs degraded without reconstruction.
+      ++metrics_.degradation_events;
+    }
+  }
+}
+
+void NonClusteredScheduler::DoOnDiskRepaired(int disk) {
+  const int cluster = disk / layout_->parity_group_size();
+  if (!ClusterDegraded(cluster) &&
+      server_attached_[static_cast<size_t>(cluster)]) {
+    servers_.DetachFromCluster(cluster).ok();
+    server_attached_[static_cast<size_t>(cluster)] = false;
+  }
+}
+
+}  // namespace ftms

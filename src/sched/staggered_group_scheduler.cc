@@ -1,0 +1,126 @@
+#include "sched/staggered_group_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ftms {
+
+StaggeredGroupScheduler::StaggeredGroupScheduler(
+    const SchedulerConfig& config, DiskArray* disks, const Layout* layout)
+    : CycleScheduler(config, disks, layout) {}
+
+void StaggeredGroupScheduler::DoAddStream(Stream* stream) {
+  state_.resize(std::max(state_.size(),
+                         static_cast<size_t>(stream->id()) + 1));
+  next_phase_per_cluster_.resize(
+      static_cast<size_t>(layout_->num_clusters()), 0);
+  SgState& st = state_[static_cast<size_t>(stream->id())];
+  // Staggered phase assignment: spread each cluster's streams over the
+  // C-1 read phases round-robin, so both the disk load and the memory
+  // peaks are out of phase (Figure 4).
+  const size_t home =
+      static_cast<size_t>(layout_->HomeCluster(stream->object().id));
+  st.phase = next_phase_per_cluster_[home]++ % layout_->DataBlocksPerGroup();
+}
+
+bool StaggeredGroupScheduler::IsReadCycle(const SgState& st) const {
+  const int per_group = layout_->DataBlocksPerGroup();
+  return (cycle() - st.phase) % per_group == 0;
+}
+
+int64_t StaggeredGroupScheduler::BufferedTracksOf(StreamId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= state_.size()) return 0;
+  return state_[static_cast<size_t>(id)].buffered_tracks;
+}
+
+void StaggeredGroupScheduler::DoOnStreamStopped(Stream* stream) {
+  SgState& st = state_[static_cast<size_t>(stream->id())];
+  if (st.buffered_tracks > 0) {
+    ReleaseBuffersAtCycleEnd(st.buffered_tracks);
+    st.buffered_tracks = 0;
+  }
+  st.delivered = st.tracks;  // nothing left to transmit
+}
+
+void StaggeredGroupScheduler::ReadGroup(Stream* stream, SgState* st) {
+  const int per_group = layout_->DataBlocksPerGroup();
+  const int64_t first = stream->position();
+  assert(first % per_group == 0);
+  const int64_t group = layout_->GroupOf(first);
+  const int tracks = static_cast<int>(std::min<int64_t>(
+      per_group, stream->object().num_tracks - first));
+
+  st->first_track = first;
+  st->tracks = tracks;
+  st->delivered = 0;
+  st->have.assign(static_cast<size_t>(tracks), false);
+
+  for (int i = 0; i < tracks; ++i) {
+    const BlockLocation loc =
+        layout_->DataLocation(stream->object().id, first + i);
+    st->have[static_cast<size_t>(i)] =
+        TryRead(loc.disk, /*is_parity=*/false) == ReadOutcome::kOk;
+  }
+  const BlockLocation parity =
+      layout_->ParityLocation(stream->object().id, group);
+  st->parity_ok =
+      TryRead(parity.disk, /*is_parity=*/true) == ReadOutcome::kOk;
+
+  st->buffered_tracks = tracks + 1;  // group + parity held in memory
+  AcquireBuffers(st->buffered_tracks);
+  st->started = true;
+}
+
+void StaggeredGroupScheduler::DeliverOne(Stream* stream, SgState* st) {
+  const int i = st->delivered;
+  int missing = 0;
+  for (int j = 0; j < st->tracks; ++j) {
+    if (!st->have[static_cast<size_t>(j)]) ++missing;
+  }
+  bool on_time = st->have[static_cast<size_t>(i)];
+  if (!on_time && missing == 1 && st->parity_ok) {
+    // Entire group (minus the lost block) plus parity is in memory: the
+    // missing track is rebuilt on the fly (Observation 2 holds because
+    // the group was read in full before its first delivery cycle).
+    on_time = true;
+    ++metrics_.reconstructed;
+  }
+  DeliverTrack(stream, on_time);
+  ++st->delivered;
+  // The delivered track's buffer is released; the parity buffer is held
+  // until the whole group has been transmitted.
+  ReleaseBuffersAtCycleEnd(1);
+  --st->buffered_tracks;
+  if (st->delivered == st->tracks) {
+    ReleaseBuffersAtCycleEnd(st->buffered_tracks);  // parity (and reconstruction) state
+    st->buffered_tracks = 0;
+  }
+}
+
+void StaggeredGroupScheduler::DoRunCycle() {
+  // Delivery phase: one track per active stream per cycle (streams that
+  // have not yet had their first read cycle are still starting up).
+  for (const auto& stream : streams()) {
+    if (stream->state() != StreamState::kActive) continue;
+    SgState& st = state_[static_cast<size_t>(stream->id())];
+    if (st.started && st.delivered < st.tracks) {
+      DeliverOne(stream.get(), &st);
+    }
+  }
+  // Read phase: streams whose staggered read cycle this is fetch their
+  // next whole group. The last delivery cycle of the previous group
+  // overlaps the read cycle of the next (Section 2).
+  for (const auto& stream : streams()) {
+    if (stream->state() != StreamState::kActive) continue;
+    if (stream->finished()) continue;
+    SgState& st = state_[static_cast<size_t>(stream->id())];
+    // The delivery phase above already emitted this cycle's track, so on
+    // the overlap cycle (last delivery of the old group == read cycle of
+    // the new one) the old group is fully drained by now.
+    if (IsReadCycle(st) && (!st.started || st.delivered >= st.tracks)) {
+      ReadGroup(stream.get(), &st);
+    }
+  }
+}
+
+}  // namespace ftms

@@ -1,0 +1,133 @@
+#include "sched/streaming_raid_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "verify/datapath.h"
+
+namespace ftms {
+
+StreamingRaidScheduler::StreamingRaidScheduler(const SchedulerConfig& config,
+                                               DiskArray* disks,
+                                               const Layout* layout)
+    : CycleScheduler(config, disks, layout) {}
+
+void StreamingRaidScheduler::DoAddStream(Stream* stream) {
+  state_.resize(std::max(state_.size(),
+                         static_cast<size_t>(stream->id()) + 1));
+}
+
+void StreamingRaidScheduler::DoOnStreamStopped(Stream* stream) {
+  GroupBuffer& buf = state_[static_cast<size_t>(stream->id())];
+  if (buf.ready) {
+    ReleaseBuffersAtCycleEnd(buf.buffered_tracks);
+    buf.buffered_tracks = 0;
+    buf.ready = false;
+  }
+}
+
+void StreamingRaidScheduler::DeliverGroup(Stream* stream, GroupBuffer* buf) {
+  // Track i of the buffered group is on time if it was read, or if it is
+  // the only missing block and the parity block plus all other data blocks
+  // are present (on-the-fly reconstruction, Observation 2).
+  int missing = 0;
+  for (int i = 0; i < buf->tracks; ++i) {
+    if (!buf->have[static_cast<size_t>(i)]) ++missing;
+  }
+  const bool can_reconstruct = missing == 1 && buf->parity_ok;
+  for (int i = 0; i < buf->tracks; ++i) {
+    bool on_time = buf->have[static_cast<size_t>(i)];
+    if (!on_time && can_reconstruct) {
+      on_time = true;
+      ++metrics_.reconstructed;
+      if (config_.verify_data) {
+        // Rebuild the missing block from the bytes actually in memory:
+        // XOR of the surviving data blocks and the parity block.
+        Block rebuilt = buf->parity;
+        for (int j = 0; j < buf->tracks; ++j) {
+          if (j == i) continue;
+          XorInto(rebuilt, buf->data[static_cast<size_t>(j)]);
+        }
+        buf->data[static_cast<size_t>(i)] = std::move(rebuilt);
+      }
+    }
+    if (config_.verify_data && on_time) {
+      ++metrics_.verified_tracks;
+      const Block expected = SynthesizeDataBlock(
+          stream->object().id, buf->first_track + i, kVerifyBlockBytes);
+      if (buf->data[static_cast<size_t>(i)] != expected) {
+        ++metrics_.verify_failures;
+      }
+    }
+    DeliverTrack(stream, on_time);
+  }
+  ReleaseBuffersAtCycleEnd(buf->buffered_tracks);
+  buf->ready = false;
+  buf->buffered_tracks = 0;
+  buf->data.clear();
+  buf->parity.clear();
+}
+
+void StreamingRaidScheduler::ReadNextGroup(Stream* stream,
+                                           GroupBuffer* buf) {
+  const int per_group = layout_->DataBlocksPerGroup();
+  const int64_t first = stream->position();
+  const int64_t group = layout_->GroupOf(first);
+  assert(first % per_group == 0);
+  const int tracks = static_cast<int>(std::min<int64_t>(
+      per_group, stream->object().num_tracks - first));
+
+  buf->ready = true;
+  buf->first_track = first;
+  buf->tracks = tracks;
+  buf->have.assign(static_cast<size_t>(tracks), false);
+  buf->parity_ok = false;
+
+  if (config_.verify_data) {
+    buf->data.assign(static_cast<size_t>(tracks), Block());
+  }
+  for (int i = 0; i < tracks; ++i) {
+    const BlockLocation loc =
+        layout_->DataLocation(stream->object().id, first + i);
+    const bool ok =
+        TryRead(loc.disk, /*is_parity=*/false) == ReadOutcome::kOk;
+    buf->have[static_cast<size_t>(i)] = ok;
+    if (config_.verify_data && ok) {
+      buf->data[static_cast<size_t>(i)] = SynthesizeDataBlock(
+          stream->object().id, first + i, kVerifyBlockBytes);
+    }
+  }
+  const BlockLocation parity =
+      layout_->ParityLocation(stream->object().id, group);
+  buf->parity_ok = TryRead(parity.disk, /*is_parity=*/true) ==
+                   ReadOutcome::kOk;
+  if (config_.verify_data && buf->parity_ok) {
+    buf->parity = SynthesizeParityBlock(*layout_, stream->object().id,
+                                        group, stream->object().num_tracks,
+                                        kVerifyBlockBytes)
+                      .value_or(Block());
+  }
+
+  // Group in memory until delivered: C-1 data + 1 parity buffers.
+  buf->buffered_tracks = tracks + 1;
+  AcquireBuffers(buf->buffered_tracks);
+}
+
+void StreamingRaidScheduler::DoRunCycle() {
+  // Delivery phase: transmit the groups read in the previous cycle.
+  for (const auto& stream : streams()) {
+    if (stream->state() != StreamState::kActive) continue;
+    GroupBuffer& buf = state_[static_cast<size_t>(stream->id())];
+    if (buf.ready) DeliverGroup(stream.get(), &buf);
+  }
+  // Read phase: fetch the next group for every still-active stream.
+  for (const auto& stream : streams()) {
+    if (stream->state() != StreamState::kActive) continue;
+    GroupBuffer& buf = state_[static_cast<size_t>(stream->id())];
+    if (!buf.ready && !stream->finished()) {
+      ReadNextGroup(stream.get(), &buf);
+    }
+  }
+}
+
+}  // namespace ftms

@@ -1,0 +1,57 @@
+#ifndef FTMS_SCHED_STREAMING_RAID_SCHEDULER_H_
+#define FTMS_SCHED_STREAMING_RAID_SCHEDULER_H_
+
+#include <vector>
+
+#include "parity/parity.h"
+#include "sched/cycle_scheduler.h"
+
+namespace ftms {
+
+// The Streaming RAID scheme of Section 2 (after Tobagi et al. [11]).
+//
+// Every active stream reads one ENTIRE parity group (C-1 data tracks plus
+// the parity track) per cycle and transmits it during the next cycle
+// (k = k' = C-1). Because the parity block is always in memory together
+// with the rest of the group, a single disk failure per cluster is masked
+// with no hiccup — even one striking in the middle of a cycle — at the
+// price of 2C buffer tracks per stream (equation (12)) and a 1/C
+// bandwidth reservation.
+class StreamingRaidScheduler : public CycleScheduler {
+ public:
+  StreamingRaidScheduler(const SchedulerConfig& config, DiskArray* disks,
+                         const Layout* layout);
+
+ protected:
+  void DoRunCycle() override;
+  void DoAddStream(Stream* stream) override;
+  void DoOnStreamStopped(Stream* stream) override;
+
+ private:
+  // A parity group read in the previous cycle, now being delivered.
+  struct GroupBuffer {
+    bool ready = false;             // a group is buffered for delivery
+    int64_t first_track = 0;        // first object track of the group
+    int tracks = 0;                 // data tracks in the group (final group
+                                    // of an object may be short)
+    std::vector<bool> have;         // per position: data track read OK
+    bool parity_ok = false;
+    int64_t buffered_tracks = 0;    // buffer-pool accounting for release
+    // Integrity mode: the actual bytes carried through the pipeline.
+    std::vector<Block> data;        // per position (empty when not read)
+    Block parity;
+  };
+
+  // Bytes per track in integrity mode: small, so tests stay fast while
+  // still exercising real XOR reconstruction.
+  static constexpr size_t kVerifyBlockBytes = 64;
+
+  void DeliverGroup(Stream* stream, GroupBuffer* buf);
+  void ReadNextGroup(Stream* stream, GroupBuffer* buf);
+
+  std::vector<GroupBuffer> state_;  // indexed by StreamId
+};
+
+}  // namespace ftms
+
+#endif  // FTMS_SCHED_STREAMING_RAID_SCHEDULER_H_

@@ -1,0 +1,42 @@
+#include "server/rebuild.h"
+
+#include "util/units.h"
+
+namespace ftms {
+
+StatusOr<RebuildEstimate> RebuildFromParity(const DiskParameters& disk,
+                                            int parity_group_size,
+                                            double bandwidth_fraction) {
+  FTMS_RETURN_IF_ERROR(disk.Validate());
+  if (parity_group_size < 2) {
+    return Status::InvalidArgument("parity group size must be >= 2");
+  }
+  if (bandwidth_fraction <= 0 || bandwidth_fraction > 1) {
+    return Status::InvalidArgument("bandwidth_fraction must be in (0, 1]");
+  }
+  // Every rebuilt track requires one track read on each of the C-1
+  // surviving members; they proceed in parallel, so the bottleneck is one
+  // survivor reading all its tracks at the allotted bandwidth fraction
+  // (writes to the spare keep pace: it is otherwise idle).
+  const double tracks = disk.capacity_mb / disk.track_mb;
+  const double read_seconds =
+      tracks * disk.track_time_s / bandwidth_fraction;
+  RebuildEstimate est;
+  est.hours = read_seconds / kSecondsPerHour;
+  est.degraded_fraction = bandwidth_fraction;
+  return est;
+}
+
+StatusOr<RebuildEstimate> RebuildFromTertiary(const TertiaryStore& tertiary,
+                                              double lost_mb,
+                                              int64_t extents) {
+  if (lost_mb < 0) {
+    return Status::InvalidArgument("lost_mb must be non-negative");
+  }
+  RebuildEstimate est;
+  est.hours = tertiary.ReloadTime(lost_mb, extents) / kSecondsPerHour;
+  est.degraded_fraction = 0;  // tertiary path does not tax the survivors
+  return est;
+}
+
+}  // namespace ftms

@@ -1,0 +1,42 @@
+#ifndef FTMS_SERVER_REBUILD_H_
+#define FTMS_SERVER_REBUILD_H_
+
+#include "disk/disk_model.h"
+#include "layout/schemes.h"
+#include "server/tertiary.h"
+#include "util/status.h"
+
+namespace ftms {
+
+// Rebuild-mode analysis (the paper's third operating mode, deferred there
+// "due to lack of space"; implemented here as an extension).
+//
+// After a single failure, a loaded spare can be rebuilt from the surviving
+// members of each parity group (C-1 reads + XOR per rebuilt track) using
+// the cluster's spare bandwidth. After a catastrophic failure the parity
+// path is gone and the contents must come back from tertiary storage,
+// touching portions of many objects — the slow path whose avoidance
+// motivates the whole design (Section 1).
+
+struct RebuildEstimate {
+  double hours = 0;            // wall-clock rebuild duration
+  double degraded_fraction = 0;  // fraction of cluster bandwidth consumed
+};
+
+// Rebuild from parity: the spare is written track by track; each track
+// needs one read from every surviving cluster member. `bandwidth_fraction`
+// is the share of each surviving disk's bandwidth devoted to rebuild
+// (the rest keeps serving streams).
+StatusOr<RebuildEstimate> RebuildFromParity(const DiskParameters& disk,
+                                            int parity_group_size,
+                                            double bandwidth_fraction);
+
+// Rebuild from tertiary after a catastrophic failure: `lost_mb` spread
+// over `extents` object fragments.
+StatusOr<RebuildEstimate> RebuildFromTertiary(const TertiaryStore& tertiary,
+                                              double lost_mb,
+                                              int64_t extents);
+
+}  // namespace ftms
+
+#endif  // FTMS_SERVER_REBUILD_H_

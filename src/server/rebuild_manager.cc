@@ -1,0 +1,96 @@
+#include "server/rebuild_manager.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace ftms {
+
+RebuildManager::RebuildManager(DiskArray* disks, const Layout* layout,
+                               CycleScheduler* scheduler)
+    : disks_(disks), layout_(layout), scheduler_(scheduler) {
+  assert(disks_ != nullptr && layout_ != nullptr && scheduler_ != nullptr);
+}
+
+std::vector<int> RebuildManager::SourceDisks(int disk) const {
+  std::vector<int> sources;
+  const int cluster = disks_->ClusterOf(disk);
+  // Every other member of the disk's cluster contributes to each
+  // regenerated track's XOR.
+  for (int i = 0; i < disks_->cluster_size(); ++i) {
+    const int d = disks_->DiskId(cluster, i);
+    if (d != disk) sources.push_back(d);
+  }
+  if (layout_->scheme_family() == Scheme::kImprovedBandwidth) {
+    // The parity blocks live on the right-hand neighbor cluster
+    // (rotating over its disks), so its members are sources too.
+    const int parity_cluster = (cluster + 1) % disks_->num_clusters();
+    for (int i = 0; i < disks_->cluster_size(); ++i) {
+      sources.push_back(disks_->DiskId(parity_cluster, i));
+    }
+  }
+  return sources;
+}
+
+Status RebuildManager::StartRebuild(int disk) {
+  if (disk < 0 || disk >= disks_->num_disks()) {
+    return Status::OutOfRange("disk id out of range");
+  }
+  if (Active()) {
+    return Status::FailedPrecondition(
+        "a rebuild is already in progress (disk " +
+        std::to_string(active_disk_) + ")");
+  }
+  Disk& d = disks_->disk(disk);
+  if (d.state() != DiskState::kFailed) {
+    return Status::FailedPrecondition("disk is not failed");
+  }
+  // Regeneration needs every source operational.
+  for (int source : SourceDisks(disk)) {
+    if (!disks_->disk(source).operational()) {
+      return Status::FailedPrecondition(
+          "source disk " + std::to_string(source) +
+          " is down: rebuild impossible from parity (catastrophic "
+          "failure; reload from tertiary storage instead)");
+    }
+  }
+  d.StartRebuild();
+  active_disk_ = disk;
+  tracks_rebuilt_ = 0;
+  tracks_total_ = disks_->params().TracksPerDisk();
+  cycles_elapsed_ = 0;
+  return Status::Ok();
+}
+
+void RebuildManager::AdvanceOneCycle() {
+  if (!Active()) return;
+  ++cycles_elapsed_;
+  // Progress is gated by the least-idle source: one idle slot on every
+  // source regenerates one track (the spare's write bandwidth is never
+  // the bottleneck; it serves no reads while rebuilding).
+  int idle = scheduler_->slots_per_disk();
+  for (int source : SourceDisks(active_disk_)) {
+    if (!disks_->disk(source).operational()) {
+      idle = 0;  // a source died mid-rebuild: stall until repaired
+      break;
+    }
+    idle = std::min(
+        idle, scheduler_->slots_per_disk() -
+                  scheduler_->SlotsUsedLastCycle(source));
+  }
+  tracks_rebuilt_ += std::max(0, idle);
+  if (tracks_rebuilt_ >= tracks_total_) {
+    tracks_rebuilt_ = tracks_total_;
+    scheduler_->OnDiskRepaired(active_disk_);
+    active_disk_ = -1;
+    ++rebuilds_completed_;
+  }
+}
+
+double RebuildManager::Progress() const {
+  if (tracks_total_ == 0) return 0;
+  return static_cast<double>(tracks_rebuilt_) /
+         static_cast<double>(tracks_total_);
+}
+
+}  // namespace ftms

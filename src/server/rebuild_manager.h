@@ -1,0 +1,72 @@
+#ifndef FTMS_SERVER_REBUILD_MANAGER_H_
+#define FTMS_SERVER_REBUILD_MANAGER_H_
+
+#include <cstdint>
+
+#include "disk/disk_array.h"
+#include "layout/layout.h"
+#include "sched/cycle_scheduler.h"
+#include "util/status.h"
+
+namespace ftms {
+
+// Rebuild mode (the third operating mode of Section 1, deferred in the
+// paper, implemented here as an extension): a hot spare replaces the
+// failed drive and its contents are regenerated track by track from the
+// surviving parity-group members, using ONLY the bandwidth left idle by
+// the stream schedule. Streams keep strict priority — the paper's
+// real-time requirement — so rebuild speed adapts to load: an idle
+// cluster rebuilds at full disk speed, a saturated one starves the
+// rebuild (which is exactly the paper's argument for reserving capacity).
+//
+// While rebuilding, the drive stays non-operational for the schedulers
+// (parity reconstruction continues to serve its data); on completion the
+// disk is repaired and the cluster returns to normal mode.
+class RebuildManager {
+ public:
+  // All pointers must outlive the manager.
+  RebuildManager(DiskArray* disks, const Layout* layout,
+                 CycleScheduler* scheduler);
+
+  // Begins rebuilding `disk` onto a spare. The disk must currently be
+  // failed, and no other rebuild may be in progress on its cluster.
+  // Rebuilding requires the cluster to be reconstructible (at most this
+  // one failed member).
+  Status StartRebuild(int disk);
+
+  // Advances the rebuild by one scheduling cycle; call after each
+  // CycleScheduler::RunCycle(). Regenerating one track consumes one idle
+  // read slot on EVERY surviving source disk (the C-2 data members plus
+  // the parity holder), so progress per cycle is the minimum idle slot
+  // count across the sources. Completes the rebuild (repairing the disk)
+  // when all tracks are regenerated.
+  void AdvanceOneCycle();
+
+  bool Active() const { return active_disk_ >= 0; }
+  int active_disk() const { return active_disk_; }
+  int64_t tracks_rebuilt() const { return tracks_rebuilt_; }
+  int64_t tracks_total() const { return tracks_total_; }
+  int64_t cycles_elapsed() const { return cycles_elapsed_; }
+  int64_t rebuilds_completed() const { return rebuilds_completed_; }
+
+  // Fraction of the rebuild finished, in [0, 1].
+  double Progress() const;
+
+ private:
+  // Source disks whose idle slots gate this cycle's progress.
+  std::vector<int> SourceDisks(int disk) const;
+
+  DiskArray* disks_;
+  const Layout* layout_;
+  CycleScheduler* scheduler_;
+
+  int active_disk_ = -1;
+  int64_t tracks_rebuilt_ = 0;
+  int64_t tracks_total_ = 0;
+  int64_t cycles_elapsed_ = 0;
+  int64_t rebuilds_completed_ = 0;
+};
+
+}  // namespace ftms
+
+#endif  // FTMS_SERVER_REBUILD_MANAGER_H_

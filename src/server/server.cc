@@ -1,0 +1,195 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "model/capacity.h"
+
+namespace ftms {
+
+StatusOr<std::unique_ptr<MultimediaServer>> MultimediaServer::Create(
+    const ServerConfig& config) {
+  FTMS_RETURN_IF_ERROR(config.params.Validate());
+  const int c = config.parity_group_size;
+  if (c < 2) {
+    return Status::InvalidArgument("parity group size must be >= 2");
+  }
+
+  auto server = std::unique_ptr<MultimediaServer>(new MultimediaServer());
+  server->config_ = config;
+
+  // Layout first: it validates the D/C divisibility constraints.
+  StatusOr<std::unique_ptr<Layout>> layout =
+      CreateLayout(config.scheme, config.params.num_disks, c);
+  if (!layout.ok()) return layout.status();
+  server->layout_ = std::move(*layout);
+
+  StatusOr<DiskArray> disks =
+      DiskArray::Create(config.params.num_disks,
+                        server->layout_->disks_per_cluster(),
+                        config.params.disk);
+  if (!disks.ok()) return disks.status();
+  server->disks_ = std::make_unique<DiskArray>(std::move(*disks));
+
+  server->catalog_ = std::make_unique<Catalog>(
+      server->layout_.get(), config.params.disk.TracksPerDisk());
+
+  if (config.admission_override > 0) {
+    server->admission_ =
+        std::make_unique<AdmissionController>(config.admission_override);
+  } else {
+    StatusOr<AdmissionController> admission =
+        AdmissionController::Create(config.params, config.scheme, c);
+    if (!admission.ok()) return admission.status();
+    server->admission_ =
+        std::make_unique<AdmissionController>(std::move(*admission));
+  }
+
+  SchedulerConfig sched_config;
+  sched_config.scheme = config.scheme;
+  sched_config.parity_group_size = c;
+  sched_config.object_rate_mb_s = config.params.object_rate_mb_s;
+  sched_config.disk = config.params.disk;
+  sched_config.slots_per_disk = config.slots_per_disk;
+  sched_config.nc_transition = config.nc_transition;
+  sched_config.buffer_servers = config.params.k_reserve;
+  sched_config.ib_prefetch_parity = config.ib_prefetch_parity;
+  StatusOr<std::unique_ptr<CycleScheduler>> scheduler = CreateScheduler(
+      sched_config, server->disks_.get(), server->layout_.get());
+  if (!scheduler.ok()) return scheduler.status();
+  server->scheduler_ = std::move(*scheduler);
+
+  server->rebuild_ = std::make_unique<RebuildManager>(
+      server->disks_.get(), server->layout_.get(),
+      server->scheduler_.get());
+
+  return server;
+}
+
+Status MultimediaServer::AddObject(const MediaObject& object) {
+  if (!scheduler_->CanServeRate(object.rate_mb_s)) {
+    return Status::InvalidArgument(
+        "object rate not servable by the configured scheduler (base rate "
+        "or, for the Non-clustered scheme, an integer multiple of it)");
+  }
+  return catalog_->Add(object);
+}
+
+Status MultimediaServer::RemoveObject(int object_id) {
+  for (const auto& stream : scheduler_->streams()) {
+    if (stream->state() == StreamState::kActive &&
+        stream->object().id == object_id) {
+      return Status::FailedPrecondition(
+          "object has active streams; cannot purge");
+    }
+  }
+  return catalog_->Remove(object_id);
+}
+
+namespace {
+
+// Base-stream equivalents a stream consumes (its rate multiplier).
+int AdmissionWeight(const MediaObject& object, double base_rate_mb_s) {
+  return std::max(
+      1, static_cast<int>(std::lround(object.rate_mb_s / base_rate_mb_s)));
+}
+
+}  // namespace
+
+StatusOr<StreamId> MultimediaServer::StartStream(int object_id) {
+  StatusOr<MediaObject> object = catalog_->Get(object_id);
+  if (!object.ok()) return object.status();
+  const int weight =
+      AdmissionWeight(*object, config_.params.object_rate_mb_s);
+  FTMS_RETURN_IF_ERROR(admission_->Admit(weight));
+  StatusOr<StreamId> id = scheduler_->AddStream(*object);
+  if (!id.ok()) {
+    admission_->Release(weight);
+    return id.status();
+  }
+  return id;
+}
+
+Status MultimediaServer::StopStream(StreamId id) {
+  FTMS_RETURN_IF_ERROR(scheduler_->StopStream(id));
+  ReleaseFinishedSlots();
+  return Status::Ok();
+}
+
+void MultimediaServer::ReleaseFinishedSlots() {
+  const auto& streams = scheduler_->streams();
+  slot_released_.resize(streams.size(), false);
+  for (size_t i = 0; i < streams.size(); ++i) {
+    if (slot_released_[i]) continue;
+    const StreamState state = streams[i]->state();
+    if (state == StreamState::kCompleted ||
+        state == StreamState::kTerminated) {
+      admission_->Release(AdmissionWeight(
+          streams[i]->object(), config_.params.object_rate_mb_s));
+      slot_released_[i] = true;
+    }
+  }
+}
+
+void MultimediaServer::RunCycles(int n) {
+  for (int i = 0; i < n; ++i) {
+    scheduler_->RunCycle();
+    rebuild_->AdvanceOneCycle();
+    ReleaseFinishedSlots();
+  }
+}
+
+Status MultimediaServer::FailDisk(int disk, bool mid_cycle) {
+  if (disk < 0 || disk >= disks_->num_disks()) {
+    return Status::OutOfRange("disk id out of range");
+  }
+  scheduler_->OnDiskFailed(disk, mid_cycle);
+  return Status::Ok();
+}
+
+Status MultimediaServer::RepairDisk(int disk) {
+  if (disk < 0 || disk >= disks_->num_disks()) {
+    return Status::OutOfRange("disk id out of range");
+  }
+  scheduler_->OnDiskRepaired(disk);
+  return Status::Ok();
+}
+
+bool MultimediaServer::CatastrophicFailure() const {
+  if (config_.scheme != Scheme::kImprovedBandwidth) {
+    return disks_->HasCatastrophicClusterFailure();
+  }
+  // IB: two failures in the same or adjacent clusters are catastrophic
+  // (Section 4: disks belong to two parity groups' worlds).
+  const int nc = layout_->num_clusters();
+  for (int cl = 0; cl < nc; ++cl) {
+    const int here = disks_->NumFailedInCluster(cl);
+    if (here >= 2) return true;
+    if (here >= 1 && nc > 1 &&
+        disks_->NumFailedInCluster((cl + 1) % nc) >= 1) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double MultimediaServer::NowSeconds() const {
+  return static_cast<double>(scheduler_->cycle()) *
+         scheduler_->CycleSeconds();
+}
+
+std::string MultimediaServer::Summary() const {
+  const SchedulerMetrics& m = scheduler_->metrics();
+  std::ostringstream os;
+  os << SchemeName(config_.scheme) << " C=" << config_.parity_group_size
+     << " D=" << config_.params.num_disks << ": cycle " << scheduler_->cycle()
+     << ", active " << scheduler_->ActiveStreams() << "/"
+     << admission_->capacity() << ", delivered " << m.tracks_delivered
+     << ", hiccups " << m.hiccups << ", reconstructed " << m.reconstructed
+     << ", failed disks " << disks_->NumFailed();
+  return os.str();
+}
+
+}  // namespace ftms

@@ -1,0 +1,93 @@
+#include "server/staging.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <utility>
+
+namespace ftms {
+
+StagingManager::StagingManager(Catalog* catalog,
+                               const TertiaryStore* tertiary,
+                               double track_mb,
+                               std::function<bool(int)> is_evictable)
+    : catalog_(catalog),
+      tertiary_(tertiary),
+      track_mb_(track_mb),
+      is_evictable_(std::move(is_evictable)) {}
+
+Status StagingManager::AddToLibrary(const MediaObject& object) {
+  if (InLibrary(object.id)) {
+    return Status::AlreadyExists("title already in the tertiary library");
+  }
+  if (object.num_tracks <= 0) {
+    return Status::InvalidArgument("title must have at least one track");
+  }
+  library_.push_back(object);
+  return Status::Ok();
+}
+
+bool StagingManager::InLibrary(int object_id) const {
+  return std::any_of(
+      library_.begin(), library_.end(),
+      [&](const MediaObject& o) { return o.id == object_id; });
+}
+
+void StagingManager::MarkUse(int object_id, double now_s) {
+  auto it = last_use_s_.find(object_id);
+  if (it != last_use_s_.end()) it->second = now_s;
+}
+
+Status StagingManager::MakeRoom(const MediaObject& object) {
+  for (;;) {
+    // Try placement; on space exhaustion evict the LRU idle title.
+    Status added = catalog_->Add(object);
+    if (added.ok()) {
+      catalog_->Remove(object.id).ok();  // probe only; caller re-adds
+      return Status::Ok();
+    }
+    if (added.code() != StatusCode::kResourceExhausted) return added;
+
+    int victim = -1;
+    double oldest = std::numeric_limits<double>::infinity();
+    for (const auto& [id, used] : last_use_s_) {
+      if (!is_evictable_(id)) continue;
+      if (used < oldest) {
+        oldest = used;
+        victim = id;
+      }
+    }
+    if (victim < 0) {
+      return Status::ResourceExhausted(
+          "working set full and every resident title has active streams");
+    }
+    FTMS_RETURN_IF_ERROR(catalog_->Remove(victim));
+    last_use_s_.erase(victim);
+    ++evictions_;
+  }
+}
+
+StatusOr<double> StagingManager::EnsureResident(int object_id,
+                                                double now_s) {
+  if (catalog_->Contains(object_id)) {
+    MarkUse(object_id, now_s);
+    return now_s;
+  }
+  auto it = std::find_if(
+      library_.begin(), library_.end(),
+      [&](const MediaObject& o) { return o.id == object_id; });
+  if (it == library_.end()) {
+    return Status::NotFound("title " + std::to_string(object_id) +
+                            " not in the tertiary library");
+  }
+  FTMS_RETURN_IF_ERROR(MakeRoom(*it));
+  FTMS_RETURN_IF_ERROR(catalog_->Add(*it));
+  last_use_s_[object_id] = now_s;
+  ++stage_ins_;
+  // One contiguous extent per title: robot switch + transfer.
+  const double mb = it->SizeMb(track_mb_);
+  mb_staged_ += mb;
+  return now_s + tertiary_->ExtentTime(mb);
+}
+
+}  // namespace ftms

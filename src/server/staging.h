@@ -1,0 +1,69 @@
+#ifndef FTMS_SERVER_STAGING_H_
+#define FTMS_SERVER_STAGING_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "layout/catalog.h"
+#include "server/tertiary.h"
+#include "util/status.h"
+
+namespace ftms {
+
+// Object staging between tertiary storage and the disk working set — the
+// data flow of Figure 1: "the entire database permanently resides on
+// tertiary storage, from which objects are retrieved and placed on disk
+// drives for delivery on demand. If the secondary storage capacity is
+// exhausted ... one or more disk-resident objects must be purged."
+//
+// The manager keeps an LRU order over resident objects; a request for a
+// non-resident title evicts the least-recently-used idle titles until it
+// fits, then charges the tertiary transfer time (the title becomes
+// watchable only once fully staged — tertiary bandwidth is far below the
+// delivery rate, so playing through the staging is impossible; footnote
+// 2 of the paper).
+class StagingManager {
+ public:
+  // `is_evictable(object_id)` must return false for objects with active
+  // streams. `track_mb` converts title lengths to transfer sizes. All
+  // pointers/callbacks must outlive the manager.
+  StagingManager(Catalog* catalog, const TertiaryStore* tertiary,
+                 double track_mb, std::function<bool(int)> is_evictable);
+
+  // Registers a title in the permanent tertiary library.
+  Status AddToLibrary(const MediaObject& object);
+
+  // Ensures `object_id` is disk-resident. Returns the simulated time at
+  // which it is ready: `now_s` if already resident, now + staging time
+  // otherwise. Fails with NOT_FOUND for unknown titles and
+  // RESOURCE_EXHAUSTED when eviction cannot free enough space.
+  StatusOr<double> EnsureResident(int object_id, double now_s);
+
+  // Records a use (admission) for LRU purposes.
+  void MarkUse(int object_id, double now_s);
+
+  bool InLibrary(int object_id) const;
+  int64_t stage_ins() const { return stage_ins_; }
+  int64_t evictions() const { return evictions_; }
+  double mb_staged() const { return mb_staged_; }
+
+ private:
+  // Evicts LRU idle objects until the catalog can hold `object`.
+  Status MakeRoom(const MediaObject& object);
+
+  Catalog* catalog_;
+  const TertiaryStore* tertiary_;
+  double track_mb_;
+  std::function<bool(int)> is_evictable_;
+  std::vector<MediaObject> library_;
+  std::map<int, double> last_use_s_;  // resident objects only
+  int64_t stage_ins_ = 0;
+  int64_t evictions_ = 0;
+  double mb_staged_ = 0;
+};
+
+}  // namespace ftms
+
+#endif  // FTMS_SERVER_STAGING_H_

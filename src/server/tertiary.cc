@@ -1,0 +1,16 @@
+#include "server/tertiary.h"
+
+#include <algorithm>
+
+namespace ftms {
+
+double TertiaryStore::ReloadTime(double total_mb, int64_t num_extents) const {
+  if (total_mb <= 0) return 0;
+  num_extents = std::max<int64_t>(num_extents, 1);
+  const double switches =
+      static_cast<double>(num_extents) * params_.tape_switch_s;
+  const double transfer = total_mb / params_.bandwidth_mb_s;
+  return (switches + transfer) / std::max(1, params_.num_drives);
+}
+
+}  // namespace ftms

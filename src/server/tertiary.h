@@ -1,0 +1,47 @@
+#ifndef FTMS_SERVER_TERTIARY_H_
+#define FTMS_SERVER_TERTIARY_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace ftms {
+
+// Model of the tertiary storage library of Figure 1 (a tape robot). The
+// entire database resides here permanently; disk-resident objects are
+// staged from it, and after a catastrophic failure the lost contents must
+// be reloaded from it — which is slow: the paper's footnote 2 prices a
+// tape drive at ~4 Mb/s (0.5 MB/s) versus ~32 Mb/s for a disk, and a
+// rebuild touches portions of MANY objects, i.e. many tape switches.
+struct TertiaryParameters {
+  double bandwidth_mb_s = 0.5;    // per-drive sustained transfer
+  double tape_switch_s = 90.0;    // robot exchange + mount + seek
+  double capacity_per_tape_mb = 5000.0;
+  int num_drives = 4;
+};
+
+class TertiaryStore {
+ public:
+  explicit TertiaryStore(const TertiaryParameters& params)
+      : params_(params) {}
+
+  const TertiaryParameters& params() const { return params_; }
+
+  // Time for one drive to deliver one contiguous extent of `mb` megabytes
+  // (one tape switch + transfer).
+  double ExtentTime(double mb) const {
+    return params_.tape_switch_s + mb / params_.bandwidth_mb_s;
+  }
+
+  // Time to reload `total_mb` spread over `num_extents` extents (the
+  // rebuild case: portions of many objects on many tapes), using all
+  // drives in parallel.
+  double ReloadTime(double total_mb, int64_t num_extents) const;
+
+ private:
+  TertiaryParameters params_;
+};
+
+}  // namespace ftms
+
+#endif  // FTMS_SERVER_TERTIARY_H_

@@ -1,0 +1,56 @@
+#include "server/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace ftms {
+
+void TraceRecorder::Sample() {
+  const SchedulerMetrics& m = scheduler_->metrics();
+  CycleSample sample;
+  sample.cycle = scheduler_->cycle();
+  sample.active_streams = scheduler_->ActiveStreams();
+  sample.buffer_in_use = scheduler_->buffer_pool().in_use();
+  sample.tracks_delivered_delta = m.tracks_delivered - last_.tracks_delivered;
+  sample.hiccups_delta = m.hiccups - last_.hiccups;
+  sample.reconstructed_delta = m.reconstructed - last_.reconstructed;
+  sample.dropped_reads_delta = m.dropped_reads - last_.dropped_reads;
+  sample.failed_disks = disks_->NumFailed();
+  samples_.push_back(sample);
+  last_ = m;
+}
+
+void TraceRecorder::Clear() {
+  samples_.clear();
+  last_ = SchedulerMetrics();
+}
+
+std::string ToCsv(const std::vector<CycleSample>& samples) {
+  std::ostringstream os;
+  os << "cycle,active_streams,buffer_in_use,delivered,hiccups,"
+        "reconstructed,dropped_reads,failed_disks\n";
+  for (const CycleSample& s : samples) {
+    os << s.cycle << ',' << s.active_streams << ',' << s.buffer_in_use
+       << ',' << s.tracks_delivered_delta << ',' << s.hiccups_delta << ','
+       << s.reconstructed_delta << ',' << s.dropped_reads_delta << ','
+       << s.failed_disks << '\n';
+  }
+  return os.str();
+}
+
+Status WriteCsv(const std::vector<CycleSample>& samples,
+                const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot open " + path + " for writing");
+  }
+  const std::string csv = ToCsv(samples);
+  const size_t written = std::fwrite(csv.data(), 1, csv.size(), f);
+  std::fclose(f);
+  if (written != csv.size()) {
+    return Status::Unavailable("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace ftms

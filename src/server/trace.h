@@ -1,0 +1,59 @@
+#ifndef FTMS_SERVER_TRACE_H_
+#define FTMS_SERVER_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "disk/disk_array.h"
+#include "sched/cycle_scheduler.h"
+#include "util/status.h"
+
+namespace ftms {
+
+// Per-cycle metrics snapshot, for plotting time series of a run (buffer
+// occupancy sawtooths, hiccup bursts around failures, rebuild progress).
+struct CycleSample {
+  int64_t cycle = 0;
+  int active_streams = 0;
+  int64_t buffer_in_use = 0;
+  int64_t tracks_delivered_delta = 0;
+  int64_t hiccups_delta = 0;
+  int64_t reconstructed_delta = 0;
+  int64_t dropped_reads_delta = 0;
+  int failed_disks = 0;
+};
+
+// Records one CycleSample per scheduler cycle. Drive it manually:
+//
+//   TraceRecorder trace(&scheduler, &disks);
+//   for (...) { scheduler.RunCycle(); trace.Sample(); }
+//   WriteCsv(trace.samples(), "run.csv");
+class TraceRecorder {
+ public:
+  TraceRecorder(const CycleScheduler* scheduler, const DiskArray* disks)
+      : scheduler_(scheduler), disks_(disks) {}
+
+  // Captures the current cycle's deltas relative to the previous sample.
+  void Sample();
+
+  const std::vector<CycleSample>& samples() const { return samples_; }
+  void Clear();
+
+ private:
+  const CycleScheduler* scheduler_;
+  const DiskArray* disks_;
+  std::vector<CycleSample> samples_;
+  SchedulerMetrics last_;
+};
+
+// Renders samples as CSV (header + one row per cycle).
+std::string ToCsv(const std::vector<CycleSample>& samples);
+
+// Writes the CSV to `path`; returns an error on I/O failure.
+Status WriteCsv(const std::vector<CycleSample>& samples,
+                const std::string& path);
+
+}  // namespace ftms
+
+#endif  // FTMS_SERVER_TRACE_H_

@@ -1,0 +1,58 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace ftms {
+
+void Simulator::ScheduleAt(SimTime t, Callback cb) {
+  assert(cb);
+  if (t < now_) t = now_;
+  queue_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() returns a const ref; move the callback out via a
+  // const_cast-free copy of the small struct members and a pop.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  ++events_processed_;
+  ev.cb();
+  return true;
+}
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulator::RunUntil(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    Step();
+  }
+  if (t > now_) now_ = t;
+}
+
+void SchedulePeriodic(Simulator& sim, SimTime start, SimTime period,
+                      std::function<bool()> cb) {
+  assert(period > 0);
+  auto shared = std::make_shared<std::function<bool()>>(std::move(cb));
+  // Self-rescheduling closure; stops (and releases itself) when the user
+  // callback returns false.
+  struct Ticker {
+    Simulator* sim;
+    SimTime period;
+    std::shared_ptr<std::function<bool()>> cb;
+    void operator()() const {
+      if (!(*cb)()) return;
+      Ticker next = *this;
+      sim->Schedule(period, next);
+    }
+  };
+  sim.ScheduleAt(start, Ticker{&sim, period, shared});
+}
+
+}  // namespace ftms

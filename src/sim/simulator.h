@@ -1,0 +1,84 @@
+#ifndef FTMS_SIM_SIMULATOR_H_
+#define FTMS_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace ftms {
+
+// Simulated time, in seconds.
+using SimTime = double;
+
+// A minimal discrete-event simulation engine.
+//
+// Events are closures scheduled at absolute simulated times. Ties are broken
+// by insertion order (FIFO), which makes simulations fully deterministic.
+// The multimedia-server simulation advances in fixed-length scheduling
+// cycles, while the reliability simulations schedule exponentially
+// distributed failure/repair events; both run on this engine.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Current simulated time. Starts at 0.
+  SimTime Now() const { return now_; }
+
+  // Schedules `cb` to run `delay` seconds from now. Negative delays clamp
+  // to "now" (the event still runs after currently pending events at the
+  // same timestamp that were scheduled earlier).
+  void Schedule(SimTime delay, Callback cb) {
+    ScheduleAt(now_ + (delay > 0 ? delay : 0), std::move(cb));
+  }
+
+  // Schedules `cb` at absolute time `t` (clamped to Now()).
+  void ScheduleAt(SimTime t, Callback cb);
+
+  // Runs the next pending event, advancing the clock. Returns false when
+  // no events remain.
+  bool Step();
+
+  // Runs events until the queue is empty.
+  void Run();
+
+  // Runs events with timestamp <= `t`, then advances the clock to exactly
+  // `t` (even if the next pending event is later).
+  void RunUntil(SimTime t);
+
+  bool empty() const { return queue_.empty(); }
+  size_t pending() const { return queue_.size(); }
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;  // tie-break: FIFO among equal timestamps
+    Callback cb;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+};
+
+// Convenience: schedules `cb` to run every `period` seconds, starting at
+// `start`, until it returns false. Returns nothing; cancellation is by
+// return value of the callback.
+void SchedulePeriodic(Simulator& sim, SimTime start, SimTime period,
+                      std::function<bool()> cb);
+
+}  // namespace ftms
+
+#endif  // FTMS_SIM_SIMULATOR_H_

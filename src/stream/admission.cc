@@ -1,0 +1,36 @@
+#include "stream/admission.h"
+
+#include <cassert>
+#include <string>
+
+#include "model/capacity.h"
+
+namespace ftms {
+
+StatusOr<AdmissionController> AdmissionController::Create(
+    const SystemParameters& p, Scheme scheme, int parity_group_size) {
+  StatusOr<int> capacity = MaxStreams(p, scheme, parity_group_size);
+  if (!capacity.ok()) return capacity.status();
+  return AdmissionController(*capacity);
+}
+
+Status AdmissionController::Admit(int weight) {
+  assert(weight > 0);
+  if (active_ + weight > capacity_) {
+    ++rejected_total_;
+    return Status::ResourceExhausted(
+        "at capacity: " + std::to_string(active_) + "/" +
+        std::to_string(capacity_) + " base-stream equivalents in use");
+  }
+  active_ += weight;
+  ++admitted_total_;
+  return Status::Ok();
+}
+
+void AdmissionController::Release(int weight) {
+  assert(weight > 0);
+  assert(active_ >= weight);
+  active_ -= weight;
+}
+
+}  // namespace ftms

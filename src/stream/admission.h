@@ -1,0 +1,48 @@
+#ifndef FTMS_STREAM_ADMISSION_H_
+#define FTMS_STREAM_ADMISSION_H_
+
+#include <cstdint>
+
+#include "layout/schemes.h"
+#include "model/parameters.h"
+#include "util/status.h"
+
+namespace ftms {
+
+// Admission control: a new stream is admitted only while the active count
+// stays within the scheme's analytical capacity (equations (8)-(11)); this
+// is what guarantees every admitted stream's reads fit in each cycle, the
+// real-time requirement of Section 1.
+class AdmissionController {
+ public:
+  // Capacity from the analytical model for (scheme, C, parameters).
+  static StatusOr<AdmissionController> Create(const SystemParameters& p,
+                                              Scheme scheme,
+                                              int parity_group_size);
+
+  // Directly sets capacity (used by tests and by down-scaled simulations).
+  explicit AdmissionController(int capacity) : capacity_(capacity) {}
+
+  // Reserves `weight` capacity slots for a new stream (a stream at m
+  // times the base rate consumes m base-stream equivalents);
+  // RESOURCE_EXHAUSTED when it does not fit.
+  Status Admit(int weight = 1);
+
+  // Releases the slots of a completed/terminated stream.
+  void Release(int weight = 1);
+
+  int capacity() const { return capacity_; }
+  int active() const { return active_; }
+  int64_t admitted_total() const { return admitted_total_; }
+  int64_t rejected_total() const { return rejected_total_; }
+
+ private:
+  int capacity_;
+  int active_ = 0;
+  int64_t admitted_total_ = 0;
+  int64_t rejected_total_ = 0;
+};
+
+}  // namespace ftms
+
+#endif  // FTMS_STREAM_ADMISSION_H_

@@ -1,0 +1,35 @@
+#include "stream/batching.h"
+
+namespace ftms {
+
+void BatchCoordinator::Add(int object_id, double now_s) {
+  ++viewers_total_;
+  auto it = open_.find(object_id);
+  if (it != open_.end()) {
+    ++it->second.viewers;
+    return;
+  }
+  Batch batch;
+  batch.object_id = object_id;
+  batch.viewers = 1;
+  batch.opened_s = now_s;
+  open_.emplace(object_id, batch);
+}
+
+std::vector<BatchCoordinator::Batch> BatchCoordinator::TakeDue(
+    double now_s) {
+  std::vector<Batch> due;
+  for (auto it = open_.begin(); it != open_.end();) {
+    if (now_s - it->second.opened_s >= window_s_) {
+      due.push_back(it->second);
+      ++batches_launched_;
+      viewers_in_launched_ += it->second.viewers;
+      it = open_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return due;
+}
+
+}  // namespace ftms

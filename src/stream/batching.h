@@ -1,0 +1,58 @@
+#ifndef FTMS_STREAM_BATCHING_H_
+#define FTMS_STREAM_BATCHING_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ftms {
+
+// Request batching (extension): viewers who ask for the same title
+// within a short window share ONE delivery stream — the classic
+// video-on-demand lever for the economies of scale the paper's
+// introduction motivates (one stream's disk bandwidth can serve a whole
+// audience when arrivals cluster on popular titles).
+//
+// Usage: Add() arriving requests; poll TakeDue() each scheduling cycle;
+// every returned batch is started as a single stream.
+class BatchCoordinator {
+ public:
+  // Requests for one title arriving within `window_s` of the FIRST
+  // request share its batch; the batch launches when the window closes.
+  // window_s == 0 degenerates to one stream per viewer.
+  explicit BatchCoordinator(double window_s) : window_s_(window_s) {}
+
+  struct Batch {
+    int object_id = 0;
+    int viewers = 0;
+    double opened_s = 0;  // first request's arrival
+  };
+
+  // Registers one viewer request at `now_s`.
+  void Add(int object_id, double now_s);
+
+  // Batches whose window has closed by `now_s`, ready to launch.
+  std::vector<Batch> TakeDue(double now_s);
+
+  size_t pending_batches() const { return open_.size(); }
+  int64_t viewers_total() const { return viewers_total_; }
+  int64_t batches_launched() const { return batches_launched_; }
+
+  // Streams saved so far: viewers folded into already-open batches.
+  int64_t streams_saved() const {
+    return viewers_in_launched_ - batches_launched_;
+  }
+
+ private:
+  double window_s_;
+  std::map<int, Batch> open_;  // keyed by object id
+  int64_t viewers_total_ = 0;
+  int64_t batches_launched_ = 0;
+  int64_t viewers_in_launched_ = 0;
+};
+
+}  // namespace ftms
+
+#endif  // FTMS_STREAM_BATCHING_H_

@@ -1,0 +1,32 @@
+#include "stream/request_queue.h"
+
+namespace ftms {
+
+void RequestQueue::Enqueue(const StreamRequest& request, double now_s) {
+  queue_.push_back(Waiting{request, now_s});
+  ++enqueued_;
+}
+
+void RequestQueue::ExpireReneged(double now_s) {
+  while (!queue_.empty() && Reneged(queue_.front(), now_s)) {
+    queue_.pop_front();
+    ++reneged_;
+  }
+}
+
+const StreamRequest* RequestQueue::Peek(double now_s) {
+  ExpireReneged(now_s);
+  return queue_.empty() ? nullptr : &queue_.front().request;
+}
+
+bool RequestQueue::Dequeue(double now_s, StreamRequest* out) {
+  ExpireReneged(now_s);
+  if (queue_.empty()) return false;
+  const Waiting w = queue_.front();
+  queue_.pop_front();
+  wait_stats_.Add(now_s - w.enqueued_s);
+  *out = w.request;
+  return true;
+}
+
+}  // namespace ftms

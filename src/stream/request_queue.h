@@ -1,0 +1,66 @@
+#ifndef FTMS_STREAM_REQUEST_QUEUE_H_
+#define FTMS_STREAM_REQUEST_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "stream/workload.h"
+#include "util/stats.h"
+
+namespace ftms {
+
+// Waiting room for viewers who arrive while the server is at its
+// admission capacity. Video-on-demand practice (and the economics of
+// Section 5: capacity is bought for a target concurrency) is to queue
+// requests rather than drop them; viewers renege after a patience
+// timeout. FIFO order.
+class RequestQueue {
+ public:
+  // `patience_s` <= 0 means infinitely patient viewers.
+  explicit RequestQueue(double patience_s = 0)
+      : patience_s_(patience_s) {}
+
+  // Enqueues a request that could not be admitted at `now_s`.
+  void Enqueue(const StreamRequest& request, double now_s);
+
+  // Pops the longest-waiting request still within patience, dropping
+  // reneged ones. Returns false when the queue has no viable request.
+  bool Dequeue(double now_s, StreamRequest* out);
+
+  // The longest-waiting viable request without removing it (reneged
+  // entries are dropped first), or nullptr when none. The pointer is
+  // invalidated by any mutating call.
+  const StreamRequest* Peek(double now_s);
+
+  // Drops all reneged requests up front (bookkeeping without admitting).
+  void ExpireReneged(double now_s);
+
+  size_t size() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+  int64_t enqueued_total() const { return enqueued_; }
+  int64_t reneged_total() const { return reneged_; }
+
+  // Waiting times of successfully admitted viewers (seconds).
+  const StreamingStats& wait_stats() const { return wait_stats_; }
+
+ private:
+  struct Waiting {
+    StreamRequest request;
+    double enqueued_s = 0;
+  };
+
+  bool Reneged(const Waiting& w, double now_s) const {
+    return patience_s_ > 0 && now_s - w.enqueued_s > patience_s_;
+  }
+
+  double patience_s_;
+  std::deque<Waiting> queue_;
+  int64_t enqueued_ = 0;
+  int64_t reneged_ = 0;
+  StreamingStats wait_stats_;
+};
+
+}  // namespace ftms
+
+#endif  // FTMS_STREAM_REQUEST_QUEUE_H_

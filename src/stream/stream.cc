@@ -1,0 +1,16 @@
+#include "stream/stream.h"
+
+namespace ftms {
+
+void Stream::Deliver(int64_t cycle, bool on_time) {
+  if (state_ != StreamState::kActive) return;
+  if (on_time) {
+    ++delivered_;
+  } else {
+    hiccups_.push_back(Hiccup{cycle, position_});
+  }
+  ++position_;
+  if (finished()) state_ = StreamState::kCompleted;
+}
+
+}  // namespace ftms

@@ -1,0 +1,85 @@
+#ifndef FTMS_STREAM_STREAM_H_
+#define FTMS_STREAM_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/media_object.h"
+
+namespace ftms {
+
+using StreamId = int;
+
+enum class StreamState {
+  kActive,      // being delivered
+  kPaused,      // viewer paused; resources stay reserved
+  kCompleted,   // played to the end
+  kTerminated,  // stopped by the viewer or dropped (degradation)
+};
+
+// One lost or late track in a stream's delivery: the paper's "hiccup".
+struct Hiccup {
+  int64_t cycle = 0;  // scheduling cycle in which delivery was due
+  int64_t track = 0;  // object track that was not delivered on time
+};
+
+// The delivery of one object to one viewer, offset in time from any other
+// delivery of the same object (Section 2's definition). A Stream tracks
+// the delivery pointer and the hiccups it suffered; the schedulers decide
+// what is read, the stream only records what reached (or failed to reach)
+// the viewer.
+class Stream {
+ public:
+  Stream(StreamId id, const MediaObject& object)
+      : id_(id), object_(object) {}
+
+  StreamId id() const { return id_; }
+  const MediaObject& object() const { return object_; }
+  StreamState state() const { return state_; }
+
+  // Next object track due for delivery.
+  int64_t position() const { return position_; }
+  int64_t tracks_remaining() const { return object_.num_tracks - position_; }
+  bool finished() const { return position_ >= object_.num_tracks; }
+
+  // Records delivery of the track at the current position during `cycle`.
+  // `on_time` is false when the track was missing (disk failure not yet
+  // masked): the viewer sees a hiccup but playback continues. Advances the
+  // position either way and completes the stream at the last track.
+  void Deliver(int64_t cycle, bool on_time);
+
+  // VCR controls: a paused stream keeps its position (and, in the
+  // schedulers, its buffers) and resumes with no startup latency beyond
+  // one read cycle.
+  void Pause() {
+    if (state_ == StreamState::kActive) state_ = StreamState::kPaused;
+  }
+  void Resume() {
+    if (state_ == StreamState::kPaused) state_ = StreamState::kActive;
+  }
+
+  // Stops the stream (viewer abandon or degradation of service).
+  void Terminate() {
+    if (state_ == StreamState::kActive || state_ == StreamState::kPaused) {
+      state_ = StreamState::kTerminated;
+    }
+  }
+
+  const std::vector<Hiccup>& hiccups() const { return hiccups_; }
+  int64_t hiccup_count() const {
+    return static_cast<int64_t>(hiccups_.size());
+  }
+  int64_t delivered_tracks() const { return delivered_; }
+
+ private:
+  StreamId id_;
+  MediaObject object_;
+  StreamState state_ = StreamState::kActive;
+  int64_t position_ = 0;
+  int64_t delivered_ = 0;
+  std::vector<Hiccup> hiccups_;
+};
+
+}  // namespace ftms
+
+#endif  // FTMS_STREAM_STREAM_H_

@@ -1,0 +1,62 @@
+#include "stream/workload.h"
+
+#include <cassert>
+#include <utility>
+
+#include "util/units.h"
+
+namespace ftms {
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadConfig& config,
+                                     std::vector<MediaObject> catalog)
+    : catalog_(std::move(catalog)),
+      config_(config),
+      rng_(config.seed),
+      popularity_(static_cast<int>(catalog_.size()), config.zipf_theta) {
+  assert(!catalog_.empty());
+  assert(config_.arrival_rate_per_s > 0);
+}
+
+StreamRequest WorkloadGenerator::Next() {
+  clock_s_ += rng_.ExponentialMean(1.0 / config_.arrival_rate_per_s);
+  StreamRequest req;
+  req.arrival_s = clock_s_;
+  req.object_id = catalog_[static_cast<size_t>(popularity_.Sample(rng_))].id;
+  return req;
+}
+
+std::vector<StreamRequest> WorkloadGenerator::GenerateUntil(
+    double horizon_s) {
+  std::vector<StreamRequest> out;
+  for (;;) {
+    StreamRequest req = Next();
+    if (req.arrival_s >= horizon_s) break;
+    out.push_back(req);
+  }
+  return out;
+}
+
+const MediaObject& WorkloadGenerator::object(int object_id) const {
+  for (const MediaObject& obj : catalog_) {
+    if (obj.id == object_id) return obj;
+  }
+  assert(false && "unknown object id");
+  return catalog_.front();
+}
+
+std::vector<MediaObject> MakeStandardCatalog(int count,
+                                             double mpeg2_fraction,
+                                             double track_mb) {
+  std::vector<MediaObject> catalog;
+  catalog.reserve(static_cast<size_t>(count));
+  const int mpeg2_count = static_cast<int>(mpeg2_fraction * count);
+  for (int i = 0; i < count; ++i) {
+    const bool mpeg2 = i < mpeg2_count;
+    catalog.push_back(MakeMovie(
+        i, (mpeg2 ? "mpeg2_movie_" : "mpeg1_movie_") + std::to_string(i),
+        /*minutes=*/90.0, mpeg2 ? kMpeg2RateMbS : kMpeg1RateMbS, track_mb));
+  }
+  return catalog;
+}
+
+}  // namespace ftms

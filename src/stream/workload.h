@@ -1,0 +1,59 @@
+#ifndef FTMS_STREAM_WORKLOAD_H_
+#define FTMS_STREAM_WORKLOAD_H_
+
+#include <vector>
+
+#include "layout/media_object.h"
+#include "util/random.h"
+
+namespace ftms {
+
+// A request for a new stream: which object, and when the viewer asked.
+struct StreamRequest {
+  double arrival_s = 0;  // simulated arrival time (seconds)
+  int object_id = 0;
+};
+
+// Configuration of the synthetic video-on-demand workload. The paper's
+// introduction motivates the scale (hundreds of MPEG movies, thousands of
+// viewers); requests arrive Poisson and pick movies by a Zipf popularity
+// (theta ~= 0.271 is the classic video-rental skew).
+struct WorkloadConfig {
+  double arrival_rate_per_s = 1.0;  // Poisson arrival rate
+  double zipf_theta = 0.271;        // popularity skew over the catalog
+  uint64_t seed = 42;
+};
+
+// Generates an arrival sequence over a fixed catalog of objects.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const WorkloadConfig& config,
+                    std::vector<MediaObject> catalog);
+
+  // Next request; arrival times are non-decreasing across calls.
+  StreamRequest Next();
+
+  // Convenience: all requests arriving before `horizon_s`.
+  std::vector<StreamRequest> GenerateUntil(double horizon_s);
+
+  const std::vector<MediaObject>& catalog() const { return catalog_; }
+  const MediaObject& object(int object_id) const;
+
+ private:
+  std::vector<MediaObject> catalog_;
+  WorkloadConfig config_;
+  Rng rng_;
+  ZipfDistribution popularity_;
+  double clock_s_ = 0;
+};
+
+// A standard catalog for examples and tests: `count` 90-minute movies,
+// a `mpeg2_fraction` of them at the MPEG-2 rate and the rest at MPEG-1,
+// track size `track_mb`.
+std::vector<MediaObject> MakeStandardCatalog(int count,
+                                             double mpeg2_fraction,
+                                             double track_mb);
+
+}  // namespace ftms
+
+#endif  // FTMS_STREAM_WORKLOAD_H_

@@ -1,0 +1,54 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstring>
+
+namespace ftms {
+namespace internal_log {
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+LogLevel GetMinLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+void SetMinLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(level >= GetMinLevel()) {
+  if (enabled_) {
+    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
+            << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) std::cerr << stream_.str() << "\n";
+}
+
+}  // namespace internal_log
+}  // namespace ftms

@@ -1,0 +1,50 @@
+#ifndef FTMS_UTIL_LOG_H_
+#define FTMS_UTIL_LOG_H_
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace ftms {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+namespace internal_log {
+
+// Minimum level actually emitted; everything below is compiled but skipped.
+LogLevel GetMinLevel();
+void SetMinLevel(LogLevel level);
+
+// Accumulates one log line and flushes it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_log
+
+// Sets the global log verbosity (default: kWarning, so library code is
+// quiet under tests and benchmarks unless asked).
+inline void SetLogLevel(LogLevel level) { internal_log::SetMinLevel(level); }
+
+#define FTMS_LOG(level)                                                    \
+  ::ftms::internal_log::LogMessage(::ftms::LogLevel::k##level, __FILE__, \
+                                   __LINE__)
+
+}  // namespace ftms
+
+#endif  // FTMS_UTIL_LOG_H_

@@ -1,0 +1,86 @@
+#include "util/random.h"
+
+#include <algorithm>
+
+namespace ftms {
+namespace {
+
+// SplitMix64: used only to expand the user seed into the xoshiro state.
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+  // A state of all zeros is the one illegal xoshiro state; SplitMix64 cannot
+  // produce four consecutive zeros, but be defensive anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -n % n;
+  for (;;) {
+    const uint64_t r = NextUint64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::ExponentialMean(double mean) {
+  assert(mean > 0);
+  // 1 - NextDouble() is in (0, 1], so the log is finite.
+  return -mean * std::log(1.0 - NextDouble());
+}
+
+ZipfDistribution::ZipfDistribution(int n, double theta) : theta_(theta) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double sum = 0;
+  for (int r = 0; r < n; ++r) {
+    sum += 1.0 / std::pow(static_cast<double>(r + 1), theta);
+    cdf_[r] = sum;
+  }
+  for (int r = 0; r < n; ++r) cdf_[r] /= sum;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+int ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<int>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(int r) const {
+  assert(r >= 0 && r < n());
+  return r == 0 ? cdf_[0] : cdf_[r] - cdf_[r - 1];
+}
+
+}  // namespace ftms

@@ -1,0 +1,75 @@
+#ifndef FTMS_UTIL_RANDOM_H_
+#define FTMS_UTIL_RANDOM_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace ftms {
+
+// Deterministic, fast pseudo random number generator (xoshiro256**),
+// seeded via SplitMix64. Every stochastic component of the library takes an
+// explicit Rng so simulations are reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { Seed(seed); }
+
+  // Re-seeds the generator deterministically from `seed`.
+  void Seed(uint64_t seed);
+
+  // Uniform on [0, 2^64).
+  uint64_t NextUint64();
+
+  // Uniform on [0, 1).
+  double NextDouble();
+
+  // Uniform on [lo, hi).
+  double Uniform(double lo, double hi) {
+    assert(hi >= lo);
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  // Uniform integer on [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  // True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Exponential with the given mean (= 1/rate). Used for disk lifetimes and
+  // repair times in the reliability simulations.
+  double ExponentialMean(double mean);
+
+  // Creates an independent generator whose seed derives from this one;
+  // useful to give each simulated component its own stream.
+  Rng Fork() { return Rng(NextUint64()); }
+
+ private:
+  uint64_t state_[4];
+};
+
+// Zipf(theta) distribution over {0, ..., n-1}: rank r is drawn with
+// probability proportional to 1 / (r+1)^theta. theta in [0, 1] covers the
+// video-on-demand popularity skews typically assumed for movie catalogs
+// (theta ~ 0.271 matches the classic video-store measurements). Sampling is
+// O(log n) via binary search over the precomputed CDF.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(int n, double theta);
+
+  int Sample(Rng& rng) const;
+
+  // Probability mass of rank r.
+  double Pmf(int r) const;
+
+  int n() const { return static_cast<int>(cdf_.size()); }
+  double theta() const { return theta_; }
+
+ private:
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[r] = P(rank <= r)
+};
+
+}  // namespace ftms
+
+#endif  // FTMS_UTIL_RANDOM_H_

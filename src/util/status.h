@@ -1,0 +1,144 @@
+#ifndef FTMS_UTIL_STATUS_H_
+#define FTMS_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ftms {
+
+// Error codes used throughout the library. Modeled on the small set of
+// canonical codes used by production database codebases; we deliberately do
+// not use exceptions (consistent with the Google C++ style this repository
+// follows), so every fallible public API returns Status or StatusOr<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,
+  kOutOfRange,
+  kUnavailable,
+  kInternal,
+};
+
+// Returns a human readable name for `code` (e.g. "INVALID_ARGUMENT").
+std::string_view StatusCodeToString(StatusCode code);
+
+// A Status is a cheap value type carrying an error code and message.
+// The OK status carries no message and is the default constructed value.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  // Factory helpers, one per canonical error code.
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// StatusOr<T> holds either an OK status and a value, or a non-OK status.
+// Accessing the value of a non-OK StatusOr aborts (assert in debug builds).
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work
+  // in functions returning StatusOr<T>, mirroring absl::StatusOr.
+  StatusOr(const T& value) : status_(Status::Ok()), value_(value) {}
+  StatusOr(T&& value) : status_(Status::Ok()), value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status w/o value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the contained value, or `fallback` when not OK.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates errors to the caller: evaluates `expr`, returning its status
+// from the enclosing function if it is not OK.
+#define FTMS_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::ftms::Status ftms_status_ = (expr);           \
+    if (!ftms_status_.ok()) return ftms_status_;    \
+  } while (false)
+
+}  // namespace ftms
+
+#endif  // FTMS_UTIL_STATUS_H_

@@ -1,0 +1,34 @@
+#ifndef FTMS_UTIL_UNITS_H_
+#define FTMS_UTIL_UNITS_H_
+
+namespace ftms {
+
+// Unit conventions used throughout the library, matching the paper:
+//   * storage sizes in megabytes (MB),
+//   * bandwidths in megabytes per second (MB/s) -- the paper quotes object
+//     rates in megabits per second (Mb/s) in prose but always uses MB/s in
+//     equations, and so do we,
+//   * times in seconds for scheduling and hours for reliability.
+
+inline constexpr double kHoursPerYear = 8760.0;
+inline constexpr double kSecondsPerHour = 3600.0;
+
+// Megabits/s -> megabytes/s (e.g. MPEG-1 1.5 Mb/s -> 0.1875 MB/s).
+constexpr double MbitsToMBytes(double mbits) { return mbits / 8.0; }
+
+// Megabytes/s -> megabits/s.
+constexpr double MBytesToMbits(double mbytes) { return mbytes * 8.0; }
+
+constexpr double HoursToYears(double hours) { return hours / kHoursPerYear; }
+
+constexpr double YearsToHours(double years) { return years * kHoursPerYear; }
+
+constexpr double KilobytesToMegabytes(double kb) { return kb / 1000.0; }
+
+// Object bandwidth classes discussed in the paper's introduction.
+inline constexpr double kMpeg1RateMbS = MbitsToMBytes(1.5);   // "low TV"
+inline constexpr double kMpeg2RateMbS = MbitsToMBytes(4.5);   // "good TV"
+
+}  // namespace ftms
+
+#endif  // FTMS_UTIL_UNITS_H_

@@ -1,0 +1,119 @@
+#include "verify/datapath.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace ftms {
+namespace {
+
+// SplitMix64-style mixer keyed by (object, track, word index).
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Block SynthesizeDataBlock(int object_id, int64_t track,
+                          size_t block_bytes) {
+  Block block(block_bytes);
+  const uint64_t seed =
+      Mix((static_cast<uint64_t>(static_cast<uint32_t>(object_id)) << 32) ^
+          static_cast<uint64_t>(track));
+  size_t i = 0;
+  uint64_t counter = seed;
+  while (i < block_bytes) {
+    const uint64_t word = Mix(counter++);
+    for (int b = 0; b < 8 && i < block_bytes; ++b, ++i) {
+      block[i] = static_cast<uint8_t>(word >> (8 * b));
+    }
+  }
+  return block;
+}
+
+StatusOr<Block> SynthesizeParityBlock(const Layout& layout, int object_id,
+                                      int64_t group, int64_t object_tracks,
+                                      size_t block_bytes) {
+  const int per_group = layout.DataBlocksPerGroup();
+  const int64_t first = group * per_group;
+  const int64_t last =
+      std::min<int64_t>(first + per_group, object_tracks);
+  if (first >= object_tracks) {
+    return Status::OutOfRange("group beyond object end");
+  }
+  std::vector<Block> data;
+  for (int64_t t = first; t < last; ++t) {
+    data.push_back(SynthesizeDataBlock(object_id, t, block_bytes));
+  }
+  return ComputeParity(data);
+}
+
+StatusOr<TrackRead> ReadTrackDegraded(const Layout& layout, int object_id,
+                                      int64_t track, int64_t object_tracks,
+                                      const std::set<int>& failed_disks,
+                                      size_t block_bytes) {
+  if (track < 0 || track >= object_tracks) {
+    return Status::OutOfRange("track beyond object end");
+  }
+  const BlockLocation loc = layout.DataLocation(object_id, track);
+  TrackRead result;
+  if (failed_disks.count(loc.disk) == 0) {
+    result.data = SynthesizeDataBlock(object_id, track, block_bytes);
+    return result;
+  }
+  // Degraded path: XOR the surviving group members with the parity block
+  // (Observation 2's on-the-fly reconstruction).
+  const int64_t group = layout.GroupOf(track);
+  const BlockLocation parity_loc = layout.ParityLocation(object_id, group);
+  if (failed_disks.count(parity_loc.disk) > 0) {
+    return Status::Unavailable(
+        "parity disk for the group is also down: catastrophic");
+  }
+  const int per_group = layout.DataBlocksPerGroup();
+  const int64_t first = group * per_group;
+  const int64_t last =
+      std::min<int64_t>(first + per_group, object_tracks);
+  std::vector<Block> survivors;
+  for (int64_t t = first; t < last; ++t) {
+    if (t == track) continue;
+    const BlockLocation other = layout.DataLocation(object_id, t);
+    if (failed_disks.count(other.disk) > 0) {
+      return Status::Unavailable(
+          "two data blocks of the group are down: catastrophic");
+    }
+    survivors.push_back(SynthesizeDataBlock(object_id, t, block_bytes));
+  }
+  StatusOr<Block> parity = SynthesizeParityBlock(
+      layout, object_id, group, object_tracks, block_bytes);
+  if (!parity.ok()) return parity.status();
+  StatusOr<Block> rebuilt = ReconstructMissing(survivors, *parity);
+  if (!rebuilt.ok()) return rebuilt.status();
+  result.reconstructed = true;
+  result.data = *std::move(rebuilt);
+  return result;
+}
+
+StatusOr<int64_t> VerifyObjectReadback(const Layout& layout, int object_id,
+                                       int64_t object_tracks,
+                                       const std::set<int>& failed_disks,
+                                       size_t block_bytes) {
+  int64_t reconstructed = 0;
+  for (int64_t t = 0; t < object_tracks; ++t) {
+    StatusOr<TrackRead> read = ReadTrackDegraded(
+        layout, object_id, t, object_tracks, failed_disks, block_bytes);
+    if (!read.ok()) return read.status();
+    const Block expected =
+        SynthesizeDataBlock(object_id, t, block_bytes);
+    if (read->data != expected) {
+      return Status::Internal("byte mismatch at track " +
+                              std::to_string(t));
+    }
+    if (read->reconstructed) ++reconstructed;
+  }
+  return reconstructed;
+}
+
+}  // namespace ftms

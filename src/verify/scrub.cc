@@ -1,0 +1,51 @@
+#include "verify/scrub.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "verify/datapath.h"
+
+namespace ftms {
+
+StatusOr<ScrubReport> ScrubObject(const Layout& layout, int object_id,
+                                  int64_t object_tracks,
+                                  size_t block_bytes,
+                                  const CorruptionHook& corruption) {
+  if (object_tracks <= 0) {
+    return Status::InvalidArgument("object must have at least one track");
+  }
+  ScrubReport report;
+  const int per_group = layout.DataBlocksPerGroup();
+  const int64_t groups = (object_tracks + per_group - 1) / per_group;
+  for (int64_t g = 0; g < groups; ++g) {
+    const int64_t first = g * per_group;
+    const int64_t last = std::min<int64_t>(first + per_group,
+                                           object_tracks);
+    std::vector<Block> data;
+    for (int64_t t = first; t < last; ++t) {
+      Block block = SynthesizeDataBlock(object_id, t, block_bytes);
+      if (corruption) {
+        const BlockLocation loc = layout.DataLocation(object_id, t);
+        corruption(loc.disk, /*is_parity=*/false, block);
+      }
+      data.push_back(std::move(block));
+      ++report.blocks_read;
+    }
+    StatusOr<Block> parity = SynthesizeParityBlock(
+        layout, object_id, g, object_tracks, block_bytes);
+    if (!parity.ok()) return parity.status();
+    if (corruption) {
+      const BlockLocation loc = layout.ParityLocation(object_id, g);
+      corruption(loc.disk, /*is_parity=*/true, *parity);
+    }
+    ++report.blocks_read;
+
+    StatusOr<bool> clean = VerifyGroup(data, *parity);
+    if (!clean.ok()) return clean.status();
+    if (!*clean) ++report.parity_mismatches;
+    ++report.groups_checked;
+  }
+  return report;
+}
+
+}  // namespace ftms

@@ -1,0 +1,40 @@
+#ifndef FTMS_VERIFY_SCRUB_H_
+#define FTMS_VERIFY_SCRUB_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "layout/layout.h"
+#include "parity/parity.h"
+#include "util/status.h"
+
+namespace ftms {
+
+// Background parity scrubbing: re-read every parity group of an object
+// and check that parity XOR data is zero. Production arrays scrub
+// continuously so that latent sector errors are found while the group
+// still has full redundancy — before a disk failure turns a latent error
+// into unrecoverable data (the silent path to the paper's catastrophic
+// failure).
+struct ScrubReport {
+  int64_t groups_checked = 0;
+  int64_t blocks_read = 0;
+  int64_t parity_mismatches = 0;
+};
+
+// Reads a block as stored: the deterministic synthesized contents, then
+// `corruption` (if set) may alter it — modeling a latent media error.
+// The hook receives (disk, is_parity, block) and mutates in place.
+using CorruptionHook =
+    std::function<void(int disk, bool is_parity, Block& block)>;
+
+// Scrubs all groups of `object_id`. Every disk must be readable (scrub
+// runs in normal mode).
+StatusOr<ScrubReport> ScrubObject(const Layout& layout, int object_id,
+                                  int64_t object_tracks,
+                                  size_t block_bytes,
+                                  const CorruptionHook& corruption = {});
+
+}  // namespace ftms
+
+#endif  // FTMS_VERIFY_SCRUB_H_

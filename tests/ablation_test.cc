@@ -1,0 +1,54 @@
+#include "model/ablation.h"
+
+#include <gtest/gtest.h>
+
+#include "model/capacity.h"
+
+namespace ftms {
+namespace {
+
+TEST(AblationTest, SweepAlwaysBeatsFifo) {
+  // Section 2: "This optimization of seek times is very important since
+  // otherwise a significant portion of disk bandwidth could be lost."
+  SystemParameters p;
+  for (int k_prime : {1, 2, 4, 6, 9}) {
+    EXPECT_GT(SweepGainOverFifo(p, k_prime), 1.0) << "k'=" << k_prime;
+  }
+}
+
+TEST(AblationTest, GainGrowsWithKPrime) {
+  // Longer cycles amortize the one seek over more tracks.
+  SystemParameters p;
+  double prev = 0;
+  for (int k_prime : {1, 2, 4, 8}) {
+    const double gain = SweepGainOverFifo(p, k_prime);
+    EXPECT_GT(gain, prev);
+    prev = gain;
+  }
+}
+
+TEST(AblationTest, FifoCapacityFormula) {
+  // Table 1 disk, average seek = full stroke / 3: per request
+  // 25/3 + 20 = 28.33 ms per 50 KB track at 0.1875 MB/s.
+  SystemParameters p;
+  const double fifo = StreamsPerDataDiskFifo(p);
+  EXPECT_NEAR(fifo, 0.05 / (0.1875 * (0.025 / 3 + 0.020)), 1e-9);
+  // The sweep bound at k' = 4 is ~38% higher.
+  EXPECT_NEAR(StreamsPerDataDisk(p, 4) / fifo, 1.38, 0.02);
+}
+
+TEST(AblationTest, FullStrokeFifoIsDevastating) {
+  // A naive scheduler paying the full stroke per request loses over half
+  // the capacity.
+  SystemParameters p;
+  EXPECT_GT(SweepGainOverFifo(p, 4, /*seek_fraction=*/1.0), 2.0);
+}
+
+TEST(AblationTest, ZeroSeekDiskMakesSweepIrrelevant) {
+  SystemParameters p;
+  p.disk.seek_time_s = 0.0;
+  EXPECT_NEAR(SweepGainOverFifo(p, 4, /*seek_fraction=*/1.0), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ftms

@@ -1,0 +1,39 @@
+#include "stream/admission.h"
+
+#include <gtest/gtest.h>
+
+namespace ftms {
+namespace {
+
+TEST(AdmissionTest, CapacityFromModel) {
+  // Table 2: Streaming RAID at C = 5 supports 1041 streams.
+  SystemParameters p;
+  AdmissionController admission =
+      AdmissionController::Create(p, Scheme::kStreamingRaid, 5).value();
+  EXPECT_EQ(admission.capacity(), 1041);
+}
+
+TEST(AdmissionTest, AdmitsToCapacityThenRejects) {
+  AdmissionController admission(3);
+  EXPECT_TRUE(admission.Admit().ok());
+  EXPECT_TRUE(admission.Admit().ok());
+  EXPECT_TRUE(admission.Admit().ok());
+  EXPECT_EQ(admission.Admit().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(admission.active(), 3);
+  EXPECT_EQ(admission.admitted_total(), 3);
+  EXPECT_EQ(admission.rejected_total(), 1);
+
+  admission.Release();
+  EXPECT_TRUE(admission.Admit().ok());
+  EXPECT_EQ(admission.admitted_total(), 4);
+}
+
+TEST(AdmissionTest, InvalidModelParametersPropagate) {
+  SystemParameters p;
+  p.num_disks = 0;
+  EXPECT_FALSE(
+      AdmissionController::Create(p, Scheme::kStreamingRaid, 5).ok());
+}
+
+}  // namespace
+}  // namespace ftms

@@ -1,0 +1,81 @@
+#include "stream/batching.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/workload.h"
+#include "util/random.h"
+
+namespace ftms {
+namespace {
+
+TEST(BatchingTest, ViewersWithinWindowShareABatch) {
+  BatchCoordinator batching(/*window_s=*/60.0);
+  batching.Add(7, 0.0);
+  batching.Add(7, 10.0);
+  batching.Add(7, 59.0);
+  EXPECT_TRUE(batching.TakeDue(30.0).empty());  // window still open
+  const auto due = batching.TakeDue(60.0);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].object_id, 7);
+  EXPECT_EQ(due[0].viewers, 3);
+  EXPECT_EQ(batching.streams_saved(), 2);
+}
+
+TEST(BatchingTest, DifferentTitlesDifferentBatches) {
+  BatchCoordinator batching(10.0);
+  batching.Add(1, 0.0);
+  batching.Add(2, 1.0);
+  batching.Add(1, 2.0);
+  EXPECT_EQ(batching.pending_batches(), 2u);
+  const auto due = batching.TakeDue(20.0);
+  EXPECT_EQ(due.size(), 2u);
+  EXPECT_EQ(batching.batches_launched(), 2);
+  EXPECT_EQ(batching.viewers_total(), 3);
+}
+
+TEST(BatchingTest, LateArrivalOpensNewBatch) {
+  BatchCoordinator batching(10.0);
+  batching.Add(1, 0.0);
+  batching.TakeDue(10.0);
+  batching.Add(1, 11.0);  // after the first batch launched
+  EXPECT_EQ(batching.pending_batches(), 1u);
+  const auto due = batching.TakeDue(21.0);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].viewers, 1);
+}
+
+TEST(BatchingTest, ZeroWindowIsOneStreamPerViewer) {
+  BatchCoordinator batching(0.0);
+  batching.Add(1, 5.0);
+  const auto due = batching.TakeDue(5.0);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(batching.streams_saved(), 0);
+}
+
+TEST(BatchingTest, ZipfWorkloadSavesManyStreams) {
+  // With a skewed catalog and a 5-minute window, batching folds a large
+  // share of viewers of popular titles into shared streams — the
+  // economies-of-scale argument of the paper's introduction.
+  WorkloadConfig config;
+  config.arrival_rate_per_s = 0.2;  // one viewer every 5 s
+  config.zipf_theta = 0.8;
+  config.seed = 9;
+  WorkloadGenerator workload(config, MakeStandardCatalog(50, 0.0, 0.05));
+  BatchCoordinator batching(/*window_s=*/300.0);
+  double now = 0;
+  for (const StreamRequest& req : workload.GenerateUntil(20000.0)) {
+    now = req.arrival_s;
+    batching.TakeDue(now);
+    batching.Add(req.object_id, now);
+  }
+  batching.TakeDue(now + 301.0);
+  EXPECT_EQ(batching.pending_batches(), 0u);
+  const double saved_fraction =
+      static_cast<double>(batching.streams_saved()) /
+      static_cast<double>(batching.viewers_total());
+  EXPECT_GT(saved_fraction, 0.25);
+  EXPECT_LT(saved_fraction, 0.95);
+}
+
+}  // namespace
+}  // namespace ftms

@@ -1,0 +1,74 @@
+#include "reliability/birth_death.h"
+
+#include <gtest/gtest.h>
+
+#include "model/reliability_model.h"
+#include "reliability/markov_sim.h"
+
+namespace ftms {
+namespace {
+
+TEST(BirthDeathTest, KOneIsFirstFailureExactly) {
+  // No repair dynamics involved: MTTF/D.
+  EXPECT_DOUBLE_EQ(
+      ExactKConcurrentMeanHours(300000, 1, 1000, 1).value(), 300.0);
+  EXPECT_DOUBLE_EQ(AsymptoticKConcurrentMeanHours(300000, 1, 1000, 1),
+                   300.0);
+}
+
+TEST(BirthDeathTest, ExactApproachesAsymptoteForRareEvents) {
+  // MTTR << MTTF/D: the asymptote including (K-1)! converges to the
+  // exact hitting time.
+  for (int k : {2, 3, 4}) {
+    const double exact =
+        ExactKConcurrentMeanHours(300000, 1, 100, k).value();
+    const double asym =
+        AsymptoticKConcurrentMeanHours(300000, 1, 100, k);
+    EXPECT_NEAR(exact / asym, 1.0, 0.01) << "k=" << k;
+  }
+}
+
+TEST(BirthDeathTest, PaperEquation6UnderestimatesByFactorial) {
+  // Equation (6) = asymptote WITHOUT the (K-1)! factor.
+  const double eq6 = KConcurrentFailuresMeanHours(300000, 1, 1000, 5);
+  const double exact =
+      ExactKConcurrentMeanHours(300000, 1, 1000, 5).value();
+  EXPECT_NEAR(exact / eq6, 24.0, 0.5);  // 4! = 24
+}
+
+TEST(BirthDeathTest, ExactMatchesMonteCarloInHarshRegime) {
+  // Where the asymptote is poor (repairs not fast relative to failures),
+  // the exact chain still matches simulation.
+  const double exact = ExactKConcurrentMeanHours(100, 2, 20, 3).value();
+  ReliabilitySimConfig config;
+  config.num_disks = 20;
+  config.mttf_hours = 100.0;
+  config.mttr_hours = 2.0;
+  config.trials = 600;
+  const ReliabilityEstimate sim = EstimateKConcurrent(config, 3).value();
+  EXPECT_NEAR(sim.mean_hours, exact, 0.15 * exact);
+  // And the asymptote is visibly off here (finite-rate corrections).
+  const double asym = AsymptoticKConcurrentMeanHours(100, 2, 20, 3);
+  EXPECT_GT(std::abs(asym - exact) / exact, 0.02);
+}
+
+TEST(BirthDeathTest, MonotoneInK) {
+  double prev = 0;
+  for (int k = 1; k <= 6; ++k) {
+    const double exact =
+        ExactKConcurrentMeanHours(1000, 5, 50, k).value();
+    EXPECT_GT(exact, prev);
+    prev = exact;
+  }
+}
+
+TEST(BirthDeathTest, Validation) {
+  EXPECT_FALSE(ExactKConcurrentMeanHours(-1, 1, 10, 2).ok());
+  EXPECT_FALSE(ExactKConcurrentMeanHours(1, 0, 10, 2).ok());
+  EXPECT_FALSE(ExactKConcurrentMeanHours(1, 1, 0, 2).ok());
+  EXPECT_FALSE(ExactKConcurrentMeanHours(1, 1, 10, 0).ok());
+  EXPECT_FALSE(ExactKConcurrentMeanHours(1, 1, 10, 11).ok());
+}
+
+}  // namespace
+}  // namespace ftms

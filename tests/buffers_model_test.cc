@@ -1,0 +1,91 @@
+#include "model/buffers.h"
+
+#include <gtest/gtest.h>
+
+namespace ftms {
+namespace {
+
+TEST(BuffersModelTest, PerStreamNormalCounts) {
+  EXPECT_DOUBLE_EQ(BuffersPerStreamNormal(Scheme::kStreamingRaid, 5), 10.0);
+  EXPECT_DOUBLE_EQ(BuffersPerStreamNormal(Scheme::kNonClustered, 5), 2.0);
+  EXPECT_DOUBLE_EQ(BuffersPerStreamNormal(Scheme::kImprovedBandwidth, 5),
+                   8.0);
+  // SG: C(C+1)/2 tracks shared by C-1 staggered streams = 15/4.
+  EXPECT_DOUBLE_EQ(BuffersPerStreamNormal(Scheme::kStaggeredGroup, 5),
+                   3.75);
+}
+
+TEST(BuffersModelTest, Table2BufferTracks) {
+  // Table 2 (C = 5): SR 10410, SG 3623, NC 2612, IB 10104.
+  SystemParameters p;
+  EXPECT_DOUBLE_EQ(
+      TotalBufferTracks(p, Scheme::kStreamingRaid, 5).value(), 10410.0);
+  EXPECT_DOUBLE_EQ(
+      TotalBufferTracks(p, Scheme::kStaggeredGroup, 5).value(), 3623.0);
+  EXPECT_DOUBLE_EQ(TotalBufferTracks(p, Scheme::kNonClustered, 5).value(),
+                   2612.0);
+  EXPECT_DOUBLE_EQ(
+      TotalBufferTracks(p, Scheme::kImprovedBandwidth, 5).value(),
+      10104.0);
+}
+
+TEST(BuffersModelTest, Table3BufferTracks) {
+  // Table 3 (C = 7): SR 15750, SG 4830, NC 3254, IB 15276.
+  SystemParameters p;
+  EXPECT_DOUBLE_EQ(
+      TotalBufferTracks(p, Scheme::kStreamingRaid, 7).value(), 15750.0);
+  EXPECT_DOUBLE_EQ(
+      TotalBufferTracks(p, Scheme::kStaggeredGroup, 7).value(), 4830.0);
+  EXPECT_DOUBLE_EQ(TotalBufferTracks(p, Scheme::kNonClustered, 7).value(),
+                   3254.0);
+  EXPECT_DOUBLE_EQ(
+      TotalBufferTracks(p, Scheme::kImprovedBandwidth, 7).value(),
+      15276.0);
+}
+
+TEST(BuffersModelTest, OrderingMatchesPaper) {
+  // NC < SG << IB < SR at both table sizes: the memory ranking that
+  // motivates Sections 3 and 4.
+  SystemParameters p;
+  for (int c : {5, 7}) {
+    const double sr =
+        TotalBufferTracks(p, Scheme::kStreamingRaid, c).value();
+    const double sg =
+        TotalBufferTracks(p, Scheme::kStaggeredGroup, c).value();
+    const double nc =
+        TotalBufferTracks(p, Scheme::kNonClustered, c).value();
+    const double ib =
+        TotalBufferTracks(p, Scheme::kImprovedBandwidth, c).value();
+    EXPECT_LT(nc, sg);
+    EXPECT_LT(sg, ib);
+    EXPECT_LT(ib, sr);
+  }
+}
+
+TEST(BuffersModelTest, SgSavesRoughlyHalfVersusSrPerStream) {
+  // Section 2: Staggered-group needs about half the memory of Streaming
+  // RAID (per stream: C(C+1)/2/(C-1) vs 2C -> ratio ~ (C+1)/(4(C-1))...
+  // ~0.31-0.38 for practical C; "approximately 1/2" counting their
+  // coarser accounting). Verify the ratio is between 0.25 and 0.55.
+  for (int c : {4, 5, 7, 10}) {
+    const double ratio =
+        BuffersPerStreamNormal(Scheme::kStaggeredGroup, c) /
+        BuffersPerStreamNormal(Scheme::kStreamingRaid, c);
+    EXPECT_GT(ratio, 0.25);
+    EXPECT_LT(ratio, 0.55);
+  }
+}
+
+TEST(BuffersModelTest, MbConversion) {
+  SystemParameters p;
+  EXPECT_DOUBLE_EQ(TotalBufferMb(p, Scheme::kStreamingRaid, 5).value(),
+                   10410.0 * 0.05);
+}
+
+TEST(BuffersModelTest, RejectsTinyGroups) {
+  SystemParameters p;
+  EXPECT_FALSE(TotalBufferTracks(p, Scheme::kStreamingRaid, 1).ok());
+}
+
+}  // namespace
+}  // namespace ftms

@@ -1,0 +1,106 @@
+#include "model/capacity.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace ftms {
+namespace {
+
+SystemParameters Table1() { return SystemParameters(); }
+
+TEST(CapacityTest, CycleLengthMatchesDefinition) {
+  // T_cyc = k' B / b_o: one track of 50 KB at 1.5 Mb/s takes 0.2667 s.
+  const SystemParameters p = Table1();
+  EXPECT_NEAR(CycleSeconds(p, 1), 0.05 / 0.1875, 1e-12);
+  EXPECT_NEAR(CycleSeconds(p, 4), 4 * 0.05 / 0.1875, 1e-12);
+}
+
+TEST(CapacityTest, Section2KSweepMpeg2) {
+  // Section 2 inline table: T_seek = 30 ms, T_trk = 10 ms, B = 100 KB,
+  // b_o = 4.5 Mb/s (MPEG-2): k=1 -> 14.7, k=2 -> 16.2, k=10 -> 17.4
+  // streams per disk (k = k').
+  SystemParameters p;
+  p.disk.seek_time_s = 0.030;
+  p.disk.track_time_s = 0.010;
+  p.disk.track_mb = 0.100;
+  p.object_rate_mb_s = kMpeg2RateMbS;
+  EXPECT_NEAR(StreamsPerDataDisk(p, 1), 14.7, 0.1);
+  EXPECT_NEAR(StreamsPerDataDisk(p, 2), 16.2, 0.1);
+  EXPECT_NEAR(StreamsPerDataDisk(p, 10), 17.4, 0.1);
+}
+
+TEST(CapacityTest, Section2KSweepMpeg1VariationIsFivePercent) {
+  // For b_o = 1.5 Mb/s the paper reports only ~5% spread between k = 1
+  // and k = 10.
+  SystemParameters p;
+  p.disk.seek_time_s = 0.030;
+  p.disk.track_time_s = 0.010;
+  p.disk.track_mb = 0.100;
+  p.object_rate_mb_s = kMpeg1RateMbS;
+  const double n1 = StreamsPerDataDisk(p, 1);
+  const double n10 = StreamsPerDataDisk(p, 10);
+  EXPECT_NEAR((n10 - n1) / n10, 0.05, 0.01);
+}
+
+TEST(CapacityTest, KPrimePerScheme) {
+  EXPECT_EQ(KPrimeOf(Scheme::kStreamingRaid, 5), 4);
+  EXPECT_EQ(KPrimeOf(Scheme::kImprovedBandwidth, 5), 4);
+  EXPECT_EQ(KPrimeOf(Scheme::kStaggeredGroup, 5), 1);
+  EXPECT_EQ(KPrimeOf(Scheme::kNonClustered, 5), 1);
+}
+
+TEST(CapacityTest, DataDisksPerScheme) {
+  const SystemParameters p = Table1();  // D = 100, K = 3
+  EXPECT_DOUBLE_EQ(DataDisks(p, Scheme::kStreamingRaid, 5), 80.0);
+  EXPECT_DOUBLE_EQ(DataDisks(p, Scheme::kStaggeredGroup, 5), 80.0);
+  EXPECT_DOUBLE_EQ(DataDisks(p, Scheme::kNonClustered, 5), 80.0);
+  EXPECT_DOUBLE_EQ(DataDisks(p, Scheme::kImprovedBandwidth, 5), 97.0);
+}
+
+TEST(CapacityTest, Table2Streams) {
+  // Table 2 (C = 5): SR 1041, SG 966, NC 966, IB 1263.
+  const SystemParameters p = Table1();
+  EXPECT_EQ(MaxStreams(p, Scheme::kStreamingRaid, 5).value(), 1041);
+  EXPECT_EQ(MaxStreams(p, Scheme::kStaggeredGroup, 5).value(), 966);
+  EXPECT_EQ(MaxStreams(p, Scheme::kNonClustered, 5).value(), 966);
+  EXPECT_EQ(MaxStreams(p, Scheme::kImprovedBandwidth, 5).value(), 1263);
+}
+
+TEST(CapacityTest, Table3Streams) {
+  // Table 3 (C = 7): SR 1125, SG 1035, NC 1035, IB 1273.
+  const SystemParameters p = Table1();
+  EXPECT_EQ(MaxStreams(p, Scheme::kStreamingRaid, 7).value(), 1125);
+  EXPECT_EQ(MaxStreams(p, Scheme::kStaggeredGroup, 7).value(), 1035);
+  EXPECT_EQ(MaxStreams(p, Scheme::kNonClustered, 7).value(), 1035);
+  EXPECT_EQ(MaxStreams(p, Scheme::kImprovedBandwidth, 7).value(), 1273);
+}
+
+TEST(CapacityTest, StreamsGrowWithGroupSizeForSr) {
+  // Larger clusters amortize the seek over more tracks per cycle.
+  const SystemParameters p = Table1();
+  int prev = 0;
+  for (int c = 2; c <= 10; ++c) {
+    const int n = MaxStreams(p, Scheme::kStreamingRaid, c).value();
+    EXPECT_GE(n, prev);
+    prev = n;
+  }
+}
+
+TEST(CapacityTest, SeekDominatedCycleSupportsNoStreams) {
+  SystemParameters p = Table1();
+  p.disk.seek_time_s = 10.0;  // pathological: seek exceeds any cycle
+  EXPECT_EQ(StreamsPerDataDisk(p, 1), 0.0);
+  EXPECT_EQ(MaxStreams(p, Scheme::kNonClustered, 5).value(), 0);
+}
+
+TEST(CapacityTest, InvalidArgumentsRejected) {
+  const SystemParameters p = Table1();
+  EXPECT_FALSE(MaxStreams(p, Scheme::kStreamingRaid, 1).ok());
+  SystemParameters bad = p;
+  bad.num_disks = 0;
+  EXPECT_FALSE(MaxStreams(bad, Scheme::kStreamingRaid, 5).ok());
+}
+
+}  // namespace
+}  // namespace ftms

@@ -1,0 +1,91 @@
+#include "layout/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "layout/media_object.h"
+#include "util/units.h"
+
+namespace ftms {
+namespace {
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    layout_ = CreateLayout(Scheme::kStreamingRaid, 20, 5).value();
+    // 1 GB disks of 50 KB tracks -> 20000 tracks per disk.
+    catalog_ = std::make_unique<Catalog>(layout_.get(), 20000);
+  }
+
+  std::unique_ptr<Layout> layout_;
+  std::unique_ptr<Catalog> catalog_;
+};
+
+TEST_F(CatalogTest, CapacityIsDataFraction) {
+  // 20 disks x 20000 tracks, 4/5 data -> 320000 data tracks.
+  EXPECT_EQ(catalog_->data_track_capacity(), 320000);
+}
+
+TEST_F(CatalogTest, AddGetRemove) {
+  const MediaObject movie =
+      MakeMovie(1, "movie", 90.0, kMpeg1RateMbS, 0.05);
+  ASSERT_TRUE(catalog_->Add(movie).ok());
+  EXPECT_TRUE(catalog_->Contains(1));
+  EXPECT_EQ(catalog_->Get(1)->name, "movie");
+  EXPECT_FALSE(catalog_->Get(2).ok());
+
+  EXPECT_EQ(catalog_->Add(movie).code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(catalog_->Remove(1).ok());
+  EXPECT_FALSE(catalog_->Contains(1));
+  EXPECT_EQ(catalog_->Remove(1).code(), StatusCode::kNotFound);
+  EXPECT_EQ(catalog_->used_data_tracks(), 0);
+  EXPECT_EQ(catalog_->used_parity_tracks(), 0);
+}
+
+TEST_F(CatalogTest, SpaceAccountingRoundsToGroups) {
+  MediaObject tiny;
+  tiny.id = 9;
+  tiny.num_tracks = 5;  // 2 groups of 4 data tracks -> 8 data + 2 parity
+  ASSERT_TRUE(catalog_->Add(tiny).ok());
+  EXPECT_EQ(catalog_->used_data_tracks(), 8);
+  EXPECT_EQ(catalog_->used_parity_tracks(), 2);
+}
+
+TEST_F(CatalogTest, ExhaustionTriggersPurgeWorkflow) {
+  // A 90-min MPEG-1 movie is ~1 GB = ~20000 tracks (one disk's worth of
+  // data): 16 of them fill the 320000-track working set.
+  int added = 0;
+  for (int i = 0; i < 30; ++i) {
+    const MediaObject movie =
+        MakeMovie(i, "m", 90.0, kMpeg1RateMbS, 0.05);
+    if (!catalog_->Add(movie).ok()) break;
+    ++added;
+  }
+  EXPECT_GT(added, 10);
+  EXPECT_LT(added, 30);
+  // The paper's Figure 1 flow: purge a disk-resident object to make room.
+  ASSERT_TRUE(catalog_->Remove(0).ok());
+  EXPECT_TRUE(
+      catalog_->Add(MakeMovie(100, "new", 90.0, kMpeg1RateMbS, 0.05)).ok());
+}
+
+TEST_F(CatalogTest, RejectsEmptyObject) {
+  MediaObject empty;
+  empty.id = 1;
+  empty.num_tracks = 0;
+  EXPECT_EQ(catalog_->Add(empty).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MediaObjectTest, MakeMovieComputesTracksAndDuration) {
+  // 90 min at 1.5 Mb/s = 0.1875 MB/s -> 1012.5 MB -> 20250 tracks.
+  const MediaObject m = MakeMovie(0, "m", 90.0, kMpeg1RateMbS, 0.05);
+  EXPECT_EQ(m.num_tracks, 20250);
+  EXPECT_NEAR(m.SizeMb(0.05), 1012.5, 1e-9);
+  EXPECT_NEAR(m.DurationSeconds(0.05), 90.0 * 60.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace ftms

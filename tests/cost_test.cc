@@ -1,0 +1,179 @@
+#include "model/cost.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace ftms {
+namespace {
+
+DesignParameters Figure9Design() {
+  DesignParameters d;
+  d.working_set_mb = 100000.0;  // W = 100 GB
+  return d;
+}
+
+SystemParameters Figure9System() {
+  SystemParameters p;  // Table 1 values
+  p.k_reserve = 5;     // Figure 9 uses K_NC = K_IB = 5
+  return p;
+}
+
+TEST(CostTest, DisksForWorkingSet) {
+  // D(W, C): 100 GB of data on 1 GB disks at (C-1)/C data fraction.
+  const DesignParameters d = Figure9Design();
+  const SystemParameters p = Figure9System();
+  EXPECT_EQ(DisksForWorkingSet(d, p, 5), 125);   // 100000 / 800
+  EXPECT_EQ(DisksForWorkingSet(d, p, 4), 134);   // ceil(133.3)
+  EXPECT_EQ(DisksForWorkingSet(d, p, 10), 112);  // ceil(111.1)
+  EXPECT_EQ(DisksForWorkingSet(d, p, 2), 200);
+}
+
+TEST(CostTest, Section5WorkedExampleStreamingRaid) {
+  // "The cost of supporting ~1200 streams in the Streaming RAID scheme is
+  // ~$173,400 and requires parity groups of size 4."
+  const DesignParameters d = Figure9Design();
+  const SystemParameters p = Figure9System();
+  const DesignPoint point =
+      EvaluateDesign(d, p, Scheme::kStreamingRaid, 4).value();
+  EXPECT_EQ(point.num_disks, 134);
+  EXPECT_GT(point.max_streams, 1200);
+  // Calibrated prices (DESIGN.md §3): within 5% of the paper's figure.
+  EXPECT_NEAR(point.cost_dollars, 173400.0, 0.05 * 173400.0);
+}
+
+TEST(CostTest, CostBroadlyDecreasesWithCForClusteredSchemes) {
+  // Figure 9(a): SR/SG/NC total cost falls steeply at small C (disk count
+  // to hold W shrinks) and flattens as buffer growth catches up. With the
+  // calibrated prices the broad decline holds: C=10 is cheaper than C=3,
+  // which is cheaper than C=2. (The paper's exact curve shapes are not
+  // jointly reproducible with its own worked numbers — EXPERIMENTS.md.)
+  const DesignParameters d = Figure9Design();
+  const SystemParameters p = Figure9System();
+  for (Scheme scheme :
+       {Scheme::kStreamingRaid, Scheme::kStaggeredGroup,
+        Scheme::kNonClustered}) {
+    const double c2 = EvaluateDesign(d, p, scheme, 2)->cost_dollars;
+    const double c3 = EvaluateDesign(d, p, scheme, 3)->cost_dollars;
+    EXPECT_LT(c3, c2) << SchemeName(scheme);
+  }
+  // The memory-light SG/NC keep getting cheaper through C=10...
+  for (Scheme scheme :
+       {Scheme::kStaggeredGroup, Scheme::kNonClustered}) {
+    EXPECT_LT(EvaluateDesign(d, p, scheme, 10)->cost_dollars,
+              EvaluateDesign(d, p, scheme, 3)->cost_dollars)
+        << SchemeName(scheme);
+  }
+  // ...while SR's 2C-per-stream buffers dominate at large C, which is why
+  // the paper's 1200-stream SR design stops at groups of 4.
+  EXPECT_GT(EvaluateDesign(d, p, Scheme::kStreamingRaid, 10)->cost_dollars,
+            EvaluateDesign(d, p, Scheme::kStreamingRaid, 4)->cost_dollars);
+}
+
+TEST(CostTest, ImprovedBandwidthBufferCostEventuallyDominates) {
+  // Figure 9(a): the IB curve turns upward with cluster size (2(C-1)
+  // buffers per stream at the largest stream population of any scheme).
+  // Past its minimum the curve rises monotonically through C=10.
+  const DesignParameters d = Figure9Design();
+  const SystemParameters p = Figure9System();
+  std::vector<double> costs;
+  for (int c = 2; c <= 10; ++c) {
+    costs.push_back(
+        EvaluateDesign(d, p, Scheme::kImprovedBandwidth, c)->cost_dollars);
+  }
+  const size_t min_idx = static_cast<size_t>(
+      std::min_element(costs.begin(), costs.end()) - costs.begin());
+  EXPECT_LT(min_idx, 4u);  // minimum at small C
+  for (size_t i = min_idx + 1; i < costs.size(); ++i) {
+    EXPECT_GE(costs[i], costs[i - 1]) << "C=" << i + 2;
+  }
+  EXPECT_GT(costs.back(), costs[min_idx] * 1.1);
+}
+
+TEST(CostTest, PlannerReproducesSrGroupOf4) {
+  // Section 5: the cheapest Streaming RAID system for 1200 streams uses
+  // parity groups of size 4 at ~$173,400 — the planner lands exactly
+  // there with the calibrated prices.
+  const DesignParameters d = Figure9Design();
+  const SystemParameters p = Figure9System();
+  PlanRequest req;
+  req.required_streams = 1200;
+  const DesignPoint point =
+      PlanCheapest(d, p, Scheme::kStreamingRaid, req).value();
+  EXPECT_EQ(point.parity_group_size, 4);
+  EXPECT_NEAR(point.cost_dollars, 173400.0, 0.05 * 173400.0);
+}
+
+TEST(CostTest, ImprovedBandwidthStreamsFallWithC) {
+  // Figure 9(b): IB streams decrease with C because the disks needed to
+  // hold W decrease.
+  const DesignParameters d = Figure9Design();
+  const SystemParameters p = Figure9System();
+  int prev = EvaluateDesign(d, p, Scheme::kImprovedBandwidth, 2)
+                 ->max_streams;
+  for (int c = 3; c <= 10; ++c) {
+    const int streams =
+        EvaluateDesign(d, p, Scheme::kImprovedBandwidth, c)->max_streams;
+    EXPECT_LT(streams, prev);
+    prev = streams;
+  }
+}
+
+TEST(CostTest, PlannerPicksCheaperSchemesAt1200Streams) {
+  // Section 5: at 1200 required streams the clustered schemes win on
+  // cost (NC < SG < SR in dollars); at 1500 streams IB becomes the
+  // scheme of choice (bandwidth-bound regime).
+  const DesignParameters d = Figure9Design();
+  const SystemParameters p = Figure9System();
+  PlanRequest req;
+  req.required_streams = 1200;
+  const DesignPoint sr =
+      PlanCheapest(d, p, Scheme::kStreamingRaid, req).value();
+  const DesignPoint sg =
+      PlanCheapest(d, p, Scheme::kStaggeredGroup, req).value();
+  const DesignPoint nc =
+      PlanCheapest(d, p, Scheme::kNonClustered, req).value();
+  EXPECT_LT(nc.cost_dollars, sg.cost_dollars);
+  EXPECT_LT(sg.cost_dollars, sr.cost_dollars);
+  EXPECT_GE(sr.max_streams, 1200);
+  EXPECT_GE(nc.max_streams, 1200);
+}
+
+TEST(CostTest, PlannerMeetsDemandByBuyingDisks) {
+  // When the required stream count exceeds what the minimum-capacity farm
+  // supports, the planner adds disks beyond D(W, C).
+  const DesignParameters d = Figure9Design();
+  const SystemParameters p = Figure9System();
+  PlanRequest req;
+  req.required_streams = 2500;
+  const DesignPoint point =
+      PlanCheapest(d, p, Scheme::kStreamingRaid, req).value();
+  EXPECT_GE(point.max_streams, 2500);
+  EXPECT_GT(point.num_disks, DisksForWorkingSet(d, p, 10));
+}
+
+TEST(CostTest, PlanAllSchemesSortedByCost) {
+  const DesignParameters d = Figure9Design();
+  const SystemParameters p = Figure9System();
+  PlanRequest req;
+  req.required_streams = 1200;
+  const std::vector<DesignPoint> plans = PlanAllSchemes(d, p, req);
+  ASSERT_EQ(plans.size(), 4u);
+  for (size_t i = 1; i < plans.size(); ++i) {
+    EXPECT_LE(plans[i - 1].cost_dollars, plans[i].cost_dollars);
+  }
+}
+
+TEST(CostTest, InfeasibleRequestReturnsNotFound) {
+  const DesignParameters d = Figure9Design();
+  SystemParameters p = Figure9System();
+  p.disk.seek_time_s = 100.0;  // nothing can be scheduled
+  PlanRequest req;
+  req.required_streams = 10;
+  EXPECT_EQ(PlanCheapest(d, p, Scheme::kStreamingRaid, req).status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ftms

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "reliability/markov_sim.h"
+#include "tests/sched_test_util.h"
+
+namespace ftms {
+namespace {
+
+// Reproducibility guarantees: the entire simulation stack is
+// deterministic given identical inputs — the property that makes every
+// number in EXPERIMENTS.md re-checkable.
+
+SchedulerMetrics RunScriptedDrill(Scheme scheme) {
+  const int disks = scheme == Scheme::kImprovedBandwidth ? 8 : 10;
+  SchedRig rig = MakeRig(scheme, 5, disks);
+  rig.sched->AddStream(TestObject(0, 48)).value();
+  rig.sched->RunCycles(2);
+  rig.sched->AddStream(TestObject(2, 48)).value();
+  rig.sched->RunCycles(3);
+  rig.sched->OnDiskFailed(1, /*mid_cycle=*/true);
+  rig.sched->RunCycles(10);
+  rig.sched->OnDiskRepaired(1);
+  rig.sched->RunCycles(200);
+  return rig.sched->metrics();
+}
+
+class DeterminismPerScheme : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(DeterminismPerScheme, IdenticalRunsIdenticalMetrics) {
+  const SchedulerMetrics a = RunScriptedDrill(GetParam());
+  const SchedulerMetrics b = RunScriptedDrill(GetParam());
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.data_reads, b.data_reads);
+  EXPECT_EQ(a.parity_reads, b.parity_reads);
+  EXPECT_EQ(a.failed_reads, b.failed_reads);
+  EXPECT_EQ(a.dropped_reads, b.dropped_reads);
+  EXPECT_EQ(a.tracks_delivered, b.tracks_delivered);
+  EXPECT_EQ(a.hiccups, b.hiccups);
+  EXPECT_EQ(a.reconstructed, b.reconstructed);
+  EXPECT_EQ(a.shift_cascades, b.shift_cascades);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, DeterminismPerScheme,
+                         ::testing::Values(Scheme::kStreamingRaid,
+                                           Scheme::kStaggeredGroup,
+                                           Scheme::kNonClustered,
+                                           Scheme::kImprovedBandwidth));
+
+TEST(DeterminismTest, MonteCarloIsSeedDeterministic) {
+  ReliabilitySimConfig config;
+  config.num_disks = 20;
+  config.mttf_hours = 300.0;
+  config.mttr_hours = 3.0;
+  config.trials = 40;
+  config.seed = 77;
+  const double a = EstimateMttfCatastrophic(config)->mean_hours;
+  const double b = EstimateMttfCatastrophic(config)->mean_hours;
+  EXPECT_EQ(a, b);
+  const double c = EstimateKDegradedClusters(config, 2)->mean_hours;
+  const double d = EstimateKDegradedClusters(config, 2)->mean_hours;
+  EXPECT_EQ(c, d);
+}
+
+TEST(DeterminismTest, DegradedClustersTracksKConcurrentWhenSparse) {
+  // With fast repairs, concurrent failures almost never share a cluster,
+  // so the cluster-level and disk-level K-events coincide — the paper's
+  // justification for using equation (6) for the NC buffer pool.
+  ReliabilitySimConfig config;
+  config.num_disks = 40;
+  config.parity_group_size = 5;
+  config.mttf_hours = 2000.0;
+  config.mttr_hours = 2.0;
+  config.trials = 200;
+  const double clusters =
+      EstimateKDegradedClusters(config, 2)->mean_hours;
+  const double disks = EstimateKConcurrent(config, 2)->mean_hours;
+  EXPECT_NEAR(clusters / disks, 1.0, 0.25);
+  EXPECT_GE(clusters, disks * 0.95);  // needing distinct clusters is harder
+}
+
+}  // namespace
+}  // namespace ftms

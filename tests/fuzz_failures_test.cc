@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "tests/sched_test_util.h"
+#include "util/random.h"
+
+namespace ftms {
+namespace {
+
+// Failure-injection fuzzing: random admissions, failures and repairs
+// against every scheme, asserting the structural invariants that must
+// hold no matter what:
+//  * the real-time clock never stalls (delivered + hiccups accounts for
+//    every due track),
+//  * buffer accounting conserves (pool drains to zero once idle),
+//  * hiccups only ever happen while or after a disk is down.
+
+class FailureFuzz
+    : public ::testing::TestWithParam<std::tuple<Scheme, int, uint64_t>> {
+};
+
+TEST_P(FailureFuzz, InvariantsHoldUnderRandomFailures) {
+  const auto [scheme, c, seed] = GetParam();
+  Rng rng(seed ^ static_cast<uint64_t>(c) * 1315423911ull);
+  const int disks = (scheme == Scheme::kImprovedBandwidth ? c - 1 : c) * 3;
+  RigOptions options;
+  options.nc_transition = rng.Bernoulli(0.5)
+                              ? NcTransition::kImmediateShift
+                              : NcTransition::kDeferredRead;
+  SchedRig rig = MakeRig(scheme, c, disks, options);
+
+  std::set<int> down;
+  int64_t expected_tracks = 0;
+  bool ever_failed = false;
+  int64_t hiccups_before_first_failure = -1;
+
+  for (int step = 0; step < 400; ++step) {
+    const double roll = rng.NextDouble();
+    if (roll < 0.08 && rig.sched->ActiveStreams() < 24) {
+      const int64_t tracks =
+          (c - 1) * (1 + static_cast<int64_t>(rng.UniformInt(10)));
+      rig.sched
+          ->AddStream(TestObject(static_cast<int>(rng.UniformInt(9)),
+                                 tracks))
+          .value();
+      expected_tracks += tracks;
+    } else if (roll < 0.12 && static_cast<int>(down.size()) < 2) {
+      const int disk = static_cast<int>(rng.UniformInt(
+          static_cast<uint64_t>(disks)));
+      if (down.insert(disk).second) {
+        if (!ever_failed) {
+          hiccups_before_first_failure = rig.sched->metrics().hiccups;
+        }
+        ever_failed = true;
+        rig.sched->OnDiskFailed(disk, rng.Bernoulli(0.3));
+      }
+    } else if (roll < 0.16 && !down.empty()) {
+      const int disk = *down.begin();
+      down.erase(down.begin());
+      rig.sched->OnDiskRepaired(disk);
+    }
+    rig.sched->RunCycle();
+  }
+  // Repair everything and drain.
+  for (int disk : down) rig.sched->OnDiskRepaired(disk);
+  rig.sched->RunCycles(600);
+
+  // Every admitted track was either delivered on time or logged as a
+  // hiccup — playback clocks never stalled.
+  int64_t accounted = 0;
+  for (const auto& s : rig.sched->streams()) {
+    EXPECT_EQ(s->state(), StreamState::kCompleted);
+    accounted += s->delivered_tracks() + s->hiccup_count();
+  }
+  EXPECT_EQ(accounted, expected_tracks);
+  EXPECT_EQ(rig.sched->metrics().tracks_delivered +
+                rig.sched->metrics().hiccups,
+            expected_tracks);
+
+  // Buffer conservation: all track buffers returned once idle.
+  EXPECT_EQ(rig.sched->buffer_pool().in_use(), 0)
+      << SchemeName(scheme) << " seed " << seed;
+
+  // No hiccups can precede the first failure.
+  if (hiccups_before_first_failure >= 0) {
+    EXPECT_EQ(hiccups_before_first_failure, 0);
+  }
+  if (!ever_failed) {
+    EXPECT_EQ(rig.sched->metrics().hiccups, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesGroupsSeeds, FailureFuzz,
+    ::testing::Combine(::testing::Values(Scheme::kStreamingRaid,
+                                         Scheme::kStaggeredGroup,
+                                         Scheme::kNonClustered,
+                                         Scheme::kImprovedBandwidth),
+                       ::testing::Values(3, 5, 7),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u)));
+
+}  // namespace
+}  // namespace ftms

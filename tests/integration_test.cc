@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "reliability/failure_process.h"
+#include "server/server.h"
+#include "sim/simulator.h"
+#include "stream/workload.h"
+#include "util/units.h"
+
+namespace ftms {
+namespace {
+
+// End-to-end runs combining the workload generator, the server facade and
+// failure injection — the system-level behaviors the paper argues for.
+
+ServerConfig MediumConfig(Scheme scheme) {
+  ServerConfig config;
+  config.scheme = scheme;
+  config.parity_group_size = 5;
+  config.params.num_disks = scheme == Scheme::kImprovedBandwidth ? 20 : 20;
+  config.params.k_reserve = 2;
+  return config;
+}
+
+TEST(IntegrationTest, WorkloadDrivenDayAtTheServer) {
+  for (Scheme scheme : kAllSchemes) {
+    auto server =
+        std::move(MultimediaServer::Create(MediumConfig(scheme)).value());
+    // Short synthetic "movies" so streams turn over within the test.
+    std::vector<MediaObject> catalog;
+    for (int i = 0; i < 8; ++i) {
+      MediaObject obj;
+      obj.id = i;
+      obj.name = "clip_" + std::to_string(i);
+      obj.rate_mb_s = 0.1875;
+      obj.num_tracks = 40;
+      catalog.push_back(obj);
+      ASSERT_TRUE(server->AddObject(obj).ok());
+    }
+    WorkloadConfig wconfig;
+    wconfig.arrival_rate_per_s = 0.5;
+    wconfig.seed = 17;
+    WorkloadGenerator workload(wconfig, catalog);
+
+    // Interleave arrivals with scheduling cycles.
+    const double cycle_s = server->scheduler().CycleSeconds();
+    std::vector<StreamRequest> requests = workload.GenerateUntil(200.0);
+    size_t next = 0;
+    int admitted = 0;
+    while (server->NowSeconds() < 300.0) {
+      while (next < requests.size() &&
+             requests[next].arrival_s <= server->NowSeconds()) {
+        if (server->StartStream(requests[next].object_id).ok()) {
+          ++admitted;
+        }
+        ++next;
+      }
+      server->RunCycles(1);
+      (void)cycle_s;
+    }
+    server->RunCycles(200);  // drain
+    EXPECT_GT(admitted, 10) << SchemeName(scheme);
+    EXPECT_EQ(server->scheduler().metrics().hiccups, 0)
+        << SchemeName(scheme);
+    int completed = 0;
+    for (const auto& s : server->scheduler().streams()) {
+      if (s->state() == StreamState::kCompleted) ++completed;
+    }
+    EXPECT_GT(completed, 0) << SchemeName(scheme);
+  }
+}
+
+TEST(IntegrationTest, FailureDuringBusyPeriodMaskedBySrAndSg) {
+  for (Scheme scheme :
+       {Scheme::kStreamingRaid, Scheme::kStaggeredGroup}) {
+    auto server =
+        std::move(MultimediaServer::Create(MediumConfig(scheme)).value());
+    MediaObject obj;
+    obj.id = 0;
+    obj.rate_mb_s = 0.1875;
+    obj.num_tracks = 160;
+    ASSERT_TRUE(server->AddObject(obj).ok());
+    for (int i = 0; i < 12; ++i) server->StartStream(0).value();
+    server->RunCycles(10);
+    ASSERT_TRUE(server->FailDisk(3).ok());
+    server->RunCycles(400);
+    EXPECT_EQ(server->scheduler().metrics().hiccups, 0)
+        << SchemeName(scheme);
+    EXPECT_GT(server->scheduler().metrics().reconstructed, 0)
+        << SchemeName(scheme);
+  }
+}
+
+TEST(IntegrationTest, SimDrivenFailuresAndRepairsKeepSrServing) {
+  // Couple the event-driven failure process to the cycle scheduler: very
+  // unreliable disks fail and repair while streams play; SR masks every
+  // single-failure episode (no two concurrent failures share a cluster
+  // in this seeded run).
+  auto server = std::move(
+      MultimediaServer::Create(MediumConfig(Scheme::kStreamingRaid))
+          .value());
+  MediaObject obj;
+  obj.id = 0;
+  obj.rate_mb_s = 0.1875;
+  obj.num_tracks = 400;
+  ASSERT_TRUE(server->AddObject(obj).ok());
+  for (int i = 0; i < 6; ++i) server->StartStream(0).value();
+
+  Simulator sim;
+  DiskParameters flaky = server->config().params.disk;
+  flaky.mttf_hours = 0.2;    // absurdly flaky: several failures per run
+  flaky.mttr_hours = 0.002;  // ~7-second swap
+  DiskArray shadow = std::move(
+      DiskArray::Create(server->config().params.num_disks, 5, flaky)
+          .value());
+  int episodes = 0;
+  FailureProcess process(
+      &sim, &shadow, /*seed=*/3,
+      {.on_failure =
+           [&](int disk) {
+             if (shadow.NumFailed() == 1) {
+               server->FailDisk(disk).ok();
+               ++episodes;
+             }
+           },
+       .on_repair = [&](int disk) { server->RepairDisk(disk).ok(); }});
+  process.Start();
+
+  const double cycle_s = server->scheduler().CycleSeconds();
+  for (int c = 0; c < 500; ++c) {
+    sim.RunUntil(static_cast<double>(c) * cycle_s);
+    server->RunCycles(1);
+  }
+  EXPECT_GT(episodes, 2);
+  EXPECT_EQ(server->scheduler().metrics().hiccups, 0);
+}
+
+TEST(IntegrationTest, CatalogChurnUnderCapacityPressure) {
+  auto server = std::move(
+      MultimediaServer::Create(MediumConfig(Scheme::kNonClustered))
+          .value());
+  // Fill the working set, then churn: purge cold titles for new ones.
+  int added = 0;
+  for (int i = 0; i < 1000; ++i) {
+    MediaObject obj;
+    obj.id = i;
+    obj.rate_mb_s = 0.1875;
+    obj.num_tracks = 4000;
+    if (!server->AddObject(obj).ok()) break;
+    ++added;
+  }
+  EXPECT_GT(added, 2);
+  EXPECT_EQ(server->StartStream(0).ok(), true);
+  // Cold title replacement.
+  ASSERT_TRUE(server->RemoveObject(added - 1).ok());
+  MediaObject fresh;
+  fresh.id = 5000;
+  fresh.rate_mb_s = 0.1875;
+  fresh.num_tracks = 4000;
+  EXPECT_TRUE(server->AddObject(fresh).ok());
+  server->RunCycles(50);
+  EXPECT_EQ(server->scheduler().metrics().hiccups, 0);
+}
+
+}  // namespace
+}  // namespace ftms

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "sched/improved_bandwidth_scheduler.h"
+#include "tests/sched_test_util.h"
+
+namespace ftms {
+namespace {
+
+// C = 2 under the Improved-bandwidth layout IS mirroring / chained
+// declustering (paper footnote 11 and reference [5]): the "parity" block
+// of a one-track group is a copy on the right-hand neighbor disk.
+
+RigOptions MirrorOptions(bool balance, int slots) {
+  RigOptions options;
+  options.ib_mirror_read_balance = balance;
+  options.slots_per_disk = slots;
+  return options;
+}
+
+TEST(MirroringTest, CopyServesReadsWhenPrimaryFails) {
+  SchedRig rig = MakeRig(Scheme::kImprovedBandwidth, 2, 8,
+                         MirrorOptions(false, 0));
+  const StreamId id = rig.sched->AddStream(TestObject(0, 64)).value();
+  rig.sched->RunCycles(2);
+  rig.sched->OnDiskFailed(0, /*mid_cycle=*/false);
+  rig.sched->RunCycles(200);
+  EXPECT_EQ(rig.sched->FindStream(id)->state(), StreamState::kCompleted);
+  EXPECT_EQ(rig.sched->FindStream(id)->hiccup_count(), 0);
+  EXPECT_GT(rig.sched->metrics().reconstructed, 0);  // copy reads
+}
+
+TEST(MirroringTest, ReadBalancingDoublesHotTitleCapacity) {
+  // The copies do not add raw slots — they let a HOT title's load split
+  // across two disks (the classic chained-declustering gain, reference
+  // [5]). Two viewers of the same title bunch on one disk per cycle:
+  // with 1 slot/disk the second viewer's read drops every cycle without
+  // balancing, and never with it.
+  constexpr int kDisks = 8;
+  SchedRig plain = MakeRig(Scheme::kImprovedBandwidth, 2, kDisks,
+                           MirrorOptions(false, 1));
+  SchedRig balanced = MakeRig(Scheme::kImprovedBandwidth, 2, kDisks,
+                              MirrorOptions(true, 1));
+  for (SchedRig* rig : {&plain, &balanced}) {
+    rig->sched->AddStream(TestObject(0, 64)).value();
+    rig->sched->AddStream(TestObject(0, 64)).value();
+    rig->sched->RunCycles(80);
+  }
+  EXPECT_GT(plain.sched->metrics().hiccups, 0);
+  EXPECT_EQ(balanced.sched->metrics().hiccups, 0);
+  EXPECT_EQ(balanced.sched->metrics().dropped_reads, 0);
+  // Every spilled read was served from the copy.
+  EXPECT_GT(balanced.sched->metrics().parity_reads, 0);
+  for (const auto& s : balanced.sched->streams()) {
+    EXPECT_EQ(s->state(), StreamState::kCompleted);
+  }
+}
+
+TEST(MirroringTest, FootnoteCaveatFailureDropsBalancedStreams) {
+  // "This can however lead to trouble when there is a failure since some
+  // streams would have to be dropped": with both copies of the hot disk
+  // in use, a failure leaves only one copy for two viewers.
+  constexpr int kDisks = 8;
+  SchedRig rig = MakeRig(Scheme::kImprovedBandwidth, 2, kDisks,
+                         MirrorOptions(true, 1));
+  rig.sched->AddStream(TestObject(0, 400)).value();
+  rig.sched->AddStream(TestObject(0, 400)).value();
+  rig.sched->RunCycles(5);
+  EXPECT_EQ(rig.sched->metrics().hiccups, 0);
+  rig.sched->OnDiskFailed(0, /*mid_cycle=*/false);
+  rig.sched->RunCycles(40);  // the pair sweeps over the failed disk
+  EXPECT_GT(rig.sched->metrics().hiccups +
+                rig.sched->metrics().degradation_events,
+            0);
+}
+
+TEST(MirroringTest, BalancingRequiresGroupSizeTwo) {
+  // The spill path is inert for C > 2 (parity is not a copy there).
+  RigOptions options = MirrorOptions(true, 1);
+  SchedRig rig = MakeRig(Scheme::kImprovedBandwidth, 5, 8, options);
+  for (int i = 0; i < 4; ++i) {
+    rig.sched->AddStream(TestObject(i % 2, 400)).value();
+  }
+  rig.sched->RunCycles(10);
+  // Over-subscribed C=5 groups drop reads as usual.
+  SchedRig crowded = MakeRig(Scheme::kImprovedBandwidth, 5, 8, options);
+  for (int i = 0; i < 8; ++i) {
+    crowded.sched->AddStream(TestObject(i % 2, 400)).value();
+  }
+  crowded.sched->RunCycles(10);
+  EXPECT_GT(crowded.sched->metrics().dropped_reads, 0);
+}
+
+}  // namespace
+}  // namespace ftms

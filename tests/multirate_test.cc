@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "model/sizing.h"
+#include "sched/non_clustered_scheduler.h"
+#include "server/server.h"
+#include "tests/sched_test_util.h"
+#include "util/units.h"
+
+namespace ftms {
+namespace {
+
+// Multi-rate extension: the Non-clustered scheduler serves streams whose
+// rate is an integer multiple of the base rate by delivering that many
+// tracks per cycle — MPEG-2 (4.5 Mb/s) = 3x MPEG-1 (1.5 Mb/s) with the
+// default rates, the mix the paper's introduction motivates.
+
+constexpr int kC = 5;
+constexpr int kDisks = 10;
+
+TEST(MultiRateTest, RateValidation) {
+  SchedRig rig = MakeRig(Scheme::kNonClustered, kC, kDisks);
+  EXPECT_TRUE(rig.sched->AddStream(TestObject(0, 12, 0.1875)).ok());
+  EXPECT_TRUE(
+      rig.sched->AddStream(TestObject(2, 12, kMpeg2RateMbS)).ok());
+  EXPECT_FALSE(rig.sched->AddStream(TestObject(4, 12, 0.30)).ok());
+  // Other schedulers stay single-rate.
+  SchedRig sr = MakeRig(Scheme::kStreamingRaid, kC, kDisks);
+  EXPECT_FALSE(sr.sched->AddStream(TestObject(0, 12, kMpeg2RateMbS)).ok());
+}
+
+TEST(MultiRateTest, Mpeg2DeliversThreeTracksPerCycle) {
+  SchedRig rig = MakeRig(Scheme::kNonClustered, kC, kDisks);
+  const StreamId id =
+      rig.sched->AddStream(TestObject(0, 24, kMpeg2RateMbS)).value();
+  rig.sched->RunCycle();  // startup reads
+  for (int i = 1; i <= 8; ++i) {
+    rig.sched->RunCycle();
+    EXPECT_EQ(rig.sched->FindStream(id)->delivered_tracks(), 3 * i);
+  }
+  EXPECT_EQ(rig.sched->FindStream(id)->state(), StreamState::kCompleted);
+  EXPECT_EQ(rig.sched->FindStream(id)->hiccup_count(), 0);
+}
+
+TEST(MultiRateTest, MixedPopulationPlaysCleanly) {
+  SchedRig rig = MakeRig(Scheme::kNonClustered, kC, kDisks);
+  for (int i = 0; i < 4; ++i) {
+    rig.sched->AddStream(TestObject(2 * i, 48, 0.1875)).value();
+    rig.sched->AddStream(TestObject(2 * i, 48, kMpeg2RateMbS)).value();
+    rig.sched->RunCycle();
+  }
+  rig.sched->RunCycles(80);
+  for (const auto& s : rig.sched->streams()) {
+    EXPECT_EQ(s->state(), StreamState::kCompleted);
+    EXPECT_EQ(s->hiccup_count(), 0);
+  }
+  EXPECT_EQ(rig.sched->metrics().dropped_reads, 0);
+}
+
+TEST(MultiRateTest, SingleFailureMaskedAtGroupEntryForMpeg2) {
+  SchedRig rig = MakeRig(Scheme::kNonClustered, kC, kDisks);
+  const StreamId id =
+      rig.sched->AddStream(TestObject(0, 48, kMpeg2RateMbS)).value();
+  rig.sched->OnDiskFailed(2, /*mid_cycle=*/false);  // before first read
+  rig.sched->RunCycles(40);
+  const Stream* s = rig.sched->FindStream(id);
+  EXPECT_EQ(s->state(), StreamState::kCompleted);
+  EXPECT_EQ(s->hiccup_count(), 0);
+  EXPECT_GT(rig.sched->metrics().reconstructed, 0);
+}
+
+TEST(MultiRateTest, BandwidthAccountingMatchesMixedModel) {
+  // Simulated capacity: base streams consume 1 slot per cycle, MPEG-2
+  // streams 3 — the MixedRateMaxStreams bandwidth-conservation law in
+  // simulation form. With 12 slots/disk and streams spread over all
+  // (cluster, position) pairs, 4 MPEG-2 streams per disk-slot-group
+  // replace 12 MPEG-1 streams.
+  SchedRig rig = MakeRig(Scheme::kNonClustered, kC, 20);
+  // 16 MPEG-2 streams, spread: equivalent load of 48 base streams over
+  // 16 data disks = 3/disk-cycle, well within 12 slots.
+  for (int i = 0; i < 16; ++i) {
+    rig.sched->AddStream(TestObject(i % 4, 96, kMpeg2RateMbS)).value();
+    if (i % 4 == 3) rig.sched->RunCycle();
+  }
+  rig.sched->RunCycles(60);
+  EXPECT_EQ(rig.sched->metrics().dropped_reads, 0);
+  EXPECT_EQ(rig.sched->metrics().hiccups, 0);
+}
+
+TEST(MultiRateTest, BufferUseScalesWithRate) {
+  // An m-rate stream holds ~2m buffers (m in flight + m being sent).
+  SchedRig rig = MakeRig(Scheme::kNonClustered, kC, kDisks);
+  rig.sched->AddStream(TestObject(0, 600, kMpeg2RateMbS)).value();
+  rig.sched->RunCycles(10);
+  EXPECT_LE(rig.sched->buffer_pool().peak_in_use(), 6);
+  EXPECT_GE(rig.sched->buffer_pool().peak_in_use(), 3);
+}
+
+
+TEST(MultiRateTest, ServerWeightsAdmissionByRate) {
+  // An MPEG-2 stream consumes 3 base-stream equivalents of the
+  // admission budget (its disk bandwidth share), so capacity 6 admits
+  // 6 MPEG-1 viewers or 2 MPEG-2 viewers.
+  ServerConfig config;
+  config.scheme = Scheme::kNonClustered;
+  config.parity_group_size = 5;
+  config.params.num_disks = 10;
+  config.params.k_reserve = 2;
+  config.admission_override = 6;
+  auto server = std::move(MultimediaServer::Create(config).value());
+  MediaObject mpeg1;
+  mpeg1.id = 0;
+  mpeg1.rate_mb_s = 0.1875;
+  mpeg1.num_tracks = 48;
+  MediaObject mpeg2;
+  mpeg2.id = 1;
+  mpeg2.rate_mb_s = kMpeg2RateMbS;
+  mpeg2.num_tracks = 48;
+  ASSERT_TRUE(server->AddObject(mpeg1).ok());
+  ASSERT_TRUE(server->AddObject(mpeg2).ok());
+
+  ASSERT_TRUE(server->StartStream(1).ok());  // 3 of 6
+  ASSERT_TRUE(server->StartStream(1).ok());  // 6 of 6
+  EXPECT_EQ(server->StartStream(0).status().code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(server->admission().active(), 6);
+
+  server->RunCycles(60);  // both complete (16 + startup cycles)
+  EXPECT_EQ(server->admission().active(), 0);
+  // Now six base-rate viewers fit.
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(server->StartStream(0).ok());
+  EXPECT_FALSE(server->StartStream(0).ok());
+}
+
+}  // namespace
+}  // namespace ftms

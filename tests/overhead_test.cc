@@ -1,0 +1,51 @@
+#include "model/overhead.h"
+
+#include <gtest/gtest.h>
+
+namespace ftms {
+namespace {
+
+TEST(OverheadTest, StorageIsOneOverCForAllSchemes) {
+  // Tables 2/3: 20.0% at C = 5, 14.3% at C = 7, for every scheme.
+  for (Scheme scheme : kAllSchemes) {
+    EXPECT_DOUBLE_EQ(StorageOverheadFraction(scheme, 5), 0.2);
+    EXPECT_NEAR(StorageOverheadFraction(scheme, 7), 0.143, 0.001);
+  }
+}
+
+TEST(OverheadTest, StorageMbScalesWithFarm) {
+  SystemParameters p;  // D = 100 x 1000 MB
+  EXPECT_DOUBLE_EQ(StorageOverheadMb(p, Scheme::kStreamingRaid, 5),
+                   20000.0);
+}
+
+TEST(OverheadTest, BandwidthDedicatedParitySchemes) {
+  SystemParameters p;
+  for (Scheme scheme : {Scheme::kStreamingRaid, Scheme::kStaggeredGroup,
+                        Scheme::kNonClustered}) {
+    EXPECT_DOUBLE_EQ(BandwidthOverheadFraction(p, scheme, 5), 0.2);
+    EXPECT_NEAR(BandwidthOverheadFraction(p, scheme, 7), 0.143, 0.001);
+  }
+}
+
+TEST(OverheadTest, BandwidthImprovedIsReserveOverD) {
+  // IB reserves only K disks' worth of bandwidth (equation (3)): with the
+  // tables' K = 3 and D = 100 that is 3%; with the text's K = 5, 5%.
+  SystemParameters p;
+  EXPECT_DOUBLE_EQ(
+      BandwidthOverheadFraction(p, Scheme::kImprovedBandwidth, 5), 0.03);
+  p.k_reserve = 5;
+  EXPECT_DOUBLE_EQ(
+      BandwidthOverheadFraction(p, Scheme::kImprovedBandwidth, 5), 0.05);
+}
+
+TEST(OverheadTest, BandwidthMbS) {
+  SystemParameters p;  // 100 disks x 2.5 MB/s = 250 MB/s aggregate
+  EXPECT_NEAR(BandwidthOverheadMbS(p, Scheme::kStreamingRaid, 5), 50.0,
+              1e-9);
+  EXPECT_NEAR(BandwidthOverheadMbS(p, Scheme::kImprovedBandwidth, 5), 7.5,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace ftms

@@ -1,0 +1,102 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace ftms {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng rng(7);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t x = rng.UniformInt(10);
+    ASSERT_LT(x, 10u);
+    ++counts[static_cast<size_t>(x)];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 9000);  // ~10000 each
+    EXPECT_LT(c, 11000);
+  }
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(99);
+  const double mean = 300.0;
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.ExponentialMean(mean);
+  EXPECT_NEAR(sum / n, mean, mean * 0.02);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng b = a.Fork();
+  EXPECT_NE(a.NextUint64(), b.NextUint64());
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution zipf(50, 0.271);
+  double sum = 0;
+  for (int r = 0; r < zipf.n(); ++r) sum += zipf.Pmf(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, RankZeroMostPopular) {
+  ZipfDistribution zipf(100, 0.8);
+  for (int r = 1; r < zipf.n(); ++r) {
+    EXPECT_GE(zipf.Pmf(0), zipf.Pmf(r));
+  }
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  ZipfDistribution zipf(10, 0.0);
+  for (int r = 0; r < 10; ++r) {
+    EXPECT_NEAR(zipf.Pmf(r), 0.1, 1e-12);
+  }
+}
+
+TEST(ZipfTest, SampleFrequenciesMatchPmf) {
+  ZipfDistribution zipf(20, 0.5);
+  Rng rng(31);
+  std::vector<int> counts(20, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<size_t>(zipf.Sample(rng))];
+  for (int r = 0; r < 20; ++r) {
+    const double expected = zipf.Pmf(r) * n;
+    EXPECT_NEAR(counts[static_cast<size_t>(r)], expected,
+                5 * std::sqrt(expected) + 5);
+  }
+}
+
+}  // namespace
+}  // namespace ftms

@@ -1,0 +1,119 @@
+#include "server/rebuild_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "server/server.h"
+
+namespace ftms {
+namespace {
+
+ServerConfig SmallConfig() {
+  ServerConfig config;
+  config.scheme = Scheme::kStreamingRaid;
+  config.parity_group_size = 5;
+  config.params.num_disks = 10;
+  config.params.k_reserve = 2;
+  // Tiny disks so rebuilds finish within a few cycles: 50 tracks.
+  config.params.disk.capacity_mb = 2.5;
+  return config;
+}
+
+MediaObject Movie(int tracks) {
+  MediaObject obj;
+  obj.id = 0;
+  obj.rate_mb_s = 0.1875;
+  obj.num_tracks = tracks;
+  return obj;
+}
+
+TEST(RebuildManagerTest, IdleClusterRebuildsAtFullSpeed) {
+  auto server = std::move(MultimediaServer::Create(SmallConfig()).value());
+  ASSERT_TRUE(server->FailDisk(1).ok());
+  ASSERT_TRUE(server->StartRebuild(1).ok());
+  EXPECT_TRUE(server->rebuild().Active());
+  // 50 tracks at 52 idle slots/cycle: done in one cycle.
+  server->RunCycles(1);
+  EXPECT_FALSE(server->rebuild().Active());
+  EXPECT_EQ(server->rebuild().rebuilds_completed(), 1);
+  EXPECT_TRUE(server->disks().disk(1).operational());
+}
+
+TEST(RebuildManagerTest, BusyClusterRebuildsSlower) {
+  ServerConfig config = SmallConfig();
+  config.slots_per_disk = 4;  // tight slot budget
+  auto server = std::move(MultimediaServer::Create(config).value());
+  ASSERT_TRUE(server->AddObject(Movie(400)).ok());
+  // Three streams book 3 of the 4 slots on each cluster-0 disk whenever
+  // their group is on cluster 0.
+  for (int i = 0; i < 3; ++i) server->StartStream(0).value();
+  server->RunCycles(3);
+  ASSERT_TRUE(server->FailDisk(1).ok());
+  ASSERT_TRUE(server->StartRebuild(1).ok());
+  server->RunCycles(1);
+  EXPECT_TRUE(server->rebuild().Active());  // not instantaneous any more
+  EXPECT_GT(server->rebuild().Progress(), 0.0);
+  EXPECT_LT(server->rebuild().Progress(), 1.0);
+  server->RunCycles(60);
+  EXPECT_FALSE(server->rebuild().Active());
+  // Streams kept strict priority: no hiccups despite the rebuild.
+  EXPECT_EQ(server->scheduler().metrics().hiccups, 0);
+}
+
+TEST(RebuildManagerTest, RequiresFailedDisk) {
+  auto server = std::move(MultimediaServer::Create(SmallConfig()).value());
+  EXPECT_EQ(server->StartRebuild(1).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(server->StartRebuild(-1).ok());
+}
+
+TEST(RebuildManagerTest, OneRebuildAtATime) {
+  auto server = std::move(MultimediaServer::Create(SmallConfig()).value());
+  server->FailDisk(1).ok();
+  server->FailDisk(7).ok();  // different cluster: not catastrophic
+  ASSERT_TRUE(server->StartRebuild(1).ok());
+  EXPECT_EQ(server->StartRebuild(7).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(RebuildManagerTest, CatastrophicClusterCannotRebuildFromParity) {
+  auto server = std::move(MultimediaServer::Create(SmallConfig()).value());
+  server->FailDisk(1).ok();
+  server->FailDisk(2).ok();  // same cluster: parity path gone
+  EXPECT_EQ(server->StartRebuild(1).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(RebuildManagerTest, SourceFailureMidRebuildStalls) {
+  ServerConfig config = SmallConfig();
+  config.slots_per_disk = 2;
+  auto server = std::move(MultimediaServer::Create(config).value());
+  ASSERT_TRUE(server->AddObject(Movie(400)).ok());
+  server->StartStream(0).value();
+  server->RunCycles(2);
+  server->FailDisk(1).ok();
+  ASSERT_TRUE(server->StartRebuild(1).ok());
+  server->RunCycles(1);
+  const int64_t progress = server->rebuild().tracks_rebuilt();
+  ASSERT_TRUE(server->rebuild().Active());
+  server->FailDisk(2).ok();  // a source dies: rebuild stalls
+  server->RunCycles(5);
+  EXPECT_EQ(server->rebuild().tracks_rebuilt(), progress);
+  server->RepairDisk(2).ok();
+  server->RunCycles(60);
+  EXPECT_FALSE(server->rebuild().Active());
+}
+
+TEST(RebuildManagerTest, WorksForImprovedBandwidthLayout) {
+  ServerConfig config = SmallConfig();
+  config.scheme = Scheme::kImprovedBandwidth;
+  config.params.num_disks = 8;
+  auto server = std::move(MultimediaServer::Create(config).value());
+  server->FailDisk(0).ok();
+  ASSERT_TRUE(server->StartRebuild(0).ok());
+  server->RunCycles(2);
+  EXPECT_FALSE(server->rebuild().Active());
+  EXPECT_TRUE(server->disks().disk(0).operational());
+}
+
+}  // namespace
+}  // namespace ftms

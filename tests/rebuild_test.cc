@@ -1,0 +1,46 @@
+#include "server/rebuild.h"
+
+#include <gtest/gtest.h>
+
+namespace ftms {
+namespace {
+
+TEST(RebuildTest, ParityRebuildTimeScalesWithBandwidthFraction) {
+  DiskParameters disk;  // 20000 tracks x 20 ms = 400 s of pure reading
+  const RebuildEstimate full =
+      RebuildFromParity(disk, 5, /*bandwidth_fraction=*/1.0).value();
+  const RebuildEstimate tenth =
+      RebuildFromParity(disk, 5, /*bandwidth_fraction=*/0.1).value();
+  EXPECT_NEAR(full.hours, 400.0 / 3600.0, 1e-9);
+  EXPECT_NEAR(tenth.hours, 10 * full.hours, 1e-9);
+  EXPECT_DOUBLE_EQ(tenth.degraded_fraction, 0.1);
+}
+
+TEST(RebuildTest, ParityRebuildValidatesArguments) {
+  DiskParameters disk;
+  EXPECT_FALSE(RebuildFromParity(disk, 1, 0.5).ok());
+  EXPECT_FALSE(RebuildFromParity(disk, 5, 0.0).ok());
+  EXPECT_FALSE(RebuildFromParity(disk, 5, 1.5).ok());
+}
+
+TEST(RebuildTest, TertiaryRebuildIsFarSlowerThanParityRebuild) {
+  // The quantitative version of the paper's Section 1 argument: losing
+  // the parity path (catastrophic failure) makes recovery orders of
+  // magnitude slower.
+  DiskParameters disk;
+  TertiaryStore tertiary{TertiaryParameters{}};
+  const double parity_hours =
+      RebuildFromParity(disk, 5, 1.0).value().hours;
+  // A 1 GB disk whose contents touch 300 objects/tapes.
+  const double tertiary_hours =
+      RebuildFromTertiary(tertiary, 1000.0, 300).value().hours;
+  EXPECT_GT(tertiary_hours, 10 * parity_hours);
+}
+
+TEST(RebuildTest, TertiaryRebuildRejectsNegativeSize) {
+  TertiaryStore tertiary{TertiaryParameters{}};
+  EXPECT_FALSE(RebuildFromTertiary(tertiary, -1.0, 10).ok());
+}
+
+}  // namespace
+}  // namespace ftms

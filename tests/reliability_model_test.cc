@@ -1,0 +1,104 @@
+#include "model/reliability_model.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace ftms {
+namespace {
+
+TEST(ReliabilityModelTest, IntroductionFirstFailureExample) {
+  // Section 1: 1000 disks at 300,000 h -> some disk fails every ~300 h
+  // (~12 days).
+  const double hours = MeanTimeToFirstFailureHours(300000.0, 1000);
+  EXPECT_DOUBLE_EQ(hours, 300.0);
+  EXPECT_NEAR(hours / 24.0, 12.5, 0.1);
+}
+
+TEST(ReliabilityModelTest, StreamingRaid1000DiskExample) {
+  // Section 2: 1000 disks, clusters of 9 data + 1 parity, MTTR = 1 h ->
+  // ~1100 years to catastrophic failure.
+  SystemParameters p;
+  p.num_disks = 1000;
+  const double hours =
+      MttfCatastrophicHours(p, Scheme::kStreamingRaid, 10).value();
+  EXPECT_NEAR(HoursToYears(hours), 1141.6, 1.0);
+}
+
+TEST(ReliabilityModelTest, ImprovedBandwidth1000DiskExample) {
+  // Section 4: same farm under IB -> ~540 years (exposure 2C-1 = 19).
+  SystemParameters p;
+  p.num_disks = 1000;
+  const double hours =
+      MttfCatastrophicHours(p, Scheme::kImprovedBandwidth, 10).value();
+  EXPECT_NEAR(HoursToYears(hours), 540.8, 1.0);
+}
+
+TEST(ReliabilityModelTest, Table2Mttf) {
+  SystemParameters p;  // D = 100
+  EXPECT_NEAR(
+      HoursToYears(
+          MttfCatastrophicHours(p, Scheme::kStreamingRaid, 5).value()),
+      25684.9, 0.1);
+  EXPECT_NEAR(
+      HoursToYears(
+          MttfCatastrophicHours(p, Scheme::kImprovedBandwidth, 5).value()),
+      11415.5, 0.1);
+}
+
+TEST(ReliabilityModelTest, Table3Mttf) {
+  SystemParameters p;
+  EXPECT_NEAR(
+      HoursToYears(
+          MttfCatastrophicHours(p, Scheme::kStreamingRaid, 7).value()),
+      17123.3, 0.1);
+  EXPECT_NEAR(
+      HoursToYears(
+          MttfCatastrophicHours(p, Scheme::kImprovedBandwidth, 7).value()),
+      7903.1, 0.1);
+}
+
+TEST(ReliabilityModelTest, MttdsEqualsMttfForSrSg) {
+  SystemParameters p;
+  for (Scheme scheme :
+       {Scheme::kStreamingRaid, Scheme::kStaggeredGroup}) {
+    EXPECT_DOUBLE_EQ(MttdsHours(p, scheme, 5).value(),
+                     MttfCatastrophicHours(p, scheme, 5).value());
+  }
+}
+
+TEST(ReliabilityModelTest, TablesMttdsForNcIb) {
+  // Tables 2/3: 3,176,862.3 years with K = 3 (DESIGN.md §4).
+  SystemParameters p;
+  for (Scheme scheme :
+       {Scheme::kNonClustered, Scheme::kImprovedBandwidth}) {
+    EXPECT_NEAR(HoursToYears(MttdsHours(p, scheme, 5).value()), 3176862.3,
+                1.0);
+  }
+}
+
+TEST(ReliabilityModelTest, Section3FiveFailureExample) {
+  // Section 3: 1000 disks, K = 5 concurrent failures -> > 250 million
+  // years to degradation of service.
+  const double hours =
+      KConcurrentFailuresMeanHours(300000.0, 1.0, 1000, 5);
+  EXPECT_GT(HoursToYears(hours), 250e6);
+  EXPECT_LT(HoursToYears(hours), 350e6);
+}
+
+TEST(ReliabilityModelTest, KOneIsFirstFailure) {
+  EXPECT_DOUBLE_EQ(KConcurrentFailuresMeanHours(300000.0, 1.0, 100, 1),
+                   3000.0);
+}
+
+TEST(ReliabilityModelTest, LongerRepairHurts) {
+  SystemParameters fast;
+  SystemParameters slow;
+  slow.disk.mttr_hours = 24.0;
+  EXPECT_GT(
+      MttfCatastrophicHours(fast, Scheme::kStreamingRaid, 5).value(),
+      MttfCatastrophicHours(slow, Scheme::kStreamingRaid, 5).value());
+}
+
+}  // namespace
+}  // namespace ftms

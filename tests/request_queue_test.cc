@@ -1,0 +1,88 @@
+#include "stream/request_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace ftms {
+namespace {
+
+StreamRequest Req(int object_id, double arrival_s) {
+  StreamRequest r;
+  r.object_id = object_id;
+  r.arrival_s = arrival_s;
+  return r;
+}
+
+TEST(RequestQueueTest, FifoOrder) {
+  RequestQueue queue;
+  queue.Enqueue(Req(1, 0), 0);
+  queue.Enqueue(Req(2, 1), 1);
+  queue.Enqueue(Req(3, 2), 2);
+  StreamRequest out;
+  ASSERT_TRUE(queue.Dequeue(5, &out));
+  EXPECT_EQ(out.object_id, 1);
+  ASSERT_TRUE(queue.Dequeue(5, &out));
+  EXPECT_EQ(out.object_id, 2);
+  ASSERT_TRUE(queue.Dequeue(5, &out));
+  EXPECT_EQ(out.object_id, 3);
+  EXPECT_FALSE(queue.Dequeue(5, &out));
+}
+
+TEST(RequestQueueTest, WaitStatsRecorded) {
+  RequestQueue queue;
+  queue.Enqueue(Req(1, 0), 0);
+  queue.Enqueue(Req(2, 0), 0);
+  StreamRequest out;
+  queue.Dequeue(10, &out);
+  queue.Dequeue(30, &out);
+  EXPECT_EQ(queue.wait_stats().count(), 2);
+  EXPECT_DOUBLE_EQ(queue.wait_stats().mean(), 20.0);
+  EXPECT_DOUBLE_EQ(queue.wait_stats().max(), 30.0);
+}
+
+TEST(RequestQueueTest, ImpatientViewersRenege) {
+  RequestQueue queue(/*patience_s=*/60.0);
+  queue.Enqueue(Req(1, 0), 0);
+  queue.Enqueue(Req(2, 0), 50);
+  StreamRequest out;
+  // At t=100 the first viewer (waited 100 s) reneged; the second
+  // (waited 50 s) is still there.
+  ASSERT_TRUE(queue.Dequeue(100, &out));
+  EXPECT_EQ(out.object_id, 2);
+  EXPECT_EQ(queue.reneged_total(), 1);
+  EXPECT_EQ(queue.enqueued_total(), 2);
+}
+
+TEST(RequestQueueTest, ExpireWithoutDequeue) {
+  RequestQueue queue(10.0);
+  queue.Enqueue(Req(1, 0), 0);
+  queue.ExpireReneged(100);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.reneged_total(), 1);
+}
+
+TEST(RequestQueueTest, PeekDoesNotRemove) {
+  RequestQueue queue(10.0);
+  queue.Enqueue(Req(1, 0), 0);
+  queue.Enqueue(Req(2, 0), 15);
+  // At t=20 the first request (waited 20 s) reneged; the second (5 s)
+  // is still viable and Peek surfaces it.
+  const StreamRequest* head = queue.Peek(20);
+  ASSERT_NE(head, nullptr);
+  EXPECT_EQ(head->object_id, 2);
+  EXPECT_EQ(queue.size(), 1u);
+  StreamRequest out;
+  ASSERT_TRUE(queue.Dequeue(20, &out));
+  EXPECT_EQ(out.object_id, 2);
+  EXPECT_EQ(queue.Peek(20), nullptr);
+}
+
+TEST(RequestQueueTest, InfinitePatienceByDefault) {
+  RequestQueue queue;
+  queue.Enqueue(Req(1, 0), 0);
+  StreamRequest out;
+  ASSERT_TRUE(queue.Dequeue(1e9, &out));
+  EXPECT_EQ(queue.reneged_total(), 0);
+}
+
+}  // namespace
+}  // namespace ftms

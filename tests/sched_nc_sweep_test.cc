@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sched/non_clustered_scheduler.h"
+#include "tests/sched_test_util.h"
+
+namespace ftms {
+namespace {
+
+// Systematic sweep of the Non-clustered transition over every failed
+// data-disk position and both strategies, in the canonical Figures 5-7
+// scenario (C = 5, one slot per disk per cycle, streams staggered at all
+// group positions, fresh entries each cycle).
+
+constexpr int kC = 5;
+
+struct DrillOutcome {
+  int64_t total_hiccups = 0;
+  int64_t reconstructed = 0;
+  int64_t per_stream[7] = {0};
+};
+
+DrillOutcome RunDrill(NcTransition transition, int failed_index) {
+  RigOptions options;
+  options.nc_transition = transition;
+  options.slots_per_disk = 1;
+  SchedRig rig = MakeRig(Scheme::kNonClustered, kC, 10, options);
+  int next_object = 0;
+  auto add = [&] {
+    rig.sched->AddStream(TestObject(2 * next_object++, 8)).value();
+  };
+  for (int i = 0; i < kC - 2; ++i) {
+    add();
+    rig.sched->RunCycle();
+  }
+  rig.sched->OnDiskFailed(failed_index, /*mid_cycle=*/false);
+  for (int i = 0; i < 4; ++i) {
+    add();
+    rig.sched->RunCycle();
+  }
+  rig.sched->RunCycles(24);
+  DrillOutcome outcome;
+  outcome.total_hiccups = rig.sched->metrics().hiccups;
+  outcome.reconstructed = rig.sched->metrics().reconstructed;
+  for (int i = 0; i < next_object && i < 7; ++i) {
+    outcome.per_stream[i] = rig.sched->FindStream(i)->hiccup_count();
+  }
+  return outcome;
+}
+
+class NcSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(NcSweep, DeferredNeverWorseThanImmediate) {
+  const int failed = GetParam();
+  const DrillOutcome immediate =
+      RunDrill(NcTransition::kImmediateShift, failed);
+  const DrillOutcome deferred =
+      RunDrill(NcTransition::kDeferredRead, failed);
+  EXPECT_LE(deferred.total_hiccups, immediate.total_hiccups);
+}
+
+TEST_P(NcSweep, ImmediateLossesAreTheDisplacementBound) {
+  // Under the immediate shift with saturated slots, every remaining
+  // track of every mid-group stream is displaced or failed:
+  // sum_{j=1}^{C-2} (C-1-j) = (C-1)(C-2)/2, independent of the failed
+  // position (the k=2 case coincides with the paper's 1+2+...+(C-k)).
+  const DrillOutcome immediate =
+      RunDrill(NcTransition::kImmediateShift, GetParam());
+  EXPECT_EQ(immediate.total_hiccups, (kC - 1) * (kC - 2) / 2);
+}
+
+TEST_P(NcSweep, EnteringStreamsAlwaysReconstruct) {
+  // Streams that enter their group after the failure never hiccup, in
+  // either strategy (Observation 2 holds for them).
+  for (NcTransition transition :
+       {NcTransition::kImmediateShift, NcTransition::kDeferredRead}) {
+    const DrillOutcome outcome = RunDrill(transition, GetParam());
+    // Streams 3..6 entered at/after the failure cycle.
+    for (int s = 3; s < 7; ++s) {
+      EXPECT_EQ(outcome.per_stream[s], 0)
+          << "stream " << s << " failed index " << GetParam();
+    }
+    EXPECT_GE(outcome.reconstructed, 4);
+  }
+}
+
+TEST_P(NcSweep, DeferredLossesMatchUnreconstructablePlusDisplacement) {
+  // Deferred: a mid-group stream loses the failed track iff its position
+  // had not yet passed it (j <= k_f, j > 0), plus one displaced track
+  // per just-in-time burst that collides with a scheduled read.
+  const int failed = GetParam();
+  const DrillOutcome deferred =
+      RunDrill(NcTransition::kDeferredRead, failed);
+  // Streams at positions 1..C-2 at failure: those with position <= k_f
+  // lose their failed-disk track.
+  int64_t unreconstructable = 0;
+  for (int j = 1; j <= kC - 2; ++j) {
+    if (j <= failed) ++unreconstructable;
+  }
+  EXPECT_GE(deferred.total_hiccups, unreconstructable);
+  if (failed == 0) {
+    // Degenerate case: the failed track is the FIRST of each group, so
+    // the "deferred" burst happens at group entry — identical to the
+    // immediate shift.
+    const DrillOutcome immediate =
+        RunDrill(NcTransition::kImmediateShift, failed);
+    EXPECT_EQ(deferred.total_hiccups, immediate.total_hiccups);
+  } else {
+    // Displacement adds at most one track per mid-group stream.
+    EXPECT_LE(deferred.total_hiccups, unreconstructable + (kC - 2));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FailedDataDisk, NcSweep,
+                         ::testing::Range(0, kC - 1),
+                         ::testing::PrintToStringParamName());
+
+}  // namespace
+}  // namespace ftms

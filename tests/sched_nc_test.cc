@@ -1,0 +1,213 @@
+#include "sched/non_clustered_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/sched_test_util.h"
+
+namespace ftms {
+namespace {
+
+constexpr int kC = 5;
+constexpr int kDisks = 10;  // two clusters
+
+RigOptions NcOptions(NcTransition transition, int slots = 0,
+                     int servers = 3) {
+  RigOptions options;
+  options.nc_transition = transition;
+  options.slots_per_disk = slots;
+  options.buffer_servers = servers;
+  return options;
+}
+
+TEST(NonClusteredTest, DeliversOneTrackPerCycleTwoBuffers) {
+  SchedRig rig = MakeRig(Scheme::kNonClustered, kC, kDisks,
+                         NcOptions(NcTransition::kDeferredRead));
+  const StreamId id = rig.sched->AddStream(TestObject(0, 12)).value();
+  rig.sched->RunCycle();  // startup read
+  for (int i = 1; i <= 12; ++i) {
+    rig.sched->RunCycle();
+    EXPECT_EQ(rig.sched->FindStream(id)->delivered_tracks(), i);
+  }
+  EXPECT_EQ(rig.sched->FindStream(id)->state(), StreamState::kCompleted);
+  EXPECT_EQ(rig.sched->FindStream(id)->hiccup_count(), 0);
+  // Normal mode: no parity is ever read, and the stream holds at most
+  // 2 buffers (equation (14)).
+  EXPECT_EQ(rig.sched->metrics().parity_reads, 0);
+  EXPECT_LE(rig.sched->buffer_pool().peak_in_use(), 2);
+}
+
+TEST(NonClusteredTest, BufferPeakIsTwoPerStream) {
+  SchedRig rig = MakeRig(Scheme::kNonClustered, kC, kDisks,
+                         NcOptions(NcTransition::kDeferredRead));
+  for (int i = 0; i < 6; ++i) {
+    rig.sched->AddStream(TestObject(2 * i, 200)).value();
+  }
+  rig.sched->RunCycles(30);
+  EXPECT_EQ(rig.sched->buffer_pool().peak_in_use(), 12);
+}
+
+// The canonical transition scenario of Figures 5-7: streams staggered at
+// group positions 0..3 on cluster 0 when its disk 2 (position 2) fails,
+// with a fresh stream entering the cluster each subsequent cycle, and one
+// read slot per disk per cycle.
+class NcTransitionScenario {
+ public:
+  explicit NcTransitionScenario(NcTransition transition)
+      : rig_(MakeRig(Scheme::kNonClustered, kC, kDisks,
+                     NcOptions(transition, /*slots=*/1))) {}
+
+  // Returns total hiccups after the scripted failure drill.
+  int64_t Run() {
+    // Streams U, W, Y reach positions 3, 2, 1 of group 0 by cycle 3.
+    AddStream();                 // U (object 0)
+    rig_.sched->RunCycle();      // cycle 0
+    AddStream();                 // W (object 2)
+    rig_.sched->RunCycle();      // cycle 1
+    AddStream();                 // Y (object 4)
+    rig_.sched->RunCycle();      // cycle 2
+    // Disk 2 of cluster 0 fails just before cycle 3; stream A enters.
+    rig_.sched->OnDiskFailed(2, /*mid_cycle=*/false);
+    AddStream();                 // A (object 6)
+    rig_.sched->RunCycle();      // cycle 3
+    AddStream();                 // C (object 8)
+    rig_.sched->RunCycle();      // cycle 4
+    AddStream();                 // E (object 10)
+    rig_.sched->RunCycle();      // cycle 5
+    AddStream();                 // G (object 12)
+    rig_.sched->RunCycle();      // cycle 6
+    rig_.sched->RunCycles(20);   // drain all objects (8 tracks each)
+    return rig_.sched->metrics().hiccups;
+  }
+
+  CycleScheduler& sched() { return *rig_.sched; }
+  const Stream* stream(int index) {
+    return rig_.sched->FindStream(index);
+  }
+
+ private:
+  void AddStream() {
+    // Objects with even ids have home cluster 0 (two clusters).
+    rig_.sched->AddStream(TestObject(2 * next_object_++, 8)).value();
+  }
+
+  SchedRig rig_;
+  int next_object_ = 0;
+};
+
+TEST(NonClusteredTest, ImmediateShiftLosesSixTracks) {
+  // Figure 6: Y1, Y2, Y3, W2, W3, U3 are lost — the paper's
+  // 1 + 2 + ... + (C-k) = 6 switchover+failure losses for C=5.
+  NcTransitionScenario scenario(NcTransition::kImmediateShift);
+  EXPECT_EQ(scenario.Run(), 6);
+  // Per stream: U loses 1, W loses 2, Y loses 3; A and later entrants
+  // reconstruct on the fly and lose nothing.
+  EXPECT_EQ(scenario.stream(0)->hiccup_count(), 1);  // U
+  EXPECT_EQ(scenario.stream(1)->hiccup_count(), 2);  // W
+  EXPECT_EQ(scenario.stream(2)->hiccup_count(), 3);  // Y
+  EXPECT_EQ(scenario.stream(3)->hiccup_count(), 0);  // A
+  EXPECT_EQ(scenario.stream(4)->hiccup_count(), 0);  // C
+  EXPECT_GE(scenario.sched().metrics().reconstructed, 4);
+}
+
+TEST(NonClusteredTest, DeferredReadLosesOnlyThreeTracks) {
+  // Figure 7: only Y2 and W2 (unreconstructable: their prefixes were
+  // delivered before the failure) and Y3 (displaced by the deferred
+  // just-in-time group read) are lost.
+  NcTransitionScenario scenario(NcTransition::kDeferredRead);
+  EXPECT_EQ(scenario.Run(), 3);
+  EXPECT_EQ(scenario.stream(0)->hiccup_count(), 0);  // U keeps U3
+  EXPECT_EQ(scenario.stream(1)->hiccup_count(), 1);  // W loses W2
+  EXPECT_EQ(scenario.stream(2)->hiccup_count(), 2);  // Y loses Y2, Y3
+  EXPECT_EQ(scenario.stream(3)->hiccup_count(), 0);  // A reconstructs
+  EXPECT_GE(scenario.sched().metrics().reconstructed, 4);
+}
+
+TEST(NonClusteredTest, StreamAtGroupEntryIsLossless) {
+  // A stream that has delivered nothing of its current group masks the
+  // failure completely under either strategy (its whole group, parity
+  // included, can still be staged — Observation 2).
+  for (NcTransition transition :
+       {NcTransition::kImmediateShift, NcTransition::kDeferredRead}) {
+    SchedRig rig =
+        MakeRig(Scheme::kNonClustered, kC, kDisks, NcOptions(transition));
+    const StreamId id = rig.sched->AddStream(TestObject(0, 16)).value();
+    rig.sched->OnDiskFailed(2, /*mid_cycle=*/false);
+    rig.sched->RunCycles(25);
+    EXPECT_EQ(rig.sched->FindStream(id)->hiccup_count(), 0)
+        << "transition mode "
+        << (transition == NcTransition::kImmediateShift ? "immediate"
+                                                        : "deferred");
+    EXPECT_GT(rig.sched->metrics().reconstructed, 0);
+  }
+}
+
+TEST(NonClusteredTest, SteadyDegradedModeHasNoFurtherHiccups) {
+  // "Once the transition to degraded mode is complete, all data will be
+  // delivered according to the original schedule and no additional
+  // hiccups will occur" (Section 3).
+  NcTransitionScenario scenario(NcTransition::kDeferredRead);
+  const int64_t after_drill = scenario.Run();
+  // Start more streams into the still-degraded cluster; they must not
+  // hiccup.
+  scenario.sched().AddStream(TestObject(100, 8)).value();
+  scenario.sched().RunCycles(15);
+  EXPECT_EQ(scenario.sched().metrics().hiccups, after_drill);
+}
+
+TEST(NonClusteredTest, ParityDiskFailureIsInvisible) {
+  SchedRig rig = MakeRig(Scheme::kNonClustered, kC, kDisks,
+                         NcOptions(NcTransition::kDeferredRead));
+  const StreamId id = rig.sched->AddStream(TestObject(0, 16)).value();
+  rig.sched->OnDiskFailed(4, /*mid_cycle=*/false);  // dedicated parity
+  rig.sched->RunCycles(20);
+  EXPECT_EQ(rig.sched->FindStream(id)->hiccup_count(), 0);
+  EXPECT_EQ(rig.sched->metrics().parity_reads, 0);
+}
+
+TEST(NonClusteredTest, WithoutBufferServersNothingReconstructs) {
+  // K = 0 buffer servers: a failure immediately exhausts the pool, the
+  // degraded cluster has no staging memory, and every pass over the
+  // failed disk hiccups (degradation of service).
+  SchedRig rig =
+      MakeRig(Scheme::kNonClustered, kC, kDisks,
+              NcOptions(NcTransition::kImmediateShift, 0, /*servers=*/0));
+  const StreamId id = rig.sched->AddStream(TestObject(0, 16)).value();
+  rig.sched->OnDiskFailed(2, /*mid_cycle=*/false);
+  rig.sched->RunCycles(25);
+  EXPECT_EQ(rig.sched->metrics().degradation_events, 1);
+  EXPECT_EQ(rig.sched->metrics().reconstructed, 0);
+  // Tracks 2 and 10 (position 2 of the two cluster-0 groups) are lost.
+  EXPECT_EQ(rig.sched->FindStream(id)->hiccup_count(), 2);
+}
+
+TEST(NonClusteredTest, BufferServerPoolExhaustionCounted) {
+  SchedRig rig =
+      MakeRig(Scheme::kNonClustered, kC, kDisks,
+              NcOptions(NcTransition::kDeferredRead, 0, /*servers=*/1));
+  rig.sched->AddStream(TestObject(0, 64)).value();
+  rig.sched->OnDiskFailed(0, false);  // cluster 0: takes the only server
+  rig.sched->OnDiskFailed(5, false);  // cluster 1: pool exhausted
+  rig.sched->RunCycles(5);
+  EXPECT_EQ(rig.sched->metrics().degradation_events, 1);
+}
+
+TEST(NonClusteredTest, RepairReturnsClusterToNormalMode) {
+  SchedRig rig = MakeRig(Scheme::kNonClustered, kC, kDisks,
+                         NcOptions(NcTransition::kDeferredRead));
+  auto* nc = static_cast<NonClusteredScheduler*>(rig.sched.get());
+  rig.sched->AddStream(TestObject(0, 64)).value();
+  rig.sched->OnDiskFailed(2, false);
+  EXPECT_TRUE(nc->ClusterDegraded(0));
+  EXPECT_TRUE(nc->buffer_servers().IsAttached(0));
+  rig.sched->RunCycles(8);
+  rig.sched->OnDiskRepaired(2);
+  EXPECT_FALSE(nc->ClusterDegraded(0));
+  EXPECT_FALSE(nc->buffer_servers().IsAttached(0));
+  const int64_t parity_reads = rig.sched->metrics().parity_reads;
+  rig.sched->RunCycles(20);
+  // Back to normal: no more parity activity.
+  EXPECT_EQ(rig.sched->metrics().parity_reads, parity_reads);
+}
+
+}  // namespace
+}  // namespace ftms

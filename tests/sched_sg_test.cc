@@ -1,0 +1,135 @@
+#include "sched/staggered_group_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/sched_test_util.h"
+
+namespace ftms {
+namespace {
+
+constexpr int kC = 5;
+constexpr int kDisks = 10;
+
+TEST(StaggeredGroupTest, DeliversOneTrackPerCycle) {
+  SchedRig rig = MakeRig(Scheme::kStaggeredGroup, kC, kDisks);
+  const StreamId id = rig.sched->AddStream(TestObject(0, 16)).value();
+  rig.sched->RunCycle();  // read cycle (phase 0 stream reads immediately)
+  EXPECT_EQ(rig.sched->FindStream(id)->delivered_tracks(), 0);
+  for (int i = 1; i <= 8; ++i) {
+    rig.sched->RunCycle();
+    EXPECT_EQ(rig.sched->FindStream(id)->delivered_tracks(), i);
+  }
+}
+
+TEST(StaggeredGroupTest, CompletesObjectWithoutFailures) {
+  SchedRig rig = MakeRig(Scheme::kStaggeredGroup, kC, kDisks);
+  const StreamId id = rig.sched->AddStream(TestObject(0, 16)).value();
+  rig.sched->RunCycles(20);
+  const Stream* s = rig.sched->FindStream(id);
+  EXPECT_EQ(s->state(), StreamState::kCompleted);
+  EXPECT_EQ(s->delivered_tracks(), 16);
+  EXPECT_EQ(s->hiccup_count(), 0);
+}
+
+TEST(StaggeredGroupTest, GroupReadEveryCMinusOneCycles) {
+  SchedRig rig = MakeRig(Scheme::kStaggeredGroup, kC, kDisks);
+  rig.sched->AddStream(TestObject(0, 16)).value();
+  rig.sched->RunCycles(1);
+  // First read cycle: the whole group (4 data + 1 parity) at once.
+  EXPECT_EQ(rig.sched->metrics().data_reads, 4);
+  EXPECT_EQ(rig.sched->metrics().parity_reads, 1);
+  rig.sched->RunCycles(3);
+  // No further reads until the next read cycle.
+  EXPECT_EQ(rig.sched->metrics().data_reads, 4);
+  rig.sched->RunCycles(1);
+  EXPECT_EQ(rig.sched->metrics().data_reads, 8);
+}
+
+TEST(StaggeredGroupTest, PhasesAreStaggered) {
+  // Streams admitted back to back land on different read phases, which is
+  // what keeps their memory peaks out of phase (Figure 4).
+  SchedRig rig = MakeRig(Scheme::kStaggeredGroup, kC, kDisks);
+  for (int i = 0; i < 4; ++i) {
+    rig.sched->AddStream(TestObject(2 * i, 400)).value();
+  }
+  rig.sched->RunCycles(1);
+  // Only the phase-0 stream read its group in cycle 0.
+  EXPECT_EQ(rig.sched->metrics().data_reads, 4);
+  rig.sched->RunCycles(1);
+  EXPECT_EQ(rig.sched->metrics().data_reads, 8);
+}
+
+TEST(StaggeredGroupTest, MemoryRoughlyHalfOfStreamingRaid) {
+  // The headline claim of the Staggered-group scheme (Section 2).
+  SchedRig sg = MakeRig(Scheme::kStaggeredGroup, kC, kDisks);
+  SchedRig sr = MakeRig(Scheme::kStreamingRaid, kC, kDisks);
+  for (int i = 0; i < 8; ++i) {
+    sg.sched->AddStream(TestObject(2 * i, 400)).value();
+    sr.sched->AddStream(TestObject(2 * i, 400)).value();
+  }
+  sg.sched->RunCycles(40);
+  sr.sched->RunCycles(10);
+  const double ratio =
+      static_cast<double>(sg.sched->buffer_pool().peak_in_use()) /
+      static_cast<double>(sr.sched->buffer_pool().peak_in_use());
+  EXPECT_LT(ratio, 0.6);
+  EXPECT_GT(ratio, 0.3);
+}
+
+TEST(StaggeredGroupTest, SteadyStateBufferMatchesEquation13) {
+  // C-1 streams in staggered phases hold ~C(C+1)/2 tracks total
+  // (equation (13)). Our accounting holds each track through the cycle
+  // in which it is transmitted (the overlap read cycle therefore counts
+  // the old group's tail and parity alongside the C new tracks), adding
+  // C-1 tracks to the paper's count: C(C+1)/2 + (C-1) = 19 for C = 5.
+  // The sawtooth phase profile (7, 5, 4, 3) is exactly Figure 4's shape.
+  SchedRig rig = MakeRig(Scheme::kStaggeredGroup, kC, kDisks);
+  for (int i = 0; i < kC - 1; ++i) {
+    rig.sched->AddStream(TestObject(2 * i, 400)).value();
+  }
+  rig.sched->RunCycles(20);
+  const int64_t expected = kC * (kC + 1) / 2 + (kC - 1);
+  EXPECT_EQ(rig.sched->buffer_pool().peak_in_use(), expected);
+}
+
+TEST(StaggeredGroupTest, SingleFailureMaskedNoHiccups) {
+  SchedRig rig = MakeRig(Scheme::kStaggeredGroup, kC, kDisks);
+  const StreamId id = rig.sched->AddStream(TestObject(0, 64)).value();
+  rig.sched->RunCycles(3);
+  rig.sched->OnDiskFailed(2, /*mid_cycle=*/false);
+  rig.sched->RunCycles(80);
+  const Stream* s = rig.sched->FindStream(id);
+  EXPECT_EQ(s->state(), StreamState::kCompleted);
+  EXPECT_EQ(s->hiccup_count(), 0);
+  EXPECT_GT(rig.sched->metrics().reconstructed, 0);
+}
+
+TEST(StaggeredGroupTest, MidCycleFailureAlsoMasked) {
+  SchedRig rig = MakeRig(Scheme::kStaggeredGroup, kC, kDisks);
+  const StreamId id = rig.sched->AddStream(TestObject(0, 64)).value();
+  rig.sched->RunCycles(1);
+  rig.sched->OnDiskFailed(1, /*mid_cycle=*/true);
+  rig.sched->RunCycles(80);
+  EXPECT_EQ(rig.sched->FindStream(id)->hiccup_count(), 0);
+}
+
+TEST(StaggeredGroupTest, DoubleFailureCausesHiccups) {
+  SchedRig rig = MakeRig(Scheme::kStaggeredGroup, kC, kDisks);
+  const StreamId id = rig.sched->AddStream(TestObject(0, 64)).value();
+  rig.sched->OnDiskFailed(0, false);
+  rig.sched->OnDiskFailed(3, false);
+  rig.sched->RunCycles(80);
+  EXPECT_GT(rig.sched->FindStream(id)->hiccup_count(), 0);
+}
+
+TEST(StaggeredGroupTest, ShortObjectCompletes) {
+  SchedRig rig = MakeRig(Scheme::kStaggeredGroup, kC, kDisks);
+  const StreamId id = rig.sched->AddStream(TestObject(0, 3)).value();
+  rig.sched->RunCycles(8);
+  const Stream* s = rig.sched->FindStream(id);
+  EXPECT_EQ(s->state(), StreamState::kCompleted);
+  EXPECT_EQ(s->delivered_tracks(), 3);
+}
+
+}  // namespace
+}  // namespace ftms

@@ -1,0 +1,80 @@
+#include "verify/scrub.h"
+
+#include <gtest/gtest.h>
+
+namespace ftms {
+namespace {
+
+TEST(ScrubTest, CleanObjectHasNoMismatches) {
+  auto layout = CreateLayout(Scheme::kStreamingRaid, 10, 5).value();
+  const ScrubReport report =
+      ScrubObject(*layout, 0, /*object_tracks=*/18, 64).value();
+  EXPECT_EQ(report.groups_checked, 5);  // 18 tracks = 4 full + 1 short
+  EXPECT_EQ(report.blocks_read, 18 + 5);
+  EXPECT_EQ(report.parity_mismatches, 0);
+}
+
+TEST(ScrubTest, DetectsSingleLatentError) {
+  auto layout = CreateLayout(Scheme::kStreamingRaid, 10, 5).value();
+  // Flip one bit in every block stored on disk 2: every group whose
+  // data touches disk 2 must scream.
+  int corrupted_blocks = 0;
+  const ScrubReport report =
+      ScrubObject(*layout, 0, 16, 64,
+                  [&](int disk, bool, Block& block) {
+                    if (disk == 2) {
+                      block[0] = static_cast<uint8_t>(block[0] ^ 1);
+                      ++corrupted_blocks;
+                    }
+                  })
+          .value();
+  // Object 0's groups alternate clusters 0/1; disk 2 carries position 2
+  // of the cluster-0 groups: 2 of the 4 groups are affected.
+  EXPECT_EQ(report.parity_mismatches, 2);
+  EXPECT_EQ(corrupted_blocks, 2);
+}
+
+TEST(ScrubTest, DetectsParityBlockCorruption) {
+  auto layout = CreateLayout(Scheme::kStreamingRaid, 10, 5).value();
+  const ScrubReport report =
+      ScrubObject(*layout, 0, 16, 64,
+                  [](int, bool is_parity, Block& block) {
+                    if (is_parity) {
+                      block.back() = static_cast<uint8_t>(
+                          block.back() ^ 0x80);
+                    }
+                  })
+          .value();
+  EXPECT_EQ(report.parity_mismatches, report.groups_checked);
+}
+
+TEST(ScrubTest, DoubleCorruptionInOneGroupCanCancel) {
+  // XOR parity catches any ODD number of flipped blocks per group; an
+  // identical flip in two blocks cancels — the classic scrub blind spot
+  // (why production systems also checksum per block).
+  auto layout = CreateLayout(Scheme::kStreamingRaid, 10, 5).value();
+  const ScrubReport report =
+      ScrubObject(*layout, 0, 4, 64,
+                  [](int disk, bool, Block& block) {
+                    if (disk == 0 || disk == 1) {
+                      block[5] = static_cast<uint8_t>(block[5] ^ 0xff);
+                    }
+                  })
+          .value();
+  EXPECT_EQ(report.parity_mismatches, 0);
+}
+
+TEST(ScrubTest, WorksForImprovedBandwidthLayout) {
+  auto layout = CreateLayout(Scheme::kImprovedBandwidth, 8, 5).value();
+  const ScrubReport clean = ScrubObject(*layout, 1, 20, 32).value();
+  EXPECT_EQ(clean.parity_mismatches, 0);
+  EXPECT_EQ(clean.groups_checked, 5);
+}
+
+TEST(ScrubTest, RejectsEmptyObject) {
+  auto layout = CreateLayout(Scheme::kStreamingRaid, 10, 5).value();
+  EXPECT_FALSE(ScrubObject(*layout, 0, 0, 64).ok());
+}
+
+}  // namespace
+}  // namespace ftms

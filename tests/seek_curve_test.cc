@@ -1,0 +1,90 @@
+#include "disk/seek_curve.h"
+
+#include <gtest/gtest.h>
+
+#include "disk/disk_model.h"
+
+namespace ftms {
+namespace {
+
+TEST(SeekCurveTest, ZeroDistanceIsFree) {
+  SeekCurve curve;
+  EXPECT_DOUBLE_EQ(curve.SeekTimeS(0), 0.0);
+  EXPECT_DOUBLE_EQ(curve.SeekTimeS(-3), 0.0);
+}
+
+TEST(SeekCurveTest, MonotoneNonDecreasing) {
+  SeekCurve curve;
+  double prev = 0;
+  for (int d = 1; d < curve.cylinders; d += 7) {
+    const double t = curve.SeekTimeS(d);
+    EXPECT_GE(t, prev) << "d=" << d;
+    prev = t;
+  }
+}
+
+TEST(SeekCurveTest, FullStrokeNearTable1Seek) {
+  // Defaults are calibrated so the full stroke lands near Table 1's
+  // T_seek = 25 ms.
+  SeekCurve curve;
+  EXPECT_NEAR(curve.FullStrokeS(), 0.025, 0.002);
+}
+
+TEST(SeekCurveTest, ShortSeeksAreSqrtRegime) {
+  SeekCurve curve;
+  // Quadrupling a short distance should roughly double the sqrt term.
+  const double t100 = curve.SeekTimeS(100) - curve.short_a_s;
+  const double t400_minus_a =
+      curve.short_b_s * 20.0;  // sqrt(400) = 20 (at the boundary)
+  EXPECT_NEAR(t400_minus_a / t100, 2.0, 0.05);
+}
+
+TEST(SeekCurveTest, ConcavityMakesManyShortSeeksExpensive) {
+  // The heart of the ablation: r short hops cost more than one long one.
+  SeekCurve curve;
+  EXPECT_GT(curve.SweepSeekS(12), curve.FullStrokeS());
+  EXPECT_GT(curve.SweepSeekS(12), curve.SweepSeekS(4));
+}
+
+TEST(SeekCurveTest, BudgetsOrderedScanAboveFifo) {
+  // SCAN's short hops still beat FIFO's average random seeks.
+  SeekCurve curve;
+  const double cycle_s = 0.2667;  // NC cycle from Table 1
+  const int scan = TracksPerCycleUnderCurve(curve, 0.020, cycle_s);
+  const int fifo = TracksPerCycleFifo(curve, 0.020, cycle_s);
+  EXPECT_GT(scan, fifo);
+  EXPECT_GT(fifo, 0);
+}
+
+TEST(SeekCurveTest, PaperModelIsOptimisticAtHighLoad) {
+  // The paper charges one full stroke per cycle regardless of the number
+  // of requests; under the concave curve the true sweep cost grows with
+  // the request count, so the paper's budget is an upper bound.
+  SeekCurve curve;
+  DiskParameters paper;
+  paper.seek_time_s = curve.FullStrokeS();
+  const double cycle_s = 4 * 0.05 / 0.1875;  // SR cycle, C = 5
+  const int paper_budget = paper.TracksPerCycle(cycle_s);
+  const int curve_budget =
+      TracksPerCycleUnderCurve(curve, paper.track_time_s, cycle_s);
+  EXPECT_GE(paper_budget, curve_budget);
+  // But not wildly so: within ~25% for Table 1 parameters.
+  EXPECT_GT(curve_budget,
+            static_cast<int>(0.75 * static_cast<double>(paper_budget)));
+}
+
+TEST(SeekCurveTest, Validation) {
+  SeekCurve curve;
+  EXPECT_TRUE(curve.Validate().ok());
+  curve.threshold_cyl = 0;
+  EXPECT_FALSE(curve.Validate().ok());
+  curve = SeekCurve();
+  curve.cylinders = curve.threshold_cyl;
+  EXPECT_FALSE(curve.Validate().ok());
+  curve = SeekCurve();
+  curve.short_b_s = -1;
+  EXPECT_FALSE(curve.Validate().ok());
+}
+
+}  // namespace
+}  // namespace ftms

@@ -1,0 +1,133 @@
+#include "server/server.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace ftms {
+namespace {
+
+ServerConfig SmallConfig(Scheme scheme) {
+  ServerConfig config;
+  config.scheme = scheme;
+  config.parity_group_size = 5;
+  config.params.num_disks =
+      scheme == Scheme::kImprovedBandwidth ? 8 : 10;
+  config.params.k_reserve = 2;
+  return config;
+}
+
+MediaObject SmallMovie(int id) {
+  MediaObject obj;
+  obj.id = id;
+  obj.name = "movie_" + std::to_string(id);
+  obj.rate_mb_s = 0.1875;
+  obj.num_tracks = 64;
+  return obj;
+}
+
+TEST(ServerTest, CreateValidatesConfig) {
+  ServerConfig config = SmallConfig(Scheme::kStreamingRaid);
+  EXPECT_TRUE(MultimediaServer::Create(config).ok());
+  config.parity_group_size = 1;
+  EXPECT_FALSE(MultimediaServer::Create(config).ok());
+  config = SmallConfig(Scheme::kStreamingRaid);
+  config.params.num_disks = 11;  // not a multiple of C
+  EXPECT_FALSE(MultimediaServer::Create(config).ok());
+}
+
+TEST(ServerTest, EndToEndPlayback) {
+  auto server = std::move(
+      MultimediaServer::Create(SmallConfig(Scheme::kStreamingRaid))
+          .value());
+  ASSERT_TRUE(server->AddObject(SmallMovie(1)).ok());
+  const StreamId id = server->StartStream(1).value();
+  server->RunCycles(20);
+  const Stream* s = server->scheduler().FindStream(id);
+  EXPECT_EQ(s->state(), StreamState::kCompleted);
+  EXPECT_EQ(s->hiccup_count(), 0);
+  EXPECT_GT(server->NowSeconds(), 0.0);
+  EXPECT_NE(server->Summary().find("hiccups 0"), std::string::npos);
+}
+
+TEST(ServerTest, AdmissionReleasesOnCompletion) {
+  ServerConfig config = SmallConfig(Scheme::kStreamingRaid);
+  config.admission_override = 2;
+  auto server = std::move(MultimediaServer::Create(config).value());
+  ASSERT_TRUE(server->AddObject(SmallMovie(1)).ok());
+  EXPECT_TRUE(server->StartStream(1).ok());
+  EXPECT_TRUE(server->StartStream(1).ok());
+  EXPECT_EQ(server->StartStream(1).status().code(),
+            StatusCode::kResourceExhausted);
+  server->RunCycles(25);  // both streams complete
+  EXPECT_EQ(server->admission().active(), 0);
+  EXPECT_TRUE(server->StartStream(1).ok());
+}
+
+TEST(ServerTest, UnknownObjectRejected) {
+  auto server = std::move(
+      MultimediaServer::Create(SmallConfig(Scheme::kStreamingRaid))
+          .value());
+  EXPECT_EQ(server->StartStream(42).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ServerTest, WrongRateObjectRejected) {
+  auto server = std::move(
+      MultimediaServer::Create(SmallConfig(Scheme::kStreamingRaid))
+          .value());
+  MediaObject obj = SmallMovie(1);
+  obj.rate_mb_s = kMpeg2RateMbS;
+  EXPECT_EQ(server->AddObject(obj).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServerTest, PurgeRequiresNoActiveStreams) {
+  auto server = std::move(
+      MultimediaServer::Create(SmallConfig(Scheme::kStreamingRaid))
+          .value());
+  ASSERT_TRUE(server->AddObject(SmallMovie(1)).ok());
+  server->StartStream(1).value();
+  EXPECT_EQ(server->RemoveObject(1).code(),
+            StatusCode::kFailedPrecondition);
+  server->RunCycles(25);
+  EXPECT_TRUE(server->RemoveObject(1).ok());
+}
+
+TEST(ServerTest, FailureInjectionAndCatastropheDetection) {
+  auto server = std::move(
+      MultimediaServer::Create(SmallConfig(Scheme::kStreamingRaid))
+          .value());
+  EXPECT_FALSE(server->FailDisk(-1).ok());
+  EXPECT_TRUE(server->FailDisk(0).ok());
+  EXPECT_FALSE(server->CatastrophicFailure());
+  EXPECT_TRUE(server->FailDisk(1).ok());  // same cluster
+  EXPECT_TRUE(server->CatastrophicFailure());
+  EXPECT_TRUE(server->RepairDisk(1).ok());
+  EXPECT_FALSE(server->CatastrophicFailure());
+}
+
+TEST(ServerTest, IbAdjacentClusterCatastrophe) {
+  auto server = std::move(
+      MultimediaServer::Create(SmallConfig(Scheme::kImprovedBandwidth))
+          .value());
+  EXPECT_TRUE(server->FailDisk(0).ok());   // cluster 0
+  EXPECT_FALSE(server->CatastrophicFailure());
+  EXPECT_TRUE(server->FailDisk(5).ok());   // cluster 1 (adjacent)
+  EXPECT_TRUE(server->CatastrophicFailure());
+}
+
+TEST(ServerTest, AllSchemesServeCleanly) {
+  for (Scheme scheme : kAllSchemes) {
+    auto server =
+        std::move(MultimediaServer::Create(SmallConfig(scheme)).value());
+    ASSERT_TRUE(server->AddObject(SmallMovie(1)).ok());
+    const StreamId id = server->StartStream(1).value();
+    server->RunCycles(80);
+    const Stream* s = server->scheduler().FindStream(id);
+    EXPECT_EQ(s->state(), StreamState::kCompleted) << SchemeName(scheme);
+    EXPECT_EQ(s->hiccup_count(), 0) << SchemeName(scheme);
+  }
+}
+
+}  // namespace
+}  // namespace ftms

@@ -1,0 +1,75 @@
+#include "model/sizing.h"
+
+#include <gtest/gtest.h>
+
+#include "model/capacity.h"
+#include "util/units.h"
+
+namespace ftms {
+namespace {
+
+TEST(SizingTest, IntroductionMovieCounts) {
+  // Section 1: 1000 x 1 GB disks hold ~300 MPEG-2 or ~900 MPEG-1
+  // 90-minute movies.
+  EXPECT_NEAR(MoviesStorable(1000, 1000.0, kMpeg2RateMbS, 90.0), 300.0,
+              35.0);
+  EXPECT_NEAR(MoviesStorable(1000, 1000.0, kMpeg1RateMbS, 90.0), 900.0,
+              100.0);
+}
+
+TEST(SizingTest, IntroductionViewerCounts) {
+  // Section 1: at 4 MB/s per disk, 1000 disks feed ~6500 MPEG-2 (the
+  // paper rounds 7111 down for overheads) or ~20,000 MPEG-1 viewers.
+  EXPECT_NEAR(ViewersSupportable(1000, 4.0, kMpeg2RateMbS), 7111.0, 5.0);
+  EXPECT_GT(ViewersSupportable(1000, 4.0, kMpeg2RateMbS), 6500.0);
+  EXPECT_NEAR(ViewersSupportable(1000, 4.0, kMpeg1RateMbS), 21333.0,
+              5.0);
+  EXPECT_GT(ViewersSupportable(1000, 4.0, kMpeg1RateMbS), 20000.0);
+}
+
+TEST(SizingTest, MixedRateReducesToSingleRateAtEndpoints) {
+  SystemParameters p;
+  const double data_disks = 80.0;
+  // fraction_high = 0: exactly the base-rate formula.
+  const double base =
+      MixedRateMaxStreams(p, 4, data_disks, kMpeg2RateMbS, 0.0).value();
+  EXPECT_NEAR(base, StreamsPerDataDisk(p, 4) * data_disks, 1e-9);
+  // fraction_high = 1 with rate_high == base rate: same thing.
+  const double same_rate =
+      MixedRateMaxStreams(p, 4, data_disks, p.object_rate_mb_s, 1.0)
+          .value();
+  EXPECT_NEAR(same_rate, base, 1e-9);
+}
+
+TEST(SizingTest, MixedRateMonotoneInMpeg2Fraction) {
+  SystemParameters p;
+  double prev = 1e18;
+  for (double f = 0.0; f <= 1.0001; f += 0.1) {
+    const double n =
+        MixedRateMaxStreams(p, 4, 80.0, kMpeg2RateMbS, f).value();
+    EXPECT_LT(n, prev);
+    prev = n;
+  }
+}
+
+TEST(SizingTest, MixedRateBandwidthConservation) {
+  // The delivered bandwidth at capacity is the same for any mix: the
+  // constraint bounds aggregate rate, not stream count.
+  SystemParameters p;
+  const double n0 =
+      MixedRateMaxStreams(p, 4, 80.0, kMpeg2RateMbS, 0.0).value();
+  const double n1 =
+      MixedRateMaxStreams(p, 4, 80.0, kMpeg2RateMbS, 1.0).value();
+  EXPECT_NEAR(n0 * p.object_rate_mb_s, n1 * kMpeg2RateMbS,
+              0.01 * n0 * p.object_rate_mb_s);
+}
+
+TEST(SizingTest, MixedRateValidation) {
+  SystemParameters p;
+  EXPECT_FALSE(MixedRateMaxStreams(p, 0, 80.0, 1.0, 0.5).ok());
+  EXPECT_FALSE(MixedRateMaxStreams(p, 4, 80.0, -1.0, 0.5).ok());
+  EXPECT_FALSE(MixedRateMaxStreams(p, 4, 80.0, 1.0, 1.5).ok());
+}
+
+}  // namespace
+}  // namespace ftms

@@ -1,0 +1,100 @@
+#include "server/staging.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+namespace ftms {
+namespace {
+
+constexpr double kTrackMb = 0.05;
+
+class StagingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    layout_ = std::move(
+        CreateLayout(Scheme::kStreamingRaid, 10, 5).value());
+    // 10 disks x 1000 tracks, 4/5 data -> 8000 data tracks: room for two
+    // 3000-track titles (3000 -> 750 groups -> 3000 data tracks each).
+    catalog_ = std::make_unique<Catalog>(layout_.get(), 1000);
+    tertiary_ = std::make_unique<TertiaryStore>(TertiaryParameters{});
+    staging_ = std::make_unique<StagingManager>(
+        catalog_.get(), tertiary_.get(), kTrackMb,
+        [this](int id) { return active_.count(id) == 0; });
+    for (int i = 0; i < 5; ++i) {
+      MediaObject title;
+      title.id = i;
+      title.name = "title_" + std::to_string(i);
+      title.num_tracks = 3000;
+      ASSERT_TRUE(staging_->AddToLibrary(title).ok());
+    }
+  }
+
+  std::unique_ptr<Layout> layout_;
+  std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<TertiaryStore> tertiary_;
+  std::unique_ptr<StagingManager> staging_;
+  std::set<int> active_;  // titles with running streams
+};
+
+TEST_F(StagingTest, StageInChargesTertiaryTime) {
+  const double ready = staging_->EnsureResident(0, /*now_s=*/100.0).value();
+  // 3000 tracks x 50 KB = 150 MB at 0.5 MB/s + 90 s switch = 390 s.
+  EXPECT_NEAR(ready, 100.0 + 90.0 + 150.0 / 0.5, 1e-6);
+  EXPECT_TRUE(catalog_->Contains(0));
+  EXPECT_EQ(staging_->stage_ins(), 1);
+  EXPECT_NEAR(staging_->mb_staged(), 150.0, 1e-9);
+}
+
+TEST_F(StagingTest, ResidentTitleIsReadyImmediately) {
+  staging_->EnsureResident(0, 0.0).value();
+  EXPECT_DOUBLE_EQ(staging_->EnsureResident(0, 55.0).value(), 55.0);
+  EXPECT_EQ(staging_->stage_ins(), 1);
+}
+
+TEST_F(StagingTest, LruEvictionMakesRoom) {
+  staging_->EnsureResident(0, 0.0).value();
+  staging_->EnsureResident(1, 10.0).value();
+  // Working set full (2 x 3000 of 8000... third title needs eviction).
+  staging_->MarkUse(0, 50.0);  // title 1 is now least recently used
+  staging_->EnsureResident(2, 100.0).value();
+  EXPECT_FALSE(catalog_->Contains(1));  // evicted
+  EXPECT_TRUE(catalog_->Contains(0));
+  EXPECT_TRUE(catalog_->Contains(2));
+  EXPECT_EQ(staging_->evictions(), 1);
+}
+
+TEST_F(StagingTest, ActiveTitlesAreNotEvicted) {
+  staging_->EnsureResident(0, 0.0).value();
+  staging_->EnsureResident(1, 10.0).value();
+  active_ = {0, 1};  // both playing
+  EXPECT_EQ(staging_->EnsureResident(2, 100.0).status().code(),
+            StatusCode::kResourceExhausted);
+  active_ = {0};
+  EXPECT_TRUE(staging_->EnsureResident(2, 100.0).ok());
+  EXPECT_FALSE(catalog_->Contains(1));
+}
+
+TEST_F(StagingTest, UnknownTitleIsNotFound) {
+  EXPECT_EQ(staging_->EnsureResident(42, 0.0).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(StagingTest, LibraryValidation) {
+  MediaObject dup;
+  dup.id = 0;
+  dup.num_tracks = 10;
+  EXPECT_EQ(staging_->AddToLibrary(dup).code(),
+            StatusCode::kAlreadyExists);
+  MediaObject empty;
+  empty.id = 99;
+  empty.num_tracks = 0;
+  EXPECT_EQ(staging_->AddToLibrary(empty).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(staging_->InLibrary(0));
+  EXPECT_FALSE(staging_->InLibrary(99));
+}
+
+}  // namespace
+}  // namespace ftms

@@ -1,0 +1,81 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ftms {
+namespace {
+
+TEST(StreamingStatsTest, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.ConfidenceHalfWidth95(), 0.0);
+}
+
+TEST(StreamingStatsTest, MeanVarianceExtremes) {
+  StreamingStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.sum(), 40.0, 1e-9);
+}
+
+TEST(StreamingStatsTest, MergeMatchesCombinedStream) {
+  StreamingStats a;
+  StreamingStats b;
+  StreamingStats all;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10;
+    (i % 2 == 0 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(StreamingStatsTest, ConfidenceShrinksWithSamples) {
+  StreamingStats small;
+  StreamingStats large;
+  for (int i = 0; i < 10; ++i) small.Add(i % 3);
+  for (int i = 0; i < 1000; ++i) large.Add(i % 3);
+  EXPECT_GT(small.ConfidenceHalfWidth95(), large.ConfidenceHalfWidth95());
+}
+
+TEST(HistogramTest, QuantilesOfUniformFill) {
+  Histogram h(0, 100, 100);
+  for (int i = 0; i < 100; ++i) h.Add(i + 0.5);
+  EXPECT_NEAR(h.Quantile(0.5), 50, 1.5);
+  EXPECT_NEAR(h.Quantile(0.9), 90, 1.5);
+  EXPECT_EQ(h.count(), 100);
+}
+
+TEST(HistogramTest, OutOfRangeClamps) {
+  Histogram h(0, 10, 10);
+  h.Add(-5);
+  h.Add(25);
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_EQ(h.buckets().front(), 1);
+  EXPECT_EQ(h.buckets().back(), 1);
+}
+
+TEST(TimeWeightedStatsTest, WeightsByDuration) {
+  TimeWeightedStats s;
+  s.Record(10.0, 1.0);
+  s.Record(0.0, 9.0);
+  EXPECT_DOUBLE_EQ(s.time_average(), 1.0);
+  EXPECT_DOUBLE_EQ(s.peak(), 10.0);
+  EXPECT_DOUBLE_EQ(s.total_time(), 10.0);
+}
+
+}  // namespace
+}  // namespace ftms

@@ -1,0 +1,54 @@
+#include "stream/stream.h"
+
+#include <gtest/gtest.h>
+
+namespace ftms {
+namespace {
+
+MediaObject ShortObject(int tracks) {
+  MediaObject obj;
+  obj.id = 1;
+  obj.name = "short";
+  obj.num_tracks = tracks;
+  return obj;
+}
+
+TEST(StreamTest, DeliversToCompletion) {
+  Stream s(0, ShortObject(3));
+  EXPECT_EQ(s.state(), StreamState::kActive);
+  EXPECT_EQ(s.tracks_remaining(), 3);
+  s.Deliver(10, true);
+  s.Deliver(11, true);
+  EXPECT_EQ(s.position(), 2);
+  EXPECT_FALSE(s.finished());
+  s.Deliver(12, true);
+  EXPECT_TRUE(s.finished());
+  EXPECT_EQ(s.state(), StreamState::kCompleted);
+  EXPECT_EQ(s.delivered_tracks(), 3);
+  EXPECT_EQ(s.hiccup_count(), 0);
+}
+
+TEST(StreamTest, HiccupsAreLoggedWithCycleAndTrack) {
+  Stream s(0, ShortObject(5));
+  s.Deliver(1, true);
+  s.Deliver(2, false);  // hiccup on track 1 in cycle 2
+  s.Deliver(3, true);
+  ASSERT_EQ(s.hiccup_count(), 1);
+  EXPECT_EQ(s.hiccups()[0].cycle, 2);
+  EXPECT_EQ(s.hiccups()[0].track, 1);
+  // A hiccup does not stall playback (the viewer sees a glitch but the
+  // stream keeps its real-time schedule).
+  EXPECT_EQ(s.position(), 3);
+}
+
+TEST(StreamTest, TerminatedStreamIgnoresDelivery) {
+  Stream s(0, ShortObject(5));
+  s.Terminate();
+  EXPECT_EQ(s.state(), StreamState::kTerminated);
+  s.Deliver(1, true);
+  EXPECT_EQ(s.position(), 0);
+  EXPECT_EQ(s.delivered_tracks(), 0);
+}
+
+}  // namespace
+}  // namespace ftms

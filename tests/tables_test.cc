@@ -1,0 +1,82 @@
+#include "model/tables.h"
+
+#include <gtest/gtest.h>
+
+namespace ftms {
+namespace {
+
+// The headline reproduction check: every metric of Tables 2 and 3
+// regenerates from the analytical model (with K = 3, see DESIGN.md §4).
+
+void ExpectRowsMatch(const std::vector<SchemeMetrics>& rows,
+                     const std::array<SchemeMetrics, 4>& paper) {
+  ASSERT_EQ(rows.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    SCOPED_TRACE(std::string(SchemeName(paper[i].scheme)));
+    EXPECT_EQ(rows[i].scheme, paper[i].scheme);
+    EXPECT_NEAR(rows[i].storage_overhead_fraction,
+                paper[i].storage_overhead_fraction, 0.001);
+    EXPECT_NEAR(rows[i].bandwidth_overhead_fraction,
+                paper[i].bandwidth_overhead_fraction, 0.001);
+    EXPECT_NEAR(rows[i].mttf_years, paper[i].mttf_years,
+                paper[i].mttf_years * 0.001);
+    EXPECT_NEAR(rows[i].mttds_years, paper[i].mttds_years,
+                paper[i].mttds_years * 0.001);
+    EXPECT_EQ(rows[i].streams, paper[i].streams);
+    EXPECT_DOUBLE_EQ(rows[i].buffer_tracks, paper[i].buffer_tracks);
+  }
+}
+
+TEST(TablesTest, Table2Regenerates) {
+  SystemParameters p;  // Table 1 defaults, K = 3
+  const std::vector<SchemeMetrics> rows =
+      ComputeComparisonTable(p, 5).value();
+  ExpectRowsMatch(rows, PaperTable2());
+}
+
+TEST(TablesTest, Table3Regenerates) {
+  SystemParameters p;
+  const std::vector<SchemeMetrics> rows =
+      ComputeComparisonTable(p, 7).value();
+  ExpectRowsMatch(rows, PaperTable3());
+}
+
+TEST(TablesTest, QualitativeRankingsHold) {
+  // The comparisons Section 5 draws from the tables:
+  SystemParameters p;
+  const std::vector<SchemeMetrics> rows =
+      ComputeComparisonTable(p, 5).value();
+  const SchemeMetrics& sr = rows[0];
+  const SchemeMetrics& sg = rows[1];
+  const SchemeMetrics& nc = rows[2];
+  const SchemeMetrics& ib = rows[3];
+  // IB supports the most streams but is least reliable.
+  EXPECT_GT(ib.streams, sr.streams);
+  EXPECT_LT(ib.mttf_years, sr.mttf_years);
+  // NC needs the least memory; SR the most.
+  EXPECT_LT(nc.buffer_tracks, sg.buffer_tracks);
+  EXPECT_GT(sr.buffer_tracks, ib.buffer_tracks);
+  // NC/IB degrade far later than they lose data.
+  EXPECT_GT(nc.mttds_years, nc.mttf_years);
+  EXPECT_GT(ib.mttds_years, ib.mttf_years);
+  // SR/SG: degradation == catastrophe.
+  EXPECT_DOUBLE_EQ(sr.mttds_years, sr.mttf_years);
+  EXPECT_DOUBLE_EQ(sg.mttds_years, sg.mttf_years);
+}
+
+TEST(TablesTest, FormattingContainsAllSchemes) {
+  SystemParameters p;
+  const std::vector<SchemeMetrics> rows =
+      ComputeComparisonTable(p, 5).value();
+  const std::string text = FormatComparisonTable(rows);
+  for (Scheme scheme : kAllSchemes) {
+    EXPECT_NE(text.find(SchemeName(scheme)), std::string::npos);
+  }
+  const std::string with_paper =
+      FormatComparisonTableWithPaper(rows, PaperTable2());
+  EXPECT_NE(with_paper.find("(paper)"), std::string::npos);
+  EXPECT_NE(with_paper.find("(ours)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftms

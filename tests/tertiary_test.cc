@@ -1,0 +1,50 @@
+#include "server/tertiary.h"
+
+#include <gtest/gtest.h>
+
+namespace ftms {
+namespace {
+
+TEST(TertiaryTest, ExtentTimeIsSwitchPlusTransfer) {
+  TertiaryParameters params;
+  params.bandwidth_mb_s = 0.5;
+  params.tape_switch_s = 90.0;
+  TertiaryStore store(params);
+  EXPECT_DOUBLE_EQ(store.ExtentTime(100.0), 90.0 + 200.0);
+}
+
+TEST(TertiaryTest, TertiaryIsMuchSlowerThanDisk) {
+  // Footnote 2: tape ~4 Mb/s vs disk ~32 Mb/s; the latency gap is why
+  // objects are never served from tertiary directly.
+  TertiaryStore store{TertiaryParameters{}};
+  // 1 GB object: disk at 2.5 MB/s streams it in ~400 s; one tape extent
+  // takes 90 + 2000 s.
+  EXPECT_GT(store.ExtentTime(1000.0), 5.0 * 400.0);
+}
+
+TEST(TertiaryTest, ReloadParallelizesOverDrives) {
+  TertiaryParameters params;
+  params.num_drives = 4;
+  TertiaryStore store(params);
+  const double one_drive_equiv =
+      1000 * params.tape_switch_s + 10000.0 / params.bandwidth_mb_s;
+  EXPECT_DOUBLE_EQ(store.ReloadTime(10000.0, 1000), one_drive_equiv / 4);
+}
+
+TEST(TertiaryTest, ReloadOfNothingIsFree) {
+  TertiaryStore store{TertiaryParameters{}};
+  EXPECT_DOUBLE_EQ(store.ReloadTime(0, 100), 0.0);
+}
+
+TEST(TertiaryTest, ManyExtentsDominatedBySwitches) {
+  // A failed disk holds fragments of MANY objects ("many tapes may need
+  // to be referenced"): switch time dominates, which is the paper's
+  // argument that rebuild-from-tertiary is very slow.
+  TertiaryStore store{TertiaryParameters{}};
+  const double few = store.ReloadTime(1000.0, 10);
+  const double many = store.ReloadTime(1000.0, 1000);
+  EXPECT_GT(many, 10 * few);
+}
+
+}  // namespace
+}  // namespace ftms

@@ -1,0 +1,84 @@
+#include "server/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "tests/sched_test_util.h"
+
+namespace ftms {
+namespace {
+
+TEST(TraceTest, RecordsPerCycleDeltas) {
+  SchedRig rig = MakeRig(Scheme::kStreamingRaid, 5, 10);
+  TraceRecorder trace(rig.sched.get(), rig.disks.get());
+  rig.sched->AddStream(TestObject(0, 16)).value();
+  for (int i = 0; i < 6; ++i) {
+    rig.sched->RunCycle();
+    trace.Sample();
+  }
+  ASSERT_EQ(trace.samples().size(), 6u);
+  // First cycle: read only; deliveries start in cycle 2.
+  EXPECT_EQ(trace.samples()[0].tracks_delivered_delta, 0);
+  EXPECT_EQ(trace.samples()[1].tracks_delivered_delta, 4);
+  // Sum of deltas equals the final counter.
+  int64_t sum = 0;
+  for (const CycleSample& s : trace.samples()) {
+    sum += s.tracks_delivered_delta;
+  }
+  EXPECT_EQ(sum, rig.sched->metrics().tracks_delivered);
+}
+
+TEST(TraceTest, CapturesFailureState) {
+  SchedRig rig = MakeRig(Scheme::kStreamingRaid, 5, 10);
+  TraceRecorder trace(rig.sched.get(), rig.disks.get());
+  rig.sched->AddStream(TestObject(0, 64)).value();
+  rig.sched->RunCycle();
+  trace.Sample();
+  rig.sched->OnDiskFailed(1, false);
+  rig.sched->RunCycle();
+  trace.Sample();
+  EXPECT_EQ(trace.samples()[0].failed_disks, 0);
+  EXPECT_EQ(trace.samples()[1].failed_disks, 1);
+}
+
+TEST(TraceTest, CsvRoundTrip) {
+  SchedRig rig = MakeRig(Scheme::kNonClustered, 5, 10);
+  TraceRecorder trace(rig.sched.get(), rig.disks.get());
+  rig.sched->AddStream(TestObject(0, 8)).value();
+  for (int i = 0; i < 4; ++i) {
+    rig.sched->RunCycle();
+    trace.Sample();
+  }
+  const std::string csv = ToCsv(trace.samples());
+  // Header + 4 rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 5);
+  EXPECT_NE(csv.find("cycle,active_streams"), std::string::npos);
+
+  const std::string path = "/tmp/ftms_trace_test.csv";
+  ASSERT_TRUE(WriteCsv(trace.samples(), path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(WriteCsv(trace.samples(), "/nonexistent/dir/x.csv").ok());
+}
+
+TEST(TraceTest, ClearResets) {
+  SchedRig rig = MakeRig(Scheme::kStreamingRaid, 5, 10);
+  TraceRecorder trace(rig.sched.get(), rig.disks.get());
+  rig.sched->AddStream(TestObject(0, 16)).value();
+  rig.sched->RunCycle();
+  trace.Sample();
+  trace.Clear();
+  EXPECT_TRUE(trace.samples().empty());
+  rig.sched->RunCycle();
+  trace.Sample();
+  // Deltas restart from zero baseline after Clear.
+  EXPECT_EQ(trace.samples()[0].tracks_delivered_delta,
+            rig.sched->metrics().tracks_delivered);
+}
+
+}  // namespace
+}  // namespace ftms

@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/log.h"
+#include "util/units.h"
+
+namespace ftms {
+namespace {
+
+TEST(UnitsTest, RateConversions) {
+  EXPECT_DOUBLE_EQ(MbitsToMBytes(1.5), 0.1875);
+  EXPECT_DOUBLE_EQ(MbitsToMBytes(4.5), 0.5625);
+  EXPECT_DOUBLE_EQ(MBytesToMbits(0.1875), 1.5);
+  EXPECT_DOUBLE_EQ(kMpeg1RateMbS, 0.1875);
+  EXPECT_DOUBLE_EQ(kMpeg2RateMbS, 0.5625);
+}
+
+TEST(UnitsTest, TimeConversions) {
+  EXPECT_DOUBLE_EQ(HoursToYears(8760.0), 1.0);
+  EXPECT_DOUBLE_EQ(YearsToHours(2.0), 17520.0);
+  EXPECT_DOUBLE_EQ(HoursToYears(YearsToHours(123.4)), 123.4);
+  EXPECT_DOUBLE_EQ(KilobytesToMegabytes(50.0), 0.05);
+}
+
+TEST(LogTest, LevelFiltering) {
+  // Capture stderr around a filtered and an emitted message.
+  SetLogLevel(LogLevel::kWarning);
+  testing::internal::CaptureStderr();
+  FTMS_LOG(Debug) << "hidden";
+  FTMS_LOG(Warning) << "visible " << 42;
+  std::string output = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(output.find("hidden"), std::string::npos);
+  EXPECT_NE(output.find("visible 42"), std::string::npos);
+  EXPECT_NE(output.find("[W "), std::string::npos);
+
+  SetLogLevel(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  FTMS_LOG(Debug) << "now shown";
+  output = testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find("now shown"), std::string::npos);
+  SetLogLevel(LogLevel::kWarning);  // restore default
+}
+
+TEST(LogTest, IncludesSourceLocation) {
+  SetLogLevel(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  FTMS_LOG(Info) << "located";
+  const std::string output = testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find("util_misc_test.cc"), std::string::npos);
+  SetLogLevel(LogLevel::kWarning);
+}
+
+}  // namespace
+}  // namespace ftms

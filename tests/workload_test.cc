@@ -1,0 +1,77 @@
+#include "stream/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/units.h"
+
+namespace ftms {
+namespace {
+
+TEST(WorkloadTest, StandardCatalogMixesRates) {
+  const std::vector<MediaObject> catalog =
+      MakeStandardCatalog(10, 0.3, 0.05);
+  ASSERT_EQ(catalog.size(), 10u);
+  int mpeg2 = 0;
+  for (const MediaObject& obj : catalog) {
+    if (obj.rate_mb_s == kMpeg2RateMbS) ++mpeg2;
+  }
+  EXPECT_EQ(mpeg2, 3);
+  // MPEG-2 movies are proportionally larger.
+  EXPECT_GT(catalog.front().num_tracks, catalog.back().num_tracks);
+}
+
+TEST(WorkloadTest, ArrivalsAreMonotoneAndPoissonish) {
+  WorkloadConfig config;
+  config.arrival_rate_per_s = 2.0;
+  config.seed = 11;
+  WorkloadGenerator gen(config, MakeStandardCatalog(20, 0.0, 0.05));
+  double prev = 0;
+  double last = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const StreamRequest req = gen.Next();
+    EXPECT_GE(req.arrival_s, prev);
+    prev = req.arrival_s;
+    last = req.arrival_s;
+  }
+  // Mean inter-arrival 0.5 s -> ~10000 s for 20000 arrivals.
+  EXPECT_NEAR(last / n, 0.5, 0.05);
+}
+
+TEST(WorkloadTest, ZipfSkewPrefersPopularTitles) {
+  WorkloadConfig config;
+  config.zipf_theta = 0.8;
+  config.seed = 5;
+  WorkloadGenerator gen(config, MakeStandardCatalog(50, 0.0, 0.05));
+  std::map<int, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[gen.Next().object_id];
+  EXPECT_GT(counts[0], counts[40] * 2);
+}
+
+TEST(WorkloadTest, GenerateUntilHonorsHorizon) {
+  WorkloadConfig config;
+  config.arrival_rate_per_s = 1.0;
+  WorkloadGenerator gen(config, MakeStandardCatalog(5, 0.0, 0.05));
+  const std::vector<StreamRequest> reqs = gen.GenerateUntil(100.0);
+  EXPECT_GT(reqs.size(), 50u);
+  EXPECT_LT(reqs.size(), 200u);
+  for (const StreamRequest& req : reqs) EXPECT_LT(req.arrival_s, 100.0);
+}
+
+TEST(WorkloadTest, DeterministicAcrossRuns) {
+  WorkloadConfig config;
+  config.seed = 77;
+  WorkloadGenerator a(config, MakeStandardCatalog(10, 0.5, 0.05));
+  WorkloadGenerator b(config, MakeStandardCatalog(10, 0.5, 0.05));
+  for (int i = 0; i < 100; ++i) {
+    const StreamRequest ra = a.Next();
+    const StreamRequest rb = b.Next();
+    EXPECT_EQ(ra.arrival_s, rb.arrival_s);
+    EXPECT_EQ(ra.object_id, rb.object_id);
+  }
+}
+
+}  // namespace
+}  // namespace ftms

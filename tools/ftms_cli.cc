@@ -1,0 +1,207 @@
+// ftms — command-line front end to the library.
+//
+//   ftms tables [C]                      regenerate the paper's comparison
+//                                        table for parity group size C
+//   ftms plan <W_gb> <streams>           size the cheapest system (Section
+//        [disk_$/MB] [mem_$/MB]          5's design study)
+//   ftms simulate <scheme> <C> <D>       run the cycle simulation with a
+//        <streams> <cycles>              failure drill at mid-run
+//        [fail_disk]
+//   ftms reliability <D> <C> [K]         closed-form + exact reliability
+//
+// Schemes: sr | sg | nc | ib.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "model/cost.h"
+#include "model/reliability_model.h"
+#include "model/tables.h"
+#include "reliability/birth_death.h"
+#include "server/server.h"
+#include "util/units.h"
+
+namespace ftms {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  ftms tables [C]\n"
+      "  ftms plan <W_gb> <streams> [disk_$/MB] [mem_$/MB]\n"
+      "  ftms simulate <sr|sg|nc|ib> <C> <D> <streams> <cycles> "
+      "[fail_disk]\n"
+      "  ftms reliability <D> <C> [K]\n");
+  return 2;
+}
+
+Scheme ParseScheme(const char* arg) {
+  if (std::strcmp(arg, "sg") == 0) return Scheme::kStaggeredGroup;
+  if (std::strcmp(arg, "nc") == 0) return Scheme::kNonClustered;
+  if (std::strcmp(arg, "ib") == 0) return Scheme::kImprovedBandwidth;
+  return Scheme::kStreamingRaid;
+}
+
+int CmdTables(int argc, char** argv) {
+  const int c = argc > 2 ? std::atoi(argv[2]) : 5;
+  SystemParameters params;
+  auto rows = ComputeComparisonTable(params, c);
+  if (!rows.ok()) {
+    std::fprintf(stderr, "error: %s\n", rows.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Scheme comparison at C = %d (Table 1 parameters):\n%s", c,
+              FormatComparisonTable(*rows).c_str());
+  return 0;
+}
+
+int CmdPlan(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  DesignParameters design;
+  design.working_set_mb = std::atof(argv[2]) * 1000.0;
+  PlanRequest request;
+  request.required_streams = std::atof(argv[3]);
+  if (argc > 4) design.disk_cost_per_mb = std::atof(argv[4]);
+  if (argc > 5) design.memory_cost_per_mb = std::atof(argv[5]);
+  SystemParameters params;
+  params.k_reserve = 5;
+  const auto plans = PlanAllSchemes(design, params, request);
+  if (plans.empty()) {
+    std::printf("no feasible design for %.0f streams over %.0f GB\n",
+                request.required_streams, design.working_set_mb / 1000);
+    return 1;
+  }
+  std::printf("%-22s %4s %6s %9s %10s %12s\n", "Scheme", "C", "disks",
+              "streams", "RAM (MB)", "cost ($)");
+  for (const DesignPoint& p : plans) {
+    std::printf("%-22s %4d %6d %9d %10.0f %12.0f\n",
+                std::string(SchemeName(p.scheme)).c_str(),
+                p.parity_group_size, p.num_disks, p.max_streams,
+                p.buffer_mb, p.cost_dollars);
+  }
+  std::printf("-> %s\n",
+              std::string(SchemeName(plans.front().scheme)).c_str());
+  return 0;
+}
+
+int CmdSimulate(int argc, char** argv) {
+  if (argc < 7) return Usage();
+  ServerConfig config;
+  config.scheme = ParseScheme(argv[2]);
+  config.parity_group_size = std::atoi(argv[3]);
+  config.params.num_disks = std::atoi(argv[4]);
+  const int streams = std::atoi(argv[5]);
+  const int cycles = std::atoi(argv[6]);
+  const int fail_disk = argc > 7 ? std::atoi(argv[7]) : -1;
+  config.params.k_reserve =
+      std::min(3, config.params.num_disks - 1);
+
+  auto server_or = MultimediaServer::Create(config);
+  if (!server_or.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 server_or.status().ToString().c_str());
+    return 1;
+  }
+  auto server = std::move(*server_or);
+  // One object per cluster so the load spreads across the farm, and
+  // staggered admission so SG/NC positions spread across read phases.
+  const int num_objects = server->layout().num_clusters();
+  for (int i = 0; i < num_objects; ++i) {
+    MediaObject obj;
+    obj.id = i;
+    obj.rate_mb_s = config.params.object_rate_mb_s;
+    obj.num_tracks = static_cast<int64_t>(cycles) *
+                     (config.parity_group_size - 1) * 4;
+    if (Status s = server->AddObject(obj); !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  const int stagger = server->scheduler().slots_per_disk();
+  for (int i = 0; i < streams; ++i) {
+    if (!server->StartStream(i % num_objects).ok()) {
+      std::fprintf(stderr,
+                   "admission stopped at %d streams (capacity %d)\n", i,
+                   server->admission().capacity());
+      break;
+    }
+    if (stagger > 0 && i % stagger == stagger - 1) server->RunCycles(1);
+  }
+  server->RunCycles(cycles / 2);
+  if (fail_disk >= 0) {
+    if (Status s = server->FailDisk(fail_disk); !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("disk %d failed at cycle %lld\n", fail_disk,
+                static_cast<long long>(server->cycle()));
+  }
+  server->RunCycles(cycles - cycles / 2);
+  std::printf("%s\n", server->Summary().c_str());
+  const SchedulerMetrics& m = server->scheduler().metrics();
+  std::printf(
+      "reads: %lld data + %lld parity, %lld failed, %lld dropped\n"
+      "delivery: %lld on time, %lld hiccups, %lld reconstructed\n"
+      "buffers: peak %lld tracks (%.1f MB)\n",
+      static_cast<long long>(m.data_reads),
+      static_cast<long long>(m.parity_reads),
+      static_cast<long long>(m.failed_reads),
+      static_cast<long long>(m.dropped_reads),
+      static_cast<long long>(m.tracks_delivered),
+      static_cast<long long>(m.hiccups),
+      static_cast<long long>(m.reconstructed),
+      static_cast<long long>(
+          server->scheduler().buffer_pool().peak_in_use()),
+      static_cast<double>(server->scheduler().buffer_pool().peak_in_use()) *
+          config.params.disk.track_mb);
+  return 0;
+}
+
+int CmdReliability(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  SystemParameters params;
+  params.num_disks = std::atoi(argv[2]);
+  const int c = std::atoi(argv[3]);
+  params.k_reserve = argc > 4 ? std::atoi(argv[4]) : 3;
+  std::printf("D = %d, C = %d, K = %d, MTTF = %.0f h, MTTR = %.0f h\n",
+              params.num_disks, c, params.k_reserve,
+              params.disk.mttf_hours, params.disk.mttr_hours);
+  for (Scheme scheme : kAllSchemes) {
+    auto mttf = MttfCatastrophicHours(params, scheme, c);
+    auto mttds = MttdsHours(params, scheme, c);
+    if (!mttf.ok() || !mttds.ok()) continue;
+    std::printf("%-22s MTTF %12.1f years   MTTDS %14.1f years\n",
+                std::string(SchemeName(scheme)).c_str(),
+                HoursToYears(*mttf), HoursToYears(*mttds));
+  }
+  const auto exact = ExactKConcurrentMeanHours(
+      params.disk.mttf_hours, params.disk.mttr_hours, params.num_disks,
+      params.k_reserve);
+  if (exact.ok()) {
+    std::printf(
+        "exact birth-death K-concurrent hitting time: %.1f years\n"
+        "(the paper's equation (6) omits a (K-1)! factor)\n",
+        HoursToYears(*exact));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ftms
+
+int main(int argc, char** argv) {
+  using namespace ftms;
+  if (argc < 2) return Usage();
+  if (std::strcmp(argv[1], "tables") == 0) return CmdTables(argc, argv);
+  if (std::strcmp(argv[1], "plan") == 0) return CmdPlan(argc, argv);
+  if (std::strcmp(argv[1], "simulate") == 0) {
+    return CmdSimulate(argc, argv);
+  }
+  if (std::strcmp(argv[1], "reliability") == 0) {
+    return CmdReliability(argc, argv);
+  }
+  return Usage();
+}

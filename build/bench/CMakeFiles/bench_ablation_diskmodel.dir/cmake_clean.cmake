@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_diskmodel.dir/bench_ablation_diskmodel.cc.o"
+  "CMakeFiles/bench_ablation_diskmodel.dir/bench_ablation_diskmodel.cc.o.d"
+  "bench_ablation_diskmodel"
+  "bench_ablation_diskmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_diskmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_seek.dir/bench_ablation_seek.cc.o"
+  "CMakeFiles/bench_ablation_seek.dir/bench_ablation_seek.cc.o.d"
+  "bench_ablation_seek"
+  "bench_ablation_seek.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_seek.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_buffer_memory.dir/bench_buffer_memory.cc.o"
+  "CMakeFiles/bench_buffer_memory.dir/bench_buffer_memory.cc.o.d"
+  "bench_buffer_memory"
+  "bench_buffer_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_buffer_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_failure_pairs.dir/bench_failure_pairs.cc.o"
+  "CMakeFiles/bench_failure_pairs.dir/bench_failure_pairs.cc.o.d"
+  "bench_failure_pairs"
+  "bench_failure_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_failure_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

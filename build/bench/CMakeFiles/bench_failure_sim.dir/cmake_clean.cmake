@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_failure_sim.dir/bench_failure_sim.cc.o"
+  "CMakeFiles/bench_failure_sim.dir/bench_failure_sim.cc.o.d"
+  "bench_failure_sim"
+  "bench_failure_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_failure_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_full_farm.dir/bench_full_farm.cc.o"
+  "CMakeFiles/bench_full_farm.dir/bench_full_farm.cc.o.d"
+  "bench_full_farm"
+  "bench_full_farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_full_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

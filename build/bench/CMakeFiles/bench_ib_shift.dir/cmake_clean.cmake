@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ib_shift.dir/bench_ib_shift.cc.o"
+  "CMakeFiles/bench_ib_shift.dir/bench_ib_shift.cc.o.d"
+  "bench_ib_shift"
+  "bench_ib_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ib_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intro_sizing.dir/bench_intro_sizing.cc.o"
+  "CMakeFiles/bench_intro_sizing.dir/bench_intro_sizing.cc.o.d"
+  "bench_intro_sizing"
+  "bench_intro_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intro_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

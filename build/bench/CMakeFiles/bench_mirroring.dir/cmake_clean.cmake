@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mirroring.dir/bench_mirroring.cc.o"
+  "CMakeFiles/bench_mirroring.dir/bench_mirroring.cc.o.d"
+  "bench_mirroring"
+  "bench_mirroring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mirroring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

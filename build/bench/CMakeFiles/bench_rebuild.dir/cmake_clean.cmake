@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rebuild.dir/bench_rebuild.cc.o"
+  "CMakeFiles/bench_rebuild.dir/bench_rebuild.cc.o.d"
+  "bench_rebuild"
+  "bench_rebuild.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rebuild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

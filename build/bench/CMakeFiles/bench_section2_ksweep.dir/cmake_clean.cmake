@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_section2_ksweep.dir/bench_section2_ksweep.cc.o"
+  "CMakeFiles/bench_section2_ksweep.dir/bench_section2_ksweep.cc.o.d"
+  "bench_section2_ksweep"
+  "bench_section2_ksweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_section2_ksweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vod_operations.dir/vod_operations.cpp.o"
+  "CMakeFiles/vod_operations.dir/vod_operations.cpp.o.d"
+  "vod_operations"
+  "vod_operations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vod_operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftms_buffer.dir/buffer_pool.cc.o"
+  "CMakeFiles/ftms_buffer.dir/buffer_pool.cc.o.d"
+  "libftms_buffer.a"
+  "libftms_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftms_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftms_disk.dir/disk.cc.o"
+  "CMakeFiles/ftms_disk.dir/disk.cc.o.d"
+  "CMakeFiles/ftms_disk.dir/disk_array.cc.o"
+  "CMakeFiles/ftms_disk.dir/disk_array.cc.o.d"
+  "CMakeFiles/ftms_disk.dir/disk_model.cc.o"
+  "CMakeFiles/ftms_disk.dir/disk_model.cc.o.d"
+  "CMakeFiles/ftms_disk.dir/seek_curve.cc.o"
+  "CMakeFiles/ftms_disk.dir/seek_curve.cc.o.d"
+  "libftms_disk.a"
+  "libftms_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftms_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/catalog.cc" "src/layout/CMakeFiles/ftms_layout.dir/catalog.cc.o" "gcc" "src/layout/CMakeFiles/ftms_layout.dir/catalog.cc.o.d"
+  "/root/repo/src/layout/invariants.cc" "src/layout/CMakeFiles/ftms_layout.dir/invariants.cc.o" "gcc" "src/layout/CMakeFiles/ftms_layout.dir/invariants.cc.o.d"
+  "/root/repo/src/layout/layout.cc" "src/layout/CMakeFiles/ftms_layout.dir/layout.cc.o" "gcc" "src/layout/CMakeFiles/ftms_layout.dir/layout.cc.o.d"
+  "/root/repo/src/layout/media_object.cc" "src/layout/CMakeFiles/ftms_layout.dir/media_object.cc.o" "gcc" "src/layout/CMakeFiles/ftms_layout.dir/media_object.cc.o.d"
+  "/root/repo/src/layout/schemes.cc" "src/layout/CMakeFiles/ftms_layout.dir/schemes.cc.o" "gcc" "src/layout/CMakeFiles/ftms_layout.dir/schemes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ftms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

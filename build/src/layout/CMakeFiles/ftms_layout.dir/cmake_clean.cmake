@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftms_layout.dir/catalog.cc.o"
+  "CMakeFiles/ftms_layout.dir/catalog.cc.o.d"
+  "CMakeFiles/ftms_layout.dir/invariants.cc.o"
+  "CMakeFiles/ftms_layout.dir/invariants.cc.o.d"
+  "CMakeFiles/ftms_layout.dir/layout.cc.o"
+  "CMakeFiles/ftms_layout.dir/layout.cc.o.d"
+  "CMakeFiles/ftms_layout.dir/media_object.cc.o"
+  "CMakeFiles/ftms_layout.dir/media_object.cc.o.d"
+  "CMakeFiles/ftms_layout.dir/schemes.cc.o"
+  "CMakeFiles/ftms_layout.dir/schemes.cc.o.d"
+  "libftms_layout.a"
+  "libftms_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftms_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/ablation.cc" "src/model/CMakeFiles/ftms_model.dir/ablation.cc.o" "gcc" "src/model/CMakeFiles/ftms_model.dir/ablation.cc.o.d"
+  "/root/repo/src/model/buffers.cc" "src/model/CMakeFiles/ftms_model.dir/buffers.cc.o" "gcc" "src/model/CMakeFiles/ftms_model.dir/buffers.cc.o.d"
+  "/root/repo/src/model/capacity.cc" "src/model/CMakeFiles/ftms_model.dir/capacity.cc.o" "gcc" "src/model/CMakeFiles/ftms_model.dir/capacity.cc.o.d"
+  "/root/repo/src/model/cost.cc" "src/model/CMakeFiles/ftms_model.dir/cost.cc.o" "gcc" "src/model/CMakeFiles/ftms_model.dir/cost.cc.o.d"
+  "/root/repo/src/model/overhead.cc" "src/model/CMakeFiles/ftms_model.dir/overhead.cc.o" "gcc" "src/model/CMakeFiles/ftms_model.dir/overhead.cc.o.d"
+  "/root/repo/src/model/parameters.cc" "src/model/CMakeFiles/ftms_model.dir/parameters.cc.o" "gcc" "src/model/CMakeFiles/ftms_model.dir/parameters.cc.o.d"
+  "/root/repo/src/model/reliability_model.cc" "src/model/CMakeFiles/ftms_model.dir/reliability_model.cc.o" "gcc" "src/model/CMakeFiles/ftms_model.dir/reliability_model.cc.o.d"
+  "/root/repo/src/model/sizing.cc" "src/model/CMakeFiles/ftms_model.dir/sizing.cc.o" "gcc" "src/model/CMakeFiles/ftms_model.dir/sizing.cc.o.d"
+  "/root/repo/src/model/tables.cc" "src/model/CMakeFiles/ftms_model.dir/tables.cc.o" "gcc" "src/model/CMakeFiles/ftms_model.dir/tables.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ftms_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/ftms_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/ftms_layout.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

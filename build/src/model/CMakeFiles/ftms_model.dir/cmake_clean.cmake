@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftms_model.dir/ablation.cc.o"
+  "CMakeFiles/ftms_model.dir/ablation.cc.o.d"
+  "CMakeFiles/ftms_model.dir/buffers.cc.o"
+  "CMakeFiles/ftms_model.dir/buffers.cc.o.d"
+  "CMakeFiles/ftms_model.dir/capacity.cc.o"
+  "CMakeFiles/ftms_model.dir/capacity.cc.o.d"
+  "CMakeFiles/ftms_model.dir/cost.cc.o"
+  "CMakeFiles/ftms_model.dir/cost.cc.o.d"
+  "CMakeFiles/ftms_model.dir/overhead.cc.o"
+  "CMakeFiles/ftms_model.dir/overhead.cc.o.d"
+  "CMakeFiles/ftms_model.dir/parameters.cc.o"
+  "CMakeFiles/ftms_model.dir/parameters.cc.o.d"
+  "CMakeFiles/ftms_model.dir/reliability_model.cc.o"
+  "CMakeFiles/ftms_model.dir/reliability_model.cc.o.d"
+  "CMakeFiles/ftms_model.dir/sizing.cc.o"
+  "CMakeFiles/ftms_model.dir/sizing.cc.o.d"
+  "CMakeFiles/ftms_model.dir/tables.cc.o"
+  "CMakeFiles/ftms_model.dir/tables.cc.o.d"
+  "libftms_model.a"
+  "libftms_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftms_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

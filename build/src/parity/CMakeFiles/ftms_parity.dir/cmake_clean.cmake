@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftms_parity.dir/parity.cc.o"
+  "CMakeFiles/ftms_parity.dir/parity.cc.o.d"
+  "libftms_parity.a"
+  "libftms_parity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftms_parity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

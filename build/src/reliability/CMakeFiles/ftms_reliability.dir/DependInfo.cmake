@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reliability/birth_death.cc" "src/reliability/CMakeFiles/ftms_reliability.dir/birth_death.cc.o" "gcc" "src/reliability/CMakeFiles/ftms_reliability.dir/birth_death.cc.o.d"
+  "/root/repo/src/reliability/failure_process.cc" "src/reliability/CMakeFiles/ftms_reliability.dir/failure_process.cc.o" "gcc" "src/reliability/CMakeFiles/ftms_reliability.dir/failure_process.cc.o.d"
+  "/root/repo/src/reliability/markov_sim.cc" "src/reliability/CMakeFiles/ftms_reliability.dir/markov_sim.cc.o" "gcc" "src/reliability/CMakeFiles/ftms_reliability.dir/markov_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/disk/CMakeFiles/ftms_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/ftms_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ftms_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ftms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftms_reliability.dir/birth_death.cc.o"
+  "CMakeFiles/ftms_reliability.dir/birth_death.cc.o.d"
+  "CMakeFiles/ftms_reliability.dir/failure_process.cc.o"
+  "CMakeFiles/ftms_reliability.dir/failure_process.cc.o.d"
+  "CMakeFiles/ftms_reliability.dir/markov_sim.cc.o"
+  "CMakeFiles/ftms_reliability.dir/markov_sim.cc.o.d"
+  "libftms_reliability.a"
+  "libftms_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftms_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

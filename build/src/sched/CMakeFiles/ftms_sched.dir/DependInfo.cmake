@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/cycle_scheduler.cc" "src/sched/CMakeFiles/ftms_sched.dir/cycle_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/ftms_sched.dir/cycle_scheduler.cc.o.d"
+  "/root/repo/src/sched/improved_bandwidth_scheduler.cc" "src/sched/CMakeFiles/ftms_sched.dir/improved_bandwidth_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/ftms_sched.dir/improved_bandwidth_scheduler.cc.o.d"
+  "/root/repo/src/sched/non_clustered_scheduler.cc" "src/sched/CMakeFiles/ftms_sched.dir/non_clustered_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/ftms_sched.dir/non_clustered_scheduler.cc.o.d"
+  "/root/repo/src/sched/scheduler_factory.cc" "src/sched/CMakeFiles/ftms_sched.dir/scheduler_factory.cc.o" "gcc" "src/sched/CMakeFiles/ftms_sched.dir/scheduler_factory.cc.o.d"
+  "/root/repo/src/sched/staggered_group_scheduler.cc" "src/sched/CMakeFiles/ftms_sched.dir/staggered_group_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/ftms_sched.dir/staggered_group_scheduler.cc.o.d"
+  "/root/repo/src/sched/streaming_raid_scheduler.cc" "src/sched/CMakeFiles/ftms_sched.dir/streaming_raid_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/ftms_sched.dir/streaming_raid_scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/buffer/CMakeFiles/ftms_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/ftms_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/ftms_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/ftms_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ftms_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/ftms_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ftms_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/parity/CMakeFiles/ftms_parity.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftms_sched.dir/cycle_scheduler.cc.o"
+  "CMakeFiles/ftms_sched.dir/cycle_scheduler.cc.o.d"
+  "CMakeFiles/ftms_sched.dir/improved_bandwidth_scheduler.cc.o"
+  "CMakeFiles/ftms_sched.dir/improved_bandwidth_scheduler.cc.o.d"
+  "CMakeFiles/ftms_sched.dir/non_clustered_scheduler.cc.o"
+  "CMakeFiles/ftms_sched.dir/non_clustered_scheduler.cc.o.d"
+  "CMakeFiles/ftms_sched.dir/scheduler_factory.cc.o"
+  "CMakeFiles/ftms_sched.dir/scheduler_factory.cc.o.d"
+  "CMakeFiles/ftms_sched.dir/staggered_group_scheduler.cc.o"
+  "CMakeFiles/ftms_sched.dir/staggered_group_scheduler.cc.o.d"
+  "CMakeFiles/ftms_sched.dir/streaming_raid_scheduler.cc.o"
+  "CMakeFiles/ftms_sched.dir/streaming_raid_scheduler.cc.o.d"
+  "libftms_sched.a"
+  "libftms_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftms_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

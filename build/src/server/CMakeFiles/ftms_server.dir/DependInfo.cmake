@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/rebuild.cc" "src/server/CMakeFiles/ftms_server.dir/rebuild.cc.o" "gcc" "src/server/CMakeFiles/ftms_server.dir/rebuild.cc.o.d"
+  "/root/repo/src/server/rebuild_manager.cc" "src/server/CMakeFiles/ftms_server.dir/rebuild_manager.cc.o" "gcc" "src/server/CMakeFiles/ftms_server.dir/rebuild_manager.cc.o.d"
+  "/root/repo/src/server/server.cc" "src/server/CMakeFiles/ftms_server.dir/server.cc.o" "gcc" "src/server/CMakeFiles/ftms_server.dir/server.cc.o.d"
+  "/root/repo/src/server/staging.cc" "src/server/CMakeFiles/ftms_server.dir/staging.cc.o" "gcc" "src/server/CMakeFiles/ftms_server.dir/staging.cc.o.d"
+  "/root/repo/src/server/tertiary.cc" "src/server/CMakeFiles/ftms_server.dir/tertiary.cc.o" "gcc" "src/server/CMakeFiles/ftms_server.dir/tertiary.cc.o.d"
+  "/root/repo/src/server/trace.cc" "src/server/CMakeFiles/ftms_server.dir/trace.cc.o" "gcc" "src/server/CMakeFiles/ftms_server.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/disk/CMakeFiles/ftms_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/ftms_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ftms_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/parity/CMakeFiles/ftms_parity.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ftms_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/ftms_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ftms_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/ftms_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/ftms_verify.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

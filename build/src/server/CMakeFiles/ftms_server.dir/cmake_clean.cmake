@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftms_server.dir/rebuild.cc.o"
+  "CMakeFiles/ftms_server.dir/rebuild.cc.o.d"
+  "CMakeFiles/ftms_server.dir/rebuild_manager.cc.o"
+  "CMakeFiles/ftms_server.dir/rebuild_manager.cc.o.d"
+  "CMakeFiles/ftms_server.dir/server.cc.o"
+  "CMakeFiles/ftms_server.dir/server.cc.o.d"
+  "CMakeFiles/ftms_server.dir/staging.cc.o"
+  "CMakeFiles/ftms_server.dir/staging.cc.o.d"
+  "CMakeFiles/ftms_server.dir/tertiary.cc.o"
+  "CMakeFiles/ftms_server.dir/tertiary.cc.o.d"
+  "CMakeFiles/ftms_server.dir/trace.cc.o"
+  "CMakeFiles/ftms_server.dir/trace.cc.o.d"
+  "libftms_server.a"
+  "libftms_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftms_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftms_sim.dir/simulator.cc.o"
+  "CMakeFiles/ftms_sim.dir/simulator.cc.o.d"
+  "libftms_sim.a"
+  "libftms_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftms_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

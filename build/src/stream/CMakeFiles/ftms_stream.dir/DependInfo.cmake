@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/admission.cc" "src/stream/CMakeFiles/ftms_stream.dir/admission.cc.o" "gcc" "src/stream/CMakeFiles/ftms_stream.dir/admission.cc.o.d"
+  "/root/repo/src/stream/batching.cc" "src/stream/CMakeFiles/ftms_stream.dir/batching.cc.o" "gcc" "src/stream/CMakeFiles/ftms_stream.dir/batching.cc.o.d"
+  "/root/repo/src/stream/request_queue.cc" "src/stream/CMakeFiles/ftms_stream.dir/request_queue.cc.o" "gcc" "src/stream/CMakeFiles/ftms_stream.dir/request_queue.cc.o.d"
+  "/root/repo/src/stream/stream.cc" "src/stream/CMakeFiles/ftms_stream.dir/stream.cc.o" "gcc" "src/stream/CMakeFiles/ftms_stream.dir/stream.cc.o.d"
+  "/root/repo/src/stream/workload.cc" "src/stream/CMakeFiles/ftms_stream.dir/workload.cc.o" "gcc" "src/stream/CMakeFiles/ftms_stream.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ftms_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/ftms_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ftms_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/ftms_disk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

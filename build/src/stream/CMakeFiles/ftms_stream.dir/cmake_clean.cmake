@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftms_stream.dir/admission.cc.o"
+  "CMakeFiles/ftms_stream.dir/admission.cc.o.d"
+  "CMakeFiles/ftms_stream.dir/batching.cc.o"
+  "CMakeFiles/ftms_stream.dir/batching.cc.o.d"
+  "CMakeFiles/ftms_stream.dir/request_queue.cc.o"
+  "CMakeFiles/ftms_stream.dir/request_queue.cc.o.d"
+  "CMakeFiles/ftms_stream.dir/stream.cc.o"
+  "CMakeFiles/ftms_stream.dir/stream.cc.o.d"
+  "CMakeFiles/ftms_stream.dir/workload.cc.o"
+  "CMakeFiles/ftms_stream.dir/workload.cc.o.d"
+  "libftms_stream.a"
+  "libftms_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftms_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftms_util.dir/log.cc.o"
+  "CMakeFiles/ftms_util.dir/log.cc.o.d"
+  "CMakeFiles/ftms_util.dir/random.cc.o"
+  "CMakeFiles/ftms_util.dir/random.cc.o.d"
+  "CMakeFiles/ftms_util.dir/stats.cc.o"
+  "CMakeFiles/ftms_util.dir/stats.cc.o.d"
+  "CMakeFiles/ftms_util.dir/status.cc.o"
+  "CMakeFiles/ftms_util.dir/status.cc.o.d"
+  "libftms_util.a"
+  "libftms_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftms_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

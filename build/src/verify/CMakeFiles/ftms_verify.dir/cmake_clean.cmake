@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftms_verify.dir/datapath.cc.o"
+  "CMakeFiles/ftms_verify.dir/datapath.cc.o.d"
+  "CMakeFiles/ftms_verify.dir/scrub.cc.o"
+  "CMakeFiles/ftms_verify.dir/scrub.cc.o.d"
+  "libftms_verify.a"
+  "libftms_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftms_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/birth_death_test.dir/birth_death_test.cc.o"
+  "CMakeFiles/birth_death_test.dir/birth_death_test.cc.o.d"
+  "birth_death_test"
+  "birth_death_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/birth_death_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffers_model_test.dir/buffers_model_test.cc.o"
+  "CMakeFiles/buffers_model_test.dir/buffers_model_test.cc.o.d"
+  "buffers_model_test"
+  "buffers_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffers_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_failures_test.dir/fuzz_failures_test.cc.o"
+  "CMakeFiles/fuzz_failures_test.dir/fuzz_failures_test.cc.o.d"
+  "fuzz_failures_test"
+  "fuzz_failures_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_failures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integrity_mode_test.dir/integrity_mode_test.cc.o"
+  "CMakeFiles/integrity_mode_test.dir/integrity_mode_test.cc.o.d"
+  "integrity_mode_test"
+  "integrity_mode_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integrity_mode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

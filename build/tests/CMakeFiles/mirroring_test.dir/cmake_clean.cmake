@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mirroring_test.dir/mirroring_test.cc.o"
+  "CMakeFiles/mirroring_test.dir/mirroring_test.cc.o.d"
+  "mirroring_test"
+  "mirroring_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mirroring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

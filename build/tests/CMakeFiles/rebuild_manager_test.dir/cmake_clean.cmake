@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebuild_manager_test.dir/rebuild_manager_test.cc.o"
+  "CMakeFiles/rebuild_manager_test.dir/rebuild_manager_test.cc.o.d"
+  "rebuild_manager_test"
+  "rebuild_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebuild_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

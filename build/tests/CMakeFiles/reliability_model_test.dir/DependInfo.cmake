@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/reliability_model_test.cc" "tests/CMakeFiles/reliability_model_test.dir/reliability_model_test.cc.o" "gcc" "tests/CMakeFiles/reliability_model_test.dir/reliability_model_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/reliability/CMakeFiles/ftms_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ftms_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/ftms_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ftms_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/ftms_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/ftms_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ftms_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/ftms_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/ftms_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/parity/CMakeFiles/ftms_parity.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/ftms_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ftms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_model_test.dir/reliability_model_test.cc.o"
+  "CMakeFiles/reliability_model_test.dir/reliability_model_test.cc.o.d"
+  "reliability_model_test"
+  "reliability_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_sim_test.dir/reliability_sim_test.cc.o"
+  "CMakeFiles/reliability_sim_test.dir/reliability_sim_test.cc.o.d"
+  "reliability_sim_test"
+  "reliability_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_capacity_test.dir/sched_capacity_test.cc.o"
+  "CMakeFiles/sched_capacity_test.dir/sched_capacity_test.cc.o.d"
+  "sched_capacity_test"
+  "sched_capacity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_capacity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_nc_test.dir/sched_nc_test.cc.o"
+  "CMakeFiles/sched_nc_test.dir/sched_nc_test.cc.o.d"
+  "sched_nc_test"
+  "sched_nc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_nc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

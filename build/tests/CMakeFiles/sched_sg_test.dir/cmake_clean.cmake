@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_sg_test.dir/sched_sg_test.cc.o"
+  "CMakeFiles/sched_sg_test.dir/sched_sg_test.cc.o.d"
+  "sched_sg_test"
+  "sched_sg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_sg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

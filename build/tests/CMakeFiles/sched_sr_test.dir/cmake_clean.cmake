@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_sr_test.dir/sched_sr_test.cc.o"
+  "CMakeFiles/sched_sr_test.dir/sched_sr_test.cc.o.d"
+  "sched_sr_test"
+  "sched_sr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_sr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seek_curve_test.dir/seek_curve_test.cc.o"
+  "CMakeFiles/seek_curve_test.dir/seek_curve_test.cc.o.d"
+  "seek_curve_test"
+  "seek_curve_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seek_curve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

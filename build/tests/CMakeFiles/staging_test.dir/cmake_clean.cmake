@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staging_test.dir/staging_test.cc.o"
+  "CMakeFiles/staging_test.dir/staging_test.cc.o.d"
+  "staging_test"
+  "staging_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

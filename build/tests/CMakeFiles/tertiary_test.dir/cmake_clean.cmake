@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tertiary_test.dir/tertiary_test.cc.o"
+  "CMakeFiles/tertiary_test.dir/tertiary_test.cc.o.d"
+  "tertiary_test"
+  "tertiary_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tertiary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

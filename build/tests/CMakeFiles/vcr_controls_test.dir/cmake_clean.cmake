@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcr_controls_test.dir/vcr_controls_test.cc.o"
+  "CMakeFiles/vcr_controls_test.dir/vcr_controls_test.cc.o.d"
+  "vcr_controls_test"
+  "vcr_controls_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcr_controls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

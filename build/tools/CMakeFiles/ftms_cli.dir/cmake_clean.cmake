@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftms_cli.dir/ftms_cli.cc.o"
+  "CMakeFiles/ftms_cli.dir/ftms_cli.cc.o.d"
+  "ftms"
+  "ftms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftms_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

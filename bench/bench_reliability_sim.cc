@@ -3,13 +3,28 @@
 // time per trial; the formulas are scale-free in the MTTF/MTTR ratio).
 
 #include <cstdio>
+#include <cstdlib>
 
+#include "bench/bench_report.h"
 #include "bench/bench_util.h"
 #include "model/reliability_model.h"
 #include "reliability/markov_sim.h"
+#include "util/thread_pool.h"
 
 namespace ftms {
 namespace {
+
+// Trials per table row; FTMS_BENCH_TRIALS scales the workload up for
+// perf measurements without touching the reported tables' shape.
+int TrialsPerRow() {
+  if (const char* env = std::getenv("FTMS_BENCH_TRIALS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 300;
+}
+
+int64_t total_trials = 0;
 
 void CatastropheRows() {
   bench::Section(
@@ -26,7 +41,8 @@ void CatastropheRows() {
       config.scheme = scheme;
       config.mttf_hours = 2000.0;
       config.mttr_hours = 5.0;
-      config.trials = 300;
+      config.trials = TrialsPerRow();
+      total_trials += config.trials;
       const ReliabilityEstimate est =
           EstimateMttfCatastrophic(config).value();
       SystemParameters p;
@@ -68,7 +84,8 @@ void DegradationRows() {
     config.num_disks = 20;
     config.mttf_hours = 1000.0;
     config.mttr_hours = 2.0;
-    config.trials = 300;
+    config.trials = TrialsPerRow();
+    total_trials += config.trials;
     const ReliabilityEstimate est =
         EstimateKConcurrent(config, k).value();
     const double eq6 =
@@ -94,7 +111,21 @@ void DegradationRows() {
 int main() {
   ftms::bench::Banner(
       "Reliability Monte-Carlo vs closed forms (equations (4)-(6))");
+  const int threads = ftms::ThreadPool::DefaultThreadCount();
+  ftms::bench::WallTimer timer;
   ftms::CatastropheRows();
   ftms::DegradationRows();
+  const double wall_s = timer.Seconds();
+
+  std::printf("\n%lld trials in %.3f s (%.0f trials/s, %d threads)\n",
+              static_cast<long long>(ftms::total_trials), wall_s,
+              static_cast<double>(ftms::total_trials) / wall_s, threads);
+  ftms::bench::Reporter report("reliability_sim");
+  report.Set("threads", threads);
+  report.Set("trials", static_cast<double>(ftms::total_trials));
+  report.Set("wall_s", wall_s);
+  report.Set("trials_per_sec",
+             static_cast<double>(ftms::total_trials) / wall_s);
+  report.WriteJson();
   return 0;
 }

@@ -1,0 +1,66 @@
+#include "bench/bench_report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ftms::bench {
+namespace {
+
+// Formats a double compactly without losing round-trip precision for the
+// magnitudes benches produce (counts, seconds, rates).
+void AppendNumber(std::string* out, double v) {
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  out->append(buf);
+}
+
+}  // namespace
+
+void Reporter::Set(const std::string& key, double value) {
+  for (auto& [k, v] : metrics_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  metrics_.emplace_back(key, value);
+}
+
+std::string Reporter::WriteJson() const {
+  if (const char* enabled = std::getenv("FTMS_BENCH_JSON")) {
+    if (std::strcmp(enabled, "0") == 0) return "";
+  }
+  std::string dir = ".";
+  if (const char* env_dir = std::getenv("FTMS_BENCH_JSON_DIR")) {
+    if (env_dir[0] != '\0') dir = env_dir;
+  }
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+
+  std::string json = "{\n  \"bench\": \"" + name_ + "\",\n";
+  json += "  \"schema_version\": 1,\n";
+  json += "  \"metrics\": {\n";
+  for (size_t i = 0; i < metrics_.size(); ++i) {
+    json += "    \"" + metrics_[i].first + "\": ";
+    AppendNumber(&json, metrics_[i].second);
+    json += i + 1 < metrics_.size() ? ",\n" : "\n";
+  }
+  json += "  }\n}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_report: cannot write %s\n", path.c_str());
+    return "";
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return path;
+}
+
+}  // namespace ftms::bench

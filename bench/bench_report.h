@@ -1,0 +1,56 @@
+#ifndef FTMS_BENCH_BENCH_REPORT_H_
+#define FTMS_BENCH_BENCH_REPORT_H_
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ftms::bench {
+
+// Wall-clock stopwatch for the perf-trajectory reports.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Machine-readable perf snapshot: each bench collects a flat set of
+// scalar metrics (wall time, trials/sec, cycles/sec, ...) and writes
+// BENCH_<name>.json so successive PRs can be compared with
+// tools/bench_diff.py.
+//
+// Environment knobs:
+//   FTMS_BENCH_JSON=0        disable writing entirely
+//   FTMS_BENCH_JSON_DIR=dir  target directory (default: current dir)
+class Reporter {
+ public:
+  explicit Reporter(std::string name) : name_(std::move(name)) {}
+
+  // Records (or overwrites) one scalar metric. Insertion order is kept in
+  // the JSON output so the files diff cleanly run-to-run.
+  void Set(const std::string& key, double value);
+
+  // Writes BENCH_<name>.json and returns its path; returns "" when
+  // disabled via FTMS_BENCH_JSON=0 or when the file cannot be written.
+  // Also prints a one-line "wrote ..." notice on success.
+  std::string WriteJson() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+}  // namespace ftms::bench
+
+#endif  // FTMS_BENCH_BENCH_REPORT_H_

@@ -8,8 +8,10 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_report.h"
 #include "bench/bench_util.h"
 #include "model/tables.h"
+#include "util/thread_pool.h"
 
 namespace ftms {
 namespace {
@@ -38,7 +40,7 @@ Orderings Derive(const SystemParameters& p, int c) {
   return o;
 }
 
-void Row(const std::string& label, const SystemParameters& p) {
+std::string FormatRow(const std::string& label, const SystemParameters& p) {
   bool all[4] = {true, true, true, true};
   for (int c : {4, 5, 7, 10}) {
     const Orderings o = Derive(p, c);
@@ -47,9 +49,33 @@ void Row(const std::string& label, const SystemParameters& p) {
     all[2] &= o.ib_least_reliable;
     all[3] &= o.nc_ib_degrade_later;
   }
-  std::printf("%-34s %10s %12s %12s %14s\n", label.c_str(),
-              all[0] ? "holds" : "BREAKS", all[1] ? "holds" : "BREAKS",
-              all[2] ? "holds" : "BREAKS", all[3] ? "holds" : "BREAKS");
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%-34s %10s %12s %12s %14s\n",
+                label.c_str(), all[0] ? "holds" : "BREAKS",
+                all[1] ? "holds" : "BREAKS", all[2] ? "holds" : "BREAKS",
+                all[3] ? "holds" : "BREAKS");
+  return buf;
+}
+
+struct Perturbation {
+  std::string label;
+  SystemParameters params;
+};
+
+// Every perturbation derives its orderings independently, so the sweep
+// fans out over the shared pool; rows are printed in declaration order
+// regardless of which thread computed them.
+void RunRows(const std::vector<Perturbation>& rows) {
+  std::vector<std::string> out(rows.size());
+  ParallelFor(&ThreadPool::Shared(), 0,
+              static_cast<int64_t>(rows.size()), [&](int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) {
+                  out[static_cast<size_t>(i)] = FormatRow(
+                      rows[static_cast<size_t>(i)].label,
+                      rows[static_cast<size_t>(i)].params);
+                }
+              });
+  for (const std::string& row : out) std::fputs(row.c_str(), stdout);
 }
 
 }  // namespace
@@ -64,31 +90,41 @@ int main() {
               "IB streams", "NC buffers", "IB reliab.", "NC/IB MTTDS");
 
   SystemParameters base;
-  Row("Table 1 baseline", base);
+  std::vector<Perturbation> rows;
+  rows.push_back({"Table 1 baseline", base});
 
   SystemParameters p = base;
   p.disk.seek_time_s *= 2;
-  Row("2x seek time (50 ms)", p);
+  rows.push_back({"2x seek time (50 ms)", p});
   p = base;
   p.disk.seek_time_s *= 0.5;
-  Row("0.5x seek time (12.5 ms)", p);
+  rows.push_back({"0.5x seek time (12.5 ms)", p});
   p = base;
   p.disk.track_mb *= 2;
-  Row("2x track size (100 KB)", p);
+  rows.push_back({"2x track size (100 KB)", p});
   p = base;
   p.object_rate_mb_s = 0.5625;
-  Row("MPEG-2 objects (4.5 Mb/s)", p);
+  rows.push_back({"MPEG-2 objects (4.5 Mb/s)", p});
   p = base;
   p.disk.mttr_hours = 24;
-  Row("24 h repair time", p);
+  rows.push_back({"24 h repair time", p});
   p = base;
   p.num_disks = 1000;
-  Row("1000-disk farm, K = 3", p);
+  rows.push_back({"1000-disk farm, K = 3", p});
   p.k_reserve = 5;
-  Row("1000-disk farm, K = 5", p);
+  rows.push_back({"1000-disk farm, K = 5", p});
   p = base;
   p.k_reserve = 5;
-  Row("K = 5 reserve", p);
+  rows.push_back({"K = 5 reserve", p});
+
+  bench::WallTimer timer;
+  RunRows(rows);
+  const double wall_s = timer.Seconds();
+  bench::Reporter report("sensitivity");
+  report.Set("rows", static_cast<double>(rows.size()));
+  report.Set("wall_s", wall_s);
+  report.Set("rows_per_sec", static_cast<double>(rows.size()) / wall_s);
+  report.WriteJson();
 
   std::printf(
       "\nEvery ordering is robust except one instructive case: at 1000\n"

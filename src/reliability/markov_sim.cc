@@ -1,8 +1,9 @@
 #include "reliability/markov_sim.h"
 
 #include <algorithm>
-#include <queue>
 #include <vector>
+
+#include "util/thread_pool.h"
 
 namespace ftms {
 namespace {
@@ -31,47 +32,89 @@ Status Validate(const ReliabilitySimConfig& c) {
   if (c.trials <= 0) {
     return Status::InvalidArgument("trials must be positive");
   }
+  if (c.threads < 0) {
+    return Status::InvalidArgument("threads must be >= 0");
+  }
   return Status::Ok();
 }
+
+// Per-worker simulation state, allocated once per chunk of trials and
+// reused — the trial loop itself is allocation-free after the first trial
+// of a chunk (the event heap and the per-cluster counters keep their
+// capacity across trials).
+struct TrialScratch {
+  std::vector<int> down_in_cluster;
+  std::vector<uint8_t> down;
+  std::vector<Event> heap_storage;
+};
 
 // One trial: simulate until `stop(down_per_cluster, total_down, disk)`
 // returns true right after a failure event; returns the event time.
 template <typename StopFn>
 double RunTrial(const ReliabilitySimConfig& c, int cluster_size, Rng& rng,
-                StopFn stop) {
+                TrialScratch& scratch, StopFn stop) {
   const int clusters = (c.num_disks + cluster_size - 1) / cluster_size;
-  std::vector<int> down_in_cluster(static_cast<size_t>(clusters), 0);
-  std::vector<bool> down(static_cast<size_t>(c.num_disks), false);
+  scratch.down_in_cluster.assign(static_cast<size_t>(clusters), 0);
+  scratch.down.assign(static_cast<size_t>(c.num_disks), 0);
   int total_down = 0;
 
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue;
+  // Min-heap on the scratch vector (std::push_heap/pop_heap with the
+  // inverted comparator) so the event queue's buffer survives the trial.
+  std::vector<Event>& heap = scratch.heap_storage;
+  heap.clear();
+  heap.reserve(static_cast<size_t>(c.num_disks) + 1);
+  const EventLater later;
   for (int d = 0; d < c.num_disks; ++d) {
-    queue.push(Event{rng.ExponentialMean(c.mttf_hours), d, true});
+    heap.push_back(Event{rng.ExponentialMean(c.mttf_hours), d, true});
   }
-  while (!queue.empty()) {
-    const Event ev = queue.top();
-    queue.pop();
+  std::make_heap(heap.begin(), heap.end(), later);
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), later);
+    const Event ev = heap.back();
+    heap.pop_back();
     const size_t disk = static_cast<size_t>(ev.disk);
     const size_t cluster = static_cast<size_t>(ev.disk / cluster_size);
     if (ev.is_failure) {
-      down[disk] = true;
-      ++down_in_cluster[cluster];
+      scratch.down[disk] = 1;
+      ++scratch.down_in_cluster[cluster];
       ++total_down;
-      if (stop(down_in_cluster, total_down, ev.disk)) return ev.time;
-      queue.push(
+      if (stop(scratch.down_in_cluster, total_down, ev.disk)) return ev.time;
+      heap.push_back(
           Event{ev.time + rng.ExponentialMean(c.mttr_hours), ev.disk, false});
     } else {
-      down[disk] = false;
-      --down_in_cluster[cluster];
+      scratch.down[disk] = 0;
+      --scratch.down_in_cluster[cluster];
       --total_down;
-      queue.push(
+      heap.push_back(
           Event{ev.time + rng.ExponentialMean(c.mttf_hours), ev.disk, true});
     }
+    std::push_heap(heap.begin(), heap.end(), later);
   }
-  return 0;  // unreachable: the queue is never empty
+  return 0;  // unreachable: the heap is never empty
 }
 
-ReliabilityEstimate Summarize(const StreamingStats& stats) {
+// Runs `c.trials` independent trials, each on its own deterministic RNG
+// stream, parallelized over the shared pool. The per-trial results are
+// gathered positionally and folded into the estimate in trial order, so
+// the returned numbers are bit-identical for any `c.threads`.
+template <typename StopFn>
+ReliabilityEstimate RunTrials(const ReliabilitySimConfig& c,
+                              int cluster_size, StopFn stop) {
+  std::vector<double> times(static_cast<size_t>(c.trials), 0.0);
+  const int threads =
+      c.threads > 0 ? c.threads : ThreadPool::DefaultThreadCount();
+  ThreadPool* pool = threads > 1 ? &ThreadPool::Shared() : nullptr;
+  ParallelFor(pool, 0, c.trials, [&](int64_t lo, int64_t hi) {
+    TrialScratch scratch;
+    for (int64_t t = lo; t < hi; ++t) {
+      Rng rng(c.seed ^ SplitMix64Hash(static_cast<uint64_t>(t)));
+      times[static_cast<size_t>(t)] =
+          RunTrial(c, cluster_size, rng, scratch, stop);
+    }
+  });
+
+  StreamingStats stats;
+  for (double t : times) stats.Add(t);
   ReliabilityEstimate est;
   est.mean_hours = stats.mean();
   est.ci95_hours = stats.ConfidenceHalfWidth95();
@@ -93,26 +136,20 @@ StatusOr<ReliabilityEstimate> EstimateMttfCatastrophic(
   }
   const int clusters = config.num_disks / cluster_size;
 
-  Rng rng(config.seed);
-  StreamingStats stats;
-  for (int t = 0; t < config.trials; ++t) {
-    const double time = RunTrial(
-        config, cluster_size, rng,
-        [&](const std::vector<int>& down_per_cluster, int /*total*/,
-            int disk) {
-          const int cl = disk / cluster_size;
-          if (down_per_cluster[static_cast<size_t>(cl)] >= 2) return true;
-          if (!ib) return false;
-          // IB: a down disk in an adjacent cluster is also fatal (shared
-          // parity dependency across the cluster boundary).
-          const int left = (cl + clusters - 1) % clusters;
-          const int right = (cl + 1) % clusters;
-          return down_per_cluster[static_cast<size_t>(left)] > 0 ||
-                 down_per_cluster[static_cast<size_t>(right)] > 0;
-        });
-    stats.Add(time);
-  }
-  return Summarize(stats);
+  return RunTrials(
+      config, cluster_size,
+      [ib, clusters, cluster_size](const std::vector<int>& down_per_cluster,
+                                   int /*total*/, int disk) {
+        const int cl = disk / cluster_size;
+        if (down_per_cluster[static_cast<size_t>(cl)] >= 2) return true;
+        if (!ib) return false;
+        // IB: a down disk in an adjacent cluster is also fatal (shared
+        // parity dependency across the cluster boundary).
+        const int left = (cl + clusters - 1) % clusters;
+        const int right = (cl + 1) % clusters;
+        return down_per_cluster[static_cast<size_t>(left)] > 0 ||
+               down_per_cluster[static_cast<size_t>(right)] > 0;
+      });
 }
 
 StatusOr<ReliabilityEstimate> EstimateKDegradedClusters(
@@ -127,21 +164,15 @@ StatusOr<ReliabilityEstimate> EstimateKDegradedClusters(
   if (k_clusters < 1 || k_clusters > clusters) {
     return Status::InvalidArgument("k_clusters out of range");
   }
-  Rng rng(config.seed);
-  StreamingStats stats;
-  for (int t = 0; t < config.trials; ++t) {
-    const double time = RunTrial(
-        config, cluster_size, rng,
-        [&](const std::vector<int>& down_per_cluster, int, int) {
-          int degraded = 0;
-          for (int d : down_per_cluster) {
-            if (d > 0) ++degraded;
-          }
-          return degraded >= k_clusters;
-        });
-    stats.Add(time);
-  }
-  return Summarize(stats);
+  return RunTrials(
+      config, cluster_size,
+      [k_clusters](const std::vector<int>& down_per_cluster, int, int) {
+        int degraded = 0;
+        for (int d : down_per_cluster) {
+          if (d > 0) ++degraded;
+        }
+        return degraded >= k_clusters;
+      });
 }
 
 StatusOr<ReliabilityEstimate> EstimateKConcurrent(
@@ -150,17 +181,10 @@ StatusOr<ReliabilityEstimate> EstimateKConcurrent(
   if (k_concurrent < 1 || k_concurrent > config.num_disks) {
     return Status::InvalidArgument("k_concurrent out of range");
   }
-  Rng rng(config.seed);
-  StreamingStats stats;
-  for (int t = 0; t < config.trials; ++t) {
-    const double time =
-        RunTrial(config, config.parity_group_size, rng,
-                 [&](const std::vector<int>&, int total, int) {
-                   return total >= k_concurrent;
-                 });
-    stats.Add(time);
-  }
-  return Summarize(stats);
+  return RunTrials(config, config.parity_group_size,
+                   [k_concurrent](const std::vector<int>&, int total, int) {
+                     return total >= k_concurrent;
+                   });
 }
 
 }  // namespace ftms

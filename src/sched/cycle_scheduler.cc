@@ -1,5 +1,6 @@
 #include "sched/cycle_scheduler.h"
 
+#include <algorithm>
 #include <cassert>
 #include <string>
 
@@ -14,6 +15,7 @@ CycleScheduler::CycleScheduler(const SchedulerConfig& config,
                         ? config_.slots_per_disk
                         : config_.disk.TracksPerCycle(CycleSeconds());
   slots_used_.assign(static_cast<size_t>(disks_->num_disks()), 0);
+  mid_cycle_failed_.assign(static_cast<size_t>(disks_->num_disks()), 0);
 }
 
 double CycleScheduler::CycleSeconds() const {
@@ -46,7 +48,10 @@ void CycleScheduler::RunCycle() {
   DoRunCycle();
   pool_.Release(pending_release_);
   pending_release_ = 0;
-  mid_cycle_failures_.clear();
+  if (mid_cycle_count_ > 0) {
+    std::fill(mid_cycle_failed_.begin(), mid_cycle_failed_.end(), 0);
+    mid_cycle_count_ = 0;
+  }
   ++cycle_;
   ++metrics_.cycles;
 }
@@ -61,7 +66,10 @@ void CycleScheduler::BeginCycle() {
 
 void CycleScheduler::OnDiskFailed(int disk, bool mid_cycle) {
   disks_->FailDisk(disk).ok();
-  if (mid_cycle) mid_cycle_failures_.insert(disk);
+  if (mid_cycle && !mid_cycle_failed_[static_cast<size_t>(disk)]) {
+    mid_cycle_failed_[static_cast<size_t>(disk)] = 1;
+    ++mid_cycle_count_;
+  }
   DoOnDiskFailed(disk);
 }
 
@@ -75,7 +83,7 @@ bool CycleScheduler::DiskUp(int disk) const {
 }
 
 bool CycleScheduler::FailedMidCycle(int disk) const {
-  return mid_cycle_failures_.find(disk) != mid_cycle_failures_.end();
+  return mid_cycle_failed_[static_cast<size_t>(disk)] != 0;
 }
 
 int CycleScheduler::FreeSlots(int disk) const {

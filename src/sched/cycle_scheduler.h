@@ -1,9 +1,9 @@
 #ifndef FTMS_SCHED_CYCLE_SCHEDULER_H_
 #define FTMS_SCHED_CYCLE_SCHEDULER_H_
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
-#include <set>
 #include <vector>
 
 #include "buffer/buffer_pool.h"
@@ -206,8 +206,14 @@ class CycleScheduler {
   // Buffer accounting (tracks). A track transmitted during cycle t is in
   // memory until t's end (transmission overlaps the next reads), so
   // delivery paths release at cycle end; the pool peak then matches the
-  // paper's buffer equations (12)-(15).
-  void AcquireBuffers(int64_t n) { pool_.Acquire(n).ok(); }
+  // paper's buffer equations (12)-(15). The pool is unlimited here, so a
+  // failed acquire means the scheduler's own accounting went negative
+  // somewhere — loud in debug builds rather than silently dropped.
+  void AcquireBuffers(int64_t n) {
+    const Status status = pool_.Acquire(n);
+    assert(status.ok() && "buffer accounting exceeded pool capacity");
+    (void)status;
+  }
   void ReleaseBuffersAtCycleEnd(int64_t n) { pending_release_ += n; }
 
   DiskArray* disks_;
@@ -223,8 +229,15 @@ class CycleScheduler {
   std::vector<std::unique_ptr<Stream>> streams_;
   int64_t cycle_ = 0;
   int slots_per_disk_ = 0;
+  // Flat per-disk slot accounting, sized once in the constructor: TryRead
+  // and FreeSlots are a single array access on the hot path (no ordered
+  // containers anywhere in the per-cycle machinery).
   std::vector<int> slots_used_;
-  std::set<int> mid_cycle_failures_;  // applies to the next RunCycle only
+  // Per-disk flag, set for the next RunCycle only. `mid_cycle_count_`
+  // lets BeginCycle skip the clear entirely in the (overwhelmingly
+  // common) failure-free cycles.
+  std::vector<uint8_t> mid_cycle_failed_;
+  int mid_cycle_count_ = 0;
 };
 
 // Creates the scheduler matching `config.scheme`.

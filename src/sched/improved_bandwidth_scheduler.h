@@ -45,7 +45,7 @@ class ImprovedBandwidthScheduler : public CycleScheduler {
     bool ready = false;
     int64_t first_track = 0;
     int tracks = 0;
-    std::vector<bool> have;
+    std::vector<uint8_t> have;  // byte flags, not vector<bool>
     bool parity_ok = false;
     int64_t buffered_tracks = 0;
   };
@@ -72,7 +72,7 @@ class ImprovedBandwidthScheduler : public CycleScheduler {
   std::vector<GroupBuffer> state_;
   std::vector<std::vector<PlannedRead>> plan_;     // per disk
   std::vector<int> missing_count_;                 // per stream, this cycle
-  std::vector<bool> parity_planned_;               // per stream, this cycle
+  std::vector<uint8_t> parity_planned_;            // per stream, this cycle
 };
 
 }  // namespace ftms

@@ -17,6 +17,10 @@ NonClusteredScheduler::NonClusteredScheduler(const SchedulerConfig& config,
 void NonClusteredScheduler::DoAddStream(Stream* stream) {
   state_.resize(std::max(state_.size(),
                          static_cast<size_t>(stream->id()) + 1));
+  // One group plus the largest rate-multiplier burst; sized here so the
+  // per-cycle buffering path never allocates.
+  state_[static_cast<size_t>(stream->id())].buffered.Reserve(
+      static_cast<size_t>(layout_->parity_group_size()) + 16);
 }
 
 int NonClusteredScheduler::FailedDataIndex(int cluster) const {
@@ -76,7 +80,7 @@ int NonClusteredScheduler::RateMultiplier(const Stream& stream) const {
 }
 
 void NonClusteredScheduler::BufferTrack(NcState* st, int64_t track) {
-  if (st->buffered.insert(track).second) AcquireBuffers(1);
+  if (st->buffered.Insert(track)) AcquireBuffers(1);
 }
 
 void NonClusteredScheduler::DeliverPhase() {
@@ -95,9 +99,9 @@ void NonClusteredScheduler::DeliverPhase() {
 
 void NonClusteredScheduler::DeliverOneTrack(Stream* stream, NcState* st) {
   const int64_t p = stream->position();
-  const bool have = st->buffered.count(p) > 0;
+  const bool have = st->buffered.Contains(p);
   if (have) {
-    st->buffered.erase(p);
+    st->buffered.Erase(p);
     ReleaseBuffersAtCycleEnd(1);
   }
   // Deferred strategy: while a group's reconstruction is pending, fold
@@ -141,7 +145,7 @@ void NonClusteredScheduler::ReadGroupNow(Stream* stream, NcState* st,
   bool all_survivors_ok = true;
   int64_t missing_track = -1;
   for (int64_t t = std::max(first, stream->position()); t < last; ++t) {
-    if (st->buffered.count(t) > 0) continue;
+    if (st->buffered.Contains(t)) continue;
     const BlockLocation loc = layout_->DataLocation(object_id, t);
     if (!DiskUp(loc.disk)) {
       missing_track = t;
@@ -206,7 +210,7 @@ void NonClusteredScheduler::GroupReadPass() {
     for (int k = 0; k < multiplier; ++k) {
     const int64_t due = first_due + k;
     if (due >= stream->object().num_tracks) break;
-    if (st.buffered.count(due) > 0) continue;
+    if (st.buffered.Contains(due)) continue;
     const int64_t group = layout_->GroupOf(due);
     const int cluster =
         layout_->GroupCluster(stream->object().id, group);
@@ -251,7 +255,7 @@ void NonClusteredScheduler::NormalReadPass() {
     for (int k = 0; k < multiplier; ++k) {
       const int64_t due = first_due + k;
       if (due >= stream->object().num_tracks) break;
-      if (st.buffered.count(due) > 0) {
+      if (st.buffered.Contains(due)) {
         st.started = true;  // a group read already staged this track
         continue;
       }
@@ -279,10 +283,10 @@ void NonClusteredScheduler::DoRunCycle() {
 
 void NonClusteredScheduler::DoOnStreamStopped(Stream* stream) {
   NcState& st = state_[static_cast<size_t>(stream->id())];
-  int64_t held = static_cast<int64_t>(st.buffered.size());
+  int64_t held = st.buffered.size();
   if (st.acc_held) ++held;
   if (held > 0) ReleaseBuffersAtCycleEnd(held);
-  st.buffered.clear();
+  st.buffered.Clear();
   st.acc_held = false;
   st.acc_group = -1;
   st.acc_prefix = 0;

@@ -1,7 +1,8 @@
 #ifndef FTMS_SCHED_NON_CLUSTERED_SCHEDULER_H_
 #define FTMS_SCHED_NON_CLUSTERED_SCHEDULER_H_
 
-#include <set>
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "buffer/buffer_pool.h"
@@ -56,9 +57,41 @@ class NonClusteredScheduler : public CycleScheduler {
   void DoOnStreamStopped(Stream* stream) override;
 
  private:
+  // Set of absolute object tracks a stream holds in memory. A stream
+  // buffers at most one parity group plus a rate-multiplier's worth of
+  // staged tracks (~C + 16), so an unsorted flat vector with linear scans
+  // beats a node-based set and — once Reserve()d at admission — never
+  // allocates on the per-cycle path.
+  class SmallTrackSet {
+   public:
+    void Reserve(size_t n) { tracks_.reserve(n); }
+    bool Contains(int64_t t) const {
+      return std::find(tracks_.begin(), tracks_.end(), t) != tracks_.end();
+    }
+    // Returns true when `t` was newly inserted.
+    bool Insert(int64_t t) {
+      if (Contains(t)) return false;
+      tracks_.push_back(t);
+      return true;
+    }
+    // Returns true when `t` was present (and is now removed).
+    bool Erase(int64_t t) {
+      auto it = std::find(tracks_.begin(), tracks_.end(), t);
+      if (it == tracks_.end()) return false;
+      *it = tracks_.back();
+      tracks_.pop_back();
+      return true;
+    }
+    int64_t size() const { return static_cast<int64_t>(tracks_.size()); }
+    void Clear() { tracks_.clear(); }
+
+   private:
+    std::vector<int64_t> tracks_;
+  };
+
   struct NcState {
     bool started = false;
-    std::set<int64_t> buffered;  // absolute object tracks in memory
+    SmallTrackSet buffered;  // absolute object tracks in memory
     // Deferred-reconstruction state for the current group:
     int64_t acc_group = -1;  // group whose delivered prefix is accumulated
     int acc_prefix = 0;      // leading positions folded into the XOR

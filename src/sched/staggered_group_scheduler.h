@@ -39,7 +39,7 @@ class StaggeredGroupScheduler : public CycleScheduler {
     int64_t first_track = 0;
     int tracks = 0;
     int delivered = 0;  // tracks of the group delivered so far
-    std::vector<bool> have;
+    std::vector<uint8_t> have;  // byte flags, not vector<bool>
     bool parity_ok = false;
     int64_t buffered_tracks = 0;  // pool accounting
   };

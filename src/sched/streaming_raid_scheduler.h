@@ -34,7 +34,9 @@ class StreamingRaidScheduler : public CycleScheduler {
     int64_t first_track = 0;        // first object track of the group
     int tracks = 0;                 // data tracks in the group (final group
                                     // of an object may be short)
-    std::vector<bool> have;         // per position: data track read OK
+    std::vector<uint8_t> have;      // per position: data track read OK
+                                    // (byte flags: indexed without the
+                                    // vector<bool> bit-twiddling)
     bool parity_ok = false;
     int64_t buffered_tracks = 0;    // buffer-pool accounting for release
     // Integrity mode: the actual bytes carried through the pipeline.

@@ -8,6 +8,14 @@
 
 namespace ftms {
 
+// One full round of the SplitMix64 mixer applied to `x` itself (stateless,
+// unlike the seeding sequence inside Rng::Seed). Used to derive
+// statistically independent per-trial seeds: trial i of a simulation with
+// base seed s runs on Rng(s ^ SplitMix64Hash(i)), which depends only on
+// (s, i) — never on which thread runs the trial — so parallel runs are
+// bit-identical at any thread count.
+uint64_t SplitMix64Hash(uint64_t x);
+
 // Deterministic, fast pseudo random number generator (xoshiro256**),
 // seeded via SplitMix64. Every stochastic component of the library takes an
 // explicit Rng so simulations are reproducible from a single seed.

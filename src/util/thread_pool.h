@@ -1,0 +1,69 @@
+#ifndef FTMS_UTIL_THREAD_POOL_H_
+#define FTMS_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ftms {
+
+// Fixed-size thread pool for the embarrassingly-parallel parts of the
+// simulation stack (Monte-Carlo trials, multi-config bench sweeps).
+//
+// Deliberately simple: one shared FIFO queue, no work stealing, no task
+// futures. Parallel work is expressed through ParallelFor below, which
+// partitions an index range into contiguous chunks — together with
+// per-trial RNG streams this keeps every parallel computation bit-identical
+// at any thread count, including 1.
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers; values < 1 are clamped to 1. A pool of
+  // size 1 still runs submitted work on its single worker thread.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+  // Enqueues `task` for execution on some worker thread.
+  void Submit(std::function<void()> task);
+
+  // Thread count used by Shared() and by components configured with
+  // "0 = default": the FTMS_THREADS environment variable when set to a
+  // positive integer, else std::thread::hardware_concurrency().
+  static int DefaultThreadCount();
+
+  // Lazily-constructed process-wide pool of DefaultThreadCount() workers.
+  // Never destroyed (intentionally leaked) so it is safe to use from
+  // static destructors and exit paths.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+// Splits [begin, end) into at most `pool->size()` contiguous chunks and
+// runs `body(chunk_begin, chunk_end)` on the pool, blocking until every
+// chunk is done. The partition depends only on the range and the pool
+// size, never on scheduling order, so any per-index output written by the
+// body lands in the same place regardless of which thread runs the chunk.
+// Runs inline (no pool hop) when the pool has one thread, the range has at
+// most one element, or `pool` is null.
+void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
+                 const std::function<void(int64_t, int64_t)>& body);
+
+}  // namespace ftms
+
+#endif  // FTMS_UTIL_THREAD_POOL_H_

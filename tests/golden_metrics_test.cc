@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "tests/sched_test_util.h"
+
+namespace ftms {
+namespace {
+
+// Golden end-to-end metrics for the five bench_full_farm runs (Table 1
+// scale: D = 100, C = 5, ~1000 streams, one mid-cycle failure + repair).
+// The values were captured from the pre-optimization scheduler (ordered
+// std::set bookkeeping, per-cycle allocations); the allocation-free hot
+// path must reproduce every counter EXACTLY. If an intentional scheduling
+// change moves these numbers, re-capture and update the table — never
+// loosen the comparison.
+
+struct GoldenRow {
+  Scheme scheme;
+  int c;
+  int disks;
+  int streams;
+  int stagger_every;
+  SchedulerMetrics want;
+  int64_t want_buffer_peak;
+};
+
+SchedulerMetrics Metrics(int64_t cycles, int64_t data_reads,
+                         int64_t parity_reads, int64_t failed_reads,
+                         int64_t dropped_reads, int64_t tracks_delivered,
+                         int64_t hiccups, int64_t reconstructed,
+                         int64_t degradation_events, int64_t shift_cascades,
+                         int64_t max_shift_depth) {
+  SchedulerMetrics m;
+  m.cycles = cycles;
+  m.data_reads = data_reads;
+  m.parity_reads = parity_reads;
+  m.failed_reads = failed_reads;
+  m.dropped_reads = dropped_reads;
+  m.tracks_delivered = tracks_delivered;
+  m.hiccups = hiccups;
+  m.reconstructed = reconstructed;
+  m.degradation_events = degradation_events;
+  m.shift_cascades = shift_cascades;
+  m.max_shift_depth = max_shift_depth;
+  return m;
+}
+
+std::vector<GoldenRow> GoldenRows() {
+  return {
+      {Scheme::kStreamingRaid, 5, 100, 1040, 0,
+       Metrics(70, 289640, 72800, 1560, 0, 287040, 0, 1560, 0, 0, 0),
+       10400},
+      {Scheme::kStaggeredGroup, 5, 100, 960, 0,
+       Metrics(70, 66840, 16800, 360, 0, 64800, 0, 360, 0, 0, 0), 4560},
+      {Scheme::kNonClustered, 5, 100, 960, 12,
+       Metrics(150, 105684, 348, 0, 36, 105072, 48, 348, 0, 0, 0), 1980},
+      {Scheme::kImprovedBandwidth, 5, 96, 960, 0,
+       Metrics(70, 266208, 2552, 40, 0, 264920, 40, 2552, 0, 1392, 3),
+       7680},
+      {Scheme::kImprovedBandwidth, 5, 96, 1200, 0,
+       Metrics(70, 317158, 18734, 50, 0, 331092, 108, 18734, 58, 17342, 23),
+       9600},
+  };
+}
+
+TEST(GoldenMetricsTest, FullFarmRunsMatchPreRewriteMetrics) {
+  for (const GoldenRow& row : GoldenRows()) {
+    SCOPED_TRACE(std::string(SchemeName(row.scheme)) + " x " +
+                 std::to_string(row.streams));
+    SchedRig rig = MakeRig(row.scheme, row.c, row.disks);
+    const int clusters = rig.layout->num_clusters();
+    for (int i = 0; i < row.streams; ++i) {
+      rig.sched->AddStream(TestObject(i % clusters, 100000)).value();
+      if (row.stagger_every > 0 &&
+          i % row.stagger_every == row.stagger_every - 1) {
+        rig.sched->RunCycle();
+      }
+    }
+    rig.sched->RunCycles(30);
+    rig.sched->OnDiskFailed(1, /*mid_cycle=*/true);
+    rig.sched->RunCycles(30);
+    rig.sched->OnDiskRepaired(1);
+    rig.sched->RunCycles(10);
+
+    const SchedulerMetrics& m = rig.sched->metrics();
+    EXPECT_EQ(m.cycles, row.want.cycles);
+    EXPECT_EQ(m.data_reads, row.want.data_reads);
+    EXPECT_EQ(m.parity_reads, row.want.parity_reads);
+    EXPECT_EQ(m.failed_reads, row.want.failed_reads);
+    EXPECT_EQ(m.dropped_reads, row.want.dropped_reads);
+    EXPECT_EQ(m.tracks_delivered, row.want.tracks_delivered);
+    EXPECT_EQ(m.hiccups, row.want.hiccups);
+    EXPECT_EQ(m.reconstructed, row.want.reconstructed);
+    EXPECT_EQ(m.terminated_streams, 0);
+    EXPECT_EQ(m.degradation_events, row.want.degradation_events);
+    EXPECT_EQ(m.shift_cascades, row.want.shift_cascades);
+    EXPECT_EQ(m.max_shift_depth, row.want.max_shift_depth);
+    EXPECT_EQ(rig.sched->buffer_pool().peak_in_use(), row.want_buffer_peak);
+  }
+}
+
+}  // namespace
+}  // namespace ftms

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json perf snapshots and flag regressions.
+
+Usage:
+    tools/bench_diff.py BASELINE.json CURRENT.json [--threshold PCT]
+
+Metric direction is inferred from the key name: throughput-style keys
+(*_per_sec, *_per_s) are better when higher; time-style keys (wall_s, *_s,
+*_seconds) are better when lower; anything else (counts, thread counts) is
+informational and compared for drift only, never flagged.
+
+Exit status: 0 = no regression beyond the threshold, 1 = at least one
+regression, 2 = usage / file error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def metric_direction(key):
+    """Returns 'higher', 'lower', or None (informational)."""
+    if key.endswith("_per_sec") or key.endswith("_per_s"):
+        return "higher"
+    if key == "wall_s" or key.endswith("_s") or key.endswith("_seconds"):
+        return "lower"
+    return None
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"bench_diff: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        print(f"bench_diff: {path} has no 'metrics' object", file=sys.stderr)
+        sys.exit(2)
+    return doc.get("bench", "?"), metrics
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=10.0,
+        help="regression threshold in percent (default: 10)",
+    )
+    args = parser.parse_args()
+
+    base_name, base = load(args.baseline)
+    cur_name, cur = load(args.current)
+    if base_name != cur_name:
+        print(
+            f"note: comparing different benches ({base_name} vs {cur_name})"
+        )
+
+    regressions = []
+    print(f"{'metric':<24} {'baseline':>14} {'current':>14} {'delta':>9}")
+    for key in base:
+        if key not in cur:
+            print(f"{key:<24} {base[key]:>14g} {'(gone)':>14}")
+            continue
+        b, c = float(base[key]), float(cur[key])
+        delta_pct = (c - b) / b * 100.0 if b != 0 else float("inf")
+        direction = metric_direction(key)
+        flag = ""
+        if direction == "higher" and delta_pct < -args.threshold:
+            flag = "  << REGRESSION"
+            regressions.append(key)
+        elif direction == "lower" and delta_pct > args.threshold:
+            flag = "  << REGRESSION"
+            regressions.append(key)
+        print(f"{key:<24} {b:>14g} {c:>14g} {delta_pct:>+8.1f}%{flag}")
+    for key in cur:
+        if key not in base:
+            print(f"{key:<24} {'(new)':>14} {cur[key]:>14g}")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} regression(s) beyond "
+            f"{args.threshold:.0f}%: {', '.join(regressions)}"
+        )
+        return 1
+    print(f"\nno regressions beyond {args.threshold:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,17 +11,23 @@
 #include "model/buffers.h"
 #include "model/capacity.h"
 #include "tests/sched_test_util.h"
+#include "util/thread_pool.h"
 
 namespace ftms {
 namespace {
 
 // Perf-trajectory counters accumulated across the five farm runs.
-int64_t total_cycles = 0;
-int64_t total_reads = 0;
-int64_t total_tracks = 0;
+// Passed through RunFarm (no file-scope state) so the suite can be run
+// several times in one process — e.g. sweeping FTMS_THREADS settings —
+// with independent totals.
+struct FarmTotals {
+  int64_t cycles = 0;
+  int64_t reads = 0;
+  int64_t tracks = 0;
+};
 
 void RunFarm(Scheme scheme, int c, int disks, int streams,
-             int stagger_every) {
+             int stagger_every, FarmTotals* totals) {
   SchedRig rig = MakeRig(scheme, c, disks);
   const int clusters = rig.layout->num_clusters();
   for (int i = 0; i < streams; ++i) {
@@ -41,9 +47,9 @@ void RunFarm(Scheme scheme, int c, int disks, int streams,
   rig.sched->RunCycles(10);
 
   const SchedulerMetrics& m = rig.sched->metrics();
-  total_cycles += m.cycles;
-  total_reads += m.data_reads + m.parity_reads + m.failed_reads;
-  total_tracks += m.tracks_delivered;
+  totals->cycles += m.cycles;
+  totals->reads += m.data_reads + m.parity_reads + m.failed_reads;
+  totals->tracks += m.tracks_delivered;
   SystemParameters p;
   p.num_disks = disks;
   const double analytic_buffer =
@@ -76,27 +82,30 @@ int main() {
   // Realizable capacities (integral slot granularity, see
   // sched_capacity_test): SR 1040 of 1041, NC 960 of 966, SG ~960,
   // IB on 96 disks.
+  FarmTotals totals;
   bench::WallTimer timer;
-  RunFarm(Scheme::kStreamingRaid, 5, 100, 1040, 0);
-  RunFarm(Scheme::kStaggeredGroup, 5, 100, 960, 0);
-  RunFarm(Scheme::kNonClustered, 5, 100, 960, 12);
-  RunFarm(Scheme::kImprovedBandwidth, 5, 96, 960, 0);
-  RunFarm(Scheme::kImprovedBandwidth, 5, 96, 1200, 0);
+  RunFarm(Scheme::kStreamingRaid, 5, 100, 1040, 0, &totals);
+  RunFarm(Scheme::kStaggeredGroup, 5, 100, 960, 0, &totals);
+  RunFarm(Scheme::kNonClustered, 5, 100, 960, 12, &totals);
+  RunFarm(Scheme::kImprovedBandwidth, 5, 96, 960, 0, &totals);
+  RunFarm(Scheme::kImprovedBandwidth, 5, 96, 1200, 0, &totals);
   const double wall_s = timer.Seconds();
   std::printf(
       "\n%lld scheduler cycles / %lld disk reads in %.3f s "
-      "(%.0f cycles/s, %.2e reads/s)\n",
-      static_cast<long long>(total_cycles),
-      static_cast<long long>(total_reads), wall_s,
-      static_cast<double>(total_cycles) / wall_s,
-      static_cast<double>(total_reads) / wall_s);
+      "(%.0f cycles/s, %.2e reads/s) at %d worker thread(s)\n",
+      static_cast<long long>(totals.cycles),
+      static_cast<long long>(totals.reads), wall_s,
+      static_cast<double>(totals.cycles) / wall_s,
+      static_cast<double>(totals.reads) / wall_s,
+      ThreadPool::DefaultThreadCount());
   bench::Reporter report("full_farm");
-  report.Set("cycles", static_cast<double>(total_cycles));
-  report.Set("reads", static_cast<double>(total_reads));
-  report.Set("tracks_delivered", static_cast<double>(total_tracks));
+  report.Set("cycles", static_cast<double>(totals.cycles));
+  report.Set("reads", static_cast<double>(totals.reads));
+  report.Set("tracks_delivered", static_cast<double>(totals.tracks));
+  report.Set("threads", static_cast<double>(ThreadPool::DefaultThreadCount()));
   report.Set("wall_s", wall_s);
-  report.Set("cycles_per_sec", static_cast<double>(total_cycles) / wall_s);
-  report.Set("events_per_sec", static_cast<double>(total_reads) / wall_s);
+  report.Set("cycles_per_sec", static_cast<double>(totals.cycles) / wall_s);
+  report.Set("events_per_sec", static_cast<double>(totals.reads) / wall_s);
   report.WriteJson();
   std::printf(
       "\nReading: at admission-controlled load no reads drop and no\n"

@@ -25,6 +25,19 @@ void BufferPool::Release(int64_t tracks) {
   in_use_ -= tracks;
 }
 
+Status BufferPool::AccumulateShard(const ShardDelta& shard) {
+  if (!unlimited() && in_use_ + shard.peak() > capacity_) {
+    ++failed_acquires_;
+    return Status::ResourceExhausted(
+        "buffer pool full: shard peak " + std::to_string(shard.peak()) +
+        ", free " + std::to_string(capacity_ - in_use_));
+  }
+  peak_ = std::max(peak_, in_use_ + shard.peak());
+  in_use_ += shard.net();
+  assert(in_use_ >= 0);
+  return Status::Ok();
+}
+
 BufferServerPool::BufferServerPool(int num_servers,
                                    int64_t tracks_per_server)
     : num_servers_(num_servers), tracks_per_server_(tracks_per_server) {}

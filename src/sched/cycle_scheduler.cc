@@ -6,16 +6,54 @@
 
 namespace ftms {
 
+namespace {
+
+// Below this many active streams a cycle runs inline: the pool dispatch
+// (queue + wakeup + completion wait) costs more than the cycle itself.
+// The guard reads only scheduler state, so the serial/parallel decision —
+// and therefore the output — is identical at every thread count.
+constexpr int kMinActiveStreamsForParallel = 128;
+
+// Folds one shard's counters into the shared metrics. Every field is a
+// sum except max_shift_depth (a running max); both folds are commutative
+// and associative, so chunk-granularity scratch stays thread-count
+// invariant.
+void FoldMetrics(SchedulerMetrics& into, const SchedulerMetrics& shard) {
+  into.cycles += shard.cycles;
+  into.data_reads += shard.data_reads;
+  into.parity_reads += shard.parity_reads;
+  into.failed_reads += shard.failed_reads;
+  into.dropped_reads += shard.dropped_reads;
+  into.tracks_delivered += shard.tracks_delivered;
+  into.hiccups += shard.hiccups;
+  into.reconstructed += shard.reconstructed;
+  into.terminated_streams += shard.terminated_streams;
+  into.degradation_events += shard.degradation_events;
+  into.shift_cascades += shard.shift_cascades;
+  into.max_shift_depth =
+      std::max(into.max_shift_depth, shard.max_shift_depth);
+  into.verified_tracks += shard.verified_tracks;
+  into.verify_failures += shard.verify_failures;
+}
+
+}  // namespace
+
 CycleScheduler::CycleScheduler(const SchedulerConfig& config,
                                DiskArray* disks, const Layout* layout)
-    : disks_(disks), layout_(layout), config_(config), pool_(0) {
+    : disks_(disks), layout_(layout), config_(config), pool_(0),
+      mid_cycle_failed_(disks != nullptr ? disks->num_disks() : 0) {
   assert(disks_ != nullptr);
   assert(layout_ != nullptr);
   slots_per_disk_ = config_.slots_per_disk > 0
                         ? config_.slots_per_disk
                         : config_.disk.TracksPerCycle(CycleSeconds());
   slots_used_.assign(static_cast<size_t>(disks_->num_disks()), 0);
-  mid_cycle_failed_.assign(static_cast<size_t>(disks_->num_disks()), 0);
+  if (config_.threads == 0) {
+    exec_pool_ = &ThreadPool::Shared();
+  } else if (config_.threads > 1) {
+    owned_pool_ = std::make_unique<ThreadPool>(config_.threads);
+    exec_pool_ = owned_pool_.get();
+  }  // threads == 1 (or negative): exec_pool_ stays null, always serial
 }
 
 double CycleScheduler::CycleSeconds() const {
@@ -48,10 +86,7 @@ void CycleScheduler::RunCycle() {
   DoRunCycle();
   pool_.Release(pending_release_);
   pending_release_ = 0;
-  if (mid_cycle_count_ > 0) {
-    std::fill(mid_cycle_failed_.begin(), mid_cycle_failed_.end(), 0);
-    mid_cycle_count_ = 0;
-  }
+  mid_cycle_failed_.Clear();
   ++cycle_;
   ++metrics_.cycles;
 }
@@ -66,10 +101,7 @@ void CycleScheduler::BeginCycle() {
 
 void CycleScheduler::OnDiskFailed(int disk, bool mid_cycle) {
   disks_->FailDisk(disk).ok();
-  if (mid_cycle && !mid_cycle_failed_[static_cast<size_t>(disk)]) {
-    mid_cycle_failed_[static_cast<size_t>(disk)] = 1;
-    ++mid_cycle_count_;
-  }
+  if (mid_cycle) mid_cycle_failed_.Add(disk);
   DoOnDiskFailed(disk);
 }
 
@@ -83,39 +115,142 @@ bool CycleScheduler::DiskUp(int disk) const {
 }
 
 bool CycleScheduler::FailedMidCycle(int disk) const {
-  return mid_cycle_failed_[static_cast<size_t>(disk)] != 0;
+  return mid_cycle_failed_.Contains(disk);
 }
 
 int CycleScheduler::FreeSlots(int disk) const {
   return slots_per_disk_ - slots_used_[static_cast<size_t>(disk)];
 }
 
-CycleScheduler::ReadOutcome CycleScheduler::TryRead(int disk,
-                                                    bool is_parity) {
+CycleScheduler::ReadOutcome CycleScheduler::TryReadImpl(
+    SchedulerMetrics& metrics, int disk, bool is_parity) {
   if (FreeSlots(disk) <= 0) {
-    ++metrics_.dropped_reads;
+    ++metrics.dropped_reads;
     return ReadOutcome::kNoSlot;
   }
   ++slots_used_[static_cast<size_t>(disk)];
   if (!disks_->disk(disk).Read(1)) {
-    ++metrics_.failed_reads;
+    ++metrics.failed_reads;
     return ReadOutcome::kFailedDisk;
   }
   if (is_parity) {
-    ++metrics_.parity_reads;
+    ++metrics.parity_reads;
   } else {
-    ++metrics_.data_reads;
+    ++metrics.data_reads;
   }
   return ReadOutcome::kOk;
 }
 
-void CycleScheduler::DeliverTrack(Stream* stream, bool on_time) {
+void CycleScheduler::DeliverTrackImpl(SchedulerMetrics& metrics,
+                                      Stream* stream, bool on_time) {
   stream->Deliver(cycle_, on_time);
   if (on_time) {
-    ++metrics_.tracks_delivered;
+    ++metrics.tracks_delivered;
   } else {
-    ++metrics_.hiccups;
+    ++metrics.hiccups;
   }
+}
+
+ThreadPool* CycleScheduler::CyclePool() const {
+  if (exec_pool_ == nullptr) return nullptr;
+  return ActiveStreams() >= kMinActiveStreamsForParallel ? exec_pool_
+                                                         : nullptr;
+}
+
+void CycleScheduler::ResetShardCtxs(int64_t n) {
+  if (static_cast<int64_t>(shard_ctx_.size()) < n) {
+    shard_ctx_.resize(static_cast<size_t>(n));
+  }
+  for (int64_t i = 0; i < n; ++i) shard_ctx_[static_cast<size_t>(i)].Reset();
+}
+
+void CycleScheduler::FoldShardCtxs(int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    ShardCtx& ctx = shard_ctx_[static_cast<size_t>(i)];
+    FoldMetrics(metrics_, ctx.metrics);
+    pending_release_ += ctx.pending_release;
+    const Status status = pool_.AccumulateShard(ctx.pool);
+    assert(status.ok() && "sharded buffer accounting exceeded capacity");
+    (void)status;
+  }
+}
+
+void CycleScheduler::ParallelOverClusters(
+    const std::function<void(ShardCtx&, int, int)>& kernel) {
+  const int clusters = layout_->num_clusters();
+  ThreadPool* pool = CyclePool();
+  const int64_t chunks = ParallelChunkCount(pool, 0, clusters);
+  if (chunks == 0) return;
+  ResetShardCtxs(chunks);
+  ParallelForChunks(pool, 0, clusters,
+                    [&](int64_t chunk, int64_t lo, int64_t hi) {
+                      kernel(shard_ctx_[static_cast<size_t>(chunk)],
+                             static_cast<int>(lo), static_cast<int>(hi));
+                    });
+  FoldShardCtxs(chunks);
+}
+
+void CycleScheduler::RunClusterSharded(
+    const std::function<int(const Stream&)>& cluster_key,
+    const std::function<void(ShardCtx&, std::span<Stream* const>)>&
+        kernel) {
+  const int clusters = layout_->num_clusters();
+  if (cluster_streams_.size() < static_cast<size_t>(clusters)) {
+    cluster_streams_.resize(static_cast<size_t>(clusters));
+  }
+  for (auto& bucket : cluster_streams_) bucket.clear();
+  active_streams_.clear();
+
+  // A single chunk would execute every bucket on one thread anyway, so
+  // skip the keying/bucketing pass entirely and take the admission-order
+  // serial path below — with one worker (or a one-cluster layout) the
+  // sharded cycle then costs exactly what the pre-sharding code did.
+  ThreadPool* pool = CyclePool();
+  if (pool != nullptr && ParallelChunkCount(pool, 0, clusters) < 2) {
+    pool = nullptr;
+  }
+  bool cross_cluster = false;
+  for (const auto& owned : streams_) {
+    Stream* stream = owned.get();
+    // Every kernel skips non-active streams; dropping them here keeps the
+    // shards dense and is behavior-identical.
+    if (stream->state() != StreamState::kActive) continue;
+    active_streams_.push_back(stream);
+    if (pool == nullptr || cross_cluster) continue;
+    const int key = cluster_key(*stream);
+    if (key < 0) {
+      // This cycle some stream's reads span clusters; the exact-partition
+      // invariant the parallel schedule relies on is gone, so the whole
+      // cycle falls back to the serial shard below.
+      cross_cluster = true;
+      continue;
+    }
+    assert(key < clusters);
+    cluster_streams_[static_cast<size_t>(key)].push_back(stream);
+  }
+  if (active_streams_.empty()) return;
+
+  if (pool == nullptr || cross_cluster) {
+    // One shard over all active streams in admission order: exactly the
+    // pre-sharding serial execution.
+    ResetShardCtxs(1);
+    kernel(shard_ctx_[0], std::span<Stream* const>(active_streams_));
+    FoldShardCtxs(1);
+    return;
+  }
+  const int64_t chunks = ParallelChunkCount(pool, 0, clusters);
+  ResetShardCtxs(chunks);
+  ParallelForChunks(
+      pool, 0, clusters, [&](int64_t chunk, int64_t lo, int64_t hi) {
+        ShardCtx& ctx = shard_ctx_[static_cast<size_t>(chunk)];
+        for (int64_t c = lo; c < hi; ++c) {
+          const auto& bucket = cluster_streams_[static_cast<size_t>(c)];
+          if (!bucket.empty()) {
+            kernel(ctx, std::span<Stream* const>(bucket));
+          }
+        }
+      });
+  FoldShardCtxs(chunks);
 }
 
 Status CycleScheduler::PauseStream(StreamId id) {

@@ -3,7 +3,9 @@
 
 #include <cassert>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "buffer/buffer_pool.h"
@@ -11,7 +13,9 @@
 #include "layout/layout.h"
 #include "layout/schemes.h"
 #include "stream/stream.h"
+#include "util/disk_set.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace ftms {
 
@@ -64,6 +68,14 @@ struct SchedulerConfig {
   // The footnote's caveat applies: the spilled capacity evaporates on a
   // failure, so streams admitted beyond the single-copy capacity drop.
   bool ib_mirror_read_balance = false;
+
+  // Worker threads for cluster-parallel cycle execution: 0 uses the
+  // process-wide ThreadPool::Shared() (FTMS_THREADS / hardware
+  // concurrency), 1 (or any negative value) runs every cycle serially
+  // inline, N > 1 gives the scheduler a private pool of N workers.
+  // Metrics, buffer peaks and all per-stream outcomes are bit-identical
+  // at every setting — the knob only trades wall-clock for cores.
+  int threads = 0;
 };
 
 // Counters accumulated over a run. A "hiccup" is one track that missed its
@@ -87,6 +99,9 @@ struct SchedulerMetrics {
   // mismatches found (must stay 0).
   int64_t verified_tracks = 0;
   int64_t verify_failures = 0;
+
+  friend bool operator==(const SchedulerMetrics&,
+                         const SchedulerMetrics&) = default;
 };
 
 // Base class for the four cycle-based schedulers. Owns the streams and the
@@ -184,10 +199,67 @@ class CycleScheduler {
 
   enum class ReadOutcome { kOk, kFailedDisk, kNoSlot };
 
+  // Per-shard scratch for cluster-parallel cycle execution. A kernel
+  // running on a worker thread accumulates its metrics, buffer-pool
+  // traffic and deferred releases here instead of touching the shared
+  // members; the base class folds the shards back in cluster order at
+  // the end of the parallel section, so every counter and the pool peak
+  // come out bit-identical at any thread count. Cache-line aligned so
+  // neighboring shards never false-share.
+  struct alignas(64) ShardCtx {
+    SchedulerMetrics metrics;
+    BufferPool::ShardDelta pool;
+    int64_t pending_release = 0;
+
+    void Reset() {
+      metrics = SchedulerMetrics{};
+      pool.Reset();
+      pending_release = 0;
+    }
+  };
+
+  // Runs `kernel(ctx, first_cluster, last_cluster)` over contiguous
+  // cluster ranges on the execution pool (inline when serial) and folds
+  // the per-chunk scratch back in cluster order. The kernel must only
+  // touch state owned by clusters in [first_cluster, last_cluster) plus
+  // its ShardCtx.
+  void ParallelOverClusters(
+      const std::function<void(ShardCtx&, int, int)>& kernel);
+
+  // Stream-partitioned parallel section: buckets the ACTIVE streams by
+  // `cluster_key` — the cluster whose disks the stream's reads touch this
+  // cycle, computed BEFORE the kernel mutates anything — then runs
+  // `kernel(ctx, streams_of_one_cluster)` per cluster on the execution
+  // pool, folding shard scratch in cluster order. Within a bucket streams
+  // keep admission (id) order, so per-disk slot consumption matches the
+  // serial schedule exactly. A key < 0 marks a stream whose reads span
+  // clusters this cycle (multi-rate bursts): the whole cycle then runs as
+  // ONE serial shard over all active streams in admission order — the
+  // pre-sharding execution — which keeps the outcome deterministic
+  // because the fallback decision depends only on scheduler state, never
+  // on the thread count.
+  void RunClusterSharded(
+      const std::function<int(const Stream&)>& cluster_key,
+      const std::function<void(ShardCtx&, std::span<Stream* const>)>&
+          kernel);
+
+  // The pool cycles should dispatch on: null when configured serial or
+  // when too few streams are active for the dispatch overhead to pay off
+  // (a pure function of scheduler state, so the guard cannot break
+  // thread-count invariance).
+  ThreadPool* CyclePool() const;
+
   // Attempts one track read on `disk` in the current cycle: consumes a
   // slot, then succeeds iff the disk is up (and not failing mid-cycle).
-  // Updates the metrics counters.
-  ReadOutcome TryRead(int disk, bool is_parity);
+  // Updates the metrics counters. The ShardCtx overloads of the helpers
+  // below are for kernels inside parallel sections; the plain overloads
+  // are for serial phases and out-of-cycle paths.
+  ReadOutcome TryRead(int disk, bool is_parity) {
+    return TryReadImpl(metrics_, disk, is_parity);
+  }
+  ReadOutcome TryRead(ShardCtx& ctx, int disk, bool is_parity) {
+    return TryReadImpl(ctx.metrics, disk, is_parity);
+  }
 
   // True when reads on `disk` succeed this cycle.
   bool DiskUp(int disk) const;
@@ -201,7 +273,12 @@ class CycleScheduler {
   int FreeSlots(int disk) const;
 
   // Records an on-time (or missed) delivery for the stream.
-  void DeliverTrack(Stream* stream, bool on_time);
+  void DeliverTrack(Stream* stream, bool on_time) {
+    DeliverTrackImpl(metrics_, stream, on_time);
+  }
+  void DeliverTrack(ShardCtx& ctx, Stream* stream, bool on_time) {
+    DeliverTrackImpl(ctx.metrics, stream, on_time);
+  }
 
   // Buffer accounting (tracks). A track transmitted during cycle t is in
   // memory until t's end (transmission overlaps the next reads), so
@@ -214,7 +291,11 @@ class CycleScheduler {
     assert(status.ok() && "buffer accounting exceeded pool capacity");
     (void)status;
   }
+  void AcquireBuffers(ShardCtx& ctx, int64_t n) { ctx.pool.Acquire(n); }
   void ReleaseBuffersAtCycleEnd(int64_t n) { pending_release_ += n; }
+  void ReleaseBuffersAtCycleEnd(ShardCtx& ctx, int64_t n) {
+    ctx.pending_release += n;
+  }
 
   DiskArray* disks_;
   const Layout* layout_;
@@ -223,6 +304,14 @@ class CycleScheduler {
 
  private:
   void BeginCycle();
+  ReadOutcome TryReadImpl(SchedulerMetrics& metrics, int disk,
+                          bool is_parity);
+  void DeliverTrackImpl(SchedulerMetrics& metrics, Stream* stream,
+                        bool on_time);
+  // Resets the first `n` shard contexts (growing the array as needed) /
+  // folds them back into the shared state in index order.
+  void ResetShardCtxs(int64_t n);
+  void FoldShardCtxs(int64_t n);
 
   BufferPool pool_;  // unlimited; measures occupancy / peak
   int64_t pending_release_ = 0;
@@ -233,11 +322,18 @@ class CycleScheduler {
   // and FreeSlots are a single array access on the hot path (no ordered
   // containers anywhere in the per-cycle machinery).
   std::vector<int> slots_used_;
-  // Per-disk flag, set for the next RunCycle only. `mid_cycle_count_`
-  // lets BeginCycle skip the clear entirely in the (overwhelmingly
-  // common) failure-free cycles.
-  std::vector<uint8_t> mid_cycle_failed_;
-  int mid_cycle_count_ = 0;
+  // Disks that fail mid-sweep of the next RunCycle only (DiskSet::Clear
+  // is O(1) in the common failure-free cycles).
+  DiskSet mid_cycle_failed_;
+  // Cluster-parallel execution state. `owned_pool_` backs configs with
+  // threads > 1; otherwise the shared pool (or none) is used. The scratch
+  // vectors are reused across cycles so the parallel path allocates
+  // nothing in steady state.
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* exec_pool_ = nullptr;  // null = always serial
+  std::vector<ShardCtx> shard_ctx_;
+  std::vector<std::vector<Stream*>> cluster_streams_;
+  std::vector<Stream*> active_streams_;  // serial-fallback ordering
 };
 
 // Creates the scheduler matching `config.scheme`.

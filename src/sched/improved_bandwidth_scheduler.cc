@@ -32,7 +32,8 @@ void ImprovedBandwidthScheduler::DoOnStreamStopped(Stream* stream) {
   }
 }
 
-void ImprovedBandwidthScheduler::DeliverGroup(Stream* stream,
+void ImprovedBandwidthScheduler::DeliverGroup(ShardCtx& ctx,
+                                              Stream* stream,
                                               GroupBuffer* buf) {
   int missing = 0;
   for (int i = 0; i < buf->tracks; ++i) {
@@ -43,64 +44,63 @@ void ImprovedBandwidthScheduler::DeliverGroup(Stream* stream,
     bool on_time = buf->have[static_cast<size_t>(i)];
     if (!on_time && can_reconstruct) {
       on_time = true;
-      ++metrics_.reconstructed;
+      ++ctx.metrics.reconstructed;
     }
-    DeliverTrack(stream, on_time);
+    DeliverTrack(ctx, stream, on_time);
   }
-  ReleaseBuffersAtCycleEnd(buf->buffered_tracks);
+  ReleaseBuffersAtCycleEnd(ctx, buf->buffered_tracks);
   buf->ready = false;
   buf->buffered_tracks = 0;
 }
 
-void ImprovedBandwidthScheduler::PlanDataReads() {
-  for (const auto& stream : streams()) {
-    if (stream->state() != StreamState::kActive || stream->finished()) {
+void ImprovedBandwidthScheduler::PlanStreamReads(ShardCtx& ctx,
+                                                 Stream* stream,
+                                                 GroupBuffer* buf) {
+  if (stream->state() != StreamState::kActive || stream->finished()) {
+    return;
+  }
+  if (buf->ready) return;  // still holding an undelivered group
+  const int per_group = layout_->DataBlocksPerGroup();
+  const int64_t first = stream->position();
+  const int tracks = static_cast<int>(std::min<int64_t>(
+      per_group, stream->object().num_tracks - first));
+  buf->ready = true;
+  buf->first_track = first;
+  buf->tracks = tracks;
+  buf->have.assign(static_cast<size_t>(tracks), false);
+  buf->parity_ok = false;
+  buf->buffered_tracks = 0;
+
+  for (int i = 0; i < tracks; ++i) {
+    const BlockLocation loc =
+        layout_->DataLocation(stream->object().id, first + i);
+    auto& disk_plan = plan_[static_cast<size_t>(loc.disk)];
+    if (!PlannerSeesUp(loc.disk)) {
+      // Known failure: skip the read; parity substitution follows in
+      // PlanFailureParity().
+      ++missing_count_[static_cast<size_t>(stream->id())];
       continue;
     }
-    GroupBuffer& buf = state_[static_cast<size_t>(stream->id())];
-    if (buf.ready) continue;  // still holding an undelivered group
-    const int per_group = layout_->DataBlocksPerGroup();
-    const int64_t first = stream->position();
-    const int tracks = static_cast<int>(std::min<int64_t>(
-        per_group, stream->object().num_tracks - first));
-    buf.ready = true;
-    buf.first_track = first;
-    buf.tracks = tracks;
-    buf.have.assign(static_cast<size_t>(tracks), false);
-    buf.parity_ok = false;
-    buf.buffered_tracks = 0;
-
-    for (int i = 0; i < tracks; ++i) {
-      const BlockLocation loc =
-          layout_->DataLocation(stream->object().id, first + i);
-      auto& disk_plan = plan_[static_cast<size_t>(loc.disk)];
-      if (!PlannerSeesUp(loc.disk)) {
-        // Known failure: skip the read; parity substitution follows in
-        // PlanFailureParity().
+    if (static_cast<int>(disk_plan.size()) >= slots_per_disk()) {
+      if (config_.ib_mirror_read_balance &&
+          config_.parity_group_size == 2) {
+        // Mirroring (footnote 11): spill the read to the replica. The
+        // block is "missing" from the primary; PlanFailureParity's
+        // machinery places the copy read on the neighbor cluster and
+        // DeliverGroup's reconstruction (XOR of a single survivor set,
+        // i.e. the copy itself) serves it.
         ++missing_count_[static_cast<size_t>(stream->id())];
         continue;
       }
-      if (static_cast<int>(disk_plan.size()) >= slots_per_disk()) {
-        if (config_.ib_mirror_read_balance &&
-            config_.parity_group_size == 2) {
-          // Mirroring (footnote 11): spill the read to the replica. The
-          // block is "missing" from the primary; PlanFailureParity's
-          // machinery places the copy read on the neighbor cluster and
-          // DeliverGroup's reconstruction (XOR of a single survivor set,
-          // i.e. the copy itself) serves it.
-          ++missing_count_[static_cast<size_t>(stream->id())];
-          continue;
-        }
-        // Overcommitted disk (admission violation): a plain deadline
-        // miss. The parity substitution is reserved for FAILURES; it
-        // must not silently absorb oversubscription (the bandwidth it
-        // would use is exactly the reserve that masks real failures).
-        ++metrics_.dropped_reads;
-        buf.have[static_cast<size_t>(i)] = false;  // lost for this cycle
-        continue;
-      }
-      disk_plan.push_back(PlannedRead{stream->id(), i, false});
+      // Overcommitted disk (admission violation): a plain deadline
+      // miss. The parity substitution is reserved for FAILURES; it
+      // must not silently absorb oversubscription (the bandwidth it
+      // would use is exactly the reserve that masks real failures).
+      ++ctx.metrics.dropped_reads;
+      buf->have[static_cast<size_t>(i)] = false;  // lost for this cycle
+      continue;
     }
+    disk_plan.push_back(PlannedRead{stream->id(), i, false});
   }
 }
 
@@ -181,12 +181,36 @@ void ImprovedBandwidthScheduler::PlanPrefetchParity() {
   }
 }
 
+int ImprovedBandwidthScheduler::ShardCluster(const Stream& stream) const {
+  const GroupBuffer& buf = state_[static_cast<size_t>(stream.id())];
+  // Delivery (which precedes planning within the shard) advances the
+  // stream past the buffered group before this cycle's plan targets the
+  // next one.
+  const int64_t pos =
+      buf.ready ? buf.first_track + buf.tracks : stream.position();
+  return layout_->GroupCluster(stream.object().id, layout_->GroupOf(pos));
+}
+
 void ImprovedBandwidthScheduler::ExecutePlan() {
+  // Phase 1 — read execution, parallel over clusters: a planned read
+  // touches only its own disk's slot account, and each disk belongs to
+  // exactly one cluster, so per-disk outcomes match the serial schedule
+  // exactly (the plan per disk was fixed before this point).
+  const int dpc = layout_->disks_per_cluster();
+  ParallelOverClusters([this, dpc](ShardCtx& ctx, int lo, int hi) {
+    for (int disk = lo * dpc; disk < hi * dpc; ++disk) {
+      for (PlannedRead& read : plan_[static_cast<size_t>(disk)]) {
+        read.ok = TryRead(ctx, disk, read.parity) == ReadOutcome::kOk;
+      }
+    }
+  });
+  // Phase 2 — serial commit in disk order: a stream's group buffer is
+  // shared between its data cluster and its neighbor-cluster parity read,
+  // so the buffer updates stay out of the parallel phase.
   for (int disk = 0; disk < disks_->num_disks(); ++disk) {
     for (const PlannedRead& read : plan_[static_cast<size_t>(disk)]) {
-      const ReadOutcome outcome = TryRead(disk, read.parity);
+      if (!read.ok) continue;
       GroupBuffer& buf = state_[static_cast<size_t>(read.stream)];
-      if (outcome != ReadOutcome::kOk) continue;
       ++buf.buffered_tracks;
       if (read.parity) {
         buf.parity_ok = true;
@@ -206,15 +230,27 @@ void ImprovedBandwidthScheduler::ExecutePlan() {
 }
 
 void ImprovedBandwidthScheduler::DoRunCycle() {
-  // Delivery of the groups read last cycle.
-  for (const auto& stream : streams()) {
-    if (stream->state() != StreamState::kActive) continue;
-    GroupBuffer& buf = state_[static_cast<size_t>(stream->id())];
-    if (buf.ready) DeliverGroup(stream.get(), &buf);
-  }
   std::fill(missing_count_.begin(), missing_count_.end(), 0);
   std::fill(parity_planned_.begin(), parity_planned_.end(), false);
-  PlanDataReads();
+  // Delivery of the groups read last cycle fused with this cycle's data
+  // planning, sharded by the cluster the stream's next group lives on
+  // (delivery touches no disks; planning only pushes onto disks of that
+  // cluster, and streams keep admission order within a shard, so every
+  // per-disk plan comes out exactly as in the serial schedule). Parity
+  // placement and execution follow serially: the right-shift cascade is
+  // inherently cross-cluster.
+  RunClusterSharded(
+      [this](const Stream& stream) { return ShardCluster(stream); },
+      [this](ShardCtx& ctx, std::span<Stream* const> shard) {
+        for (Stream* stream : shard) {
+          GroupBuffer& buf = state_[static_cast<size_t>(stream->id())];
+          if (buf.ready) DeliverGroup(ctx, stream, &buf);
+        }
+        for (Stream* stream : shard) {
+          PlanStreamReads(ctx, stream,
+                          &state_[static_cast<size_t>(stream->id())]);
+        }
+      });
   PlanFailureParity();
   PlanPrefetchParity();
   ExecutePlan();

@@ -79,30 +79,29 @@ int NonClusteredScheduler::RateMultiplier(const Stream& stream) const {
       std::round(stream.object().rate_mb_s / config_.object_rate_mb_s));
 }
 
-void NonClusteredScheduler::BufferTrack(NcState* st, int64_t track) {
-  if (st->buffered.Insert(track)) AcquireBuffers(1);
+void NonClusteredScheduler::BufferTrack(ShardCtx& ctx, NcState* st,
+                                        int64_t track) {
+  if (st->buffered.Insert(track)) AcquireBuffers(ctx, 1);
 }
 
-void NonClusteredScheduler::DeliverPhase() {
-  for (const auto& stream : streams()) {
-    if (stream->state() != StreamState::kActive) continue;
-    NcState& st = state_[static_cast<size_t>(stream->id())];
-    if (!st.started) continue;
-    // Streams at m-times the base rate transmit m tracks per cycle.
-    const int multiplier = RateMultiplier(*stream);
-    for (int k = 0;
-         k < multiplier && stream->state() == StreamState::kActive; ++k) {
-      DeliverOneTrack(stream.get(), &st);
-    }
+void NonClusteredScheduler::DeliverStream(ShardCtx& ctx, Stream* stream,
+                                          NcState* st) {
+  if (!st->started) return;
+  // Streams at m-times the base rate transmit m tracks per cycle.
+  const int multiplier = RateMultiplier(*stream);
+  for (int k = 0;
+       k < multiplier && stream->state() == StreamState::kActive; ++k) {
+    DeliverOneTrack(ctx, stream, st);
   }
 }
 
-void NonClusteredScheduler::DeliverOneTrack(Stream* stream, NcState* st) {
+void NonClusteredScheduler::DeliverOneTrack(ShardCtx& ctx, Stream* stream,
+                                            NcState* st) {
   const int64_t p = stream->position();
   const bool have = st->buffered.Contains(p);
   if (have) {
     st->buffered.Erase(p);
-    ReleaseBuffersAtCycleEnd(1);
+    ReleaseBuffersAtCycleEnd(ctx, 1);
   }
   // Deferred strategy: while a group's reconstruction is pending, fold
   // the delivered track into the running XOR instead of discarding it.
@@ -111,12 +110,12 @@ void NonClusteredScheduler::DeliverOneTrack(Stream* stream, NcState* st) {
       st->acc_group == group && have &&
       layout_->PositionInGroup(p) == st->acc_prefix) {
     if (!st->acc_held) {
-      AcquireBuffers(1);  // the accumulator buffer
+      AcquireBuffers(ctx, 1);  // the accumulator buffer
       st->acc_held = true;
     }
     ++st->acc_prefix;
   }
-  DeliverTrack(stream, have);
+  DeliverTrack(ctx, stream, have);
   // Drop a stale accumulator at group end (e.g. the disk was repaired
   // before the reconstruction deadline) or at stream end.
   const bool group_done =
@@ -124,7 +123,7 @@ void NonClusteredScheduler::DeliverOneTrack(Stream* stream, NcState* st) {
   if ((stream->state() != StreamState::kActive || group_done) &&
       st->acc_group == group) {
     if (st->acc_held) {
-      ReleaseBuffersAtCycleEnd(1);
+      ReleaseBuffersAtCycleEnd(ctx, 1);
       st->acc_held = false;
     }
     st->acc_group = -1;
@@ -132,8 +131,9 @@ void NonClusteredScheduler::DeliverOneTrack(Stream* stream, NcState* st) {
   }
 }
 
-void NonClusteredScheduler::ReadGroupNow(Stream* stream, NcState* st,
-                                         int64_t group, bool with_server) {
+void NonClusteredScheduler::ReadGroupNow(ShardCtx& ctx, Stream* stream,
+                                         NcState* st, int64_t group,
+                                         bool with_server) {
   const int object_id = stream->object().id;
   const int per_group = layout_->DataBlocksPerGroup();
   const int cluster = layout_->GroupCluster(object_id, group);
@@ -151,8 +151,8 @@ void NonClusteredScheduler::ReadGroupNow(Stream* stream, NcState* st,
       missing_track = t;
       continue;
     }
-    if (TryRead(loc.disk, /*is_parity=*/false) == ReadOutcome::kOk) {
-      BufferTrack(st, t);
+    if (TryRead(ctx, loc.disk, /*is_parity=*/false) == ReadOutcome::kOk) {
+      BufferTrack(ctx, st, t);
     } else {
       all_survivors_ok = false;
     }
@@ -177,21 +177,21 @@ void NonClusteredScheduler::ReadGroupNow(Stream* stream, NcState* st,
         all_survivors_ok) {
       const BlockLocation parity =
           layout_->ParityLocation(object_id, group);
-      AcquireBuffers(1);
-      parity_ok = TryRead(parity.disk, /*is_parity=*/true) ==
+      AcquireBuffers(ctx, 1);
+      parity_ok = TryRead(ctx, parity.disk, /*is_parity=*/true) ==
                   ReadOutcome::kOk;
-      ReleaseBuffersAtCycleEnd(1);  // folded into the reconstruction immediately
+      ReleaseBuffersAtCycleEnd(ctx, 1);  // folded into the reconstruction immediately
     }
     if (parity_ok) {
-      BufferTrack(st, missing_track);
-      ++metrics_.reconstructed;
+      BufferTrack(ctx, st, missing_track);
+      ++ctx.metrics.reconstructed;
     }
   }
 
   // The group's reconstruction state is resolved; drop the accumulator.
   if (st->acc_group == group) {
     if (st->acc_held) {
-      ReleaseBuffersAtCycleEnd(1);
+      ReleaseBuffersAtCycleEnd(ctx, 1);
       st->acc_held = false;
     }
     st->acc_group = -1;
@@ -200,17 +200,16 @@ void NonClusteredScheduler::ReadGroupNow(Stream* stream, NcState* st,
   st->started = true;
 }
 
-void NonClusteredScheduler::GroupReadPass() {
-  for (const auto& stream : streams()) {
-    if (stream->state() != StreamState::kActive) continue;
-    NcState& st = state_[static_cast<size_t>(stream->id())];
-    const int64_t first_due = DueTrack(*stream, st);
-    if (first_due < 0) continue;
-    const int multiplier = RateMultiplier(*stream);
-    for (int k = 0; k < multiplier; ++k) {
+void NonClusteredScheduler::GroupReadStream(ShardCtx& ctx, Stream* stream,
+                                            NcState* st) {
+  if (stream->state() != StreamState::kActive) return;
+  const int64_t first_due = DueTrack(*stream, *st);
+  if (first_due < 0) return;
+  const int multiplier = RateMultiplier(*stream);
+  for (int k = 0; k < multiplier; ++k) {
     const int64_t due = first_due + k;
     if (due >= stream->object().num_tracks) break;
-    if (st.buffered.Contains(due)) continue;
+    if (st->buffered.Contains(due)) continue;
     const int64_t group = layout_->GroupOf(due);
     const int cluster =
         layout_->GroupCluster(stream->object().id, group);
@@ -224,8 +223,8 @@ void NonClusteredScheduler::GroupReadPass() {
       // Entering the group: burst-read all of it now (Figure 6). Streams
       // caught mid-group keep their one-track-per-cycle schedule in the
       // normal pass and lose what the burst displaces.
-      if (pos == 0 || !st.started) {
-        ReadGroupNow(stream.get(), &st, group, with_server);
+      if (pos == 0 || !st->started) {
+        ReadGroupNow(ctx, stream, st, group, with_server);
       }
     } else {
       // Deferred (Figure 7): start accumulating at group entry; when the
@@ -233,52 +232,89 @@ void NonClusteredScheduler::GroupReadPass() {
       // Mid-group streams have no accumulated prefix, so bursting could
       // not reconstruct anything — they stay on the normal schedule and
       // simply lose the failed-disk track.
-      if ((pos == 0 && st.acc_group != group) && failed >= 0) {
-        st.acc_group = group;
-        st.acc_prefix = 0;
+      if ((pos == 0 && st->acc_group != group) && failed >= 0) {
+        st->acc_group = group;
+        st->acc_prefix = 0;
       }
-      if (failed >= 0 && pos == failed && st.acc_group == group) {
-        ReadGroupNow(stream.get(), &st, group, with_server);
+      if (failed >= 0 && pos == failed && st->acc_group == group) {
+        ReadGroupNow(ctx, stream, st, group, with_server);
       }
-    }
     }
   }
 }
 
-void NonClusteredScheduler::NormalReadPass() {
-  for (const auto& stream : streams()) {
-    if (stream->state() != StreamState::kActive) continue;
-    NcState& st = state_[static_cast<size_t>(stream->id())];
-    const int64_t first_due = DueTrack(*stream, st);
-    if (first_due < 0) continue;
-    const int multiplier = RateMultiplier(*stream);
-    for (int k = 0; k < multiplier; ++k) {
-      const int64_t due = first_due + k;
-      if (due >= stream->object().num_tracks) break;
-      if (st.buffered.Contains(due)) {
-        st.started = true;  // a group read already staged this track
-        continue;
-      }
-      const BlockLocation loc =
-          layout_->DataLocation(stream->object().id, due);
-      if (!DiskUp(loc.disk)) {
-        // Lost to the failure; the delivery phase will record the hiccup
-        // when the track comes due.
-        st.started = true;
-        continue;
-      }
-      if (TryRead(loc.disk, /*is_parity=*/false) == ReadOutcome::kOk) {
-        BufferTrack(&st, due);
-      }
-      st.started = true;
+void NonClusteredScheduler::NormalReadStream(ShardCtx& ctx, Stream* stream,
+                                             NcState* st) {
+  if (stream->state() != StreamState::kActive) return;
+  const int64_t first_due = DueTrack(*stream, *st);
+  if (first_due < 0) return;
+  const int multiplier = RateMultiplier(*stream);
+  for (int k = 0; k < multiplier; ++k) {
+    const int64_t due = first_due + k;
+    if (due >= stream->object().num_tracks) break;
+    if (st->buffered.Contains(due)) {
+      st->started = true;  // a group read already staged this track
+      continue;
     }
+    const BlockLocation loc =
+        layout_->DataLocation(stream->object().id, due);
+    if (!DiskUp(loc.disk)) {
+      // Lost to the failure; the delivery phase will record the hiccup
+      // when the track comes due.
+      st->started = true;
+      continue;
+    }
+    if (TryRead(ctx, loc.disk, /*is_parity=*/false) == ReadOutcome::kOk) {
+      BufferTrack(ctx, st, due);
+    }
+    st->started = true;
   }
+}
+
+int NonClusteredScheduler::ShardCluster(const Stream& stream) const {
+  const NcState& st = state_[static_cast<size_t>(stream.id())];
+  const MediaObject& object = stream.object();
+  const int multiplier = RateMultiplier(stream);
+  // The delivery phase advances the position by the rate multiplier
+  // before this cycle's reads pick their due tracks.
+  const int64_t due =
+      stream.position() + (st.started ? multiplier : 0);
+  if (due >= object.num_tracks) {
+    // No reads left; any cluster works for the (delivery-only) kernel.
+    return layout_->HomeCluster(object.id);
+  }
+  const int64_t last =
+      std::min<int64_t>(due + multiplier - 1, object.num_tracks - 1);
+  const int64_t first_group = layout_->GroupOf(due);
+  const int cluster = layout_->GroupCluster(object.id, first_group);
+  for (int64_t g = first_group + 1; g <= layout_->GroupOf(last); ++g) {
+    // A multi-rate burst crossing a group boundary can touch two
+    // clusters in one cycle; signal the serial fallback.
+    if (layout_->GroupCluster(object.id, g) != cluster) return -1;
+  }
+  return cluster;
 }
 
 void NonClusteredScheduler::DoRunCycle() {
-  DeliverPhase();
-  GroupReadPass();
-  NormalReadPass();
+  RunClusterSharded(
+      [this](const Stream& stream) { return ShardCluster(stream); },
+      [this](ShardCtx& ctx, std::span<Stream* const> shard) {
+        // Same three phases as the serial scheduler, restricted to one
+        // cluster's streams: deliver, then high-priority group reads,
+        // then low-priority single-track reads.
+        for (Stream* stream : shard) {
+          DeliverStream(ctx, stream,
+                        &state_[static_cast<size_t>(stream->id())]);
+        }
+        for (Stream* stream : shard) {
+          GroupReadStream(ctx, stream,
+                          &state_[static_cast<size_t>(stream->id())]);
+        }
+        for (Stream* stream : shard) {
+          NormalReadStream(ctx, stream,
+                           &state_[static_cast<size_t>(stream->id())]);
+        }
+      });
 }
 
 void NonClusteredScheduler::DoOnStreamStopped(Stream* stream) {

@@ -42,7 +42,8 @@ void StaggeredGroupScheduler::DoOnStreamStopped(Stream* stream) {
   st.delivered = st.tracks;  // nothing left to transmit
 }
 
-void StaggeredGroupScheduler::ReadGroup(Stream* stream, SgState* st) {
+void StaggeredGroupScheduler::ReadGroup(ShardCtx& ctx, Stream* stream,
+                                        SgState* st) {
   const int per_group = layout_->DataBlocksPerGroup();
   const int64_t first = stream->position();
   assert(first % per_group == 0);
@@ -59,19 +60,20 @@ void StaggeredGroupScheduler::ReadGroup(Stream* stream, SgState* st) {
     const BlockLocation loc =
         layout_->DataLocation(stream->object().id, first + i);
     st->have[static_cast<size_t>(i)] =
-        TryRead(loc.disk, /*is_parity=*/false) == ReadOutcome::kOk;
+        TryRead(ctx, loc.disk, /*is_parity=*/false) == ReadOutcome::kOk;
   }
   const BlockLocation parity =
       layout_->ParityLocation(stream->object().id, group);
   st->parity_ok =
-      TryRead(parity.disk, /*is_parity=*/true) == ReadOutcome::kOk;
+      TryRead(ctx, parity.disk, /*is_parity=*/true) == ReadOutcome::kOk;
 
   st->buffered_tracks = tracks + 1;  // group + parity held in memory
-  AcquireBuffers(st->buffered_tracks);
+  AcquireBuffers(ctx, st->buffered_tracks);
   st->started = true;
 }
 
-void StaggeredGroupScheduler::DeliverOne(Stream* stream, SgState* st) {
+void StaggeredGroupScheduler::DeliverOne(ShardCtx& ctx, Stream* stream,
+                                         SgState* st) {
   const int i = st->delivered;
   int missing = 0;
   for (int j = 0; j < st->tracks; ++j) {
@@ -83,44 +85,58 @@ void StaggeredGroupScheduler::DeliverOne(Stream* stream, SgState* st) {
     // missing track is rebuilt on the fly (Observation 2 holds because
     // the group was read in full before its first delivery cycle).
     on_time = true;
-    ++metrics_.reconstructed;
+    ++ctx.metrics.reconstructed;
   }
-  DeliverTrack(stream, on_time);
+  DeliverTrack(ctx, stream, on_time);
   ++st->delivered;
   // The delivered track's buffer is released; the parity buffer is held
   // until the whole group has been transmitted.
-  ReleaseBuffersAtCycleEnd(1);
+  ReleaseBuffersAtCycleEnd(ctx, 1);
   --st->buffered_tracks;
   if (st->delivered == st->tracks) {
-    ReleaseBuffersAtCycleEnd(st->buffered_tracks);  // parity (and reconstruction) state
+    ReleaseBuffersAtCycleEnd(ctx, st->buffered_tracks);  // parity (and reconstruction) state
     st->buffered_tracks = 0;
   }
 }
 
+int StaggeredGroupScheduler::ShardCluster(const Stream& stream) const {
+  const SgState& st = state_[static_cast<size_t>(stream.id())];
+  int64_t pos = stream.position();
+  // The delivery phase advances the position by one before any read this
+  // cycle could happen.
+  if (st.started && st.delivered < st.tracks) ++pos;
+  return layout_->GroupCluster(stream.object().id, layout_->GroupOf(pos));
+}
+
 void StaggeredGroupScheduler::DoRunCycle() {
-  // Delivery phase: one track per active stream per cycle (streams that
-  // have not yet had their first read cycle are still starting up).
-  for (const auto& stream : streams()) {
-    if (stream->state() != StreamState::kActive) continue;
-    SgState& st = state_[static_cast<size_t>(stream->id())];
-    if (st.started && st.delivered < st.tracks) {
-      DeliverOne(stream.get(), &st);
-    }
-  }
-  // Read phase: streams whose staggered read cycle this is fetch their
-  // next whole group. The last delivery cycle of the previous group
-  // overlaps the read cycle of the next (Section 2).
-  for (const auto& stream : streams()) {
-    if (stream->state() != StreamState::kActive) continue;
-    if (stream->finished()) continue;
-    SgState& st = state_[static_cast<size_t>(stream->id())];
-    // The delivery phase above already emitted this cycle's track, so on
-    // the overlap cycle (last delivery of the old group == read cycle of
-    // the new one) the old group is fully drained by now.
-    if (IsReadCycle(st) && (!st.started || st.delivered >= st.tracks)) {
-      ReadGroup(stream.get(), &st);
-    }
-  }
+  RunClusterSharded(
+      [this](const Stream& stream) { return ShardCluster(stream); },
+      [this](ShardCtx& ctx, std::span<Stream* const> shard) {
+        // Delivery phase: one track per active stream per cycle (streams
+        // that have not yet had their first read cycle are still
+        // starting up).
+        for (Stream* stream : shard) {
+          SgState& st = state_[static_cast<size_t>(stream->id())];
+          if (st.started && st.delivered < st.tracks) {
+            DeliverOne(ctx, stream, &st);
+          }
+        }
+        // Read phase: streams whose staggered read cycle this is fetch
+        // their next whole group. The last delivery cycle of the
+        // previous group overlaps the read cycle of the next
+        // (Section 2); the delivery pass above already emitted this
+        // cycle's track, so on the overlap cycle the old group is fully
+        // drained by now.
+        for (Stream* stream : shard) {
+          if (stream->state() != StreamState::kActive) continue;
+          if (stream->finished()) continue;
+          SgState& st = state_[static_cast<size_t>(stream->id())];
+          if (IsReadCycle(st) &&
+              (!st.started || st.delivered >= st.tracks)) {
+            ReadGroup(ctx, stream, &st);
+          }
+        }
+      });
 }
 
 }  // namespace ftms

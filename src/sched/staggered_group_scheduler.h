@@ -45,8 +45,11 @@ class StaggeredGroupScheduler : public CycleScheduler {
   };
 
   bool IsReadCycle(const SgState& st) const;
-  void ReadGroup(Stream* stream, SgState* st);
-  void DeliverOne(Stream* stream, SgState* st);
+  // The cluster this stream's reads (if any) land on this cycle: the
+  // group containing the position AFTER this cycle's delivery.
+  int ShardCluster(const Stream& stream) const;
+  void ReadGroup(ShardCtx& ctx, Stream* stream, SgState* st);
+  void DeliverOne(ShardCtx& ctx, Stream* stream, SgState* st);
 
   std::vector<SgState> state_;
   // Phase assignment counters per home cluster: staggering must balance

@@ -26,7 +26,9 @@ void StreamingRaidScheduler::DoOnStreamStopped(Stream* stream) {
   }
 }
 
-void StreamingRaidScheduler::DeliverGroup(Stream* stream, GroupBuffer* buf) {
+void StreamingRaidScheduler::DeliverGroup(ShardCtx& ctx, Stream* stream,
+                                          GroupBuffer* buf,
+                                          VerifyScratch* scratch) {
   // Track i of the buffered group is on time if it was read, or if it is
   // the only missing block and the parity block plus all other data blocks
   // are present (on-the-fly reconstruction, Observation 2).
@@ -39,7 +41,7 @@ void StreamingRaidScheduler::DeliverGroup(Stream* stream, GroupBuffer* buf) {
     bool on_time = buf->have[static_cast<size_t>(i)];
     if (!on_time && can_reconstruct) {
       on_time = true;
-      ++metrics_.reconstructed;
+      ++ctx.metrics.reconstructed;
       if (config_.verify_data) {
         // Rebuild the missing block from the bytes actually in memory:
         // XOR of the surviving data blocks and the parity block.
@@ -52,24 +54,25 @@ void StreamingRaidScheduler::DeliverGroup(Stream* stream, GroupBuffer* buf) {
       }
     }
     if (config_.verify_data && on_time) {
-      ++metrics_.verified_tracks;
-      const Block expected = SynthesizeDataBlock(
-          stream->object().id, buf->first_track + i, kVerifyBlockBytes);
-      if (buf->data[static_cast<size_t>(i)] != expected) {
-        ++metrics_.verify_failures;
+      ++ctx.metrics.verified_tracks;
+      SynthesizeDataBlockInto(stream->object().id, buf->first_track + i,
+                              kVerifyBlockBytes, &scratch->block);
+      if (buf->data[static_cast<size_t>(i)] != scratch->block) {
+        ++ctx.metrics.verify_failures;
       }
     }
-    DeliverTrack(stream, on_time);
+    DeliverTrack(ctx, stream, on_time);
   }
-  ReleaseBuffersAtCycleEnd(buf->buffered_tracks);
+  ReleaseBuffersAtCycleEnd(ctx, buf->buffered_tracks);
   buf->ready = false;
   buf->buffered_tracks = 0;
   buf->data.clear();
   buf->parity.clear();
 }
 
-void StreamingRaidScheduler::ReadNextGroup(Stream* stream,
-                                           GroupBuffer* buf) {
+void StreamingRaidScheduler::ReadNextGroup(ShardCtx& ctx, Stream* stream,
+                                           GroupBuffer* buf,
+                                           VerifyScratch* scratch) {
   const int per_group = layout_->DataBlocksPerGroup();
   const int64_t first = stream->position();
   const int64_t group = layout_->GroupOf(first);
@@ -84,50 +87,62 @@ void StreamingRaidScheduler::ReadNextGroup(Stream* stream,
   buf->parity_ok = false;
 
   if (config_.verify_data) {
-    buf->data.assign(static_cast<size_t>(tracks), Block());
+    buf->data.resize(static_cast<size_t>(tracks));
+    for (Block& block : buf->data) block.clear();
   }
   for (int i = 0; i < tracks; ++i) {
     const BlockLocation loc =
         layout_->DataLocation(stream->object().id, first + i);
     const bool ok =
-        TryRead(loc.disk, /*is_parity=*/false) == ReadOutcome::kOk;
+        TryRead(ctx, loc.disk, /*is_parity=*/false) == ReadOutcome::kOk;
     buf->have[static_cast<size_t>(i)] = ok;
     if (config_.verify_data && ok) {
-      buf->data[static_cast<size_t>(i)] = SynthesizeDataBlock(
-          stream->object().id, first + i, kVerifyBlockBytes);
+      SynthesizeDataBlockInto(stream->object().id, first + i,
+                              kVerifyBlockBytes,
+                              &buf->data[static_cast<size_t>(i)]);
     }
   }
   const BlockLocation parity =
       layout_->ParityLocation(stream->object().id, group);
-  buf->parity_ok = TryRead(parity.disk, /*is_parity=*/true) ==
+  buf->parity_ok = TryRead(ctx, parity.disk, /*is_parity=*/true) ==
                    ReadOutcome::kOk;
   if (config_.verify_data && buf->parity_ok) {
-    buf->parity = SynthesizeParityBlock(*layout_, stream->object().id,
-                                        group, stream->object().num_tracks,
-                                        kVerifyBlockBytes)
-                      .value_or(Block());
+    const Status status = SynthesizeParityBlockInto(
+        *layout_, stream->object().id, group, stream->object().num_tracks,
+        kVerifyBlockBytes, &buf->parity, &scratch->parity_scratch);
+    if (!status.ok()) buf->parity.clear();
   }
 
   // Group in memory until delivered: C-1 data + 1 parity buffers.
   buf->buffered_tracks = tracks + 1;
-  AcquireBuffers(buf->buffered_tracks);
+  AcquireBuffers(ctx, buf->buffered_tracks);
+}
+
+int StreamingRaidScheduler::ShardCluster(const Stream& stream) const {
+  const GroupBuffer& buf = state_[static_cast<size_t>(stream.id())];
+  // After delivering the buffered group (if any), the stream reads the
+  // group at first_track + tracks; otherwise the group at its position.
+  const int64_t pos =
+      buf.ready ? buf.first_track + buf.tracks : stream.position();
+  return layout_->GroupCluster(stream.object().id, layout_->GroupOf(pos));
 }
 
 void StreamingRaidScheduler::DoRunCycle() {
-  // Delivery phase: transmit the groups read in the previous cycle.
-  for (const auto& stream : streams()) {
-    if (stream->state() != StreamState::kActive) continue;
-    GroupBuffer& buf = state_[static_cast<size_t>(stream->id())];
-    if (buf.ready) DeliverGroup(stream.get(), &buf);
-  }
-  // Read phase: fetch the next group for every still-active stream.
-  for (const auto& stream : streams()) {
-    if (stream->state() != StreamState::kActive) continue;
-    GroupBuffer& buf = state_[static_cast<size_t>(stream->id())];
-    if (!buf.ready && !stream->finished()) {
-      ReadNextGroup(stream.get(), &buf);
-    }
-  }
+  RunClusterSharded(
+      [this](const Stream& stream) { return ShardCluster(stream); },
+      [this](ShardCtx& ctx, std::span<Stream* const> shard) {
+        VerifyScratch scratch;
+        for (Stream* stream : shard) {
+          GroupBuffer& buf = state_[static_cast<size_t>(stream->id())];
+          // Delivery phase: transmit the group read in the previous
+          // cycle; read phase: fetch the next group while still active.
+          if (buf.ready) DeliverGroup(ctx, stream, &buf, &scratch);
+          if (stream->state() == StreamState::kActive && !buf.ready &&
+              !stream->finished()) {
+            ReadNextGroup(ctx, stream, &buf, &scratch);
+          }
+        }
+      });
 }
 
 }  // namespace ftms

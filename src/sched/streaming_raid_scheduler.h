@@ -48,8 +48,22 @@ class StreamingRaidScheduler : public CycleScheduler {
   // still exercising real XOR reconstruction.
   static constexpr size_t kVerifyBlockBytes = 64;
 
-  void DeliverGroup(Stream* stream, GroupBuffer* buf);
-  void ReadNextGroup(Stream* stream, GroupBuffer* buf);
+  // Per-shard datapath scratch (integrity mode): synthesis targets reused
+  // across tracks so the verify pipeline never allocates per track.
+  struct VerifyScratch {
+    Block block;
+    Block parity_scratch;
+  };
+
+  // The cluster every read of `stream` lands on this cycle: the group
+  // being fetched after delivery (all C-1 data disks plus the parity disk
+  // of a group share one cluster in this layout).
+  int ShardCluster(const Stream& stream) const;
+
+  void DeliverGroup(ShardCtx& ctx, Stream* stream, GroupBuffer* buf,
+                    VerifyScratch* scratch);
+  void ReadNextGroup(ShardCtx& ctx, Stream* stream, GroupBuffer* buf,
+                     VerifyScratch* scratch);
 
   std::vector<GroupBuffer> state_;  // indexed by StreamId
 };

@@ -1,0 +1,72 @@
+#ifndef FTMS_UTIL_DISK_SET_H_
+#define FTMS_UTIL_DISK_SET_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+namespace ftms {
+
+// Flat set of disk ids, stored as per-disk byte flags (vector<uint8_t>,
+// not vector<bool>, so Contains() is one load with no bit twiddling).
+// This is the failure-tracking representation shared by the scheduler's
+// mid-cycle bookkeeping and the degraded-read datapath: membership tests
+// sit on per-read hot paths where an ordered std::set's pointer chasing
+// would dominate. Grows on Add; ids beyond the current size read as
+// absent, and negative ids are never members.
+class DiskSet {
+ public:
+  DiskSet() = default;
+  // Pre-sizes the flag array for disks [0, num_disks) so Add never
+  // reallocates in steady state.
+  explicit DiskSet(int num_disks)
+      : flags_(num_disks > 0 ? static_cast<size_t>(num_disks) : 0, 0) {}
+  DiskSet(std::initializer_list<int> disks) {
+    for (int disk : disks) Add(disk);
+  }
+
+  void Add(int disk) {
+    if (disk < 0) return;
+    if (static_cast<size_t>(disk) >= flags_.size()) {
+      flags_.resize(static_cast<size_t>(disk) + 1, 0);
+    }
+    if (!flags_[static_cast<size_t>(disk)]) {
+      flags_[static_cast<size_t>(disk)] = 1;
+      ++count_;
+    }
+  }
+
+  void Remove(int disk) {
+    if (disk < 0 || static_cast<size_t>(disk) >= flags_.size()) return;
+    if (flags_[static_cast<size_t>(disk)]) {
+      flags_[static_cast<size_t>(disk)] = 0;
+      --count_;
+    }
+  }
+
+  bool Contains(int disk) const {
+    return disk >= 0 && static_cast<size_t>(disk) < flags_.size() &&
+           flags_[static_cast<size_t>(disk)] != 0;
+  }
+
+  bool empty() const { return count_ == 0; }
+  int count() const { return count_; }
+
+  // Removes every member, keeping the allocated flag array. O(1) when
+  // already empty, so per-cycle clears are free in the common
+  // failure-free case.
+  void Clear() {
+    if (count_ == 0) return;
+    std::fill(flags_.begin(), flags_.end(), 0);
+    count_ = 0;
+  }
+
+ private:
+  std::vector<uint8_t> flags_;
+  int count_ = 0;
+};
+
+}  // namespace ftms
+
+#endif  // FTMS_UTIL_DISK_SET_H_

@@ -1,8 +1,8 @@
 #include "verify/datapath.h"
 
 #include <algorithm>
+#include <cstring>
 #include <string>
-#include <vector>
 
 namespace ftms {
 namespace {
@@ -17,26 +17,36 @@ uint64_t Mix(uint64_t x) {
 
 }  // namespace
 
-Block SynthesizeDataBlock(int object_id, int64_t track,
-                          size_t block_bytes) {
-  Block block(block_bytes);
+void SynthesizeDataBlockInto(int object_id, int64_t track,
+                             size_t block_bytes, Block* out) {
+  out->resize(block_bytes);
   const uint64_t seed =
       Mix((static_cast<uint64_t>(static_cast<uint32_t>(object_id)) << 32) ^
           static_cast<uint64_t>(track));
-  size_t i = 0;
   uint64_t counter = seed;
-  while (i < block_bytes) {
+  uint8_t* dst = out->data();
+  size_t i = 0;
+  for (; i + 8 <= block_bytes; i += 8) {
     const uint64_t word = Mix(counter++);
-    for (int b = 0; b < 8 && i < block_bytes; ++b, ++i) {
-      block[i] = static_cast<uint8_t>(word >> (8 * b));
-    }
+    std::memcpy(dst + i, &word, 8);
   }
+  if (i < block_bytes) {
+    const uint64_t word = Mix(counter++);
+    std::memcpy(dst + i, &word, block_bytes - i);
+  }
+}
+
+Block SynthesizeDataBlock(int object_id, int64_t track,
+                          size_t block_bytes) {
+  Block block;
+  SynthesizeDataBlockInto(object_id, track, block_bytes, &block);
   return block;
 }
 
-StatusOr<Block> SynthesizeParityBlock(const Layout& layout, int object_id,
-                                      int64_t group, int64_t object_tracks,
-                                      size_t block_bytes) {
+Status SynthesizeParityBlockInto(const Layout& layout, int object_id,
+                                 int64_t group, int64_t object_tracks,
+                                 size_t block_bytes, Block* out,
+                                 Block* scratch) {
   const int per_group = layout.DataBlocksPerGroup();
   const int64_t first = group * per_group;
   const int64_t last =
@@ -44,31 +54,48 @@ StatusOr<Block> SynthesizeParityBlock(const Layout& layout, int object_id,
   if (first >= object_tracks) {
     return Status::OutOfRange("group beyond object end");
   }
-  std::vector<Block> data;
-  for (int64_t t = first; t < last; ++t) {
-    data.push_back(SynthesizeDataBlock(object_id, t, block_bytes));
+  SynthesizeDataBlockInto(object_id, first, block_bytes, out);
+  for (int64_t t = first + 1; t < last; ++t) {
+    SynthesizeDataBlockInto(object_id, t, block_bytes, scratch);
+    XorInto(*out, *scratch);
   }
-  return ComputeParity(data);
+  return Status::Ok();
 }
 
-StatusOr<TrackRead> ReadTrackDegraded(const Layout& layout, int object_id,
-                                      int64_t track, int64_t object_tracks,
-                                      const std::set<int>& failed_disks,
+StatusOr<Block> SynthesizeParityBlock(const Layout& layout, int object_id,
+                                      int64_t group, int64_t object_tracks,
                                       size_t block_bytes) {
+  Block parity;
+  Block scratch;
+  const Status status = SynthesizeParityBlockInto(
+      layout, object_id, group, object_tracks, block_bytes, &parity,
+      &scratch);
+  if (!status.ok()) return status;
+  return parity;
+}
+
+Status ReadTrackDegradedInto(const Layout& layout, int object_id,
+                             int64_t track, int64_t object_tracks,
+                             const DiskSet& failed_disks,
+                             size_t block_bytes,
+                             DegradedReadScratch* scratch, TrackRead* out) {
   if (track < 0 || track >= object_tracks) {
     return Status::OutOfRange("track beyond object end");
   }
   const BlockLocation loc = layout.DataLocation(object_id, track);
-  TrackRead result;
-  if (failed_disks.count(loc.disk) == 0) {
-    result.data = SynthesizeDataBlock(object_id, track, block_bytes);
-    return result;
+  out->reconstructed = false;
+  if (!failed_disks.Contains(loc.disk)) {
+    SynthesizeDataBlockInto(object_id, track, block_bytes, &out->data);
+    return Status::Ok();
   }
-  // Degraded path: XOR the surviving group members with the parity block
-  // (Observation 2's on-the-fly reconstruction).
+  // Degraded path (Observation 2's on-the-fly reconstruction): the lost
+  // block is parity XOR survivors. Parity is itself the XOR of every
+  // group member, so fold each member once for the parity contribution
+  // and each SURVIVOR a second time — the survivors cancel, leaving
+  // exactly the missing block, without ever materializing the group.
   const int64_t group = layout.GroupOf(track);
   const BlockLocation parity_loc = layout.ParityLocation(object_id, group);
-  if (failed_disks.count(parity_loc.disk) > 0) {
+  if (failed_disks.Contains(parity_loc.disk)) {
     return Status::Unavailable(
         "parity disk for the group is also down: catastrophic");
   }
@@ -76,42 +103,57 @@ StatusOr<TrackRead> ReadTrackDegraded(const Layout& layout, int object_id,
   const int64_t first = group * per_group;
   const int64_t last =
       std::min<int64_t>(first + per_group, object_tracks);
-  std::vector<Block> survivors;
+  scratch->acc.Reset();
   for (int64_t t = first; t < last; ++t) {
+    SynthesizeDataBlockInto(object_id, t, block_bytes, &scratch->synth);
+    FTMS_RETURN_IF_ERROR(scratch->acc.Add(scratch->synth));
     if (t == track) continue;
     const BlockLocation other = layout.DataLocation(object_id, t);
-    if (failed_disks.count(other.disk) > 0) {
+    if (failed_disks.Contains(other.disk)) {
       return Status::Unavailable(
           "two data blocks of the group are down: catastrophic");
     }
-    survivors.push_back(SynthesizeDataBlock(object_id, t, block_bytes));
+    FTMS_RETURN_IF_ERROR(scratch->acc.Add(scratch->synth));
   }
-  StatusOr<Block> parity = SynthesizeParityBlock(
-      layout, object_id, group, object_tracks, block_bytes);
-  if (!parity.ok()) return parity.status();
-  StatusOr<Block> rebuilt = ReconstructMissing(survivors, *parity);
-  if (!rebuilt.ok()) return rebuilt.status();
-  result.reconstructed = true;
-  result.data = *std::move(rebuilt);
+  out->reconstructed = true;
+  // Copy-assign (not Take) so the accumulator keeps its capacity for the
+  // caller's next track.
+  out->data = scratch->acc.value();
+  return Status::Ok();
+}
+
+StatusOr<TrackRead> ReadTrackDegraded(const Layout& layout, int object_id,
+                                      int64_t track, int64_t object_tracks,
+                                      const DiskSet& failed_disks,
+                                      size_t block_bytes) {
+  DegradedReadScratch scratch;
+  TrackRead result;
+  const Status status =
+      ReadTrackDegradedInto(layout, object_id, track, object_tracks,
+                            failed_disks, block_bytes, &scratch, &result);
+  if (!status.ok()) return status;
   return result;
 }
 
 StatusOr<int64_t> VerifyObjectReadback(const Layout& layout, int object_id,
                                        int64_t object_tracks,
-                                       const std::set<int>& failed_disks,
+                                       const DiskSet& failed_disks,
                                        size_t block_bytes) {
   int64_t reconstructed = 0;
+  DegradedReadScratch scratch;
+  TrackRead read;
+  Block expected;
   for (int64_t t = 0; t < object_tracks; ++t) {
-    StatusOr<TrackRead> read = ReadTrackDegraded(
-        layout, object_id, t, object_tracks, failed_disks, block_bytes);
-    if (!read.ok()) return read.status();
-    const Block expected =
-        SynthesizeDataBlock(object_id, t, block_bytes);
-    if (read->data != expected) {
+    const Status status =
+        ReadTrackDegradedInto(layout, object_id, t, object_tracks,
+                              failed_disks, block_bytes, &scratch, &read);
+    if (!status.ok()) return status;
+    SynthesizeDataBlockInto(object_id, t, block_bytes, &expected);
+    if (read.data != expected) {
       return Status::Internal("byte mismatch at track " +
                               std::to_string(t));
     }
-    if (read->reconstructed) ++reconstructed;
+    if (read.reconstructed) ++reconstructed;
   }
   return reconstructed;
 }

@@ -2,10 +2,10 @@
 #define FTMS_VERIFY_DATAPATH_H_
 
 #include <cstdint>
-#include <set>
 
 #include "layout/layout.h"
 #include "parity/parity.h"
+#include "util/disk_set.h"
 #include "util/status.h"
 
 namespace ftms {
@@ -20,13 +20,31 @@ namespace ftms {
 // the "disk" never stores anything, it regenerates the same bytes on
 // every read, and parity blocks are the XOR of their group's synthesized
 // data blocks — exactly the bytes a real write path would have placed.
+//
+// The `...Into` forms write through caller-owned blocks/scratch so that
+// loops over many tracks (scrubbing, integrity-mode delivery, the
+// degraded-read bench) allocate nothing in steady state; the
+// value-returning forms are conveniences over them.
+
+// Deterministic contents of data track `track` of `object_id`, written
+// into *out (resized to `block_bytes`; capacity is reused across calls).
+void SynthesizeDataBlockInto(int object_id, int64_t track,
+                             size_t block_bytes, Block* out);
 
 // Deterministic contents of data track `track` of `object_id`.
 Block SynthesizeDataBlock(int object_id, int64_t track,
                           size_t block_bytes);
 
 // Parity block contents for group `group` of an object of
-// `object_tracks` total tracks (short final groups XOR fewer blocks).
+// `object_tracks` total tracks (short final groups XOR fewer blocks),
+// written into *out. *scratch holds one synthesized member block at a
+// time — the group is never materialized.
+Status SynthesizeParityBlockInto(const Layout& layout, int object_id,
+                                 int64_t group, int64_t object_tracks,
+                                 size_t block_bytes, Block* out,
+                                 Block* scratch);
+
+// Value-returning convenience form.
 StatusOr<Block> SynthesizeParityBlock(const Layout& layout, int object_id,
                                       int64_t group, int64_t object_tracks,
                                       size_t block_bytes);
@@ -37,13 +55,27 @@ struct TrackRead {
   Block data;
 };
 
-// Reads data track `track`, reconstructing from the surviving group
-// members + parity when its disk is in `failed_disks`. Fails with
-// UNAVAILABLE when reconstruction is impossible (a second failure in the
-// group — the paper's catastrophic case).
+// Reusable state for ReadTrackDegradedInto: a running XOR for the
+// reconstruction and one block of synthesis scratch.
+struct DegradedReadScratch {
+  ParityAccumulator acc;
+  Block synth;
+};
+
+// Reads data track `track` into out->data, reconstructing from the
+// surviving group members + parity when its disk is in `failed_disks`.
+// Fails with UNAVAILABLE when reconstruction is impossible (a second
+// failure in the group — the paper's catastrophic case).
+Status ReadTrackDegradedInto(const Layout& layout, int object_id,
+                             int64_t track, int64_t object_tracks,
+                             const DiskSet& failed_disks,
+                             size_t block_bytes,
+                             DegradedReadScratch* scratch, TrackRead* out);
+
+// Value-returning convenience form.
 StatusOr<TrackRead> ReadTrackDegraded(const Layout& layout, int object_id,
                                       int64_t track, int64_t object_tracks,
-                                      const std::set<int>& failed_disks,
+                                      const DiskSet& failed_disks,
                                       size_t block_bytes);
 
 // Convenience for tests: reads every track of the object under the given
@@ -52,7 +84,7 @@ StatusOr<TrackRead> ReadTrackDegraded(const Layout& layout, int object_id,
 // mismatch / unrecoverable track.
 StatusOr<int64_t> VerifyObjectReadback(const Layout& layout, int object_id,
                                        int64_t object_tracks,
-                                       const std::set<int>& failed_disks,
+                                       const DiskSet& failed_disks,
                                        size_t block_bytes);
 
 }  // namespace ftms

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tests/sched_test_util.h"
+
+namespace ftms {
+namespace {
+
+// The determinism contract of cluster-parallel cycle execution: every
+// metrics counter AND the buffer-pool peak are byte-identical at any
+// thread count — the `threads` knob trades wall-clock for cores and
+// nothing else. Farm-scale populations (~1000 streams, well above the
+// small-population serial guard) ensure the parallel path actually
+// dispatches; a mid-cycle failure exercises the degraded planning,
+// reconstruction and (for IB) the right-shift cascade under sharding.
+
+struct RunResult {
+  SchedulerMetrics metrics;
+  int64_t pool_peak = 0;
+
+  friend bool operator==(const RunResult&, const RunResult&) = default;
+};
+
+RunResult RunScenario(Scheme scheme, int c, int disks, int streams,
+                      int stagger_every, int threads, bool fail) {
+  RigOptions options;
+  options.threads = threads;
+  SchedRig rig = MakeRig(scheme, c, disks, options);
+  const int clusters = rig.layout->num_clusters();
+  for (int i = 0; i < streams; ++i) {
+    rig.sched->AddStream(TestObject(i % clusters, 100000)).value();
+    // NC balances by stream POSITION, set by the start cycle: admit in
+    // slot-sized groups, one cycle apart.
+    if (stagger_every > 0 && i % stagger_every == stagger_every - 1) {
+      rig.sched->RunCycle();
+    }
+  }
+  rig.sched->RunCycles(30);
+  if (fail) {
+    rig.sched->OnDiskFailed(1, /*mid_cycle=*/true);
+    rig.sched->RunCycles(30);
+    rig.sched->OnDiskRepaired(1);
+  }
+  rig.sched->RunCycles(10);
+  return {rig.sched->metrics(), rig.sched->buffer_pool().peak_in_use()};
+}
+
+class ParallelCycleGolden
+    : public ::testing::TestWithParam<std::tuple<Scheme, bool>> {};
+
+TEST_P(ParallelCycleGolden, MetricsIdenticalAtEveryThreadCount) {
+  const auto [scheme, fail] = GetParam();
+  const int c = 5;
+  const int disks = scheme == Scheme::kImprovedBandwidth ? 96 : 100;
+  const int streams = scheme == Scheme::kStreamingRaid ? 1040 : 960;
+  const int stagger = scheme == Scheme::kNonClustered ? 12 : 0;
+
+  const RunResult serial =
+      RunScenario(scheme, c, disks, streams, stagger, /*threads=*/1, fail);
+  for (const int threads : {2, 8}) {
+    const RunResult parallel =
+        RunScenario(scheme, c, disks, streams, stagger, threads, fail);
+    EXPECT_EQ(parallel.metrics, serial.metrics)
+        << SchemeName(scheme) << " with " << threads
+        << " threads diverged from the serial schedule"
+        << (fail ? " (mid-cycle failure run)" : " (healthy run)");
+    EXPECT_EQ(parallel.pool_peak, serial.pool_peak)
+        << SchemeName(scheme) << " buffer peak at " << threads
+        << " threads";
+  }
+  // Sanity: the scenario did real work.
+  EXPECT_GT(serial.metrics.tracks_delivered, 0);
+  EXPECT_GT(serial.pool_peak, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesHealthyAndFailed, ParallelCycleGolden,
+    ::testing::Combine(::testing::Values(Scheme::kStreamingRaid,
+                                         Scheme::kStaggeredGroup,
+                                         Scheme::kNonClustered,
+                                         Scheme::kImprovedBandwidth),
+                       ::testing::Bool()));
+
+// NC multi-rate bursts can span clusters, which falls the whole cycle
+// back to one serial shard; the fallback decision is a pure function of
+// scheduler state, so mixed-rate runs must stay thread-count-invariant
+// too.
+TEST(ParallelCycleGolden, NcMultiRateFallbackIsDeterministic) {
+  auto run = [](int threads) {
+    RigOptions options;
+    options.threads = threads;
+    SchedRig rig = MakeRig(Scheme::kNonClustered, 5, 100, options);
+    const int clusters = rig.layout->num_clusters();
+    for (int i = 0; i < 400; ++i) {
+      // Every seventh stream at 3x the base rate (MPEG-2 over MPEG-1).
+      const double rate = (i % 7 == 0) ? 3 * 0.1875 : 0.1875;
+      rig.sched->AddStream(TestObject(i % clusters, 9996, rate)).value();
+      if (i % 12 == 11) rig.sched->RunCycle();
+    }
+    rig.sched->RunCycles(30);
+    rig.sched->OnDiskFailed(1, /*mid_cycle=*/true);
+    rig.sched->RunCycles(30);
+    rig.sched->OnDiskRepaired(1);
+    rig.sched->RunCycles(10);
+    return RunResult{rig.sched->metrics(),
+                     rig.sched->buffer_pool().peak_in_use()};
+  };
+  const RunResult serial = run(1);
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(8), serial);
+  EXPECT_GT(serial.metrics.tracks_delivered, 0);
+}
+
+}  // namespace
+}  // namespace ftms

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
+#include <vector>
 
+#include "util/disk_set.h"
 #include "util/log.h"
+#include "util/thread_pool.h"
 #include "util/units.h"
 
 namespace ftms {
@@ -49,6 +53,108 @@ TEST(LogTest, IncludesSourceLocation) {
   const std::string output = testing::internal::GetCapturedStderr();
   EXPECT_NE(output.find("util_misc_test.cc"), std::string::npos);
   SetLogLevel(LogLevel::kWarning);
+}
+
+TEST(DiskSetTest, AddRemoveContains) {
+  DiskSet set(8);
+  EXPECT_TRUE(set.empty());
+  set.Add(3);
+  set.Add(3);  // idempotent
+  set.Add(7);
+  EXPECT_EQ(set.count(), 2);
+  EXPECT_TRUE(set.Contains(3));
+  EXPECT_TRUE(set.Contains(7));
+  EXPECT_FALSE(set.Contains(4));
+  set.Remove(3);
+  set.Remove(3);  // idempotent
+  EXPECT_FALSE(set.Contains(3));
+  EXPECT_EQ(set.count(), 1);
+  set.Clear();
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.Contains(7));
+}
+
+TEST(DiskSetTest, GrowsBeyondInitialSizeAndIgnoresNegatives) {
+  DiskSet set(2);
+  EXPECT_FALSE(set.Contains(100));  // beyond size reads as absent
+  set.Add(100);
+  EXPECT_TRUE(set.Contains(100));
+  set.Add(-1);  // no-op
+  set.Remove(-1);
+  EXPECT_FALSE(set.Contains(-1));
+  EXPECT_EQ(set.count(), 1);
+}
+
+TEST(DiskSetTest, InitializerListMatchesTestLiterals) {
+  const DiskSet empty = {};
+  EXPECT_TRUE(empty.empty());
+  const DiskSet pair = {1, 2};
+  EXPECT_TRUE(pair.Contains(1));
+  EXPECT_TRUE(pair.Contains(2));
+  EXPECT_FALSE(pair.Contains(0));
+  EXPECT_EQ(pair.count(), 2);
+}
+
+TEST(ParallelForChunksTest, ChunkIndicesAreDenseAndCoverTheRange) {
+  ThreadPool pool(8);
+  // 9 elements over 8 workers: ceil division gives 2-element chunks, so
+  // only 5 chunks exist — the count must not report empty tail chunks.
+  const int64_t chunks = ParallelChunkCount(&pool, 0, 9);
+  EXPECT_EQ(chunks, 5);
+  std::vector<std::atomic<int>> covered(9);
+  std::vector<std::atomic<int>> chunk_seen(static_cast<size_t>(chunks));
+  ParallelForChunks(&pool, 0, 9,
+                    [&](int64_t chunk, int64_t lo, int64_t hi) {
+                      ASSERT_GE(chunk, 0);
+                      ASSERT_LT(chunk, chunks);
+                      ++chunk_seen[static_cast<size_t>(chunk)];
+                      for (int64_t i = lo; i < hi; ++i) {
+                        ++covered[static_cast<size_t>(i)];
+                      }
+                    });
+  for (auto& c : covered) EXPECT_EQ(c.load(), 1);
+  for (auto& c : chunk_seen) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ParallelForChunksTest, NullPoolAndEmptyRangesRunInline) {
+  EXPECT_EQ(ParallelChunkCount(nullptr, 0, 100), 1);
+  EXPECT_EQ(ParallelChunkCount(nullptr, 5, 5), 0);
+  int calls = 0;
+  int64_t seen_lo = -1;
+  int64_t seen_hi = -1;
+  ParallelForChunks(nullptr, 2, 40,
+                    [&](int64_t chunk, int64_t lo, int64_t hi) {
+                      ++calls;
+                      EXPECT_EQ(chunk, 0);
+                      seen_lo = lo;
+                      seen_hi = hi;
+                    });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(seen_lo, 2);
+  EXPECT_EQ(seen_hi, 40);
+  ParallelForChunks(nullptr, 7, 7,
+                    [&](int64_t, int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 1);  // empty range: body never runs
+}
+
+TEST(ParallelForChunksTest, PartitionIsAFunctionOfRangeNotThreads) {
+  // The chunk boundaries for a given (range, pool size) are fixed, so
+  // per-chunk results folded in chunk order are bit-identical run to run.
+  ThreadPool pool(4);
+  const int64_t chunks = ParallelChunkCount(&pool, 10, 110);
+  std::vector<std::pair<int64_t, int64_t>> bounds(
+      static_cast<size_t>(chunks));
+  ParallelForChunks(&pool, 10, 110,
+                    [&](int64_t chunk, int64_t lo, int64_t hi) {
+                      bounds[static_cast<size_t>(chunk)] = {lo, hi};
+                    });
+  int64_t expect_lo = 10;
+  for (const auto& [lo, hi] : bounds) {
+    EXPECT_EQ(lo, expect_lo);
+    EXPECT_GT(hi, lo);
+    expect_lo = hi;
+  }
+  EXPECT_EQ(expect_lo, 110);
 }
 
 }  // namespace

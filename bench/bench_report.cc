@@ -5,6 +5,10 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "util/metrics.h"
+#include "util/thread_pool.h"
+#include "util/trace_event.h"
+
 namespace ftms::bench {
 namespace {
 
@@ -42,15 +46,32 @@ std::string Reporter::WriteJson() const {
   }
   const std::string path = dir + "/BENCH_" + name_ + ".json";
 
+  MetricsRegistry* registry = MetricsRegistry::GlobalIfEnabled();
+  Tracer* tracer = Tracer::GlobalIfEnabled();
+
   std::string json = "{\n  \"bench\": \"" + name_ + "\",\n";
-  json += "  \"schema_version\": 1,\n";
+  json += "  \"schema_version\": " + std::to_string(kSchemaVersion) + ",\n";
+  // Environment stamp: anything that changes what the timings mean.
+  json += "  \"env\": {\n";
+  json += "    \"threads\": " +
+          std::to_string(ThreadPool::DefaultThreadCount()) + ",\n";
+  json += std::string("    \"metrics_enabled\": ") +
+          (registry != nullptr ? "true" : "false") + ",\n";
+  json += std::string("    \"trace_enabled\": ") +
+          (tracer != nullptr ? "true" : "false") + "\n";
+  json += "  },\n";
   json += "  \"metrics\": {\n";
   for (size_t i = 0; i < metrics_.size(); ++i) {
     json += "    \"" + metrics_[i].first + "\": ";
     AppendNumber(&json, metrics_[i].second);
     json += i + 1 < metrics_.size() ? ",\n" : "\n";
   }
-  json += "  }\n}\n";
+  json += "  }";
+  if (registry != nullptr) {
+    json += ",\n  \"registry\": ";
+    json += registry->JsonObject("    ", "  ");
+  }
+  json += "\n}\n";
 
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -60,6 +81,21 @@ std::string Reporter::WriteJson() const {
   std::fwrite(json.data(), 1, json.size(), f);
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
+
+  if (registry != nullptr) {
+    if (const char* out = std::getenv("FTMS_METRICS_OUT")) {
+      if (out[0] != '\0' && registry->WritePrometheusFile(out).ok()) {
+        std::printf("wrote %s\n", out);
+      }
+    }
+  }
+  if (tracer != nullptr) {
+    if (const char* out = std::getenv("FTMS_TRACE_OUT")) {
+      if (out[0] != '\0' && tracer->WriteChromeJson(out).ok()) {
+        std::printf("wrote %s\n", out);
+      }
+    }
+  }
   return path;
 }
 

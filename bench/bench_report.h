@@ -28,9 +28,19 @@ class WallTimer {
 // BENCH_<name>.json so successive PRs can be compared with
 // tools/bench_diff.py.
 //
+// Schema version 2 adds an "env" stamp (worker threads, whether the
+// metrics registry / tracer were enabled — both skew timings) and, when
+// the global registry is live, a full "registry" block of its metrics so
+// the perf numbers and the observability counters land in one artifact.
+// bench_diff.py refuses to compare across schema versions.
+//
 // Environment knobs:
 //   FTMS_BENCH_JSON=0        disable writing entirely
 //   FTMS_BENCH_JSON_DIR=dir  target directory (default: current dir)
+//   FTMS_METRICS_OUT=path    also export the global registry as
+//                            Prometheus text to `path`
+//   FTMS_TRACE_OUT=path      also export the global tracer as Chrome
+//                            trace JSON to `path`
 class Reporter {
  public:
   explicit Reporter(std::string name) : name_(std::move(name)) {}
@@ -41,10 +51,14 @@ class Reporter {
 
   // Writes BENCH_<name>.json and returns its path; returns "" when
   // disabled via FTMS_BENCH_JSON=0 or when the file cannot be written.
-  // Also prints a one-line "wrote ..." notice on success.
+  // Also prints a one-line "wrote ..." notice on success, and honors the
+  // FTMS_METRICS_OUT / FTMS_TRACE_OUT exports when those sinks are live.
   std::string WriteJson() const;
 
   const std::string& name() const { return name_; }
+
+  // The bench report schema emitted by WriteJson().
+  static constexpr int kSchemaVersion = 2;
 
  private:
   std::string name_;

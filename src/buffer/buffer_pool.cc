@@ -10,12 +10,14 @@ Status BufferPool::Acquire(int64_t tracks) {
   assert(tracks >= 0);
   if (!unlimited() && in_use_ + tracks > capacity_) {
     ++failed_acquires_;
+    if (failed_counter_ != nullptr) failed_counter_->Add(1);
     return Status::ResourceExhausted(
         "buffer pool full: want " + std::to_string(tracks) + ", free " +
         std::to_string(capacity_ - in_use_));
   }
   in_use_ += tracks;
   peak_ = std::max(peak_, in_use_);
+  PublishOccupancy();
   return Status::Ok();
 }
 
@@ -23,11 +25,13 @@ void BufferPool::Release(int64_t tracks) {
   assert(tracks >= 0);
   assert(tracks <= in_use_);
   in_use_ -= tracks;
+  PublishOccupancy();
 }
 
 Status BufferPool::AccumulateShard(const ShardDelta& shard) {
   if (!unlimited() && in_use_ + shard.peak() > capacity_) {
     ++failed_acquires_;
+    if (failed_counter_ != nullptr) failed_counter_->Add(1);
     return Status::ResourceExhausted(
         "buffer pool full: shard peak " + std::to_string(shard.peak()) +
         ", free " + std::to_string(capacity_ - in_use_));
@@ -35,7 +39,16 @@ Status BufferPool::AccumulateShard(const ShardDelta& shard) {
   peak_ = std::max(peak_, in_use_ + shard.peak());
   in_use_ += shard.net();
   assert(in_use_ >= 0);
+  PublishOccupancy();
   return Status::Ok();
+}
+
+void BufferPool::BindInstruments(Gauge* in_use, Gauge* peak,
+                                 Counter* failed) {
+  in_use_gauge_ = in_use;
+  peak_gauge_ = peak;
+  failed_counter_ = failed;
+  PublishOccupancy();
 }
 
 BufferServerPool::BufferServerPool(int num_servers,

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace ftms {
@@ -74,11 +75,29 @@ class BufferPool {
 
   void ResetPeak() { peak_ = in_use_; }
 
+  // Observability: mirrors occupancy / peak into the given gauges and
+  // failed acquires into the counter on every state change. Null
+  // arguments are allowed; unbinding is passing all nulls. Acquire,
+  // Release and AccumulateShard are only called from serial points (the
+  // sharded cycle path batches through ShardDelta), so plain gauge writes
+  // suffice.
+  void BindInstruments(Gauge* in_use, Gauge* peak, Counter* failed);
+
  private:
+  void PublishOccupancy() {
+    if (in_use_gauge_ != nullptr) {
+      in_use_gauge_->Set(static_cast<double>(in_use_));
+    }
+    if (peak_gauge_ != nullptr) peak_gauge_->Set(static_cast<double>(peak_));
+  }
+
   int64_t capacity_;
   int64_t in_use_ = 0;
   int64_t peak_ = 0;
   int64_t failed_acquires_ = 0;
+  Gauge* in_use_gauge_ = nullptr;
+  Gauge* peak_gauge_ = nullptr;
+  Counter* failed_counter_ = nullptr;
 };
 
 // The shared pool of "buffer servers" of Section 3: extra processors with

@@ -1,8 +1,10 @@
 #include "reliability/markov_sim.h"
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 namespace ftms {
@@ -93,13 +95,36 @@ double RunTrial(const ReliabilitySimConfig& c, int cluster_size, Rng& rng,
   return 0;  // unreachable: the heap is never empty
 }
 
+// Publishes one finished estimate into the metrics registry, keyed by the
+// estimate kind ("catastrophic", "k_concurrent", "k_degraded_clusters").
+// Runs strictly after the parallel trial loop, on the calling thread.
+void PublishEstimate(const ReliabilitySimConfig& c, const char* kind,
+                     const ReliabilityEstimate& est) {
+  MetricsRegistry* registry =
+      c.metrics != nullptr ? c.metrics : MetricsRegistry::GlobalIfEnabled();
+  if (registry == nullptr) return;
+  registry
+      ->GetCounter(
+          LabeledName("ftms_reliability_trials_total", {{"kind", kind}}))
+      ->Add(est.trials);
+  registry
+      ->GetGauge(
+          LabeledName("ftms_reliability_mean_hours", {{"kind", kind}}))
+      ->Set(est.mean_hours);
+  registry
+      ->GetGauge(
+          LabeledName("ftms_reliability_ci95_hours", {{"kind", kind}}))
+      ->Set(est.ci95_hours);
+}
+
 // Runs `c.trials` independent trials, each on its own deterministic RNG
 // stream, parallelized over the shared pool. The per-trial results are
 // gathered positionally and folded into the estimate in trial order, so
 // the returned numbers are bit-identical for any `c.threads`.
 template <typename StopFn>
 ReliabilityEstimate RunTrials(const ReliabilitySimConfig& c,
-                              int cluster_size, StopFn stop) {
+                              int cluster_size, const char* kind,
+                              StopFn stop) {
   std::vector<double> times(static_cast<size_t>(c.trials), 0.0);
   const int threads =
       c.threads > 0 ? c.threads : ThreadPool::DefaultThreadCount();
@@ -119,6 +144,7 @@ ReliabilityEstimate RunTrials(const ReliabilitySimConfig& c,
   est.mean_hours = stats.mean();
   est.ci95_hours = stats.ConfidenceHalfWidth95();
   est.trials = static_cast<int>(stats.count());
+  PublishEstimate(c, kind, est);
   return est;
 }
 
@@ -137,7 +163,7 @@ StatusOr<ReliabilityEstimate> EstimateMttfCatastrophic(
   const int clusters = config.num_disks / cluster_size;
 
   return RunTrials(
-      config, cluster_size,
+      config, cluster_size, "catastrophic",
       [ib, clusters, cluster_size](const std::vector<int>& down_per_cluster,
                                    int /*total*/, int disk) {
         const int cl = disk / cluster_size;
@@ -165,7 +191,7 @@ StatusOr<ReliabilityEstimate> EstimateKDegradedClusters(
     return Status::InvalidArgument("k_clusters out of range");
   }
   return RunTrials(
-      config, cluster_size,
+      config, cluster_size, "k_degraded_clusters",
       [k_clusters](const std::vector<int>& down_per_cluster, int, int) {
         int degraded = 0;
         for (int d : down_per_cluster) {
@@ -181,7 +207,7 @@ StatusOr<ReliabilityEstimate> EstimateKConcurrent(
   if (k_concurrent < 1 || k_concurrent > config.num_disks) {
     return Status::InvalidArgument("k_concurrent out of range");
   }
-  return RunTrials(config, config.parity_group_size,
+  return RunTrials(config, config.parity_group_size, "k_concurrent",
                    [k_concurrent](const std::vector<int>&, int total, int) {
                      return total >= k_concurrent;
                    });

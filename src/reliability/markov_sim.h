@@ -45,6 +45,10 @@ struct ReliabilitySimConfig {
   // RNG stream (seed ^ SplitMix64Hash(trial)), so every estimate is
   // bit-identical at any thread count.
   int threads = 0;
+  // Metrics sink override: null uses MetricsRegistry::Global() when
+  // FTMS_METRICS=1, else no metrics. Estimates are published at the serial
+  // fold (after all trials), so the values are thread-count invariant.
+  class MetricsRegistry* metrics = nullptr;
 };
 
 struct ReliabilityEstimate {

@@ -1,10 +1,47 @@
 #include "sched/cycle_scheduler.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <chrono>
 #include <string>
 
 namespace ftms {
+
+// Registry cells and the trace track for one scheduler instance, resolved
+// once at construction so every recording site is a pointer chase plus an
+// atomic add — never a name lookup. Per-cluster and per-disk counters are
+// plain atomic Counters: in the cluster-parallel cycle path each cluster's
+// cells are touched by exactly one worker (the shards partition clusters),
+// so the cells are effectively sharded by construction, and the commutative
+// adds keep every exported total bit-identical at any thread count.
+struct CycleScheduler::Instruments {
+  MetricsRegistry* registry = nullptr;
+  Tracer* tracer = nullptr;
+  int32_t tid = -1;
+
+  // Hot-path cells (written from cluster kernels).
+  std::vector<Counter*> cluster_degraded;     // reads that hit a failed disk
+  std::vector<Counter*> cluster_reconstruct;  // tracks rebuilt from parity
+
+  // Serial end-of-cycle cells.
+  std::vector<Counter*> disk_busy;  // busy slots per disk, cumulative
+  Counter* cycles = nullptr;
+  Counter* data_reads = nullptr;
+  Counter* parity_reads = nullptr;
+  Counter* dropped_reads = nullptr;
+  Counter* tracks_delivered = nullptr;
+  Counter* hiccups = nullptr;
+  Counter* admitted = nullptr;
+  Counter* admit_rejected = nullptr;
+  Gauge* active_streams = nullptr;
+  Gauge* buffer_in_use = nullptr;
+  Gauge* buffer_peak = nullptr;
+  Gauge* failed_disks = nullptr;
+  HistogramCell* queue_depth = nullptr;  // slots used per disk-cycle
+  HistogramCell* cycle_wall_us = nullptr;
+  SchedulerMetrics last;  // previous cycle's totals, for counter deltas
+};
 
 namespace {
 
@@ -54,6 +91,97 @@ CycleScheduler::CycleScheduler(const SchedulerConfig& config,
     owned_pool_ = std::make_unique<ThreadPool>(config_.threads);
     exec_pool_ = owned_pool_.get();
   }  // threads == 1 (or negative): exec_pool_ stays null, always serial
+  InitInstruments();
+}
+
+CycleScheduler::~CycleScheduler() = default;
+
+void CycleScheduler::InitInstruments() {
+  MetricsRegistry* registry = config_.metrics != nullptr
+                                  ? config_.metrics
+                                  : MetricsRegistry::GlobalIfEnabled();
+  Tracer* tracer =
+      config_.tracer != nullptr ? config_.tracer : Tracer::GlobalIfEnabled();
+  if (registry == nullptr && tracer == nullptr) return;
+
+  instr_ = std::make_unique<Instruments>();
+  instr_->registry = registry;
+  instr_->tracer = tracer;
+
+  const std::string scheme(SchemeAbbrev(config_.scheme));
+  if (tracer != nullptr) {
+    // One trace track per scheduler instance, so concurrent rigs in one
+    // process land on separate timeline rows.
+    static std::atomic<int> instance{0};
+    instr_->tid = tracer->RegisterTrack(
+        "sched " + scheme + " #" +
+        std::to_string(instance.fetch_add(1, std::memory_order_relaxed)));
+  }
+  if (registry == nullptr) return;
+
+  const auto labeled = [&](std::string_view family) {
+    return LabeledName(family, {{"scheme", scheme}});
+  };
+  const auto indexed = [&](std::string_view family, std::string_view key,
+                           int i) {
+    return LabeledName(family,
+                       {{"scheme", scheme}, {key, std::to_string(i)}});
+  };
+  for (int c = 0; c < layout_->num_clusters(); ++c) {
+    instr_->cluster_degraded.push_back(registry->GetCounter(
+        indexed("ftms_sched_degraded_reads_total", "cluster", c),
+        "reads attempted on a failed disk, by cluster"));
+    instr_->cluster_reconstruct.push_back(registry->GetCounter(
+        indexed("ftms_sched_reconstructions_total", "cluster", c),
+        "tracks rebuilt on-the-fly from parity, by cluster"));
+  }
+  for (int d = 0; d < disks_->num_disks(); ++d) {
+    instr_->disk_busy.push_back(registry->GetCounter(
+        indexed("ftms_sched_disk_busy_slots_total", "disk", d),
+        "read slots consumed per disk (utilization series)"));
+  }
+  instr_->cycles = registry->GetCounter(labeled("ftms_sched_cycles_total"),
+                                        "scheduling cycles completed");
+  instr_->data_reads = registry->GetCounter(
+      labeled("ftms_sched_data_reads_total"), "successful data-track reads");
+  instr_->parity_reads =
+      registry->GetCounter(labeled("ftms_sched_parity_reads_total"),
+                           "successful parity-track reads");
+  instr_->dropped_reads =
+      registry->GetCounter(labeled("ftms_sched_dropped_reads_total"),
+                           "reads displaced by slot exhaustion");
+  instr_->tracks_delivered =
+      registry->GetCounter(labeled("ftms_sched_tracks_delivered_total"),
+                           "tracks delivered on time");
+  instr_->hiccups = registry->GetCounter(labeled("ftms_sched_hiccups_total"),
+                                         "tracks that missed their deadline");
+  instr_->admitted =
+      registry->GetCounter(labeled("ftms_sched_admitted_streams_total"),
+                           "streams admitted by AddStream");
+  instr_->admit_rejected =
+      registry->GetCounter(labeled("ftms_sched_admission_rejected_total"),
+                           "AddStream requests rejected");
+  instr_->active_streams = registry->GetGauge(
+      labeled("ftms_sched_active_streams"), "streams in the active state");
+  instr_->buffer_in_use =
+      registry->GetGauge(labeled("ftms_sched_buffer_in_use_tracks"),
+                         "buffer-pool occupancy in tracks");
+  instr_->buffer_peak =
+      registry->GetGauge(labeled("ftms_sched_buffer_peak_tracks"),
+                         "buffer-pool high-water mark in tracks");
+  instr_->failed_disks = registry->GetGauge(
+      labeled("ftms_sched_failed_disks"), "disks currently failed");
+  instr_->queue_depth = registry->GetHistogram(
+      labeled("ftms_sched_disk_queue_depth"), 0,
+      static_cast<double>(slots_per_disk_) + 1, slots_per_disk_ + 1,
+      "read slots consumed per disk per cycle");
+  instr_->cycle_wall_us = registry->GetHistogram(
+      labeled("ftms_sched_cycle_wall_us"), 0, 1e5, 50,
+      "wall-clock microseconds per scheduling cycle");
+  pool_.BindInstruments(instr_->buffer_in_use, instr_->buffer_peak,
+                        registry->GetCounter(
+                            labeled("ftms_buffer_failed_acquires_total"),
+                            "buffer acquires beyond a finite capacity"));
 }
 
 double CycleScheduler::CycleSeconds() const {
@@ -67,10 +195,15 @@ double CycleScheduler::CycleSeconds() const {
 }
 
 StatusOr<StreamId> CycleScheduler::AddStream(const MediaObject& object) {
+  const bool servable = object.num_tracks > 0 &&
+                        SupportsRate(object.rate_mb_s);
+  if (instr_ != nullptr && instr_->registry != nullptr) {
+    (servable ? instr_->admitted : instr_->admit_rejected)->Add(1);
+  }
   if (object.num_tracks <= 0) {
     return Status::InvalidArgument("object has no tracks");
   }
-  if (!SupportsRate(object.rate_mb_s)) {
+  if (!servable) {
     return Status::InvalidArgument(
         "object rate not servable by this scheduler's cycle structure "
         "(base rate or, where supported, an integer multiple of it)");
@@ -82,6 +215,18 @@ StatusOr<StreamId> CycleScheduler::AddStream(const MediaObject& object) {
 }
 
 void CycleScheduler::RunCycle() {
+  if (instr_ == nullptr) {
+    BeginCycle();
+    DoRunCycle();
+    pool_.Release(pending_release_);
+    pending_release_ = 0;
+    mid_cycle_failed_.Clear();
+    ++cycle_;
+    ++metrics_.cycles;
+    return;
+  }
+  const int64_t cycle_start_us = SimTimeMicros();
+  const auto wall_start = std::chrono::steady_clock::now();
   BeginCycle();
   DoRunCycle();
   pool_.Release(pending_release_);
@@ -89,6 +234,41 @@ void CycleScheduler::RunCycle() {
   mid_cycle_failed_.Clear();
   ++cycle_;
   ++metrics_.cycles;
+  const double wall_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
+  SampleCycleInstruments(cycle_start_us, wall_us);
+}
+
+void CycleScheduler::SampleCycleInstruments(int64_t cycle_start_us,
+                                            double wall_us) {
+  Instruments& in = *instr_;
+  if (in.registry != nullptr) {
+    for (size_t d = 0; d < slots_used_.size(); ++d) {
+      const int used = slots_used_[d];
+      if (used > 0) in.disk_busy[d]->Add(used);
+      in.queue_depth->Add(static_cast<double>(used));
+    }
+    const SchedulerMetrics& m = metrics_;
+    in.cycles->Add(m.cycles - in.last.cycles);
+    in.data_reads->Add(m.data_reads - in.last.data_reads);
+    in.parity_reads->Add(m.parity_reads - in.last.parity_reads);
+    in.dropped_reads->Add(m.dropped_reads - in.last.dropped_reads);
+    in.tracks_delivered->Add(m.tracks_delivered - in.last.tracks_delivered);
+    in.hiccups->Add(m.hiccups - in.last.hiccups);
+    in.last = m;
+    in.active_streams->Set(static_cast<double>(ActiveStreams()));
+    in.failed_disks->Set(static_cast<double>(disks_->NumFailed()));
+    in.cycle_wall_us->Add(wall_us);
+  }
+  if (in.tracer != nullptr) {
+    in.tracer->Complete(
+        "cycle", "sched", in.tid, cycle_start_us,
+        static_cast<int64_t>(CycleSeconds() * 1e6), "active_streams",
+        static_cast<double>(ActiveStreams()), "failed_disks",
+        static_cast<double>(disks_->NumFailed()));
+  }
 }
 
 void CycleScheduler::RunCycles(int n) {
@@ -102,12 +282,52 @@ void CycleScheduler::BeginCycle() {
 void CycleScheduler::OnDiskFailed(int disk, bool mid_cycle) {
   disks_->FailDisk(disk).ok();
   if (mid_cycle) mid_cycle_failed_.Add(disk);
+  if (instr_ != nullptr && instr_->tracer != nullptr) {
+    instr_->tracer->Instant("disk_failed", "failure", instr_->tid,
+                            SimTimeMicros(), "disk",
+                            static_cast<double>(disk), "mid_cycle",
+                            mid_cycle ? 1 : 0);
+    // The scheme-specific transition plan (NC's C-cycle shift, IB's
+    // right-shift) is computed inside DoOnDiskFailed; mark its onset.
+    instr_->tracer->Instant("degraded_transition", "failure", instr_->tid,
+                            SimTimeMicros(), "cluster",
+                            static_cast<double>(disks_->ClusterOf(disk)));
+  }
   DoOnDiskFailed(disk);
 }
 
 void CycleScheduler::OnDiskRepaired(int disk) {
   disks_->RepairDisk(disk).ok();
+  if (instr_ != nullptr && instr_->tracer != nullptr) {
+    instr_->tracer->Instant("disk_repaired", "failure", instr_->tid,
+                            SimTimeMicros(), "disk",
+                            static_cast<double>(disk));
+  }
   DoOnDiskRepaired(disk);
+}
+
+void CycleScheduler::CountReconstruction(int cluster, int64_t n) {
+  if (instr_ != nullptr && instr_->registry != nullptr) {
+    instr_->cluster_reconstruct[static_cast<size_t>(cluster)]->Add(n);
+  }
+}
+
+void CycleScheduler::CountDegradedRead(int cluster, int64_t n) {
+  if (instr_ != nullptr && instr_->registry != nullptr) {
+    instr_->cluster_degraded[static_cast<size_t>(cluster)]->Add(n);
+  }
+}
+
+MetricsRegistry* CycleScheduler::metrics_registry() const {
+  return instr_ != nullptr ? instr_->registry : nullptr;
+}
+
+Tracer* CycleScheduler::tracer() const {
+  return instr_ != nullptr ? instr_->tracer : nullptr;
+}
+
+int32_t CycleScheduler::trace_tid() const {
+  return instr_ != nullptr ? instr_->tid : -1;
 }
 
 bool CycleScheduler::DiskUp(int disk) const {
@@ -131,6 +351,10 @@ CycleScheduler::ReadOutcome CycleScheduler::TryReadImpl(
   ++slots_used_[static_cast<size_t>(disk)];
   if (!disks_->disk(disk).Read(1)) {
     ++metrics.failed_reads;
+    if (instr_ != nullptr && instr_->registry != nullptr) {
+      instr_->cluster_degraded[static_cast<size_t>(disks_->ClusterOf(disk))]
+          ->Add(1);
+    }
     return ReadOutcome::kFailedDisk;
   }
   if (is_parity) {

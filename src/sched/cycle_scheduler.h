@@ -14,8 +14,10 @@
 #include "layout/schemes.h"
 #include "stream/stream.h"
 #include "util/disk_set.h"
+#include "util/metrics.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
+#include "util/trace_event.h"
 
 namespace ftms {
 
@@ -76,6 +78,15 @@ struct SchedulerConfig {
   // Metrics, buffer peaks and all per-stream outcomes are bit-identical
   // at every setting — the knob only trades wall-clock for cores.
   int threads = 0;
+
+  // Observability sinks. Null uses the process-wide instances, which are
+  // themselves off unless FTMS_METRICS=1 / FTMS_TRACE=1 — so by default
+  // every instrumentation site reduces to one untaken branch. Tests and
+  // embedders pass private instances for isolation. Exported counters are
+  // deterministic at any thread count (see DESIGN.md "Observability");
+  // only wall-clock histograms and trace args are timing-dependent.
+  MetricsRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
 };
 
 // Counters accumulated over a run. A "hiccup" is one track that missed its
@@ -115,7 +126,7 @@ class CycleScheduler {
  public:
   CycleScheduler(const SchedulerConfig& config, DiskArray* disks,
                  const Layout* layout);
-  virtual ~CycleScheduler() = default;
+  virtual ~CycleScheduler();
 
   CycleScheduler(const CycleScheduler&) = delete;
   CycleScheduler& operator=(const CycleScheduler&) = delete;
@@ -147,10 +158,24 @@ class CycleScheduler {
 
   int64_t cycle() const { return cycle_; }
   double CycleSeconds() const;
+  // Simulated time at the START of the upcoming cycle, in microseconds
+  // (the trace-event timeline clock).
+  int64_t SimTimeMicros() const {
+    return static_cast<int64_t>(static_cast<double>(cycle_) *
+                                CycleSeconds() * 1e6);
+  }
   int slots_per_disk() const { return slots_per_disk_; }
   const SchedulerMetrics& metrics() const { return metrics_; }
   const SchedulerConfig& config() const { return config_; }
   const BufferPool& buffer_pool() const { return pool_; }
+
+  // Resolved observability sinks: config's pointer, else the globally
+  // enabled instance, else null (= instrumentation off). RebuildManager
+  // and TraceRecorder attach their own series through these.
+  MetricsRegistry* metrics_registry() const;
+  Tracer* tracer() const;
+  // Tracer track this scheduler's spans render on; -1 when tracing is off.
+  int32_t trace_tid() const;
 
   // All streams ever admitted (active and finished).
   const std::vector<std::unique_ptr<Stream>>& streams() const {
@@ -280,6 +305,19 @@ class CycleScheduler {
     DeliverTrackImpl(ctx.metrics, stream, on_time);
   }
 
+  // Observability: counts one on-the-fly parity reconstruction against
+  // `cluster`. Safe inside cluster kernels — the cell is an atomic
+  // counter, and commutative adds keep the total thread-count invariant.
+  // A single untaken branch when instrumentation is off.
+  void CountReconstruction(int cluster, int64_t n = 1);
+
+  // Counts a read that targeted a known-failed disk against `cluster`.
+  // TryRead records these automatically when a read attempt hits a dead
+  // disk; planners that skip the attempt entirely (NC's deferred-read
+  // path) must report the skipped read here so degraded service stays
+  // visible per cluster regardless of strategy.
+  void CountDegradedRead(int cluster, int64_t n = 1);
+
   // Buffer accounting (tracks). A track transmitted during cycle t is in
   // memory until t's end (transmission overlaps the next reads), so
   // delivery paths release at cycle end; the pool peak then matches the
@@ -303,7 +341,16 @@ class CycleScheduler {
   SchedulerMetrics metrics_;
 
  private:
+  // Per-disk / per-cluster registry cells and trace track, resolved once
+  // at construction (see cycle_scheduler.cc). Null when both sinks are
+  // off, which is what makes the hot-path checks single branches.
+  struct Instruments;
+
   void BeginCycle();
+  void InitInstruments();
+  // Serial end-of-cycle sampling: per-disk busy slots, queue-depth and
+  // cycle-duration histograms, gauges, counter deltas, the cycle span.
+  void SampleCycleInstruments(int64_t cycle_start_us, double wall_us);
   ReadOutcome TryReadImpl(SchedulerMetrics& metrics, int disk,
                           bool is_parity);
   void DeliverTrackImpl(SchedulerMetrics& metrics, Stream* stream,
@@ -334,6 +381,7 @@ class CycleScheduler {
   std::vector<ShardCtx> shard_ctx_;
   std::vector<std::vector<Stream*>> cluster_streams_;
   std::vector<Stream*> active_streams_;  // serial-fallback ordering
+  std::unique_ptr<Instruments> instr_;
 };
 
 // Creates the scheduler matching `config.scheme`.

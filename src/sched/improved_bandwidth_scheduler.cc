@@ -45,6 +45,8 @@ void ImprovedBandwidthScheduler::DeliverGroup(ShardCtx& ctx,
     if (!on_time && can_reconstruct) {
       on_time = true;
       ++ctx.metrics.reconstructed;
+      CountReconstruction(layout_->GroupCluster(
+          stream->object().id, layout_->GroupOf(buf->first_track)));
     }
     DeliverTrack(ctx, stream, on_time);
   }

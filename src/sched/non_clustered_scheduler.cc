@@ -148,6 +148,9 @@ void NonClusteredScheduler::ReadGroupNow(ShardCtx& ctx, Stream* stream,
     if (st->buffered.Contains(t)) continue;
     const BlockLocation loc = layout_->DataLocation(object_id, t);
     if (!DiskUp(loc.disk)) {
+      // The planner never issues reads to a known-dead disk, so record
+      // the degraded read here — TryRead can't see skipped attempts.
+      CountDegradedRead(disks_->ClusterOf(loc.disk));
       missing_track = t;
       continue;
     }
@@ -185,6 +188,7 @@ void NonClusteredScheduler::ReadGroupNow(ShardCtx& ctx, Stream* stream,
     if (parity_ok) {
       BufferTrack(ctx, st, missing_track);
       ++ctx.metrics.reconstructed;
+      CountReconstruction(cluster);
     }
   }
 
@@ -261,6 +265,7 @@ void NonClusteredScheduler::NormalReadStream(ShardCtx& ctx, Stream* stream,
     if (!DiskUp(loc.disk)) {
       // Lost to the failure; the delivery phase will record the hiccup
       // when the track comes due.
+      CountDegradedRead(disks_->ClusterOf(loc.disk));
       st->started = true;
       continue;
     }

@@ -86,6 +86,8 @@ void StaggeredGroupScheduler::DeliverOne(ShardCtx& ctx, Stream* stream,
     // the group was read in full before its first delivery cycle).
     on_time = true;
     ++ctx.metrics.reconstructed;
+    CountReconstruction(layout_->GroupCluster(
+        stream->object().id, layout_->GroupOf(stream->position())));
   }
   DeliverTrack(ctx, stream, on_time);
   ++st->delivered;

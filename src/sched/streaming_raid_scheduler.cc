@@ -42,6 +42,8 @@ void StreamingRaidScheduler::DeliverGroup(ShardCtx& ctx, Stream* stream,
     if (!on_time && can_reconstruct) {
       on_time = true;
       ++ctx.metrics.reconstructed;
+      CountReconstruction(layout_->GroupCluster(
+          stream->object().id, layout_->GroupOf(buf->first_track)));
       if (config_.verify_data) {
         // Rebuild the missing block from the bytes actually in memory:
         // XOR of the surviving data blocks and the parity block.

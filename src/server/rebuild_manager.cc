@@ -4,12 +4,40 @@
 #include <cassert>
 #include <string>
 
+#include "layout/schemes.h"
+
 namespace ftms {
 
 RebuildManager::RebuildManager(DiskArray* disks, const Layout* layout,
                                CycleScheduler* scheduler)
     : disks_(disks), layout_(layout), scheduler_(scheduler) {
   assert(disks_ != nullptr && layout_ != nullptr && scheduler_ != nullptr);
+  InitInstruments();
+}
+
+void RebuildManager::InitInstruments() {
+  MetricsRegistry* registry = scheduler_->metrics_registry();
+  if (registry != nullptr) {
+    // Label with the scheduler's actual scheme, not the layout family
+    // (the clustered family serves SR, SG and NC alike).
+    const std::string scheme(SchemeAbbrev(scheduler_->config().scheme));
+    tracks_counter_ = registry->GetCounter(
+        LabeledName("ftms_rebuild_tracks_rebuilt_total", {{"scheme", scheme}}));
+    completed_counter_ = registry->GetCounter(
+        LabeledName("ftms_rebuilds_completed_total", {{"scheme", scheme}}));
+    stalled_cycles_counter_ = registry->GetCounter(
+        LabeledName("ftms_rebuild_stalled_cycles_total", {{"scheme", scheme}}));
+    progress_gauge_ = registry->GetGauge(
+        LabeledName("ftms_rebuild_progress_ratio", {{"scheme", scheme}}));
+    tracks_per_cycle_hist_ = registry->GetHistogram(
+        "ftms_rebuild_tracks_per_cycle", 0.0,
+        static_cast<double>(scheduler_->slots_per_disk() + 1),
+        scheduler_->slots_per_disk() + 1);
+  }
+  tracer_ = scheduler_->tracer();
+  if (tracer_ != nullptr) {
+    trace_tid_ = tracer_->RegisterTrack("rebuild");
+  }
 }
 
 std::vector<int> RebuildManager::SourceDisks(int disk) const {
@@ -59,6 +87,12 @@ Status RebuildManager::StartRebuild(int disk) {
   tracks_rebuilt_ = 0;
   tracks_total_ = disks_->params().TracksPerDisk();
   cycles_elapsed_ = 0;
+  start_sim_us_ = scheduler_->SimTimeMicros();
+  if (progress_gauge_ != nullptr) progress_gauge_->Set(0.0);
+  if (tracer_ != nullptr) {
+    tracer_->Instant("rebuild_start", "rebuild", trace_tid_, start_sim_us_,
+                     "disk", disk, "tracks_total", tracks_total_);
+  }
   return Status::Ok();
 }
 
@@ -78,12 +112,39 @@ void RebuildManager::AdvanceOneCycle() {
         idle, scheduler_->slots_per_disk() -
                   scheduler_->SlotsUsedLastCycle(source));
   }
-  tracks_rebuilt_ += std::max(0, idle);
+  const int regenerated = std::max(0, idle);
+  tracks_rebuilt_ += regenerated;
+  if (tracks_counter_ != nullptr) {
+    // Clamp the last cycle's count to the tracks actually remaining so
+    // the counter total equals tracks_total_ on completion.
+    tracks_counter_->Add(
+        std::min<int64_t>(regenerated,
+                          std::max<int64_t>(0, tracks_total_ -
+                                                   (tracks_rebuilt_ -
+                                                    regenerated))));
+    if (regenerated == 0) stalled_cycles_counter_->Add(1);
+    tracks_per_cycle_hist_->Add(static_cast<double>(regenerated));
+  }
   if (tracks_rebuilt_ >= tracks_total_) {
     tracks_rebuilt_ = tracks_total_;
+    const int rebuilt_disk = active_disk_;
     scheduler_->OnDiskRepaired(active_disk_);
     active_disk_ = -1;
     ++rebuilds_completed_;
+    if (completed_counter_ != nullptr) {
+      completed_counter_->Add(1);
+      progress_gauge_->Set(1.0);
+    }
+    if (tracer_ != nullptr) {
+      // The whole rebuild as one span, from StartRebuild to now.
+      const int64_t end_us = scheduler_->SimTimeMicros();
+      tracer_->Complete("rebuild", "rebuild", trace_tid_, start_sim_us_,
+                        std::max<int64_t>(1, end_us - start_sim_us_),
+                        "disk", rebuilt_disk, "cycles",
+                        static_cast<double>(cycles_elapsed_));
+    }
+  } else if (progress_gauge_ != nullptr) {
+    progress_gauge_->Set(Progress());
   }
 }
 

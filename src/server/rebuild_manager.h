@@ -55,6 +55,9 @@ class RebuildManager {
  private:
   // Source disks whose idle slots gate this cycle's progress.
   std::vector<int> SourceDisks(int disk) const;
+  // Resolves registry cells / the trace track from the scheduler's
+  // observability sinks (no-op when instrumentation is off).
+  void InitInstruments();
 
   DiskArray* disks_;
   const Layout* layout_;
@@ -65,6 +68,17 @@ class RebuildManager {
   int64_t tracks_total_ = 0;
   int64_t cycles_elapsed_ = 0;
   int64_t rebuilds_completed_ = 0;
+
+  // Observability (null = off). The whole rebuild renders as one span on
+  // its own trace track, from StartRebuild to completion, in SimTime.
+  Counter* tracks_counter_ = nullptr;
+  Counter* completed_counter_ = nullptr;
+  Counter* stalled_cycles_counter_ = nullptr;
+  Gauge* progress_gauge_ = nullptr;
+  HistogramCell* tracks_per_cycle_hist_ = nullptr;
+  Tracer* tracer_ = nullptr;
+  int32_t trace_tid_ = -1;
+  int64_t start_sim_us_ = 0;
 };
 
 }  // namespace ftms

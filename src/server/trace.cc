@@ -1,11 +1,32 @@
 #include "server/trace.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 
+#include "layout/schemes.h"
+#include "util/metrics.h"
+
 namespace ftms {
 
+void TraceRecorder::ResolveDiskCounters() {
+  if (disk_counters_resolved_) return;
+  disk_counters_resolved_ = true;
+  const MetricsRegistry* registry = scheduler_->metrics_registry();
+  if (registry == nullptr) return;
+  const std::string scheme(SchemeAbbrev(scheduler_->config().scheme));
+  const int n = disks_->num_disks();
+  disk_busy_counters_.resize(static_cast<size_t>(n), nullptr);
+  last_disk_busy_.assign(static_cast<size_t>(n), 0);
+  for (int d = 0; d < n; ++d) {
+    disk_busy_counters_[static_cast<size_t>(d)] = registry->FindCounter(
+        LabeledName("ftms_sched_disk_busy_slots_total",
+                    {{"scheme", scheme}, {"disk", std::to_string(d)}}));
+  }
+}
+
 void TraceRecorder::Sample() {
+  ResolveDiskCounters();
   const SchedulerMetrics& m = scheduler_->metrics();
   CycleSample sample;
   sample.cycle = scheduler_->cycle();
@@ -16,6 +37,24 @@ void TraceRecorder::Sample() {
   sample.reconstructed_delta = m.reconstructed - last_.reconstructed;
   sample.dropped_reads_delta = m.dropped_reads - last_.dropped_reads;
   sample.failed_disks = disks_->NumFailed();
+  if (!disk_busy_counters_.empty()) {
+    const double slots =
+        static_cast<double>(std::max(1, scheduler_->slots_per_disk()));
+    sample.disk_busy_delta.resize(disk_busy_counters_.size(), 0);
+    double sum_pct = 0;
+    for (size_t d = 0; d < disk_busy_counters_.size(); ++d) {
+      const Counter* c = disk_busy_counters_[d];
+      const int64_t total = c != nullptr ? c->value() : 0;
+      const int64_t delta = total - last_disk_busy_[d];
+      last_disk_busy_[d] = total;
+      sample.disk_busy_delta[d] = delta;
+      const double pct = 100.0 * static_cast<double>(delta) / slots;
+      sum_pct += pct;
+      sample.disk_util_max_pct = std::max(sample.disk_util_max_pct, pct);
+    }
+    sample.disk_util_mean_pct =
+        sum_pct / static_cast<double>(disk_busy_counters_.size());
+  }
   samples_.push_back(sample);
   last_ = m;
 }
@@ -23,17 +62,20 @@ void TraceRecorder::Sample() {
 void TraceRecorder::Clear() {
   samples_.clear();
   last_ = SchedulerMetrics();
+  std::fill(last_disk_busy_.begin(), last_disk_busy_.end(), 0);
 }
 
 std::string ToCsv(const std::vector<CycleSample>& samples) {
   std::ostringstream os;
   os << "cycle,active_streams,buffer_in_use,delivered,hiccups,"
-        "reconstructed,dropped_reads,failed_disks\n";
+        "reconstructed,dropped_reads,failed_disks,util_mean_pct,"
+        "util_max_pct\n";
   for (const CycleSample& s : samples) {
     os << s.cycle << ',' << s.active_streams << ',' << s.buffer_in_use
        << ',' << s.tracks_delivered_delta << ',' << s.hiccups_delta << ','
        << s.reconstructed_delta << ',' << s.dropped_reads_delta << ','
-       << s.failed_disks << '\n';
+       << s.failed_disks << ',' << s.disk_util_mean_pct << ','
+       << s.disk_util_max_pct << '\n';
   }
   return os.str();
 }

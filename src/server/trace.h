@@ -22,6 +22,12 @@ struct CycleSample {
   int64_t reconstructed_delta = 0;
   int64_t dropped_reads_delta = 0;
   int failed_disks = 0;
+  // Per-disk busy slots this cycle, pulled from the scheduler's metrics
+  // registry (empty when the scheduler runs uninstrumented). The pct
+  // aggregates are busy/slots_per_disk over the farm.
+  std::vector<int64_t> disk_busy_delta;
+  double disk_util_mean_pct = 0;
+  double disk_util_max_pct = 0;
 };
 
 // Records one CycleSample per scheduler cycle. Drive it manually:
@@ -41,10 +47,17 @@ class TraceRecorder {
   void Clear();
 
  private:
+  // Resolves the scheduler's per-disk busy counters from its registry on
+  // the first Sample(); no-op (and re-checked never) when uninstrumented.
+  void ResolveDiskCounters();
+
   const CycleScheduler* scheduler_;
   const DiskArray* disks_;
   std::vector<CycleSample> samples_;
   SchedulerMetrics last_;
+  bool disk_counters_resolved_ = false;
+  std::vector<const Counter*> disk_busy_counters_;  // null entries allowed
+  std::vector<int64_t> last_disk_busy_;
 };
 
 // Renders samples as CSV (header + one row per cycle).

@@ -4,6 +4,8 @@
 #include <memory>
 #include <utility>
 
+#include "util/metrics.h"
+
 namespace ftms {
 
 void Simulator::ScheduleAt(SimTime t, Callback cb) {
@@ -20,6 +22,10 @@ bool Simulator::Step() {
   queue_.pop();
   now_ = ev.time;
   ++events_processed_;
+  if (events_counter_ != nullptr) events_counter_->Add(1);
+  if (pending_gauge_ != nullptr) {
+    pending_gauge_->Set(static_cast<double>(queue_.size()));
+  }
   ev.cb();
   return true;
 }

@@ -54,6 +54,13 @@ class Simulator {
   size_t pending() const { return queue_.size(); }
   uint64_t events_processed() const { return events_processed_; }
 
+  // Optional observability sinks (null = off; must outlive the simulator).
+  // `events` counts processed events; `pending` tracks the queue size.
+  void BindInstruments(class Counter* events, class Gauge* pending) {
+    events_counter_ = events;
+    pending_gauge_ = pending;
+  }
+
  private:
   struct Event {
     SimTime time;
@@ -71,6 +78,8 @@ class Simulator {
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  class Counter* events_counter_ = nullptr;
+  class Gauge* pending_gauge_ = nullptr;
 };
 
 // Convenience: schedules `cb` to run every `period` seconds, starting at

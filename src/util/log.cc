@@ -1,13 +1,30 @@
 #include "util/log.h"
 
 #include <atomic>
+#include <cctype>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 
 namespace ftms {
 namespace internal_log {
 namespace {
 
-std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
+int InitialMinLevel() {
+  if (const char* env = std::getenv("FTMS_LOG_LEVEL")) {
+    if (const std::optional<LogLevel> level = ParseLogLevel(env)) {
+      return static_cast<int>(*level);
+    }
+  }
+  return static_cast<int>(LogLevel::kWarning);
+}
+
+std::atomic<int>& MinLevelCell() {
+  // Function-local so the FTMS_LOG_LEVEL lookup happens exactly once, on
+  // first use, regardless of static initialization order.
+  static std::atomic<int> level{InitialMinLevel()};
+  return level;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -31,11 +48,12 @@ const char* Basename(const char* path) {
 }  // namespace
 
 LogLevel GetMinLevel() {
-  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+  return static_cast<LogLevel>(
+      MinLevelCell().load(std::memory_order_relaxed));
 }
 
 void SetMinLevel(LogLevel level) {
-  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  MinLevelCell().store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -51,4 +69,21 @@ LogMessage::~LogMessage() {
 }
 
 }  // namespace internal_log
+
+std::optional<LogLevel> ParseLogLevel(std::string_view text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (const char c : text) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug" || lower == "0") return LogLevel::kDebug;
+  if (lower == "info" || lower == "1") return LogLevel::kInfo;
+  if (lower == "warning" || lower == "warn" || lower == "2") {
+    return LogLevel::kWarning;
+  }
+  if (lower == "error" || lower == "3") return LogLevel::kError;
+  return std::nullopt;
+}
+
 }  // namespace ftms

@@ -5,9 +5,16 @@
 #include <sstream>
 #include <string_view>
 
+#include <optional>
+
 namespace ftms {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Parses a log level name: "debug"/"info"/"warning"/"error"
+// (case-insensitive, "warn" accepted) or a numeric value 0-3.
+// std::nullopt for anything else.
+std::optional<LogLevel> ParseLogLevel(std::string_view text);
 
 namespace internal_log {
 
@@ -37,8 +44,10 @@ class LogMessage {
 
 }  // namespace internal_log
 
-// Sets the global log verbosity (default: kWarning, so library code is
-// quiet under tests and benchmarks unless asked).
+// Sets the global log verbosity. The default is kWarning (library code
+// stays quiet under tests and benchmarks), overridable at startup with
+// the FTMS_LOG_LEVEL environment variable (Debug / Info / Warning /
+// Error, case-insensitive, or 0-3), which is read once on first use.
 inline void SetLogLevel(LogLevel level) { internal_log::SetMinLevel(level); }
 
 #define FTMS_LOG(level)                                                    \

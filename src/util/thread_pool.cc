@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "util/metrics.h"
+
 namespace ftms {
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -22,11 +24,22 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
+void ThreadPool::BindInstruments(Counter* submitted, Counter* executed,
+                                 Gauge* queue_depth) {
+  submitted_counter_ = submitted;
+  executed_counter_ = executed;
+  queue_depth_gauge_ = queue_depth;
+}
+
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    if (queue_depth_gauge_ != nullptr) {
+      queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+    }
   }
+  if (submitted_counter_ != nullptr) submitted_counter_->Add(1);
   cv_.notify_one();
 }
 
@@ -39,8 +52,12 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stop_ with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
+      if (queue_depth_gauge_ != nullptr) {
+        queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+      }
     }
     task();
+    if (executed_counter_ != nullptr) executed_counter_->Add(1);
   }
 }
 
@@ -54,7 +71,16 @@ int ThreadPool::DefaultThreadCount() {
 }
 
 ThreadPool& ThreadPool::Shared() {
-  static ThreadPool* pool = new ThreadPool(DefaultThreadCount());
+  static ThreadPool* pool = [] {
+    auto* p = new ThreadPool(DefaultThreadCount());
+    if (MetricsRegistry* registry = MetricsRegistry::GlobalIfEnabled()) {
+      p->BindInstruments(
+          registry->GetCounter("ftms_threadpool_tasks_submitted_total"),
+          registry->GetCounter("ftms_threadpool_tasks_executed_total"),
+          registry->GetGauge("ftms_threadpool_queue_depth"));
+    }
+    return p;
+  }();
   return *pool;
 }
 

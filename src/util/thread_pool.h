@@ -34,6 +34,14 @@ class ThreadPool {
   // Enqueues `task` for execution on some worker thread.
   void Submit(std::function<void()> task);
 
+  // Optional observability sinks; any pointer may be null (that series is
+  // simply not published). `submitted`/`executed` count tasks; `queue_depth`
+  // tracks the instantaneous FIFO backlog. Call before the pool is shared
+  // across threads (Shared() binds its own pool when the global registry is
+  // enabled). Pointers must outlive the pool.
+  void BindInstruments(class Counter* submitted, class Counter* executed,
+                       class Gauge* queue_depth);
+
   // Thread count used by Shared() and by components configured with
   // "0 = default": the FTMS_THREADS environment variable when set to a
   // positive integer, else std::thread::hardware_concurrency().
@@ -52,6 +60,11 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
   std::vector<std::thread> threads_;
+
+  // Observability (null = off).
+  class Counter* submitted_counter_ = nullptr;
+  class Counter* executed_counter_ = nullptr;
+  class Gauge* queue_depth_gauge_ = nullptr;
 };
 
 // Number of chunks ParallelForChunks will split [begin, end) into: a pure

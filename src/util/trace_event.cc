@@ -1,0 +1,266 @@
+#include "util/trace_event.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ftms {
+
+namespace {
+
+std::atomic<int> g_trace_enabled{-1};  // -1 = not yet resolved from env
+
+bool ResolveEnabledFromEnv() {
+  const char* env = std::getenv("FTMS_TRACE");
+  return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+}
+
+size_t CapacityFromEnv() {
+  if (const char* env = std::getenv("FTMS_TRACE_CAPACITY")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return 65536;
+}
+
+void AppendNumber(std::string* out, double v) {
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  out->append(buf);
+}
+
+// The strings we emit (metric/event names, track labels) are plain
+// identifiers, but escape quotes/backslashes/control bytes anyway so the
+// output is well-formed JSON no matter what a caller registers.
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Tracer::Tracer(size_t capacity)
+    : epoch_(std::chrono::steady_clock::now()),
+      capacity_(capacity > 0 ? capacity : CapacityFromEnv()) {
+  ring_.resize(capacity_);
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // leaked: usable from exit paths
+  return *tracer;
+}
+
+bool Tracer::GlobalEnabled() {
+  int state = g_trace_enabled.load(std::memory_order_acquire);
+  if (state < 0) {
+    state = ResolveEnabledFromEnv() ? 1 : 0;
+    g_trace_enabled.store(state, std::memory_order_release);
+  }
+  return state == 1;
+}
+
+void Tracer::SetGlobalEnabled(bool enabled) {
+  g_trace_enabled.store(enabled ? 1 : 0, std::memory_order_release);
+}
+
+int32_t Tracer::RegisterTrack(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int32_t tid = next_tid_++;
+  track_names_[tid] = name;
+  return tid;
+}
+
+int64_t Tracer::WallMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Tracer::Record(const Event& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (used_ == capacity_) ++overwritten_;
+  ring_[next_] = event;
+  next_ = (next_ + 1) % capacity_;
+  used_ = std::min(used_ + 1, capacity_);
+}
+
+void Tracer::Complete(const char* name, const char* cat, int32_t tid,
+                      int64_t ts_us, int64_t dur_us, const char* arg1_name,
+                      double arg1, const char* arg2_name, double arg2) {
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.phase = 'X';
+  e.tid = tid;
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.wall_us = WallMicros();
+  e.arg1_name = arg1_name;
+  e.arg1 = arg1;
+  e.arg2_name = arg2_name;
+  e.arg2 = arg2;
+  Record(e);
+}
+
+void Tracer::Instant(const char* name, const char* cat, int32_t tid,
+                     int64_t ts_us, const char* arg1_name, double arg1,
+                     const char* arg2_name, double arg2) {
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.phase = 'i';
+  e.tid = tid;
+  e.ts_us = ts_us;
+  e.wall_us = WallMicros();
+  e.arg1_name = arg1_name;
+  e.arg1 = arg1;
+  e.arg2_name = arg2_name;
+  e.arg2 = arg2;
+  Record(e);
+}
+
+std::vector<Tracer::Event> Tracer::Snapshot() const {
+  std::vector<Event> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events.reserve(used_);
+    // Oldest-first: when wrapped, the oldest entry is at `next_`.
+    const size_t start = used_ == capacity_ ? next_ : 0;
+    for (size_t i = 0; i < used_; ++i) {
+      events.push_back(ring_[(start + i) % capacity_]);
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return events;
+}
+
+size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return used_;
+}
+
+int64_t Tracer::overwritten() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return overwritten_;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_ = 0;
+  used_ = 0;
+  overwritten_ = 0;
+}
+
+std::string Tracer::ToChromeJson() const {
+  const std::vector<Event> events = Snapshot();
+  std::map<int32_t, std::string> tracks;
+  int64_t overwritten;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tracks = track_names_;
+    overwritten = overwritten_;
+  }
+
+  std::string out = "{\n\"displayTimeUnit\": \"ms\",\n\"otherData\": "
+                    "{\"clock\": \"sim_us\", \"overwritten\": ";
+  AppendNumber(&out, static_cast<double>(overwritten));
+  out += "},\n\"traceEvents\": [";
+  bool first = true;
+  const auto begin_event = [&] {
+    out += first ? "\n" : ",\n";
+    first = false;
+  };
+  for (const auto& [tid, name] : tracks) {
+    begin_event();
+    out += "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+           "\"tid\": ";
+    AppendNumber(&out, tid);
+    out += ", \"args\": {\"name\": ";
+    AppendJsonString(&out, name);
+    out += "}}";
+  }
+  for (const Event& e : events) {
+    begin_event();
+    out += "{\"name\": ";
+    AppendJsonString(&out, e.name);
+    out += ", \"cat\": ";
+    AppendJsonString(&out, e.cat[0] != '\0' ? e.cat : "ftms");
+    out += ", \"ph\": \"";
+    out.push_back(e.phase);
+    out += "\", \"pid\": 1, \"tid\": ";
+    AppendNumber(&out, e.tid);
+    out += ", \"ts\": ";
+    AppendNumber(&out, static_cast<double>(e.ts_us));
+    if (e.phase == 'X') {
+      out += ", \"dur\": ";
+      AppendNumber(&out, static_cast<double>(e.dur_us));
+    }
+    if (e.phase == 'i') out += ", \"s\": \"t\"";
+    out += ", \"args\": {\"wall_us\": ";
+    AppendNumber(&out, static_cast<double>(e.wall_us));
+    if (e.arg1_name != nullptr) {
+      out += ", ";
+      AppendJsonString(&out, e.arg1_name);
+      out += ": ";
+      AppendNumber(&out, e.arg1);
+    }
+    if (e.arg2_name != nullptr) {
+      out += ", ";
+      AppendJsonString(&out, e.arg2_name);
+      out += ": ";
+      AppendNumber(&out, e.arg2);
+    }
+    out += "}}";
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
+Status Tracer::WriteChromeJson(const std::string& path) const {
+  const std::string json = ToChromeJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::Unavailable("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace ftms

@@ -1,0 +1,110 @@
+#ifndef FTMS_UTIL_TRACE_EVENT_H_
+#define FTMS_UTIL_TRACE_EVENT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ftms {
+
+// Timeline tracer: a fixed-capacity ring buffer of spans and instant
+// events that exports Chrome `chrome://tracing` / Perfetto JSON, so one
+// run — failure injection, degraded transition, rebuild, catch-up — is
+// visible on a single timeline.
+//
+// Timestamps are microseconds of SIMULATED time (SimTime / cycle clock):
+// the timeline then lines up with the paper's cycle arithmetic regardless
+// of host speed. Each event additionally records the WALL-clock
+// microseconds since tracer construction (exported under args.wall_us),
+// which is what the perf work cares about. Recording is allocation-free
+// after construction: names and categories must be string literals (or
+// otherwise outlive the tracer), the ring never grows, and when it wraps
+// the oldest events are overwritten (counted in overwritten()).
+//
+// Zero-cost-off follows the metrics registry's pattern: components hold a
+// nullable Tracer*; Global() is only handed out when FTMS_TRACE=1 (or
+// SetGlobalEnabled(true)).
+class Tracer {
+ public:
+  struct Event {
+    const char* name = "";  // static lifetime
+    const char* cat = "";   // static lifetime
+    char phase = 'i';       // 'X' = complete span, 'i' = instant
+    int32_t tid = 0;        // track id (see RegisterTrack)
+    int64_t ts_us = 0;      // simulated time, microseconds
+    int64_t dur_us = 0;     // span length ('X' only)
+    int64_t wall_us = 0;    // wall clock at record time
+    const char* arg1_name = nullptr;  // static lifetime
+    double arg1 = 0;
+    const char* arg2_name = nullptr;  // static lifetime
+    double arg2 = 0;
+  };
+
+  // `capacity` = max buffered events; 0 uses FTMS_TRACE_CAPACITY from the
+  // environment, defaulting to 65536.
+  explicit Tracer(size_t capacity = 0);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  static Tracer& Global();
+  static bool GlobalEnabled();
+  static void SetGlobalEnabled(bool enabled);
+  static Tracer* GlobalIfEnabled() {
+    return GlobalEnabled() ? &Global() : nullptr;
+  }
+
+  // Names a timeline track and returns its tid. Each instrumented
+  // component (a scheduler instance, the rebuild manager, ...) registers
+  // its own track so its events render as one row.
+  int32_t RegisterTrack(const std::string& name);
+
+  // Records a complete span [ts_us, ts_us + dur_us) on `tid`.
+  void Complete(const char* name, const char* cat, int32_t tid,
+                int64_t ts_us, int64_t dur_us,
+                const char* arg1_name = nullptr, double arg1 = 0,
+                const char* arg2_name = nullptr, double arg2 = 0);
+
+  // Records an instant event at ts_us on `tid`.
+  void Instant(const char* name, const char* cat, int32_t tid, int64_t ts_us,
+               const char* arg1_name = nullptr, double arg1 = 0,
+               const char* arg2_name = nullptr, double arg2 = 0);
+
+  // Buffered events in timestamp order (stable on ties).
+  std::vector<Event> Snapshot() const;
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  // Events lost to ring wrap-around since construction / Clear().
+  int64_t overwritten() const;
+  void Clear();
+
+  // Chrome trace JSON: {"traceEvents":[...], ...}. Events are sorted by
+  // timestamp and every track gets a thread_name metadata record.
+  std::string ToChromeJson() const;
+  Status WriteChromeJson(const std::string& path) const;
+
+ private:
+  void Record(const Event& event);
+  int64_t WallMicros() const;
+
+  const std::chrono::steady_clock::time_point epoch_;
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<Event> ring_;     // fixed at capacity_ entries
+  size_t next_ = 0;             // ring write cursor
+  size_t used_ = 0;             // min(total recorded, capacity_)
+  int64_t overwritten_ = 0;
+  int32_t next_tid_ = 0;
+  std::map<int32_t, std::string> track_names_;
+};
+
+}  // namespace ftms
+
+#endif  // FTMS_UTIL_TRACE_EVENT_H_

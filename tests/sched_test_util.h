@@ -28,6 +28,12 @@ struct RigOptions {
   // Worker threads for cluster-parallel cycles (SchedulerConfig::threads):
   // 0 = shared pool, 1 = serial, N > 1 = private N-worker pool.
   int threads = 0;
+  // Private observability sinks (null = uninstrumented, the default).
+  MetricsRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
+  // Override the per-disk capacity (0 = keep the model default). Small
+  // disks keep rebuild-to-completion scenarios fast in tests.
+  double disk_capacity_mb = 0;
 };
 
 inline SchedRig MakeRig(Scheme scheme, int parity_group_size, int num_disks,
@@ -36,6 +42,9 @@ inline SchedRig MakeRig(Scheme scheme, int parity_group_size, int num_disks,
   rig.layout =
       std::move(CreateLayout(scheme, num_disks, parity_group_size).value());
   DiskParameters disk;
+  if (options.disk_capacity_mb > 0) {
+    disk.capacity_mb = options.disk_capacity_mb;
+  }
   rig.disks = std::make_unique<DiskArray>(std::move(
       DiskArray::Create(num_disks, rig.layout->disks_per_cluster(), disk)
           .value()));
@@ -50,9 +59,21 @@ inline SchedRig MakeRig(Scheme scheme, int parity_group_size, int num_disks,
   config.ib_prefetch_parity = options.ib_prefetch_parity;
   config.ib_mirror_read_balance = options.ib_mirror_read_balance;
   config.threads = options.threads;
+  config.metrics = options.metrics;
+  config.tracer = options.tracer;
   rig.sched = std::move(
       CreateScheduler(config, rig.disks.get(), rig.layout.get()).value());
   return rig;
+}
+
+// Convenience overload: an instrumented rig publishing into `metrics` (and
+// optionally `tracer`), with default options otherwise.
+inline SchedRig MakeRig(Scheme scheme, int parity_group_size, int num_disks,
+                        MetricsRegistry* metrics, Tracer* tracer = nullptr) {
+  RigOptions options;
+  options.metrics = metrics;
+  options.tracer = tracer;
+  return MakeRig(scheme, parity_group_size, num_disks, options);
 }
 
 // An object whose home cluster is 0 (ids that are multiples of the

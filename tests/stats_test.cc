@@ -68,6 +68,70 @@ TEST(HistogramTest, OutOfRangeClamps) {
   EXPECT_EQ(h.buckets().back(), 1);
 }
 
+TEST(StreamingStatsTest, MergeWithEmptyOperands) {
+  StreamingStats filled;
+  for (int i = 1; i <= 4; ++i) filled.Add(i);
+  const double mean = filled.mean();
+  const double var = filled.variance();
+
+  // empty.Merge(filled) adopts the filled stream wholesale.
+  StreamingStats empty;
+  empty.Merge(filled);
+  EXPECT_EQ(empty.count(), 4);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean);
+  EXPECT_DOUBLE_EQ(empty.variance(), var);
+  EXPECT_EQ(empty.min(), 1.0);
+  EXPECT_EQ(empty.max(), 4.0);
+
+  // filled.Merge(empty) is a no-op.
+  StreamingStats untouched;
+  filled.Merge(untouched);
+  EXPECT_EQ(filled.count(), 4);
+  EXPECT_DOUBLE_EQ(filled.mean(), mean);
+  EXPECT_DOUBLE_EQ(filled.variance(), var);
+
+  // empty.Merge(empty) stays empty (and all accessors stay defined).
+  StreamingStats a, b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 0);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.min(), 0.0);
+  EXPECT_EQ(a.max(), 0.0);
+  EXPECT_EQ(a.ConfidenceHalfWidth95(), 0.0);
+}
+
+TEST(HistogramTest, QuantileEdgeCases) {
+  // Empty histogram: every quantile is lo().
+  Histogram empty(2.0, 10.0, 4);
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(empty.Quantile(1.0), 2.0);
+
+  // Single bucket: quantiles interpolate linearly across [lo, hi).
+  Histogram one(0.0, 1.0, 1);
+  one.Add(0.3);
+  one.Add(0.7);
+  EXPECT_DOUBLE_EQ(one.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(one.Quantile(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(one.Quantile(1.0), 1.0);
+
+  // Out-of-range q clamps to [0, 1].
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.Add(i + 0.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(-3.0), h.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.Quantile(7.0), h.Quantile(1.0));
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 10.0);
+
+  // Clamped out-of-range samples land in the edge buckets, so extreme
+  // quantiles report the histogram bounds, not the raw values.
+  Histogram clamped(0.0, 10.0, 10);
+  clamped.Add(-100.0);
+  clamped.Add(500.0);
+  EXPECT_DOUBLE_EQ(clamped.Quantile(1.0), 10.0);
+  EXPECT_GE(clamped.Quantile(0.0), 0.0);
+}
+
 TEST(TimeWeightedStatsTest, WeightsByDuration) {
   TimeWeightedStats s;
   s.Record(10.0, 1.0);

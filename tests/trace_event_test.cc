@@ -1,0 +1,94 @@
+#include "util/trace_event.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace ftms {
+namespace {
+
+TEST(TracerTest, RecordsSpansAndInstantsInTimestampOrder) {
+  Tracer tracer(16);
+  const int32_t tid = tracer.RegisterTrack("sched SR #0");
+  tracer.Complete("cycle", "sched", tid, 1000, 500, "streams", 3);
+  tracer.Instant("disk_failed", "failure", tid, 1200, "disk", 4);
+  tracer.Complete("cycle", "sched", tid, 0, 500);
+
+  ASSERT_EQ(tracer.size(), 3u);
+  const auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].ts_us, 0);
+  EXPECT_EQ(events[1].ts_us, 1000);
+  EXPECT_EQ(events[2].ts_us, 1200);
+  EXPECT_EQ(events[1].phase, 'X');
+  EXPECT_EQ(events[1].dur_us, 500);
+  EXPECT_STREQ(events[2].name, "disk_failed");
+  EXPECT_EQ(events[2].phase, 'i');
+  EXPECT_GE(events[1].wall_us, 0);
+}
+
+TEST(TracerTest, RingOverwritesOldest) {
+  Tracer tracer(4);
+  const int32_t tid = tracer.RegisterTrack("t");
+  for (int i = 0; i < 6; ++i) {
+    tracer.Instant("e", "c", tid, i * 10);
+  }
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.overwritten(), 2);
+  const auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // The two oldest events (ts 0, 10) were dropped.
+  EXPECT_EQ(events.front().ts_us, 20);
+  EXPECT_EQ(events.back().ts_us, 50);
+
+  tracer.Clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.overwritten(), 0);
+}
+
+TEST(TracerTest, ChromeJsonShape) {
+  Tracer tracer(16);
+  const int32_t tid = tracer.RegisterTrack("rebuild");
+  tracer.Complete("rebuild", "rebuild", tid, 100, 900, "disk", 2, "cycles",
+                  9);
+  tracer.Instant("rebuild_start", "rebuild", tid, 100, "disk", 2);
+
+  const std::string json = tracer.ToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"rebuild\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 900"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\": \"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"wall_us\":"), std::string::npos);
+  EXPECT_NE(json.find("\"disk\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"cycles\": 9"), std::string::npos);
+  EXPECT_NE(json.find("\"clock\": \"sim_us\""), std::string::npos);
+}
+
+TEST(TracerTest, WriteChromeJsonRoundTrip) {
+  Tracer tracer(8);
+  const int32_t tid = tracer.RegisterTrack("t");
+  tracer.Instant("e", "c", tid, 5);
+  const std::string path = "/tmp/ftms_trace_event_test.json";
+  ASSERT_TRUE(tracer.WriteChromeJson(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_FALSE(tracer.WriteChromeJson("/nonexistent/dir/x.json").ok());
+}
+
+TEST(TracerTest, GlobalToggle) {
+  EXPECT_EQ(Tracer::GlobalIfEnabled(), nullptr);
+  Tracer::SetGlobalEnabled(true);
+  ASSERT_NE(Tracer::GlobalIfEnabled(), nullptr);
+  EXPECT_EQ(Tracer::GlobalIfEnabled(), &Tracer::Global());
+  Tracer::SetGlobalEnabled(false);
+  EXPECT_EQ(Tracer::GlobalIfEnabled(), nullptr);
+}
+
+}  // namespace
+}  // namespace ftms

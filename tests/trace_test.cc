@@ -69,15 +69,52 @@ TEST(TraceTest, ClearResets) {
   SchedRig rig = MakeRig(Scheme::kStreamingRaid, 5, 10);
   TraceRecorder trace(rig.sched.get(), rig.disks.get());
   rig.sched->AddStream(TestObject(0, 16)).value();
-  rig.sched->RunCycle();
-  trace.Sample();
+  // Run enough cycles that the pre-Clear counters are NONZERO; otherwise
+  // a Clear() that forgot to reset the delta baseline would still pass.
+  for (int i = 0; i < 3; ++i) {
+    rig.sched->RunCycle();
+    trace.Sample();
+  }
+  ASSERT_GT(rig.sched->metrics().tracks_delivered, 0);
   trace.Clear();
   EXPECT_TRUE(trace.samples().empty());
   rig.sched->RunCycle();
   trace.Sample();
-  // Deltas restart from zero baseline after Clear.
+  // Deltas restart from zero baseline after Clear: the first post-Clear
+  // sample reports the scheduler's full cumulative totals.
   EXPECT_EQ(trace.samples()[0].tracks_delivered_delta,
             rig.sched->metrics().tracks_delivered);
+}
+
+TEST(TraceTest, PerDiskUtilizationFromRegistry) {
+  MetricsRegistry registry;
+  SchedRig rig = MakeRig(Scheme::kStreamingRaid, 5, 10, &registry);
+  TraceRecorder trace(rig.sched.get(), rig.disks.get());
+  rig.sched->AddStream(TestObject(0, 64)).value();
+  for (int i = 0; i < 4; ++i) {
+    rig.sched->RunCycle();
+    trace.Sample();
+  }
+  const CycleSample& s = trace.samples().back();
+  // The series covers every disk of the farm.
+  ASSERT_EQ(s.disk_busy_delta.size(),
+            static_cast<size_t>(rig.disks->num_disks()));
+  int64_t busy = 0;
+  for (int64_t d : s.disk_busy_delta) busy += d;
+  EXPECT_GT(busy, 0);
+  EXPECT_GT(s.disk_util_max_pct, 0.0);
+  EXPECT_GE(s.disk_util_max_pct, s.disk_util_mean_pct);
+  EXPECT_LE(s.disk_util_max_pct, 100.0);
+}
+
+TEST(TraceTest, NoDiskSeriesWhenUninstrumented) {
+  SchedRig rig = MakeRig(Scheme::kStreamingRaid, 5, 10);
+  TraceRecorder trace(rig.sched.get(), rig.disks.get());
+  rig.sched->AddStream(TestObject(0, 16)).value();
+  rig.sched->RunCycle();
+  trace.Sample();
+  EXPECT_TRUE(trace.samples()[0].disk_busy_delta.empty());
+  EXPECT_EQ(trace.samples()[0].disk_util_mean_pct, 0.0);
 }
 
 }  // namespace

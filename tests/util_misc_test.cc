@@ -46,6 +46,26 @@ TEST(LogTest, LevelFiltering) {
   SetLogLevel(LogLevel::kWarning);  // restore default
 }
 
+TEST(LogTest, ParseLogLevel) {
+  // Names, case-insensitive (what FTMS_LOG_LEVEL accepts at startup).
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("Info"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("WARNING"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("warn"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("Error"), LogLevel::kError);
+  // Numeric forms.
+  EXPECT_EQ(ParseLogLevel("0"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("1"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("2"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("3"), LogLevel::kError);
+  // Garbage is rejected, not guessed.
+  EXPECT_EQ(ParseLogLevel(""), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("verbose"), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("4"), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("-1"), std::nullopt);
+  EXPECT_EQ(ParseLogLevel(" info"), std::nullopt);
+}
+
 TEST(LogTest, IncludesSourceLocation) {
   SetLogLevel(LogLevel::kInfo);
   testing::internal::CaptureStderr();

@@ -38,7 +38,7 @@ def load(path):
     if not isinstance(metrics, dict):
         print(f"bench_diff: {path} has no 'metrics' object", file=sys.stderr)
         sys.exit(2)
-    return doc.get("bench", "?"), metrics
+    return doc.get("bench", "?"), doc.get("schema_version"), metrics, doc
 
 
 def main():
@@ -53,8 +53,16 @@ def main():
     )
     args = parser.parse_args()
 
-    base_name, base = load(args.baseline)
-    cur_name, cur = load(args.current)
+    base_name, base_schema, base, base_doc = load(args.baseline)
+    cur_name, cur_schema, cur, cur_doc = load(args.current)
+    if base_schema != cur_schema:
+        print(
+            f"bench_diff: schema_version mismatch "
+            f"({base_schema} vs {cur_schema}); metrics are not comparable "
+            f"across schemas -- regenerate the baseline",
+            file=sys.stderr,
+        )
+        return 2
     if base_name != cur_name:
         print(
             f"note: comparing different benches ({base_name} vs {cur_name})"
@@ -80,6 +88,24 @@ def main():
     for key in cur:
         if key not in base:
             print(f"{key:<24} {'(new)':>14} {cur[key]:>14g}")
+
+    # The registry block (schema >= 2, runs with FTMS_METRICS=1) is purely
+    # informational: counters drift with workload changes, so drift is
+    # reported but never flagged.
+    base_reg = base_doc.get("registry")
+    cur_reg = cur_doc.get("registry")
+    if isinstance(base_reg, dict) and isinstance(cur_reg, dict):
+        changed = [
+            k
+            for k in sorted(set(base_reg) | set(cur_reg))
+            if base_reg.get(k) != cur_reg.get(k)
+        ]
+        print(f"\nregistry: {len(changed)} of "
+              f"{len(set(base_reg) | set(cur_reg))} series changed")
+        for k in changed[:20]:
+            print(f"  {k}: {base_reg.get(k)} -> {cur_reg.get(k)}")
+        if len(changed) > 20:
+            print(f"  ... and {len(changed) - 20} more")
 
     if regressions:
         print(

@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Summarize and validate FTMS Chrome trace JSON (and Prometheus text).
+
+Usage:
+    tools/trace_summary.py TRACE.json             # per-category totals
+    tools/trace_summary.py TRACE.json --check     # validate, exit nonzero
+    tools/trace_summary.py TRACE.json --check --prom METRICS.prom
+
+Summary mode prints, per event category ("phase" of the run: sched,
+failure, rebuild, ...), the span count, total simulated microseconds, and
+instant-event count, plus per-track totals.
+
+--check validates:
+  * the file is well-formed JSON with a traceEvents list;
+  * every event has the required fields (name, ph, ts, tid; dur on 'X');
+  * timestamps and durations are non-negative numbers;
+  * per tid, complete spans nest monotonically: sorted by start time,
+    each span either starts at-or-after the previous one ends, or lies
+    entirely within it (no partial overlap).
+
+--prom FILE additionally validates Prometheus exposition text: every
+non-comment line is `name{labels} value` (or `name value`) with a finite
+numeric value, and every sample's family has a preceding # TYPE line.
+
+Exit status: 0 = ok, 1 = validation failure, 2 = usage / file error.
+"""
+
+import argparse
+import json
+import math
+import re
+import sys
+from collections import defaultdict
+
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(-?[0-9.eE+-]+|NaN|[+-]?Inf)$"
+)
+
+
+def fail(msg):
+    print(f"trace_summary: {msg}", file=sys.stderr)
+    return False
+
+
+def check_events(events):
+    ok = True
+    spans_by_tid = defaultdict(list)
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            ok = fail(f"event {i} is not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "M"):
+            ok = fail(f"event {i}: unknown phase {ph!r}")
+            continue
+        if ph == "M":
+            continue  # metadata (thread_name) records
+        for field in ("name", "ts", "tid"):
+            if field not in ev:
+                ok = fail(f"event {i} ({ev.get('name')!r}): missing {field!r}")
+        ts = ev.get("ts", 0)
+        if not isinstance(ts, (int, float)) or ts < 0:
+            ok = fail(f"event {i} ({ev.get('name')!r}): bad ts {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                ok = fail(f"event {i} ({ev.get('name')!r}): bad dur {dur!r}")
+            else:
+                spans_by_tid[ev.get("tid")].append((ts, ts + dur, i))
+    # Monotone nesting per track: with spans sorted by start, each one
+    # either follows the previous span or nests fully inside an open one.
+    for tid, spans in spans_by_tid.items():
+        spans.sort()
+        stack = []  # end times of open enclosing spans
+        for start, end, idx in spans:
+            while stack and start >= stack[-1]:
+                stack.pop()
+            if stack and end > stack[-1]:
+                ok = fail(
+                    f"tid {tid}: span at event {idx} "
+                    f"[{start}, {end}) partially overlaps an enclosing "
+                    f"span ending at {stack[-1]}"
+                )
+                continue
+            stack.append(end)
+    return ok
+
+
+def check_prometheus(path):
+    try:
+        with open(path) as f:
+            text = f.read()
+    except OSError as err:
+        print(f"trace_summary: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    ok = True
+    typed = set()
+    samples = 0
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) >= 4:
+                typed.add(parts[2])
+            else:
+                ok = fail(f"{path}:{lineno}: malformed # TYPE line")
+            continue
+        if line.startswith("#"):
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            ok = fail(f"{path}:{lineno}: unparseable sample: {line!r}")
+            continue
+        samples += 1
+        try:
+            value = float(m.group(3))
+        except ValueError:
+            ok = fail(f"{path}:{lineno}: bad value {m.group(3)!r}")
+            continue
+        if math.isnan(value) or math.isinf(value):
+            ok = fail(f"{path}:{lineno}: non-finite value {value}")
+        name = m.group(1)
+        # A histogram sample's family drops the _bucket/_sum/_count suffix.
+        family_candidates = {name}
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix):
+                family_candidates.add(name[: -len(suffix)])
+        if not family_candidates & typed:
+            ok = fail(f"{path}:{lineno}: sample {name!r} has no # TYPE")
+    if samples == 0:
+        ok = fail(f"{path}: no samples")
+    if ok:
+        print(f"{path}: {samples} samples ok")
+    return ok
+
+
+def summarize(doc, events):
+    tracks = {}
+    for ev in events:
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+            tracks[ev.get("tid")] = ev.get("args", {}).get("name", "?")
+    per_cat = defaultdict(lambda: [0, 0.0, 0])  # spans, sim_us, instants
+    per_track = defaultdict(lambda: [0, 0.0])
+    for ev in events:
+        ph = ev.get("ph")
+        if ph == "M":
+            continue
+        cat = ev.get("cat", "?")
+        if ph == "X":
+            per_cat[cat][0] += 1
+            per_cat[cat][1] += ev.get("dur", 0)
+            per_track[ev.get("tid")][0] += 1
+            per_track[ev.get("tid")][1] += ev.get("dur", 0)
+        else:
+            per_cat[cat][2] += 1
+    overwritten = doc.get("otherData", {}).get("overwritten", 0)
+    print(f"{'category':<12} {'spans':>8} {'sim_ms':>12} {'instants':>9}")
+    for cat in sorted(per_cat):
+        spans, sim_us, instants = per_cat[cat]
+        print(f"{cat:<12} {spans:>8} {sim_us / 1000.0:>12.3f} {instants:>9}")
+    print()
+    print(f"{'track':<24} {'spans':>8} {'sim_ms':>12}")
+    for tid in sorted(per_track):
+        spans, sim_us = per_track[tid]
+        name = tracks.get(tid, f"tid {tid}")
+        print(f"{name:<24} {spans:>8} {sim_us / 1000.0:>12.3f}")
+    if overwritten:
+        print(f"\nnote: ring buffer overwrote {overwritten} event(s)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome trace JSON file")
+    parser.add_argument(
+        "--check", action="store_true", help="validate instead of summarize"
+    )
+    parser.add_argument(
+        "--prom", metavar="FILE", help="also validate Prometheus text FILE"
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"trace_summary: cannot read {args.trace}: {err}",
+              file=sys.stderr)
+        return 2
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        print(f"trace_summary: {args.trace} has no traceEvents list",
+              file=sys.stderr)
+        return 1
+
+    if args.check:
+        ok = check_events(events)
+        if args.prom:
+            ok = check_prometheus(args.prom) and ok
+        if not ok:
+            return 1
+        real = sum(1 for e in events if e.get("ph") != "M")
+        print(f"{args.trace}: {real} events ok")
+        return 0
+
+    summarize(doc, events)
+    if args.prom:
+        return 0 if check_prometheus(args.prom) else 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

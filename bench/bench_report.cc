@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "qos/event_journal.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
 #include "util/trace_event.h"
@@ -48,6 +49,7 @@ std::string Reporter::WriteJson() const {
 
   MetricsRegistry* registry = MetricsRegistry::GlobalIfEnabled();
   Tracer* tracer = Tracer::GlobalIfEnabled();
+  EventJournal* journal = EventJournal::GlobalIfEnabled();
 
   std::string json = "{\n  \"bench\": \"" + name_ + "\",\n";
   json += "  \"schema_version\": " + std::to_string(kSchemaVersion) + ",\n";
@@ -58,7 +60,9 @@ std::string Reporter::WriteJson() const {
   json += std::string("    \"metrics_enabled\": ") +
           (registry != nullptr ? "true" : "false") + ",\n";
   json += std::string("    \"trace_enabled\": ") +
-          (tracer != nullptr ? "true" : "false") + "\n";
+          (tracer != nullptr ? "true" : "false") + ",\n";
+  json += std::string("    \"qos_enabled\": ") +
+          (journal != nullptr ? "true" : "false") + "\n";
   json += "  },\n";
   json += "  \"metrics\": {\n";
   for (size_t i = 0; i < metrics_.size(); ++i) {
@@ -70,6 +74,10 @@ std::string Reporter::WriteJson() const {
   if (registry != nullptr) {
     json += ",\n  \"registry\": ";
     json += registry->JsonObject("    ", "  ");
+  }
+  if (journal != nullptr) {
+    json += ",\n  \"qos\": ";
+    json += journal->StatsJson("    ", "  ");
   }
   json += "\n}\n";
 
@@ -92,6 +100,13 @@ std::string Reporter::WriteJson() const {
   if (tracer != nullptr) {
     if (const char* out = std::getenv("FTMS_TRACE_OUT")) {
       if (out[0] != '\0' && tracer->WriteChromeJson(out).ok()) {
+        std::printf("wrote %s\n", out);
+      }
+    }
+  }
+  if (journal != nullptr) {
+    if (const char* out = std::getenv("FTMS_QOS_OUT")) {
+      if (out[0] != '\0' && journal->WriteJsonl(out).ok()) {
         std::printf("wrote %s\n", out);
       }
     }

@@ -28,11 +28,13 @@ class WallTimer {
 // BENCH_<name>.json so successive PRs can be compared with
 // tools/bench_diff.py.
 //
-// Schema version 2 adds an "env" stamp (worker threads, whether the
+// Schema version 2 added an "env" stamp (worker threads, whether the
 // metrics registry / tracer were enabled — both skew timings) and, when
 // the global registry is live, a full "registry" block of its metrics so
 // the perf numbers and the observability counters land in one artifact.
-// bench_diff.py refuses to compare across schema versions.
+// Schema version 3 adds "qos_enabled" to the env stamp and, when the QoS
+// journal is live (FTMS_QOS=1), a "qos" block of per-kind journal event
+// counts. bench_diff.py refuses to compare across schema versions.
 //
 // Environment knobs:
 //   FTMS_BENCH_JSON=0        disable writing entirely
@@ -41,6 +43,8 @@ class WallTimer {
 //                            Prometheus text to `path`
 //   FTMS_TRACE_OUT=path      also export the global tracer as Chrome
 //                            trace JSON to `path`
+//   FTMS_QOS_OUT=path        also export the global QoS journal as
+//                            JSONL to `path`
 class Reporter {
  public:
   explicit Reporter(std::string name) : name_(std::move(name)) {}
@@ -58,7 +62,7 @@ class Reporter {
   const std::string& name() const { return name_; }
 
   // The bench report schema emitted by WriteJson().
-  static constexpr int kSchemaVersion = 2;
+  static constexpr int kSchemaVersion = 3;
 
  private:
   std::string name_;

@@ -1,0 +1,82 @@
+#ifndef FTMS_QOS_CONFORMANCE_H_
+#define FTMS_QOS_CONFORMANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "qos/event_journal.h"
+#include "qos/qos_ledger.h"
+#include "sched/cycle_scheduler.h"
+
+namespace ftms {
+
+// One checked claim. `applicable` is false when the run never exercised
+// the claim's preconditions (no failures injected, overlapping failures
+// made the regime catastrophic, buffer servers ran out, ...); such
+// findings always report ok with the reason in `detail`.
+struct ConformanceFinding {
+  std::string check;
+  bool ok = true;
+  bool applicable = true;
+  double observed = 0;
+  double bound = 0;
+  std::string detail;
+};
+
+// Checks a finished run's journal + ledger + stream facts against the
+// paper's analytical bounds (Sections 2-4):
+//
+//   SR/SG  a single disk failure is masked completely — zero hiccups —
+//          because every parity group loses at most one member per cycle.
+//   NC     all losses fall inside the C-cycle degraded transition window
+//          after the failure; immediate shift loses C-1-q tracks from the
+//          stream at group position q, so no stream loses more than C-2
+//          and a failure costs at most (C-1)(C-2)/2 tracks in total
+//          (deferred read only less).
+//   IB     only a mid-sweep failure can hiccup, and it costs each
+//          affected stream at most ONE track (the group read next cycle
+//          substitutes parity); the shift-to-the-right parity cascade
+//          never travels farther than once around the ring of clusters,
+//          and within the K_IB reserve no stream is degraded (no parity
+//          read is abandoned while slots remain).
+//
+// The watchdog reads failure timing (cycle, mid-sweep flag, overlaps)
+// from kDiskFailed / kDiskRepaired journal events, and per-stream hiccup
+// placement from Stream::hiccups(); it writes nothing.
+class ConformanceWatchdog {
+ public:
+  // Both pointers must outlive the watchdog; `journal` may be null (the
+  // failure-timing checks then report not-applicable).
+  ConformanceWatchdog(const CycleScheduler* scheduler,
+                      const EventJournal* journal);
+
+  std::vector<ConformanceFinding> Run() const;
+
+  static bool AllOk(const std::vector<ConformanceFinding>& findings);
+  // Fixed-width human table (one finding per line).
+  static std::string FormatTable(
+      const std::vector<ConformanceFinding>& findings);
+  // Deterministic JSON array.
+  static std::string ToJson(const std::vector<ConformanceFinding>& findings,
+                            const std::string& indent = "  ");
+
+ private:
+  struct FailureRecord {
+    int64_t cycle = 0;  // scheduler cycle the failure was injected before
+    int disk = -1;
+    bool mid_cycle = false;
+  };
+
+  // kDiskFailed events for this scheduler's scheme, in journal order.
+  std::vector<FailureRecord> Failures() const;
+  // True when two disks were ever down at once (per the journal's
+  // failed/repaired sequence): the paper's bounds assume single failures.
+  bool HadOverlappingFailures() const;
+
+  const CycleScheduler* scheduler_;
+  const EventJournal* journal_;
+};
+
+}  // namespace ftms
+
+#endif  // FTMS_QOS_CONFORMANCE_H_

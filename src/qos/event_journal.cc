@@ -1,0 +1,190 @@
+#include "qos/event_journal.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ftms {
+
+namespace {
+
+std::atomic<int> g_global_enabled{-1};  // -1 = not yet resolved from env
+
+bool ResolveGlobalEnabledFromEnv() {
+  const char* env = std::getenv("FTMS_QOS");
+  return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+}
+
+void AppendInt(std::string* out, int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out->append(buf);
+}
+
+void AppendEventJson(std::string* out, const QosEvent& e) {
+  out->append("{\"kind\":\"");
+  out->append(QosEventKindName(e.kind));
+  out->append("\",\"scheme\":\"");
+  out->append(e.scheme);
+  out->append("\",\"sim_us\":");
+  AppendInt(out, e.sim_us);
+  out->append(",\"cycle\":");
+  AppendInt(out, e.cycle);
+  out->append(",\"disk\":");
+  AppendInt(out, e.disk);
+  out->append(",\"cluster\":");
+  AppendInt(out, e.cluster);
+  out->append(",\"stream\":");
+  AppendInt(out, e.stream);
+  out->append(",\"value\":");
+  AppendInt(out, e.value);
+  out->append("}");
+}
+
+}  // namespace
+
+std::string_view QosEventKindName(QosEventKind kind) {
+  switch (kind) {
+    case QosEventKind::kDiskFailed:
+      return "disk_failed";
+    case QosEventKind::kDiskRepaired:
+      return "disk_repaired";
+    case QosEventKind::kDegradedTransitionStart:
+      return "degraded_transition_start";
+    case QosEventKind::kDegradedTransitionEnd:
+      return "degraded_transition_end";
+    case QosEventKind::kRebuildStart:
+      return "rebuild_start";
+    case QosEventKind::kRebuildProgress:
+      return "rebuild_progress";
+    case QosEventKind::kRebuildDone:
+      return "rebuild_done";
+    case QosEventKind::kHiccups:
+      return "hiccups";
+    case QosEventKind::kAdmissionRejected:
+      return "admission_rejected";
+    case QosEventKind::kSloBreach:
+      return "slo_breach";
+    case QosEventKind::kSimHorizon:
+      return "sim_horizon";
+  }
+  return "unknown";
+}
+
+EventJournal& EventJournal::Global() {
+  static EventJournal* journal = new EventJournal();  // leaked
+  return *journal;
+}
+
+bool EventJournal::GlobalEnabled() {
+  int state = g_global_enabled.load(std::memory_order_acquire);
+  if (state < 0) {
+    state = ResolveGlobalEnabledFromEnv() ? 1 : 0;
+    g_global_enabled.store(state, std::memory_order_release);
+  }
+  return state == 1;
+}
+
+void EventJournal::SetGlobalEnabled(bool enabled) {
+  g_global_enabled.store(enabled ? 1 : 0, std::memory_order_release);
+}
+
+void EventJournal::Append(const QosEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(event);
+}
+
+std::vector<QosEvent> EventJournal::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+size_t EventJournal::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+int64_t EventJournal::CountOf(QosEventKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t n = 0;
+  for (const QosEvent& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+void EventJournal::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+std::string EventJournal::ToJsonl() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(events_.size() * 96);
+  for (const QosEvent& e : events_) {
+    AppendEventJson(&out, e);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status EventJournal::WriteJsonl(const std::string& path) const {
+  const std::string text = ToJsonl();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) {
+    return Status::Unavailable("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+std::string EventJournal::StatsJson(const std::string& indent,
+                                    const std::string& close_indent) const {
+  // One count slot per QosEventKind value, emitted in enum order so the
+  // block is deterministic.
+  constexpr QosEventKind kKinds[] = {
+      QosEventKind::kDiskFailed,
+      QosEventKind::kDiskRepaired,
+      QosEventKind::kDegradedTransitionStart,
+      QosEventKind::kDegradedTransitionEnd,
+      QosEventKind::kRebuildStart,
+      QosEventKind::kRebuildProgress,
+      QosEventKind::kRebuildDone,
+      QosEventKind::kHiccups,
+      QosEventKind::kAdmissionRejected,
+      QosEventKind::kSloBreach,
+      QosEventKind::kSimHorizon,
+  };
+  int64_t counts[sizeof(kKinds) / sizeof(kKinds[0])] = {};
+  size_t total = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    total = events_.size();
+    for (const QosEvent& e : events_) {
+      ++counts[static_cast<size_t>(e.kind)];
+    }
+  }
+  std::string out = "{\n";
+  out += indent;
+  out += "\"journal_events\": ";
+  AppendInt(&out, static_cast<int64_t>(total));
+  for (size_t i = 0; i < sizeof(kKinds) / sizeof(kKinds[0]); ++i) {
+    if (counts[i] == 0) continue;
+    out += ",\n";
+    out += indent;
+    out += '"';
+    out += QosEventKindName(kKinds[i]);
+    out += "\": ";
+    AppendInt(&out, counts[i]);
+  }
+  out += "\n" + close_indent + "}";
+  return out;
+}
+
+}  // namespace ftms

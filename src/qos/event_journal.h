@@ -1,0 +1,96 @@
+#ifndef FTMS_QOS_EVENT_JOURNAL_H_
+#define FTMS_QOS_EVENT_JOURNAL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ftms {
+
+// Semantic event kinds recorded by the schedulers, the rebuild manager and
+// the simulation engine. Unlike trace spans (timing) and registry counters
+// (totals), journal events capture WHAT happened to WHOM: a specific disk
+// failed mid-sweep, a specific cluster entered its degraded transition, a
+// rebuild crossed a progress quarter, an SLO started burning.
+enum class QosEventKind : uint8_t {
+  kDiskFailed,               // value = 1 when the failure hit mid-sweep
+  kDiskRepaired,             // value = 0
+  kDegradedTransitionStart,  // value = transition length bound in cycles (C)
+  kDegradedTransitionEnd,    // value = 1 when cut short by a repair
+  kRebuildStart,             // value = tracks to regenerate
+  kRebuildProgress,          // value = percent complete (quarter crossings)
+  kRebuildDone,              // value = cycles the rebuild took
+  kHiccups,                  // value = tracks missed in the cycle just run
+  kAdmissionRejected,        // value = 0
+  kSloBreach,                // value = index of the breached SloSpec
+  kSimHorizon,               // value = events processed by the Simulator
+};
+
+// Stable wire name of a kind ("disk_failed", ...).
+std::string_view QosEventKindName(QosEventKind kind);
+
+// One journal entry. `scheme` must view storage that outlives the journal
+// (SchemeAbbrev literals in practice); -1 marks an inapplicable id field.
+struct QosEvent {
+  QosEventKind kind = QosEventKind::kDiskFailed;
+  std::string_view scheme = "";
+  int64_t sim_us = 0;  // simulated time (the cycle clock), microseconds
+  int64_t cycle = -1;  // scheduling cycle the event belongs to
+  int disk = -1;
+  int cluster = -1;
+  int stream = -1;
+  int64_t value = 0;  // kind-specific payload, see QosEventKind
+
+  friend bool operator==(const QosEvent&, const QosEvent&) = default;
+};
+
+// Append-only structured journal with the same zero-cost-off contract as
+// MetricsRegistry / Tracer: components hold a nullable EventJournal* and
+// Global() is only handed out when FTMS_QOS=1 (or SetGlobalEnabled(true)),
+// so a detached site costs one untaken branch. All producers append at
+// serial points only (cycle boundaries, failure injection, rebuild steps),
+// which makes the journal byte-identical at any FTMS_THREADS setting; the
+// internal mutex merely guards concurrent rigs sharing the global journal.
+class EventJournal {
+ public:
+  EventJournal() = default;
+  EventJournal(const EventJournal&) = delete;
+  EventJournal& operator=(const EventJournal&) = delete;
+
+  static EventJournal& Global();
+  static bool GlobalEnabled();  // FTMS_QOS=1 (cached) or SetGlobalEnabled
+  static void SetGlobalEnabled(bool enabled);
+  static EventJournal* GlobalIfEnabled() {
+    return GlobalEnabled() ? &Global() : nullptr;
+  }
+
+  void Append(const QosEvent& event);
+
+  std::vector<QosEvent> Snapshot() const;
+  size_t size() const;
+  int64_t CountOf(QosEventKind kind) const;
+  void Clear();
+
+  // One JSON object per line, fields in fixed order — byte-identical for
+  // identical event sequences:
+  //   {"kind":"disk_failed","scheme":"SR","sim_us":0,"cycle":3,
+  //    "disk":2,"cluster":0,"stream":-1,"value":1}
+  std::string ToJsonl() const;
+  Status WriteJsonl(const std::string& path) const;
+
+  // Per-kind event counts as a JSON object (for bench_report's qos block).
+  std::string StatsJson(const std::string& indent,
+                        const std::string& close_indent) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<QosEvent> events_;
+};
+
+}  // namespace ftms
+
+#endif  // FTMS_QOS_EVENT_JOURNAL_H_

@@ -92,6 +92,7 @@ CycleScheduler::CycleScheduler(const SchedulerConfig& config,
     exec_pool_ = owned_pool_.get();
   }  // threads == 1 (or negative): exec_pool_ stays null, always serial
   InitInstruments();
+  InitQos();
 }
 
 CycleScheduler::~CycleScheduler() = default;
@@ -184,6 +185,26 @@ void CycleScheduler::InitInstruments() {
                             "buffer acquires beyond a finite capacity"));
 }
 
+void CycleScheduler::InitQos() {
+  journal_ = config_.journal != nullptr ? config_.journal
+                                        : EventJournal::GlobalIfEnabled();
+  ledger_ = config_.ledger;
+  if (ledger_ == nullptr && EventJournal::GlobalEnabled()) {
+    owned_ledger_ = std::make_unique<QosLedger>();
+    ledger_ = owned_ledger_.get();
+  }
+  qos_scheme_ = SchemeAbbrev(config_.scheme);
+  if (ledger_ != nullptr) {
+    if (ledger_->journal() == nullptr) ledger_->set_journal(journal_);
+    if (ledger_->slos().empty()) {
+      ledger_->SetSlos(DefaultSlos(config_.scheme,
+                                   config_.parity_group_size));
+    }
+    ledger_->BindMetrics(metrics_registry(), qos_scheme_);
+  }
+  qos_active_ = journal_ != nullptr || ledger_ != nullptr;
+}
+
 double CycleScheduler::CycleSeconds() const {
   // T_cyc = k' B / b_o; k' depends on the scheme (Section 2).
   const int k_prime = (config_.scheme == Scheme::kStreamingRaid ||
@@ -200,6 +221,14 @@ StatusOr<StreamId> CycleScheduler::AddStream(const MediaObject& object) {
   if (instr_ != nullptr && instr_->registry != nullptr) {
     (servable ? instr_->admitted : instr_->admit_rejected)->Add(1);
   }
+  if (!servable && journal_ != nullptr) {
+    QosEvent event;
+    event.kind = QosEventKind::kAdmissionRejected;
+    event.scheme = qos_scheme_;
+    event.sim_us = SimTimeMicros();
+    event.cycle = cycle_;
+    journal_->Append(event);
+  }
   if (object.num_tracks <= 0) {
     return Status::InvalidArgument("object has no tracks");
   }
@@ -209,7 +238,7 @@ StatusOr<StreamId> CycleScheduler::AddStream(const MediaObject& object) {
         "(base rate or, where supported, an integer multiple of it)");
   }
   const StreamId id = static_cast<StreamId>(streams_.size());
-  streams_.push_back(std::make_unique<Stream>(id, object));
+  streams_.push_back(std::make_unique<Stream>(id, object, cycle_));
   DoAddStream(streams_.back().get());
   return id;
 }
@@ -223,6 +252,7 @@ void CycleScheduler::RunCycle() {
     mid_cycle_failed_.Clear();
     ++cycle_;
     ++metrics_.cycles;
+    if (qos_active_) EndCycleQos();
     return;
   }
   const int64_t cycle_start_us = SimTimeMicros();
@@ -234,11 +264,48 @@ void CycleScheduler::RunCycle() {
   mid_cycle_failed_.Clear();
   ++cycle_;
   ++metrics_.cycles;
+  if (qos_active_) EndCycleQos();
   const double wall_us =
       std::chrono::duration<double, std::micro>(
           std::chrono::steady_clock::now() - wall_start)
           .count();
   SampleCycleInstruments(cycle_start_us, wall_us);
+}
+
+void CycleScheduler::EndCycleQos() {
+  const int64_t completed = cycle_ - 1;
+  const int64_t sim_us = SimTimeMicros();  // end of the completed cycle
+  if (journal_ != nullptr) {
+    if (metrics_.hiccups > journaled_hiccups_) {
+      QosEvent event;
+      event.kind = QosEventKind::kHiccups;
+      event.scheme = qos_scheme_;
+      event.sim_us = sim_us;
+      event.cycle = completed;
+      event.value = metrics_.hiccups - journaled_hiccups_;
+      journal_->Append(event);
+    }
+    journaled_hiccups_ = metrics_.hiccups;
+    for (size_t i = 0; i < open_transitions_.size();) {
+      if (completed >= open_transitions_[i].second) {
+        QosEvent event;
+        event.kind = QosEventKind::kDegradedTransitionEnd;
+        event.scheme = qos_scheme_;
+        event.sim_us = sim_us;
+        event.cycle = completed;
+        event.cluster = open_transitions_[i].first;
+        journal_->Append(event);
+        open_transitions_.erase(open_transitions_.begin() +
+                                static_cast<ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+  if (ledger_ != nullptr) {
+    ledger_->OnCycleEnd(completed, disks_->NumFailed() > 0, qos_scheme_,
+                        sim_us, streams_);
+  }
 }
 
 void CycleScheduler::SampleCycleInstruments(int64_t cycle_start_us,
@@ -293,6 +360,28 @@ void CycleScheduler::OnDiskFailed(int disk, bool mid_cycle) {
                             SimTimeMicros(), "cluster",
                             static_cast<double>(disks_->ClusterOf(disk)));
   }
+  if (journal_ != nullptr) {
+    const int cluster = disks_->ClusterOf(disk);
+    QosEvent event;
+    event.scheme = qos_scheme_;
+    event.sim_us = SimTimeMicros();
+    event.cycle = cycle_;
+    event.disk = disk;
+    event.cluster = cluster;
+    event.kind = QosEventKind::kDiskFailed;
+    event.value = mid_cycle ? 1 : 0;
+    journal_->Append(event);
+    // The degraded transition is bounded by C cycles for every scheme
+    // (NC's shift window, Section 3; SR/SG/IB settle within one group
+    // rotation); the end event fires at that fold or on earlier repair.
+    event.kind = QosEventKind::kDegradedTransitionStart;
+    event.disk = -1;
+    event.value = config_.parity_group_size;
+    journal_->Append(event);
+    open_transitions_.emplace_back(cluster,
+                                   cycle_ + config_.parity_group_size);
+  }
+  if (ledger_ != nullptr) ledger_->OnFailure(cycle_, mid_cycle);
   DoOnDiskFailed(disk);
 }
 
@@ -302,6 +391,30 @@ void CycleScheduler::OnDiskRepaired(int disk) {
     instr_->tracer->Instant("disk_repaired", "failure", instr_->tid,
                             SimTimeMicros(), "disk",
                             static_cast<double>(disk));
+  }
+  if (journal_ != nullptr) {
+    const int cluster = disks_->ClusterOf(disk);
+    QosEvent event;
+    event.scheme = qos_scheme_;
+    event.sim_us = SimTimeMicros();
+    event.cycle = cycle_;
+    event.disk = disk;
+    event.cluster = cluster;
+    event.kind = QosEventKind::kDiskRepaired;
+    journal_->Append(event);
+    // A repair closes the cluster's transition window early.
+    for (size_t i = 0; i < open_transitions_.size();) {
+      if (open_transitions_[i].first == cluster) {
+        event.kind = QosEventKind::kDegradedTransitionEnd;
+        event.disk = -1;
+        event.value = 1;  // cut short by the repair
+        journal_->Append(event);
+        open_transitions_.erase(open_transitions_.begin() +
+                                static_cast<ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
   }
   DoOnDiskRepaired(disk);
 }

@@ -12,6 +12,8 @@
 #include "disk/disk_array.h"
 #include "layout/layout.h"
 #include "layout/schemes.h"
+#include "qos/event_journal.h"
+#include "qos/qos_ledger.h"
 #include "stream/stream.h"
 #include "util/disk_set.h"
 #include "util/metrics.h"
@@ -87,6 +89,17 @@ struct SchedulerConfig {
   // only wall-clock histograms and trace args are timing-dependent.
   MetricsRegistry* metrics = nullptr;
   Tracer* tracer = nullptr;
+
+  // QoS sinks. A null journal falls back to the process-wide journal,
+  // which is off unless FTMS_QOS=1 — same zero-cost-off contract as the
+  // registry/tracer above. The ledger is per-scheduler state (it
+  // attributes hiccups and degraded exposure to THIS scheduler's
+  // streams), so with FTMS_QOS=1 and no injected ledger the scheduler
+  // owns a private one, reachable via qos_ledger(). Both are fed at
+  // serial points only, keeping their dumps byte-identical at any
+  // thread count.
+  EventJournal* journal = nullptr;
+  QosLedger* ledger = nullptr;
 };
 
 // Counters accumulated over a run. A "hiccup" is one track that missed its
@@ -176,6 +189,10 @@ class CycleScheduler {
   Tracer* tracer() const;
   // Tracer track this scheduler's spans render on; -1 when tracing is off.
   int32_t trace_tid() const;
+  // Resolved QoS sinks; null when QoS observability is off.
+  EventJournal* journal() const { return journal_; }
+  QosLedger* qos_ledger() const { return ledger_; }
+  int num_clusters() const { return layout_->num_clusters(); }
 
   // All streams ever admitted (active and finished).
   const std::vector<std::unique_ptr<Stream>>& streams() const {
@@ -348,6 +365,10 @@ class CycleScheduler {
 
   void BeginCycle();
   void InitInstruments();
+  void InitQos();
+  // Serial end-of-cycle QoS fold: hiccup-delta and transition-end journal
+  // events, the ledger's per-stream exposure/SLO pass.
+  void EndCycleQos();
   // Serial end-of-cycle sampling: per-disk busy slots, queue-depth and
   // cycle-duration histograms, gauges, counter deltas, the cycle span.
   void SampleCycleInstruments(int64_t cycle_start_us, double wall_us);
@@ -382,6 +403,17 @@ class CycleScheduler {
   std::vector<std::vector<Stream*>> cluster_streams_;
   std::vector<Stream*> active_streams_;  // serial-fallback ordering
   std::unique_ptr<Instruments> instr_;
+  // QoS sinks (see SchedulerConfig::journal/ledger). `qos_active_` folds
+  // both null checks into the one branch RunCycle takes when QoS is off.
+  EventJournal* journal_ = nullptr;
+  QosLedger* ledger_ = nullptr;
+  std::unique_ptr<QosLedger> owned_ledger_;
+  bool qos_active_ = false;
+  std::string_view qos_scheme_ = "";
+  int64_t journaled_hiccups_ = 0;
+  // Open degraded transitions: cluster and the cycle its C-cycle window
+  // closes (journal kDegradedTransitionEnd is emitted at that fold).
+  std::vector<std::pair<int, int64_t>> open_transitions_;
 };
 
 // Creates the scheduler matching `config.scheme`.

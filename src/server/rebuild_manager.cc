@@ -38,6 +38,22 @@ void RebuildManager::InitInstruments() {
   if (tracer_ != nullptr) {
     trace_tid_ = tracer_->RegisterTrack("rebuild");
   }
+  journal_ = scheduler_->journal();
+}
+
+// All rebuild journal events share the scheduler's scheme label and the
+// rebuilt disk; `value` is kind-specific (see QosEventKind).
+QosEvent RebuildManager::JournalEvent(QosEventKind kind, int disk,
+                                      int64_t value) const {
+  QosEvent event;
+  event.kind = kind;
+  event.scheme = SchemeAbbrev(scheduler_->config().scheme);
+  event.sim_us = scheduler_->SimTimeMicros();
+  event.cycle = scheduler_->cycle();
+  event.disk = disk;
+  event.cluster = disks_->ClusterOf(disk);
+  event.value = value;
+  return event;
 }
 
 std::vector<int> RebuildManager::SourceDisks(int disk) const {
@@ -88,10 +104,15 @@ Status RebuildManager::StartRebuild(int disk) {
   tracks_total_ = disks_->params().TracksPerDisk();
   cycles_elapsed_ = 0;
   start_sim_us_ = scheduler_->SimTimeMicros();
+  last_progress_quarter_ = 0;
   if (progress_gauge_ != nullptr) progress_gauge_->Set(0.0);
   if (tracer_ != nullptr) {
     tracer_->Instant("rebuild_start", "rebuild", trace_tid_, start_sim_us_,
                      "disk", disk, "tracks_total", tracks_total_);
+  }
+  if (journal_ != nullptr) {
+    journal_->Append(
+        JournalEvent(QosEventKind::kRebuildStart, disk, tracks_total_));
   }
   return Status::Ok();
 }
@@ -125,6 +146,18 @@ void RebuildManager::AdvanceOneCycle() {
     if (regenerated == 0) stalled_cycles_counter_->Add(1);
     tracks_per_cycle_hist_->Add(static_cast<double>(regenerated));
   }
+  if (journal_ != nullptr && tracks_rebuilt_ < tracks_total_ &&
+      tracks_total_ > 0) {
+    // Quarter crossings only, so long rebuilds don't flood the journal.
+    const int quarter =
+        static_cast<int>((tracks_rebuilt_ * 4) / tracks_total_);
+    if (quarter > last_progress_quarter_) {
+      last_progress_quarter_ = quarter;
+      journal_->Append(JournalEvent(QosEventKind::kRebuildProgress,
+                                    active_disk_,
+                                    (tracks_rebuilt_ * 100) / tracks_total_));
+    }
+  }
   if (tracks_rebuilt_ >= tracks_total_) {
     tracks_rebuilt_ = tracks_total_;
     const int rebuilt_disk = active_disk_;
@@ -134,6 +167,10 @@ void RebuildManager::AdvanceOneCycle() {
     if (completed_counter_ != nullptr) {
       completed_counter_->Add(1);
       progress_gauge_->Set(1.0);
+    }
+    if (journal_ != nullptr) {
+      journal_->Append(JournalEvent(QosEventKind::kRebuildDone, rebuilt_disk,
+                                    cycles_elapsed_));
     }
     if (tracer_ != nullptr) {
       // The whole rebuild as one span, from StartRebuild to now.

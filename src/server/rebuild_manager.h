@@ -58,6 +58,7 @@ class RebuildManager {
   // Resolves registry cells / the trace track from the scheduler's
   // observability sinks (no-op when instrumentation is off).
   void InitInstruments();
+  QosEvent JournalEvent(QosEventKind kind, int disk, int64_t value) const;
 
   DiskArray* disks_;
   const Layout* layout_;
@@ -70,7 +71,10 @@ class RebuildManager {
   int64_t rebuilds_completed_ = 0;
 
   // Observability (null = off). The whole rebuild renders as one span on
-  // its own trace track, from StartRebuild to completion, in SimTime.
+  // its own trace track, from StartRebuild to completion, in SimTime;
+  // the journal gets start / quarter-progress / done events.
+  EventJournal* journal_ = nullptr;
+  int last_progress_quarter_ = 0;
   Counter* tracks_counter_ = nullptr;
   Counter* completed_counter_ = nullptr;
   Counter* stalled_cycles_counter_ = nullptr;

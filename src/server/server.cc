@@ -56,6 +56,8 @@ StatusOr<std::unique_ptr<MultimediaServer>> MultimediaServer::Create(
   sched_config.nc_transition = config.nc_transition;
   sched_config.buffer_servers = config.params.k_reserve;
   sched_config.ib_prefetch_parity = config.ib_prefetch_parity;
+  sched_config.journal = config.journal;
+  sched_config.ledger = config.ledger;
   StatusOr<std::unique_ptr<CycleScheduler>> scheduler = CreateScheduler(
       sched_config, server->disks_.get(), server->layout_.get());
   if (!scheduler.ok()) return scheduler.status();
@@ -189,6 +191,30 @@ std::string MultimediaServer::Summary() const {
      << admission_->capacity() << ", delivered " << m.tracks_delivered
      << ", hiccups " << m.hiccups << ", reconstructed " << m.reconstructed
      << ", failed disks " << disks_->NumFailed();
+  return os.str();
+}
+
+std::string MultimediaServer::StatusLine() const {
+  const QosLedger* ledger = scheduler_->qos_ledger();
+  int64_t worst = 0;
+  for (const auto& stream : scheduler_->streams()) {
+    worst = std::max(worst, stream->hiccup_count());
+  }
+  int64_t breaches;
+  if (ledger != nullptr) {
+    breaches = ledger->active_breaches();
+  } else {
+    // No ledger ran: evaluate the scheme's default SLOs against the
+    // current stream table (degraded exposure unknown, failures scaled
+    // by the disks currently down).
+    breaches = CountBreaches(EvaluateSlos(
+        CaptureStreamQos(scheduler_->streams()),
+        DefaultSlos(config_.scheme, config_.parity_group_size),
+        disks_->NumFailed()));
+  }
+  std::ostringstream os;
+  os << Summary() << ", worst-stream hiccups " << worst
+     << ", slo breaches " << breaches;
   return os.str();
 }
 

@@ -28,6 +28,12 @@ struct ServerConfig {
   // When > 0, overrides the analytical admission capacity (used by
   // stress experiments that deliberately overload the disks).
   int admission_override = 0;
+
+  // QoS sinks forwarded to the scheduler (see SchedulerConfig::journal /
+  // ::ledger): null keeps the FTMS_QOS-gated defaults; examples and the
+  // CLI inject private instances.
+  EventJournal* journal = nullptr;
+  QosLedger* ledger = nullptr;
 };
 
 // The multimedia on-demand server of Figure 1, disk subsystem side:
@@ -106,6 +112,12 @@ class MultimediaServer {
 
   // One-line status summary (streams, hiccups, failures).
   std::string Summary() const;
+
+  // Summary() extended with per-viewer QoS: the worst single stream's
+  // hiccup count and the number of currently breached SLOs (from the
+  // scheduler's ledger when one is attached, else evaluated on the fly
+  // against the scheme's DefaultSlos).
+  std::string StatusLine() const;
 
  private:
   MultimediaServer() = default;

@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "qos/event_journal.h"
 #include "util/metrics.h"
 
 namespace ftms {
@@ -33,6 +34,7 @@ bool Simulator::Step() {
 void Simulator::Run() {
   while (Step()) {
   }
+  JournalHorizon();
 }
 
 void Simulator::RunUntil(SimTime t) {
@@ -40,6 +42,17 @@ void Simulator::RunUntil(SimTime t) {
     Step();
   }
   if (t > now_) now_ = t;
+  JournalHorizon();
+}
+
+void Simulator::JournalHorizon() {
+  if (journal_ == nullptr) return;
+  QosEvent event;
+  event.kind = QosEventKind::kSimHorizon;
+  event.scheme = "sim";
+  event.sim_us = static_cast<int64_t>(now_ * 1e6);
+  event.value = static_cast<int64_t>(events_processed_);
+  journal_->Append(event);
 }
 
 void SchedulePeriodic(Simulator& sim, SimTime start, SimTime period,

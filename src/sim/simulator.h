@@ -61,6 +61,12 @@ class Simulator {
     pending_gauge_ = pending;
   }
 
+  // Optional QoS journal (null = off). Each completed Run()/RunUntil()
+  // appends one kSimHorizon event carrying the final clock and the number
+  // of events processed — a serial point, so the journal stays
+  // deterministic.
+  void BindJournal(class EventJournal* journal) { journal_ = journal; }
+
  private:
   struct Event {
     SimTime time;
@@ -77,9 +83,12 @@ class Simulator {
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
+  void JournalHorizon();
+
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
   class Counter* events_counter_ = nullptr;
   class Gauge* pending_gauge_ = nullptr;
+  class EventJournal* journal_ = nullptr;
 };
 
 // Convenience: schedules `cb` to run every `period` seconds, starting at

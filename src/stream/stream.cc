@@ -4,6 +4,8 @@ namespace ftms {
 
 void Stream::Deliver(int64_t cycle, bool on_time) {
   if (state_ != StreamState::kActive) return;
+  // Playback starts with the first delivery attempt, hiccup or not.
+  if (first_delivered_cycle_ < 0) first_delivered_cycle_ = cycle;
   if (on_time) {
     ++delivered_;
   } else {

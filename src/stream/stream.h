@@ -30,12 +30,18 @@ struct Hiccup {
 // the viewer.
 class Stream {
  public:
-  Stream(StreamId id, const MediaObject& object)
-      : id_(id), object_(object) {}
+  Stream(StreamId id, const MediaObject& object, int64_t admitted_cycle = 0)
+      : id_(id), object_(object), admitted_cycle_(admitted_cycle) {}
 
   StreamId id() const { return id_; }
   const MediaObject& object() const { return object_; }
   StreamState state() const { return state_; }
+
+  // QoS bookkeeping: the cycle the stream was admitted in, and the cycle
+  // its first track reached the viewer (-1 until then). Their difference
+  // is the stream's startup latency in cycles.
+  int64_t admitted_cycle() const { return admitted_cycle_; }
+  int64_t first_delivered_cycle() const { return first_delivered_cycle_; }
 
   // Next object track due for delivery.
   int64_t position() const { return position_; }
@@ -75,6 +81,8 @@ class Stream {
   StreamId id_;
   MediaObject object_;
   StreamState state_ = StreamState::kActive;
+  int64_t admitted_cycle_ = 0;
+  int64_t first_delivered_cycle_ = -1;
   int64_t position_ = 0;
   int64_t delivered_ = 0;
   std::vector<Hiccup> hiccups_;

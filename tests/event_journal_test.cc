@@ -1,0 +1,217 @@
+#include "qos/event_journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "tests/sched_test_util.h"
+
+namespace ftms {
+namespace {
+
+QosEvent MakeEvent(QosEventKind kind) {
+  QosEvent e;
+  e.kind = kind;
+  e.scheme = "SR";
+  e.sim_us = 1500000;
+  e.cycle = 3;
+  e.disk = 2;
+  e.cluster = 0;
+  e.value = 1;
+  return e;
+}
+
+TEST(EventJournalTest, KindNamesAreStable) {
+  EXPECT_EQ(QosEventKindName(QosEventKind::kDiskFailed), "disk_failed");
+  EXPECT_EQ(QosEventKindName(QosEventKind::kDiskRepaired), "disk_repaired");
+  EXPECT_EQ(QosEventKindName(QosEventKind::kDegradedTransitionStart),
+            "degraded_transition_start");
+  EXPECT_EQ(QosEventKindName(QosEventKind::kDegradedTransitionEnd),
+            "degraded_transition_end");
+  EXPECT_EQ(QosEventKindName(QosEventKind::kRebuildStart), "rebuild_start");
+  EXPECT_EQ(QosEventKindName(QosEventKind::kRebuildProgress),
+            "rebuild_progress");
+  EXPECT_EQ(QosEventKindName(QosEventKind::kRebuildDone), "rebuild_done");
+  EXPECT_EQ(QosEventKindName(QosEventKind::kHiccups), "hiccups");
+  EXPECT_EQ(QosEventKindName(QosEventKind::kAdmissionRejected),
+            "admission_rejected");
+  EXPECT_EQ(QosEventKindName(QosEventKind::kSloBreach), "slo_breach");
+  EXPECT_EQ(QosEventKindName(QosEventKind::kSimHorizon), "sim_horizon");
+}
+
+TEST(EventJournalTest, JsonlLineHasFixedFieldOrder) {
+  EventJournal journal;
+  journal.Append(MakeEvent(QosEventKind::kDiskFailed));
+  EXPECT_EQ(journal.ToJsonl(),
+            "{\"kind\":\"disk_failed\",\"scheme\":\"SR\",\"sim_us\":1500000,"
+            "\"cycle\":3,\"disk\":2,\"cluster\":0,\"stream\":-1,"
+            "\"value\":1}\n");
+}
+
+TEST(EventJournalTest, SnapshotCountClearRoundTrip) {
+  EventJournal journal;
+  journal.Append(MakeEvent(QosEventKind::kDiskFailed));
+  journal.Append(MakeEvent(QosEventKind::kHiccups));
+  journal.Append(MakeEvent(QosEventKind::kHiccups));
+  EXPECT_EQ(journal.size(), 3u);
+  EXPECT_EQ(journal.CountOf(QosEventKind::kHiccups), 2);
+  EXPECT_EQ(journal.CountOf(QosEventKind::kRebuildDone), 0);
+  const auto events = journal.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0], MakeEvent(QosEventKind::kDiskFailed));
+  journal.Clear();
+  EXPECT_EQ(journal.size(), 0u);
+  EXPECT_EQ(journal.ToJsonl(), "");
+}
+
+TEST(EventJournalTest, StatsJsonCountsPerKind) {
+  EventJournal journal;
+  journal.Append(MakeEvent(QosEventKind::kDiskFailed));
+  journal.Append(MakeEvent(QosEventKind::kHiccups));
+  journal.Append(MakeEvent(QosEventKind::kHiccups));
+  const std::string stats = journal.StatsJson("  ", "");
+  EXPECT_NE(stats.find("\"journal_events\": 3"), std::string::npos);
+  EXPECT_NE(stats.find("\"disk_failed\": 1"), std::string::npos);
+  EXPECT_NE(stats.find("\"hiccups\": 2"), std::string::npos);
+  // Kinds that never occurred are omitted.
+  EXPECT_EQ(stats.find("rebuild_done"), std::string::npos);
+}
+
+TEST(EventJournalTest, WriteJsonlRoundTrips) {
+  EventJournal journal;
+  journal.Append(MakeEvent(QosEventKind::kDiskFailed));
+  const std::string path =
+      ::testing::TempDir() + "/event_journal_test.jsonl";
+  ASSERT_TRUE(journal.WriteJsonl(path).ok());
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, journal.ToJsonl());
+  std::remove(path.c_str());
+}
+
+TEST(EventJournalTest, GlobalIsOffByDefault) {
+  // FTMS_QOS is unset in the test environment: the zero-cost-off
+  // contract hands out no journal, and schedulers stay detached.
+  EXPECT_EQ(EventJournal::GlobalIfEnabled(), nullptr);
+  SchedRig rig = MakeRig(Scheme::kStreamingRaid, 5, 10);
+  EXPECT_EQ(rig.sched->journal(), nullptr);
+  EXPECT_EQ(rig.sched->qos_ledger(), nullptr);
+}
+
+TEST(EventJournalTest, SetGlobalEnabledAttachesSchedulers) {
+  EventJournal::SetGlobalEnabled(true);
+  EventJournal::Global().Clear();
+  {
+    SchedRig rig = MakeRig(Scheme::kStreamingRaid, 5, 10);
+    EXPECT_EQ(rig.sched->journal(), &EventJournal::Global());
+    // With no injected ledger the scheduler owns a private one.
+    ASSERT_NE(rig.sched->qos_ledger(), nullptr);
+    EXPECT_FALSE(rig.sched->qos_ledger()->slos().empty());
+    rig.sched->AddStream(TestObject(0, 8)).value();
+    rig.sched->OnDiskFailed(1, /*mid_cycle=*/false);
+    rig.sched->RunCycles(4);
+    EXPECT_EQ(EventJournal::Global().CountOf(QosEventKind::kDiskFailed), 1);
+  }
+  EventJournal::Global().Clear();
+  EventJournal::SetGlobalEnabled(false);
+  EXPECT_EQ(EventJournal::GlobalIfEnabled(), nullptr);
+}
+
+// One NC failure drill captured through a private journal: the semantic
+// events appear in cause-to-effect order with the right payloads.
+TEST(EventJournalTest, SchedulerEmitsFailureLifecycle) {
+  EventJournal journal;
+  RigOptions options;
+  options.journal = &journal;
+  SchedRig rig = MakeRig(Scheme::kNonClustered, 5, 10, options);
+  rig.sched->AddStream(TestObject(0, 40)).value();
+  rig.sched->RunCycles(2);
+  rig.sched->OnDiskFailed(2, /*mid_cycle=*/true);
+  rig.sched->RunCycles(3);
+  rig.sched->OnDiskRepaired(2);
+  rig.sched->RunCycles(2);
+
+  const auto events = journal.Snapshot();
+  ASSERT_GE(events.size(), 4u);
+  EXPECT_EQ(events[0].kind, QosEventKind::kDiskFailed);
+  EXPECT_EQ(events[0].scheme, "NC");
+  EXPECT_EQ(events[0].cycle, 2);
+  EXPECT_EQ(events[0].disk, 2);
+  EXPECT_EQ(events[0].cluster, 0);
+  EXPECT_EQ(events[0].value, 1);  // mid-sweep
+  EXPECT_EQ(events[1].kind, QosEventKind::kDegradedTransitionStart);
+  EXPECT_EQ(events[1].cluster, 0);
+  EXPECT_EQ(events[1].value, 5);  // C-cycle window bound
+  // The repair at cycle 5 cuts the C-cycle transition short.
+  EXPECT_EQ(journal.CountOf(QosEventKind::kDiskRepaired), 1);
+  EXPECT_EQ(journal.CountOf(QosEventKind::kDegradedTransitionEnd), 1);
+  for (const QosEvent& e : events) {
+    if (e.kind == QosEventKind::kDegradedTransitionEnd) {
+      EXPECT_EQ(e.value, 1);  // ended early by the repair
+    }
+  }
+}
+
+TEST(EventJournalTest, HiccupDeltasAreJournaledPerCycle) {
+  EventJournal journal;
+  RigOptions options;
+  options.journal = &journal;
+  options.slots_per_disk = 1;
+  options.nc_transition = NcTransition::kImmediateShift;
+  SchedRig rig = MakeRig(Scheme::kNonClustered, 5, 10, options);
+  // The Figure 6 drill: three streams staggered on cluster 0, whose
+  // shifted group reads displace each other once disk 2 fails.
+  for (int i = 0; i < 3; ++i) {
+    rig.sched->AddStream(TestObject(2 * i, 8)).value();
+    rig.sched->RunCycle();
+  }
+  rig.sched->OnDiskFailed(2, /*mid_cycle=*/false);
+  rig.sched->RunCycles(20);
+  int64_t journaled = 0;
+  for (const QosEvent& e : journal.Snapshot()) {
+    if (e.kind == QosEventKind::kHiccups) journaled += e.value;
+  }
+  EXPECT_EQ(journaled, rig.sched->metrics().hiccups);
+  EXPECT_GT(journaled, 0);
+}
+
+TEST(EventJournalTest, AdmissionRejectionIsJournaled) {
+  EventJournal journal;
+  RigOptions options;
+  options.journal = &journal;
+  SchedRig rig = MakeRig(Scheme::kStreamingRaid, 5, 10, options);
+  // SR requires the configured uniform rate; a 2x object is unservable.
+  EXPECT_FALSE(rig.sched->AddStream(TestObject(0, 8, 0.375)).ok());
+  EXPECT_EQ(journal.CountOf(QosEventKind::kAdmissionRejected), 1);
+}
+
+std::string JournalAtThreads(int threads) {
+  EventJournal journal;
+  RigOptions options;
+  options.journal = &journal;
+  options.threads = threads;
+  options.nc_transition = NcTransition::kImmediateShift;
+  options.slots_per_disk = 1;
+  SchedRig rig = MakeRig(Scheme::kNonClustered, 5, 10, options);
+  for (int i = 0; i < 4; ++i) {
+    rig.sched->AddStream(TestObject(2 * i, 12)).value();
+    rig.sched->RunCycle();
+  }
+  rig.sched->OnDiskFailed(2, /*mid_cycle=*/true);
+  rig.sched->RunCycles(20);
+  return journal.ToJsonl();
+}
+
+TEST(EventJournalTest, JournalBytesAreThreadCountInvariant) {
+  // Events are folded at serial points only, so the journal must come out
+  // byte-identical whether cycles run serially or on 8 workers.
+  const std::string serial = JournalAtThreads(1);
+  const std::string parallel = JournalAtThreads(8);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace ftms

@@ -31,6 +31,10 @@ struct RigOptions {
   // Private observability sinks (null = uninstrumented, the default).
   MetricsRegistry* metrics = nullptr;
   Tracer* tracer = nullptr;
+  // Private QoS sinks (null = FTMS_QOS-gated defaults, normally off in
+  // tests).
+  EventJournal* journal = nullptr;
+  QosLedger* ledger = nullptr;
   // Override the per-disk capacity (0 = keep the model default). Small
   // disks keep rebuild-to-completion scenarios fast in tests.
   double disk_capacity_mb = 0;
@@ -61,6 +65,8 @@ inline SchedRig MakeRig(Scheme scheme, int parity_group_size, int num_disks,
   config.threads = options.threads;
   config.metrics = options.metrics;
   config.tracer = options.tracer;
+  config.journal = options.journal;
+  config.ledger = options.ledger;
   rig.sched = std::move(
       CreateScheduler(config, rig.disks.get(), rig.layout.get()).value());
   return rig;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "util/units.h"
 
 namespace ftms {
@@ -114,6 +116,61 @@ TEST(ServerTest, IbAdjacentClusterCatastrophe) {
   EXPECT_FALSE(server->CatastrophicFailure());
   EXPECT_TRUE(server->FailDisk(5).ok());   // cluster 1 (adjacent)
   EXPECT_TRUE(server->CatastrophicFailure());
+}
+
+TEST(ServerTest, StatusLinePinsItsFormat) {
+  EventJournal journal;
+  QosLedger ledger;
+  ledger.set_journal(&journal);
+  ServerConfig config = SmallConfig(Scheme::kNonClustered);
+  config.nc_transition = NcTransition::kImmediateShift;
+  config.slots_per_disk = 1;
+  config.journal = &journal;
+  config.ledger = &ledger;
+  auto server = std::move(MultimediaServer::Create(config).value());
+  // The Figure 6 drill: three streams staggered on cluster 0 (even
+  // object ids), so failing disk 2 mid-group is guaranteed to hiccup.
+  for (int id = 2; id <= 6; id += 2) {
+    ASSERT_TRUE(server->AddObject(SmallMovie(id)).ok());
+    server->StartStream(id).value();
+    server->RunCycles(1);
+  }
+
+  // Clean run: StatusLine is Summary plus the two QoS fields, zeroed.
+  std::string line = server->StatusLine();
+  EXPECT_EQ(line.find(server->Summary()), 0u);
+  EXPECT_NE(line.find(", worst-stream hiccups 0"), std::string::npos);
+  EXPECT_NE(line.find(", slo breaches 0"), std::string::npos);
+
+  // A strict zero-hiccup SLO plus an NC transition: the worst stream and
+  // the breach count both surface in the line.
+  ledger.SetSlos({{"zero_hiccups", SloKind::kMaxHiccupsPerStream, 0.0,
+                   /*per_failure=*/false}});
+  ASSERT_TRUE(server->FailDisk(2).ok());
+  server->RunCycles(12);
+  line = server->StatusLine();
+  int64_t worst = 0;
+  for (const auto& stream : server->scheduler().streams()) {
+    worst = std::max(worst, stream->hiccup_count());
+  }
+  EXPECT_GT(worst, 0);
+  EXPECT_NE(line.find(", worst-stream hiccups " + std::to_string(worst)),
+            std::string::npos);
+  EXPECT_NE(line.find(", slo breaches 1"), std::string::npos);
+}
+
+TEST(ServerTest, StatusLineWorksWithoutALedger) {
+  // QoS off (no FTMS_QOS, no injected sinks): StatusLine falls back to
+  // an on-the-fly evaluation against the scheme's default SLOs.
+  auto server = std::move(
+      MultimediaServer::Create(SmallConfig(Scheme::kStreamingRaid))
+          .value());
+  ASSERT_TRUE(server->AddObject(SmallMovie(1)).ok());
+  server->StartStream(1).value();
+  server->RunCycles(5);
+  const std::string line = server->StatusLine();
+  EXPECT_NE(line.find("worst-stream hiccups 0"), std::string::npos);
+  EXPECT_NE(line.find("slo breaches 0"), std::string::npos);
 }
 
 TEST(ServerTest, AllSchemesServeCleanly) {

@@ -57,9 +57,10 @@ def main():
     cur_name, cur_schema, cur, cur_doc = load(args.current)
     if base_schema != cur_schema:
         print(
-            f"bench_diff: schema_version mismatch "
-            f"({base_schema} vs {cur_schema}); metrics are not comparable "
-            f"across schemas -- regenerate the baseline",
+            f"bench_diff: schema v{base_schema} vs v{cur_schema}; metrics "
+            f"are not comparable across schemas -- regenerate the baseline "
+            f"with the current binaries (v2 added the env/registry blocks, "
+            f"v3 adds the qos block)",
             file=sys.stderr,
         )
         return 2
@@ -91,10 +92,17 @@ def main():
 
     # The registry block (schema >= 2, runs with FTMS_METRICS=1) is purely
     # informational: counters drift with workload changes, so drift is
-    # reported but never flagged.
+    # reported but never flagged. Missing or empty blocks are normal —
+    # zero-cost-off runs (FTMS_METRICS unset) simply don't embed one.
     base_reg = base_doc.get("registry")
     cur_reg = cur_doc.get("registry")
-    if isinstance(base_reg, dict) and isinstance(cur_reg, dict):
+    if not base_reg and not cur_reg:
+        pass  # neither run had the registry live; nothing to compare
+    elif not isinstance(base_reg, dict) or not isinstance(cur_reg, dict):
+        have = "current" if isinstance(cur_reg, dict) else "baseline"
+        print(f"\nregistry: only the {have} run embedded a registry block "
+              f"(FTMS_METRICS off on the other side); skipping")
+    else:
         changed = [
             k
             for k in sorted(set(base_reg) | set(cur_reg))
@@ -106,6 +114,21 @@ def main():
             print(f"  {k}: {base_reg.get(k)} -> {cur_reg.get(k)}")
         if len(changed) > 20:
             print(f"  ... and {len(changed) - 20} more")
+
+    # The qos block (schema >= 3, runs with FTMS_QOS=1) holds per-kind
+    # journal event counts; like the registry it is informational only.
+    base_qos = base_doc.get("qos")
+    cur_qos = cur_doc.get("qos")
+    if isinstance(base_qos, dict) and isinstance(cur_qos, dict):
+        changed = [
+            k
+            for k in sorted(set(base_qos) | set(cur_qos))
+            if base_qos.get(k) != cur_qos.get(k)
+        ]
+        print(f"\nqos: {len(changed)} of "
+              f"{len(set(base_qos) | set(cur_qos))} event kinds changed")
+        for k in changed[:20]:
+            print(f"  {k}: {base_qos.get(k)} -> {cur_qos.get(k)}")
 
     if regressions:
         print(

@@ -8,6 +8,10 @@
 //        <streams> <cycles>              failure drill at mid-run
 //        [fail_disk]
 //   ftms reliability <D> <C> [K]         closed-form + exact reliability
+//   ftms qos <scheme> [C] [D]            failure + rebuild drill with the
+//        [--json] [--journal-out FILE]   per-stream QoS ledger, SLO table
+//                                        and model-conformance watchdog;
+//                                        exits 1 on a bound violation
 //
 // Schemes: sr | sg | nc | ib.
 
@@ -19,8 +23,12 @@
 #include "model/cost.h"
 #include "model/reliability_model.h"
 #include "model/tables.h"
+#include "qos/conformance.h"
+#include "qos/event_journal.h"
+#include "qos/qos_ledger.h"
 #include "reliability/birth_death.h"
 #include "server/server.h"
+#include "util/metrics.h"
 #include "util/units.h"
 
 namespace ftms {
@@ -34,7 +42,8 @@ int Usage() {
       "  ftms plan <W_gb> <streams> [disk_$/MB] [mem_$/MB]\n"
       "  ftms simulate <sr|sg|nc|ib> <C> <D> <streams> <cycles> "
       "[fail_disk]\n"
-      "  ftms reliability <D> <C> [K]\n");
+      "  ftms reliability <D> <C> [K]\n"
+      "  ftms qos <sr|sg|nc|ib> [C] [D] [--json] [--journal-out FILE]\n");
   return 2;
 }
 
@@ -160,6 +169,166 @@ int CmdSimulate(int argc, char** argv) {
   return 0;
 }
 
+const char* StreamStateName(StreamState state) {
+  switch (state) {
+    case StreamState::kActive:
+      return "active";
+    case StreamState::kPaused:
+      return "paused";
+    case StreamState::kCompleted:
+      return "completed";
+    case StreamState::kTerminated:
+      return "terminated";
+  }
+  return "unknown";
+}
+
+// Failure + rebuild drill observed end-to-end through the QoS subsystem:
+// per-stream hiccup attribution, SLO budget burn, and the conformance
+// watchdog's verdict on the paper's loss bounds.
+int CmdQos(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  bool json = false;
+  std::string journal_out;
+  int positional[2] = {5, 0};  // C, D
+  int npos = 0;
+  Scheme scheme = ParseScheme(argv[2]);
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--journal-out") == 0 &&
+               i + 1 < argc) {
+      journal_out = argv[++i];
+    } else if (npos < 2) {
+      positional[npos++] = std::atoi(argv[i]);
+    }
+  }
+  const int c = positional[0];
+  EventJournal journal;
+  QosLedger ledger;
+  ledger.set_journal(&journal);
+
+  ServerConfig config;
+  config.scheme = scheme;
+  config.parity_group_size = c;
+  config.params.num_disks =
+      positional[1] > 0
+          ? positional[1]
+          : (scheme == Scheme::kImprovedBandwidth ? 2 * (c - 1) : 2 * c);
+  config.params.k_reserve = std::min(3, config.params.num_disks - 1);
+  // Tiny disks keep the rebuild phase to a handful of cycles.
+  config.params.disk.capacity_mb = 2.5;
+  config.journal = &journal;
+  config.ledger = &ledger;
+
+  auto server_or = MultimediaServer::Create(config);
+  if (!server_or.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 server_or.status().ToString().c_str());
+    return 1;
+  }
+  auto server = std::move(*server_or);
+  const int num_objects = server->layout().num_clusters();
+  for (int i = 0; i < num_objects; ++i) {
+    MediaObject obj;
+    obj.id = i;
+    obj.rate_mb_s = config.params.object_rate_mb_s;
+    obj.num_tracks = 24;
+    if (Status s = server->AddObject(obj); !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  // Two staggered streams per cluster, so the failure lands on streams at
+  // different group positions.
+  for (int i = 0; i < 2 * num_objects; ++i) {
+    if (!server->StartStream(i % num_objects).ok()) break;
+    server->RunCycles(1);
+  }
+  server->RunCycles(4);
+  const int fail_disk = 0;
+  if (Status s = server->FailDisk(fail_disk, /*mid_cycle=*/true); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  server->RunCycles(c);  // degraded operation across the transition window
+  if (Status s = server->StartRebuild(fail_disk); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  for (int i = 0; i < 200 && server->rebuild().Active(); ++i) {
+    server->RunCycles(1);
+  }
+  server->RunCycles(4);  // settle after the repair
+
+  ConformanceWatchdog watchdog(&server->scheduler(), &journal);
+  const auto findings = watchdog.Run();
+  const auto& streams = server->scheduler().streams();
+
+  if (json) {
+    std::string out = "{\n  \"status_line\": \"";
+    out += server->StatusLine();
+    out += "\",\n  \"ledger\": ";
+    out += ledger.DumpJson(streams, "  ");
+    out += ",\n  \"conformance\": ";
+    out += ConformanceWatchdog::ToJson(findings, "    ");
+    out += ",\n  \"qos\": ";
+    out += journal.StatsJson("    ", "  ");
+    out += "\n}\n";
+    std::fputs(out.c_str(), stdout);
+  } else {
+    std::printf("%s\n\n", server->StatusLine().c_str());
+    std::printf("%-6s %-10s %8s %8s %9s %8s %9s %11s\n", "stream", "state",
+                "admit", "startup", "delivered", "hiccups", "degraded",
+                "continuity");
+    for (const StreamQosRecord& r : ledger.Capture(streams)) {
+      std::printf("%-6d %-10s %8lld %8lld %9lld %8lld %9lld %11.4f\n",
+                  r.id, StreamStateName(r.state),
+                  static_cast<long long>(r.admitted_cycle),
+                  static_cast<long long>(r.startup_cycles),
+                  static_cast<long long>(r.delivered),
+                  static_cast<long long>(r.hiccups),
+                  static_cast<long long>(r.degraded_cycles), r.continuity);
+    }
+    std::printf("\n%-32s %10s %10s %12s %9s\n", "slo", "observed", "bound",
+                "budget_burn", "breached");
+    for (const SloStatus& s : ledger.Evaluate(streams)) {
+      std::printf("%-32s %10.4g %10.4g %12.4g %9s\n", s.spec.name.c_str(),
+                  s.observed, s.effective_bound, s.budget_burn,
+                  s.breached ? "YES" : "no");
+    }
+    std::printf("\n%s", ConformanceWatchdog::FormatTable(findings).c_str());
+    std::printf("\njournal: %zu events (rebuild done in %lld cycles)\n",
+                journal.size(),
+                static_cast<long long>(server->rebuild().cycles_elapsed()));
+  }
+
+  if (!journal_out.empty()) {
+    if (Status s = journal.WriteJsonl(journal_out); !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", journal_out.c_str());
+  }
+  if (const char* out = std::getenv("FTMS_QOS_OUT")) {
+    if (out[0] != '\0' && journal.WriteJsonl(out).ok()) {
+      std::fprintf(stderr, "wrote %s\n", out);
+    }
+  }
+  if (MetricsRegistry* registry = MetricsRegistry::GlobalIfEnabled()) {
+    if (const char* out = std::getenv("FTMS_METRICS_OUT")) {
+      if (out[0] != '\0' && registry->WritePrometheusFile(out).ok()) {
+        std::fprintf(stderr, "wrote %s\n", out);
+      }
+    }
+  }
+  if (!ConformanceWatchdog::AllOk(findings)) {
+    std::fprintf(stderr, "conformance: VIOLATION of a paper bound\n");
+    return 1;
+  }
+  return 0;
+}
+
 int CmdReliability(int argc, char** argv) {
   if (argc < 4) return Usage();
   SystemParameters params;
@@ -203,5 +372,6 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "reliability") == 0) {
     return CmdReliability(argc, argv);
   }
+  if (std::strcmp(argv[1], "qos") == 0) return CmdQos(argc, argv);
   return Usage();
 }

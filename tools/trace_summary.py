@@ -1,10 +1,13 @@
 #!/usr/bin/env python3
-"""Summarize and validate FTMS Chrome trace JSON (and Prometheus text).
+"""Summarize and validate FTMS observability artifacts: Chrome trace
+JSON, Prometheus text, and the QoS event journal (JSONL).
 
 Usage:
     tools/trace_summary.py TRACE.json             # per-category totals
     tools/trace_summary.py TRACE.json --check     # validate, exit nonzero
     tools/trace_summary.py TRACE.json --check --prom METRICS.prom
+    tools/trace_summary.py --journal JOURNAL.jsonl   # validate + per-kind
+                                                     # counts (trace optional)
 
 Summary mode prints, per event category ("phase" of the run: sched,
 failure, rebuild, ...), the span count, total simulated microseconds, and
@@ -21,6 +24,17 @@ instant-event count, plus per-track totals.
 --prom FILE additionally validates Prometheus exposition text: every
 non-comment line is `name{labels} value` (or `name value`) with a finite
 numeric value, and every sample's family has a preceding # TYPE line.
+
+--journal FILE validates a QoS event journal (one JSON object per line,
+as written by EventJournal::WriteJsonl / FTMS_QOS_OUT):
+  * every line parses as a JSON object with exactly the fields
+    kind/scheme/sim_us/cycle/disk/cluster/stream/value;
+  * kind is one of the known semantic event kinds and scheme is one of
+    SR/SG/NC/IB;
+  * sim_us never runs backwards within a scheme's run — a decrease is
+    only allowed together with a cycle reset (a fresh rig reusing the
+    journal), never mid-run.
+It then prints per-kind event counts.
 
 Exit status: 0 = ok, 1 = validation failure, 2 = usage / file error.
 """
@@ -83,6 +97,96 @@ def check_events(events):
                 )
                 continue
             stack.append(end)
+    return ok
+
+
+# Wire names from QosEventKindName (src/qos/event_journal.cc); the JSONL
+# format pins these, so an unknown kind means writer/validator skew.
+JOURNAL_KINDS = {
+    "disk_failed",
+    "disk_repaired",
+    "degraded_transition_start",
+    "degraded_transition_end",
+    "rebuild_start",
+    "rebuild_progress",
+    "rebuild_done",
+    "hiccups",
+    "admission_rejected",
+    "slo_breach",
+    "sim_horizon",
+}
+JOURNAL_FIELDS = (
+    "kind", "scheme", "sim_us", "cycle", "disk", "cluster", "stream", "value"
+)
+JOURNAL_SCHEMES = {"SR", "SG", "NC", "IB"}
+
+
+def check_journal(path):
+    try:
+        with open(path) as f:
+            lines = f.read().splitlines()
+    except OSError as err:
+        print(f"trace_summary: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    ok = True
+    counts = defaultdict(int)
+    # Per scheme: (sim_us, cycle) of the last event, for monotonicity.
+    last = {}
+    events = 0
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        try:
+            ev = json.loads(line)
+        except json.JSONDecodeError as err:
+            ok = fail(f"{path}:{lineno}: not JSON: {err}")
+            continue
+        if not isinstance(ev, dict):
+            ok = fail(f"{path}:{lineno}: not a JSON object")
+            continue
+        events += 1
+        missing = [f for f in JOURNAL_FIELDS if f not in ev]
+        extra = sorted(set(ev) - set(JOURNAL_FIELDS))
+        if missing:
+            ok = fail(f"{path}:{lineno}: missing field(s) {missing}")
+        if extra:
+            ok = fail(f"{path}:{lineno}: unexpected field(s) {extra}")
+        kind = ev.get("kind")
+        if kind not in JOURNAL_KINDS:
+            ok = fail(f"{path}:{lineno}: unknown kind {kind!r}")
+        else:
+            counts[kind] += 1
+        scheme = ev.get("scheme")
+        if scheme not in JOURNAL_SCHEMES:
+            ok = fail(f"{path}:{lineno}: unknown scheme {scheme!r}")
+            continue
+        for field in ("sim_us", "cycle", "disk", "cluster", "stream",
+                      "value"):
+            v = ev.get(field)
+            if not isinstance(v, int):
+                ok = fail(
+                    f"{path}:{lineno}: field {field!r} is {v!r}, "
+                    f"expected an integer"
+                )
+        sim_us, cycle = ev.get("sim_us"), ev.get("cycle")
+        if isinstance(sim_us, int) and isinstance(cycle, int):
+            prev = last.get(scheme)
+            # sim_us may only run backwards at a block boundary, where the
+            # cycle counter resets too (a fresh rig appending to the same
+            # journal); mid-run it must be monotone.
+            if prev is not None and sim_us < prev[0] and cycle >= prev[1]:
+                ok = fail(
+                    f"{path}:{lineno}: sim_us runs backwards "
+                    f"({prev[0]} -> {sim_us}) within a {scheme} run "
+                    f"(cycle {prev[1]} -> {cycle})"
+                )
+            last[scheme] = (sim_us, cycle)
+    if events == 0:
+        ok = fail(f"{path}: no events")
+    if ok:
+        print(f"{path}: {events} events ok")
+        for kind in sorted(counts):
+            print(f"  {kind:<26} {counts[kind]:>8}")
     return ok
 
 
@@ -171,14 +275,29 @@ def summarize(doc, events):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("trace", help="Chrome trace JSON file")
+    parser.add_argument(
+        "trace", nargs="?", help="Chrome trace JSON file (optional when "
+        "only --journal is given)"
+    )
     parser.add_argument(
         "--check", action="store_true", help="validate instead of summarize"
     )
     parser.add_argument(
         "--prom", metavar="FILE", help="also validate Prometheus text FILE"
     )
+    parser.add_argument(
+        "--journal", metavar="FILE",
+        help="also validate a QoS event journal (JSONL) FILE"
+    )
     args = parser.parse_args()
+
+    if args.trace is None:
+        if not args.journal:
+            parser.error("need a trace file and/or --journal FILE")
+        ok = check_journal(args.journal)
+        if args.prom:
+            ok = check_prometheus(args.prom) and ok
+        return 0 if ok else 1
 
     try:
         with open(args.trace) as f:
@@ -197,6 +316,8 @@ def main():
         ok = check_events(events)
         if args.prom:
             ok = check_prometheus(args.prom) and ok
+        if args.journal:
+            ok = check_journal(args.journal) and ok
         if not ok:
             return 1
         real = sum(1 for e in events if e.get("ph") != "M")
@@ -204,9 +325,12 @@ def main():
         return 0
 
     summarize(doc, events)
+    ok = True
     if args.prom:
-        return 0 if check_prometheus(args.prom) else 1
-    return 0
+        ok = check_prometheus(args.prom) and ok
+    if args.journal:
+        ok = check_journal(args.journal) and ok
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

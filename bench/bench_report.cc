@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "parity/xor_kernels.h"
 #include "qos/event_journal.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
@@ -62,7 +63,9 @@ std::string Reporter::WriteJson() const {
   json += std::string("    \"trace_enabled\": ") +
           (tracer != nullptr ? "true" : "false") + ",\n";
   json += std::string("    \"qos_enabled\": ") +
-          (journal != nullptr ? "true" : "false") + "\n";
+          (journal != nullptr ? "true" : "false") + ",\n";
+  json += std::string("    \"xor_kernel\": \"") + ActiveXorKernelName() +
+          "\"\n";
   json += "  },\n";
   json += "  \"metrics\": {\n";
   for (size_t i = 0; i < metrics_.size(); ++i) {

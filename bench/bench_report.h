@@ -35,6 +35,10 @@ class WallTimer {
 // Schema version 3 adds "qos_enabled" to the env stamp and, when the QoS
 // journal is live (FTMS_QOS=1), a "qos" block of per-kind journal event
 // counts. bench_diff.py refuses to compare across schema versions.
+// Still within v3 (additive key, old readers unaffected), the env stamp
+// also carries "xor_kernel" — the dispatched multi-source XOR kernel
+// (parity/xor_kernels.h), which materially changes every parity-heavy
+// timing and so must travel with the numbers.
 //
 // Environment knobs:
 //   FTMS_BENCH_JSON=0        disable writing entirely

@@ -2,76 +2,129 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 namespace ftms {
+namespace {
+
+// Folds blocks[first..), minus the optional skip index, into dst in
+// kernel-width batches: each batch is one pass over dst.
+void FoldBlocksInto(std::span<uint8_t> dst, std::span<const Block> blocks,
+                    size_t first, size_t skip = static_cast<size_t>(-1)) {
+  const uint8_t* srcs[kMaxXorSources];
+  int pending = 0;
+  for (size_t i = first; i < blocks.size(); ++i) {
+    if (i == skip) continue;
+    srcs[pending++] = blocks[i].data();
+    if (pending == kMaxXorSources) {
+      XorIntoN(dst.data(), srcs, pending, dst.size());
+      pending = 0;
+    }
+  }
+  XorIntoN(dst.data(), srcs, pending, dst.size());
+}
+
+}  // namespace
 
 void XorInto(std::span<uint8_t> dst, std::span<const uint8_t> src) {
   assert(dst.size() == src.size());
-  size_t i = 0;
-  // Word-at-a-time main loop; tracks are 50 KB so this path dominates.
-  const size_t words = dst.size() / sizeof(uint64_t);
-  for (size_t w = 0; w < words; ++w) {
-    uint64_t d;
-    uint64_t s;
-    __builtin_memcpy(&d, dst.data() + w * sizeof(uint64_t), sizeof(d));
-    __builtin_memcpy(&s, src.data() + w * sizeof(uint64_t), sizeof(s));
-    d ^= s;
-    __builtin_memcpy(dst.data() + w * sizeof(uint64_t), &d, sizeof(d));
-  }
-  for (i = words * sizeof(uint64_t); i < dst.size(); ++i) {
-    dst[i] = static_cast<uint8_t>(dst[i] ^ src[i]);
-  }
+  const uint8_t* s = src.data();
+  XorIntoN(dst.data(), &s, 1, dst.size());
 }
 
-StatusOr<Block> ComputeParity(std::span<const Block> blocks) {
-  if (blocks.empty()) {
+void XorIntoN(std::span<uint8_t> dst, const uint8_t* const* srcs,
+              int nsrc) {
+  XorIntoN(dst.data(), srcs, nsrc, dst.size());
+}
+
+StatusOr<size_t> CheckEqualBlockSizes(std::span<const Block> blocks,
+                                      const Block* extra) {
+  if (blocks.empty() && extra == nullptr) {
     return Status::InvalidArgument("parity of empty group");
   }
-  const size_t size = blocks.front().size();
+  const size_t size = extra != nullptr ? extra->size()
+                                       : blocks.front().size();
   for (const Block& b : blocks) {
     if (b.size() != size) {
       return Status::InvalidArgument("parity group blocks differ in size");
     }
   }
+  return size;
+}
+
+StatusOr<Block> ComputeParity(std::span<const Block> blocks) {
+  StatusOr<size_t> size = CheckEqualBlockSizes(blocks);
+  if (!size.ok()) return size.status();
   Block parity = blocks.front();
-  for (size_t i = 1; i < blocks.size(); ++i) {
-    XorInto(parity, blocks[i]);
-  }
+  FoldBlocksInto(parity, blocks, 1);
   return parity;
 }
 
 StatusOr<Block> ReconstructMissing(std::span<const Block> survivors,
                                    const Block& parity) {
-  Block result = parity;
-  for (const Block& b : survivors) {
-    if (b.size() != result.size()) {
-      return Status::InvalidArgument(
-          "survivor block size differs from parity block size");
-    }
-    XorInto(result, b);
+  StatusOr<size_t> size = CheckEqualBlockSizes(survivors, &parity);
+  if (!size.ok()) {
+    return Status::InvalidArgument(
+        "survivor block size differs from parity block size");
   }
+  Block result = parity;
+  FoldBlocksInto(result, survivors, 0);
   return result;
 }
 
 StatusOr<bool> VerifyGroup(std::span<const Block> data, const Block& parity) {
-  StatusOr<Block> computed = ComputeParity(data);
-  if (!computed.ok()) return computed.status();
-  if (computed->size() != parity.size()) {
+  if (data.empty()) {
+    return Status::InvalidArgument("parity of empty group");
+  }
+  StatusOr<size_t> size = CheckEqualBlockSizes(data, &parity);
+  if (!size.ok()) {
     return Status::InvalidArgument("parity block size mismatch");
   }
-  return std::equal(computed->begin(), computed->end(), parity.begin());
+  // Accumulate-and-compare through a stack chunk: XOR parity and every
+  // data block together one chunk at a time and test for zero, without
+  // ever materializing the computed parity block.
+  constexpr size_t kChunk = 4096;
+  uint8_t chunk[kChunk];
+  const uint8_t* srcs[kMaxXorSources];
+  for (size_t off = 0; off < *size; off += kChunk) {
+    const size_t n = std::min(kChunk, *size - off);
+    std::memcpy(chunk, parity.data() + off, n);
+    size_t i = 0;
+    while (i < data.size()) {
+      int pending = 0;
+      while (i < data.size() && pending < kMaxXorSources) {
+        srcs[pending++] = data[i++].data() + off;
+      }
+      XorIntoN(chunk, srcs, pending, n);
+    }
+    for (size_t j = 0; j < n; ++j) {
+      if (chunk[j] != 0) return false;
+    }
+  }
+  return true;
 }
 
 Status ParityAccumulator::Add(std::span<const uint8_t> block) {
+  const uint8_t* src = block.data();
+  return AddSources(&src, 1, block.size());
+}
+
+Status ParityAccumulator::AddSources(const uint8_t* const* blocks, int count,
+                                     size_t block_size) {
+  if (count <= 0) return Status::Ok();
+  int first = 0;
   if (count_ == 0) {
-    acc_.assign(block.begin(), block.end());
-  } else {
-    if (block.size() != acc_.size()) {
-      return Status::InvalidArgument("accumulator block size mismatch");
-    }
-    XorInto(acc_, block);
+    // Seed with a single copy of the first block — no zero-fill and no
+    // redundant XOR against a cleared buffer.
+    acc_.assign(blocks[0], blocks[0] + block_size);
+    ++count_;
+    ++first;
   }
-  ++count_;
+  if (block_size != acc_.size()) {
+    return Status::InvalidArgument("accumulator block size mismatch");
+  }
+  XorIntoN(acc_.data(), blocks + first, count - first, block_size);
+  count_ += count - first;
   return Status::Ok();
 }
 

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "parity/xor_kernels.h"
 #include "util/status.h"
 
 namespace ftms {
@@ -13,8 +14,21 @@ namespace ftms {
 // group must have equal size (one track, B bytes).
 using Block = std::vector<uint8_t>;
 
-// dst ^= src, byte-wise. Sizes must match.
+// dst ^= src, byte-wise, through the dispatched xor kernel. Sizes must
+// match.
 void XorInto(std::span<uint8_t> dst, std::span<const uint8_t> src);
+
+// dst ^= srcs[0] ^ ... ^ srcs[nsrc-1] in one fused pass over dst (the
+// kernel batches groups larger than kMaxXorSources). Every source must
+// be dst.size() bytes; nsrc may be 0 (no-op).
+void XorIntoN(std::span<uint8_t> dst, const uint8_t* const* srcs, int nsrc);
+
+// Verifies that every block (plus `extra`, when non-null) shares one
+// size and returns it. InvalidArgument on a mismatch or when there is
+// nothing to size (empty blocks and no extra). Shared precheck of
+// ComputeParity / ReconstructMissing / VerifyGroup.
+StatusOr<size_t> CheckEqualBlockSizes(std::span<const Block> blocks,
+                                      const Block* extra = nullptr);
 
 // Returns the bitwise XOR of all `blocks` (which must be non-empty and of
 // equal size). This is the parity block of a parity group:
@@ -29,21 +43,30 @@ StatusOr<Block> ReconstructMissing(std::span<const Block> survivors,
                                    const Block& parity);
 
 // Verifies that parity XOR all data blocks is zero, i.e. the group is
-// internally consistent.
+// internally consistent. Allocation-free: the fold runs chunk-wise
+// through a stack buffer and never materializes the computed parity.
 StatusOr<bool> VerifyGroup(std::span<const Block> data, const Block& parity);
 
 // Incremental XOR accumulator. Section 3's deferred-transition scheme
 // buffers "A0 ^ A1" after delivering A0 and A1 so the missing A2 can be
 // rebuilt later from a single buffered track instead of the whole prefix:
-// this type is that buffer. Add() folds one block in; Take() releases the
+// this type is that buffer. Add() folds one block in; AddSources() folds
+// a batch in one multi-source kernel pass; Take() releases the
 // accumulated XOR.
 class ParityAccumulator {
  public:
   ParityAccumulator() = default;
 
-  // Folds `block` into the accumulator. The first Add fixes the block size;
-  // later Adds must match it.
+  // Folds `block` into the accumulator. The first Add seeds the
+  // accumulator with a single copy (no zero-fill, no XOR) and fixes the
+  // block size; later Adds must match it.
   Status Add(std::span<const uint8_t> block);
+
+  // Folds `count` equal-sized blocks in one pass over the accumulator
+  // (batched through the multi-source kernel). Equivalent to `count`
+  // Add() calls, minus count-1 passes over the accumulator.
+  Status AddSources(const uint8_t* const* blocks, int count,
+                    size_t block_size);
 
   int count() const { return count_; }
   bool empty() const { return count_ == 0; }

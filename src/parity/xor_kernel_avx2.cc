@@ -1,0 +1,77 @@
+#include "parity/xor_kernels_internal.h"
+
+#if defined(FTMS_XOR_BUILD_AVX2) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace ftms::internal {
+namespace {
+
+bool Avx2Supported() { return __builtin_cpu_supports("avx2"); }
+
+void XorNAvx2(uint8_t* dst, const uint8_t* const* srcs, int nsrc,
+              size_t bytes) {
+  size_t off = 0;
+  // Four 32-byte accumulators hide xor/load latency while the sources
+  // stream; the destination stays in registers for the whole fold.
+  for (; off + 128 <= bytes; off += 128) {
+    __m256i a0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(dst + off));
+    __m256i a1 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(dst + off + 32));
+    __m256i a2 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(dst + off + 64));
+    __m256i a3 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(dst + off + 96));
+    for (int s = 0; s < nsrc; ++s) {
+      const uint8_t* src = srcs[s] + off;
+      a0 = _mm256_xor_si256(
+          a0, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src)));
+      a1 = _mm256_xor_si256(
+          a1,
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + 32)));
+      a2 = _mm256_xor_si256(
+          a2,
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + 64)));
+      a3 = _mm256_xor_si256(
+          a3,
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + 96)));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + off), a0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + off + 32), a1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + off + 64), a2);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + off + 96), a3);
+  }
+  for (; off + 32 <= bytes; off += 32) {
+    __m256i a = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(dst + off));
+    for (int s = 0; s < nsrc; ++s) {
+      a = _mm256_xor_si256(
+          a, _mm256_loadu_si256(
+                 reinterpret_cast<const __m256i*>(srcs[s] + off)));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + off), a);
+  }
+  if (off < bytes) {
+    const uint8_t* tails[kMaxXorSources];
+    for (int s = 0; s < nsrc; ++s) tails[s] = srcs[s] + off;
+    XorNScalarImpl(dst + off, tails, nsrc, bytes - off);
+  }
+}
+
+}  // namespace
+
+const XorKernel* GetXorKernelAvx2() {
+  static constexpr XorKernel kKernel = {"avx2", Avx2Supported, XorNAvx2};
+  return &kKernel;
+}
+
+}  // namespace ftms::internal
+
+#else  // compiled without AVX2 support
+
+namespace ftms::internal {
+const XorKernel* GetXorKernelAvx2() { return nullptr; }
+}  // namespace ftms::internal
+
+#endif

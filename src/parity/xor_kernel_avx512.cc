@@ -1,0 +1,62 @@
+#include "parity/xor_kernels_internal.h"
+
+#if defined(FTMS_XOR_BUILD_AVX512) && defined(__AVX512F__)
+
+#include <immintrin.h>
+
+namespace ftms::internal {
+namespace {
+
+bool Avx512Supported() { return __builtin_cpu_supports("avx512f"); }
+
+void XorNAvx512(uint8_t* dst, const uint8_t* const* srcs, int nsrc,
+                size_t bytes) {
+  size_t off = 0;
+  for (; off + 256 <= bytes; off += 256) {
+    __m512i a0 = _mm512_loadu_si512(dst + off);
+    __m512i a1 = _mm512_loadu_si512(dst + off + 64);
+    __m512i a2 = _mm512_loadu_si512(dst + off + 128);
+    __m512i a3 = _mm512_loadu_si512(dst + off + 192);
+    for (int s = 0; s < nsrc; ++s) {
+      const uint8_t* src = srcs[s] + off;
+      a0 = _mm512_xor_si512(a0, _mm512_loadu_si512(src));
+      a1 = _mm512_xor_si512(a1, _mm512_loadu_si512(src + 64));
+      a2 = _mm512_xor_si512(a2, _mm512_loadu_si512(src + 128));
+      a3 = _mm512_xor_si512(a3, _mm512_loadu_si512(src + 192));
+    }
+    _mm512_storeu_si512(dst + off, a0);
+    _mm512_storeu_si512(dst + off + 64, a1);
+    _mm512_storeu_si512(dst + off + 128, a2);
+    _mm512_storeu_si512(dst + off + 192, a3);
+  }
+  for (; off + 64 <= bytes; off += 64) {
+    __m512i a = _mm512_loadu_si512(dst + off);
+    for (int s = 0; s < nsrc; ++s) {
+      a = _mm512_xor_si512(a, _mm512_loadu_si512(srcs[s] + off));
+    }
+    _mm512_storeu_si512(dst + off, a);
+  }
+  if (off < bytes) {
+    const uint8_t* tails[kMaxXorSources];
+    for (int s = 0; s < nsrc; ++s) tails[s] = srcs[s] + off;
+    XorNScalarImpl(dst + off, tails, nsrc, bytes - off);
+  }
+}
+
+}  // namespace
+
+const XorKernel* GetXorKernelAvx512() {
+  static constexpr XorKernel kKernel = {"avx512", Avx512Supported,
+                                        XorNAvx512};
+  return &kKernel;
+}
+
+}  // namespace ftms::internal
+
+#else  // compiled without AVX-512 support
+
+namespace ftms::internal {
+const XorKernel* GetXorKernelAvx512() { return nullptr; }
+}  // namespace ftms::internal
+
+#endif

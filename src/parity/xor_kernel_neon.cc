@@ -1,0 +1,57 @@
+#include "parity/xor_kernels_internal.h"
+
+#if defined(FTMS_XOR_BUILD_NEON) && \
+    (defined(__ARM_NEON) || defined(__ARM_NEON__))
+
+#include <arm_neon.h>
+
+namespace ftms::internal {
+namespace {
+
+// NEON is architectural on AArch64 (and implied by __ARM_NEON on
+// 32-bit builds that enabled it), so compile-time presence is enough.
+bool NeonSupported() { return true; }
+
+void XorNNeon(uint8_t* dst, const uint8_t* const* srcs, int nsrc,
+              size_t bytes) {
+  size_t off = 0;
+  for (; off + 64 <= bytes; off += 64) {
+    uint8x16_t a0 = vld1q_u8(dst + off);
+    uint8x16_t a1 = vld1q_u8(dst + off + 16);
+    uint8x16_t a2 = vld1q_u8(dst + off + 32);
+    uint8x16_t a3 = vld1q_u8(dst + off + 48);
+    for (int s = 0; s < nsrc; ++s) {
+      const uint8_t* src = srcs[s] + off;
+      a0 = veorq_u8(a0, vld1q_u8(src));
+      a1 = veorq_u8(a1, vld1q_u8(src + 16));
+      a2 = veorq_u8(a2, vld1q_u8(src + 32));
+      a3 = veorq_u8(a3, vld1q_u8(src + 48));
+    }
+    vst1q_u8(dst + off, a0);
+    vst1q_u8(dst + off + 16, a1);
+    vst1q_u8(dst + off + 32, a2);
+    vst1q_u8(dst + off + 48, a3);
+  }
+  if (off < bytes) {
+    const uint8_t* tails[kMaxXorSources];
+    for (int s = 0; s < nsrc; ++s) tails[s] = srcs[s] + off;
+    XorNScalarImpl(dst + off, tails, nsrc, bytes - off);
+  }
+}
+
+}  // namespace
+
+const XorKernel* GetXorKernelNeon() {
+  static constexpr XorKernel kKernel = {"neon", NeonSupported, XorNNeon};
+  return &kKernel;
+}
+
+}  // namespace ftms::internal
+
+#else  // compiled without NEON support
+
+namespace ftms::internal {
+const XorKernel* GetXorKernelNeon() { return nullptr; }
+}  // namespace ftms::internal
+
+#endif

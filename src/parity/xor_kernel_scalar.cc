@@ -1,0 +1,42 @@
+#include "parity/xor_kernels_internal.h"
+
+namespace ftms::internal {
+namespace {
+
+bool AlwaysSupported() { return true; }
+
+}  // namespace
+
+void XorNScalarImpl(uint8_t* dst, const uint8_t* const* srcs, int nsrc,
+                    size_t bytes) {
+  size_t off = 0;
+  // Word-at-a-time over the destination, folding every source before the
+  // store: one pass over dst regardless of group size. memcpy loads keep
+  // this UB-free on unaligned spans; compilers lower them to plain
+  // (auto-vectorizable) loads.
+  for (; off + 8 <= bytes; off += 8) {
+    uint64_t d;
+    __builtin_memcpy(&d, dst + off, 8);
+    for (int s = 0; s < nsrc; ++s) {
+      uint64_t v;
+      __builtin_memcpy(&v, srcs[s] + off, 8);
+      d ^= v;
+    }
+    __builtin_memcpy(dst + off, &d, 8);
+  }
+  for (; off < bytes; ++off) {
+    uint8_t d = dst[off];
+    for (int s = 0; s < nsrc; ++s) {
+      d = static_cast<uint8_t>(d ^ srcs[s][off]);
+    }
+    dst[off] = d;
+  }
+}
+
+const XorKernel* GetXorKernelScalar() {
+  static constexpr XorKernel kKernel = {"scalar", AlwaysSupported,
+                                        XorNScalarImpl};
+  return &kKernel;
+}
+
+}  // namespace ftms::internal

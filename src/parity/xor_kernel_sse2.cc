@@ -1,0 +1,66 @@
+#include "parity/xor_kernels_internal.h"
+
+#if defined(FTMS_XOR_BUILD_SSE2) && defined(__SSE2__)
+
+#include <emmintrin.h>
+
+namespace ftms::internal {
+namespace {
+
+bool Sse2Supported() {
+  // SSE2 is part of the x86-64 baseline; the check matters only for
+  // exotic 32-bit builds that enabled FTMS_XOR_BUILD_SSE2 by hand.
+  return __builtin_cpu_supports("sse2");
+}
+
+void XorNSse2(uint8_t* dst, const uint8_t* const* srcs, int nsrc,
+              size_t bytes) {
+  size_t off = 0;
+  for (; off + 64 <= bytes; off += 64) {
+    __m128i a0 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(dst + off));
+    __m128i a1 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(dst + off + 16));
+    __m128i a2 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(dst + off + 32));
+    __m128i a3 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(dst + off + 48));
+    for (int s = 0; s < nsrc; ++s) {
+      const uint8_t* src = srcs[s] + off;
+      a0 = _mm_xor_si128(
+          a0, _mm_loadu_si128(reinterpret_cast<const __m128i*>(src)));
+      a1 = _mm_xor_si128(
+          a1, _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + 16)));
+      a2 = _mm_xor_si128(
+          a2, _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + 32)));
+      a3 = _mm_xor_si128(
+          a3, _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + 48)));
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + off), a0);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + off + 16), a1);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + off + 32), a2);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + off + 48), a3);
+  }
+  if (off < bytes) {
+    const uint8_t* tails[kMaxXorSources];
+    for (int s = 0; s < nsrc; ++s) tails[s] = srcs[s] + off;
+    XorNScalarImpl(dst + off, tails, nsrc, bytes - off);
+  }
+}
+
+}  // namespace
+
+const XorKernel* GetXorKernelSse2() {
+  static constexpr XorKernel kKernel = {"sse2", Sse2Supported, XorNSse2};
+  return &kKernel;
+}
+
+}  // namespace ftms::internal
+
+#else  // compiled without SSE2 support
+
+namespace ftms::internal {
+const XorKernel* GetXorKernelSse2() { return nullptr; }
+}  // namespace ftms::internal
+
+#endif

@@ -1,0 +1,28 @@
+#ifndef FTMS_PARITY_XOR_KERNELS_INTERNAL_H_
+#define FTMS_PARITY_XOR_KERNELS_INTERNAL_H_
+
+#include "parity/xor_kernels.h"
+
+// Per-ISA kernel factories. Each lives in its own translation unit so
+// CMake can attach the matching target-feature flag (-mavx2, ...) to
+// exactly the code that needs it; a factory returns nullptr when its
+// TU was compiled without the ISA (missing compiler support, non-x86
+// host, or -DFTMS_SIMD=OFF), which simply drops the kernel from the
+// dispatch table.
+
+namespace ftms::internal {
+
+const XorKernel* GetXorKernelScalar();  // never null
+const XorKernel* GetXorKernelSse2();
+const XorKernel* GetXorKernelAvx2();
+const XorKernel* GetXorKernelAvx512();
+const XorKernel* GetXorKernelNeon();
+
+// The scalar fold, exposed so SIMD kernels can delegate their sub-word
+// tails to one shared implementation.
+void XorNScalarImpl(uint8_t* dst, const uint8_t* const* srcs, int nsrc,
+                    size_t bytes);
+
+}  // namespace ftms::internal
+
+#endif  // FTMS_PARITY_XOR_KERNELS_INTERNAL_H_

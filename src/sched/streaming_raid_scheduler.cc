@@ -46,12 +46,16 @@ void StreamingRaidScheduler::DeliverGroup(ShardCtx& ctx, Stream* stream,
           stream->object().id, layout_->GroupOf(buf->first_track)));
       if (config_.verify_data) {
         // Rebuild the missing block from the bytes actually in memory:
-        // XOR of the surviving data blocks and the parity block.
+        // XOR of the surviving data blocks and the parity block, fused
+        // into one multi-source kernel pass over the destination.
         Block rebuilt = buf->parity;
+        scratch->srcs.clear();
         for (int j = 0; j < buf->tracks; ++j) {
           if (j == i) continue;
-          XorInto(rebuilt, buf->data[static_cast<size_t>(j)]);
+          scratch->srcs.push_back(buf->data[static_cast<size_t>(j)].data());
         }
+        XorIntoN(rebuilt, scratch->srcs.data(),
+                 static_cast<int>(scratch->srcs.size()));
         buf->data[static_cast<size_t>(i)] = std::move(rebuilt);
       }
     }

@@ -5,6 +5,7 @@
 
 #include "parity/parity.h"
 #include "sched/cycle_scheduler.h"
+#include "verify/datapath.h"
 
 namespace ftms {
 
@@ -48,11 +49,13 @@ class StreamingRaidScheduler : public CycleScheduler {
   // still exercising real XOR reconstruction.
   static constexpr size_t kVerifyBlockBytes = 64;
 
-  // Per-shard datapath scratch (integrity mode): synthesis targets reused
-  // across tracks so the verify pipeline never allocates per track.
+  // Per-shard datapath scratch (integrity mode): synthesis targets and
+  // the multi-source pointer batch reused across tracks so the verify
+  // pipeline never allocates per track.
   struct VerifyScratch {
     Block block;
-    Block parity_scratch;
+    DegradedReadScratch parity_scratch;
+    std::vector<const uint8_t*> srcs;
   };
 
   // The cluster every read of `stream` lands on this cycle: the group

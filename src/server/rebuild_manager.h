@@ -7,6 +7,7 @@
 #include "layout/layout.h"
 #include "sched/cycle_scheduler.h"
 #include "util/status.h"
+#include "verify/datapath.h"
 
 namespace ftms {
 
@@ -34,6 +35,29 @@ class RebuildManager {
   // one failed member).
   Status StartRebuild(int disk);
 
+  // Optional byte-level rebuild: attaches the verify datapath so each
+  // cycle's regenerated tracks are ACTUALLY reconstructed — every data
+  // track of `object_id` resident on the rebuilt disk flows through the
+  // batched ReconstructTracksInto (one call per cycle, multi-source
+  // kernel folds) and is verified against the synthesized ground truth.
+  // Call before or after StartRebuild; the track list is (re)derived for
+  // the active disk. Simulation-only timing is unaffected — this adds
+  // real byte movement for tests, benches and integrity drills.
+  Status AttachDataPath(int object_id, int64_t object_tracks,
+                        size_t block_bytes);
+
+  // Byte-level rebuild observability (all zero until AttachDataPath).
+  int64_t data_tracks_reconstructed() const {
+    return data_tracks_reconstructed_;
+  }
+  int64_t data_bytes_reconstructed() const {
+    return data_bytes_reconstructed_;
+  }
+  int64_t data_mismatches() const { return data_mismatches_; }
+  int64_t data_tracks_pending() const {
+    return static_cast<int64_t>(data_pending_.size()) - data_pos_;
+  }
+
   // Advances the rebuild by one scheduling cycle; call after each
   // CycleScheduler::RunCycle(). Regenerating one track consumes one idle
   // read slot on EVERY surviving source disk (the C-2 data members plus
@@ -55,6 +79,11 @@ class RebuildManager {
  private:
   // Source disks whose idle slots gate this cycle's progress.
   std::vector<int> SourceDisks(int disk) const;
+  // Derives the attached object's tracks resident on the active disk.
+  void PrepareDataRebuild();
+  // Reconstructs and verifies up to `budget` pending tracks in one
+  // batched datapath call.
+  void ReconstructDataTracks(int budget);
   // Resolves registry cells / the trace track from the scheduler's
   // observability sinks (no-op when instrumentation is off).
   void InitInstruments();
@@ -69,6 +98,23 @@ class RebuildManager {
   int64_t tracks_total_ = 0;
   int64_t cycles_elapsed_ = 0;
   int64_t rebuilds_completed_ = 0;
+
+  // Byte-level rebuild state (inactive until AttachDataPath).
+  bool data_attached_ = false;
+  int data_object_ = 0;
+  int64_t data_object_tracks_ = 0;
+  size_t data_block_bytes_ = 0;
+  std::vector<int64_t> data_pending_;  // object tracks on the rebuilt disk
+  int64_t data_pos_ = 0;               // next pending index
+  std::vector<int64_t> data_batch_;    // this cycle's batch (reused)
+  std::vector<TrackRead> data_reads_;  // batch outputs (reused)
+  DegradedReadScratch data_scratch_;
+  DiskSet data_failed_;
+  Block data_expected_;
+  int64_t data_tracks_reconstructed_ = 0;
+  int64_t data_bytes_reconstructed_ = 0;
+  int64_t data_mismatches_ = 0;
+  Counter* data_bytes_counter_ = nullptr;
 
   // Observability (null = off). The whole rebuild renders as one span on
   // its own trace track, from StartRebuild to completion, in SimTime;

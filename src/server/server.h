@@ -90,6 +90,9 @@ class MultimediaServer {
   // the disk on completion).
   Status StartRebuild(int disk) { return rebuild_->StartRebuild(disk); }
   const RebuildManager& rebuild() const { return *rebuild_; }
+  // Mutable access for byte-level rebuild attachment
+  // (RebuildManager::AttachDataPath) and rebuild drills.
+  RebuildManager& mutable_rebuild() { return *rebuild_; }
 
   // True when some parity group has lost two members: data must be
   // reloaded from tertiary storage (Section 1's catastrophic failure).

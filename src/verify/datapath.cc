@@ -15,6 +15,72 @@ uint64_t Mix(uint64_t x) {
   return x ^ (x >> 31);
 }
 
+// Extent of parity group `group`: first member track and member count
+// (short final groups have fewer).
+void GroupExtent(const Layout& layout, int64_t group, int64_t object_tracks,
+                 int64_t* first, int* members) {
+  const int per_group = layout.DataBlocksPerGroup();
+  *first = group * per_group;
+  *members = static_cast<int>(
+      std::min<int64_t>(*first + per_group, object_tracks) - *first);
+}
+
+// Synthesizes the `members` group member blocks starting at `first` into
+// scratch->group (slot capacity reused across calls).
+void SynthesizeGroupMembers(int object_id, int64_t first, int members,
+                            size_t block_bytes,
+                            DegradedReadScratch* scratch) {
+  if (scratch->group.size() < static_cast<size_t>(members)) {
+    scratch->group.resize(static_cast<size_t>(members));
+  }
+  for (int m = 0; m < members; ++m) {
+    SynthesizeDataBlockInto(object_id, first + m, block_bytes,
+                            &scratch->group[static_cast<size_t>(m)]);
+  }
+}
+
+// Emulates the degraded read's byte movement from the members in
+// scratch->group: the parity-block read is the XOR of every member, the
+// missing block is parity XOR the survivors. Both folds are fused into
+// one seed copy plus a single multi-source pass over *out.
+void ReconstructFromGroup(int missing, int members,
+                          DegradedReadScratch* scratch, Block* out) {
+  const std::vector<Block>& group = scratch->group;
+  out->assign(group[0].begin(), group[0].end());
+  scratch->srcs.clear();
+  for (int m = 1; m < members; ++m) {
+    scratch->srcs.push_back(group[static_cast<size_t>(m)].data());
+  }
+  for (int m = 0; m < members; ++m) {
+    if (m == missing) continue;
+    scratch->srcs.push_back(group[static_cast<size_t>(m)].data());
+  }
+  XorIntoN(*out, scratch->srcs.data(),
+           static_cast<int>(scratch->srcs.size()));
+}
+
+// Shared precheck of the degraded path: parity disk up, every other
+// group member's disk up. `track` is the member being reconstructed.
+Status CheckGroupReconstructible(const Layout& layout, int object_id,
+                                 int64_t track, int64_t group,
+                                 int64_t first, int members,
+                                 const DiskSet& failed_disks) {
+  const BlockLocation parity_loc = layout.ParityLocation(object_id, group);
+  if (failed_disks.Contains(parity_loc.disk)) {
+    return Status::Unavailable(
+        "parity disk for the group is also down: catastrophic");
+  }
+  for (int m = 0; m < members; ++m) {
+    const int64_t t = first + m;
+    if (t == track) continue;
+    if (failed_disks.Contains(layout.DataLocation(object_id, t).disk)) {
+      return Status::Unavailable(
+          "two data blocks of the group are down: catastrophic");
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 void SynthesizeDataBlockInto(int object_id, int64_t track,
@@ -46,19 +112,21 @@ Block SynthesizeDataBlock(int object_id, int64_t track,
 Status SynthesizeParityBlockInto(const Layout& layout, int object_id,
                                  int64_t group, int64_t object_tracks,
                                  size_t block_bytes, Block* out,
-                                 Block* scratch) {
-  const int per_group = layout.DataBlocksPerGroup();
-  const int64_t first = group * per_group;
-  const int64_t last =
-      std::min<int64_t>(first + per_group, object_tracks);
+                                 DegradedReadScratch* scratch) {
+  int64_t first;
+  int members;
+  GroupExtent(layout, group, object_tracks, &first, &members);
   if (first >= object_tracks) {
     return Status::OutOfRange("group beyond object end");
   }
-  SynthesizeDataBlockInto(object_id, first, block_bytes, out);
-  for (int64_t t = first + 1; t < last; ++t) {
-    SynthesizeDataBlockInto(object_id, t, block_bytes, scratch);
-    XorInto(*out, *scratch);
+  SynthesizeGroupMembers(object_id, first, members, block_bytes, scratch);
+  out->assign(scratch->group[0].begin(), scratch->group[0].end());
+  scratch->srcs.clear();
+  for (int m = 1; m < members; ++m) {
+    scratch->srcs.push_back(scratch->group[static_cast<size_t>(m)].data());
   }
+  XorIntoN(*out, scratch->srcs.data(),
+           static_cast<int>(scratch->srcs.size()));
   return Status::Ok();
 }
 
@@ -66,7 +134,7 @@ StatusOr<Block> SynthesizeParityBlock(const Layout& layout, int object_id,
                                       int64_t group, int64_t object_tracks,
                                       size_t block_bytes) {
   Block parity;
-  Block scratch;
+  DegradedReadScratch scratch;
   const Status status = SynthesizeParityBlockInto(
       layout, object_id, group, object_tracks, block_bytes, &parity,
       &scratch);
@@ -90,35 +158,20 @@ Status ReadTrackDegradedInto(const Layout& layout, int object_id,
   }
   // Degraded path (Observation 2's on-the-fly reconstruction): the lost
   // block is parity XOR survivors. Parity is itself the XOR of every
-  // group member, so fold each member once for the parity contribution
-  // and each SURVIVOR a second time — the survivors cancel, leaving
-  // exactly the missing block, without ever materializing the group.
+  // group member, so the fused fold streams each member once for the
+  // parity contribution and each SURVIVOR a second time — the survivors
+  // cancel, leaving exactly the missing block, in a single pass over the
+  // destination.
   const int64_t group = layout.GroupOf(track);
-  const BlockLocation parity_loc = layout.ParityLocation(object_id, group);
-  if (failed_disks.Contains(parity_loc.disk)) {
-    return Status::Unavailable(
-        "parity disk for the group is also down: catastrophic");
-  }
-  const int per_group = layout.DataBlocksPerGroup();
-  const int64_t first = group * per_group;
-  const int64_t last =
-      std::min<int64_t>(first + per_group, object_tracks);
-  scratch->acc.Reset();
-  for (int64_t t = first; t < last; ++t) {
-    SynthesizeDataBlockInto(object_id, t, block_bytes, &scratch->synth);
-    FTMS_RETURN_IF_ERROR(scratch->acc.Add(scratch->synth));
-    if (t == track) continue;
-    const BlockLocation other = layout.DataLocation(object_id, t);
-    if (failed_disks.Contains(other.disk)) {
-      return Status::Unavailable(
-          "two data blocks of the group are down: catastrophic");
-    }
-    FTMS_RETURN_IF_ERROR(scratch->acc.Add(scratch->synth));
-  }
+  int64_t first;
+  int members;
+  GroupExtent(layout, group, object_tracks, &first, &members);
+  FTMS_RETURN_IF_ERROR(CheckGroupReconstructible(
+      layout, object_id, track, group, first, members, failed_disks));
+  SynthesizeGroupMembers(object_id, first, members, block_bytes, scratch);
+  ReconstructFromGroup(static_cast<int>(track - first), members, scratch,
+                       &out->data);
   out->reconstructed = true;
-  // Copy-assign (not Take) so the accumulator keeps its capacity for the
-  // caller's next track.
-  out->data = scratch->acc.value();
   return Status::Ok();
 }
 
@@ -133,6 +186,49 @@ StatusOr<TrackRead> ReadTrackDegraded(const Layout& layout, int object_id,
                             failed_disks, block_bytes, &scratch, &result);
   if (!status.ok()) return status;
   return result;
+}
+
+Status ReconstructTracksInto(const Layout& layout, int object_id,
+                             std::span<const int64_t> tracks,
+                             int64_t object_tracks,
+                             const DiskSet& failed_disks,
+                             size_t block_bytes,
+                             DegradedReadScratch* scratch,
+                             std::vector<TrackRead>* out) {
+  out->resize(tracks.size());
+  // Group synthesis is the dominant cost; reuse it while consecutive
+  // batch entries stay inside one parity group (the scrub / sequential
+  // rebuild pattern).
+  int64_t synthesized_group = -1;
+  int64_t first = 0;
+  int members = 0;
+  for (size_t i = 0; i < tracks.size(); ++i) {
+    const int64_t track = tracks[i];
+    TrackRead& read = (*out)[i];
+    read.reconstructed = false;
+    if (track < 0 || track >= object_tracks) {
+      return Status::OutOfRange("track beyond object end");
+    }
+    if (!failed_disks.Contains(layout.DataLocation(object_id, track).disk)) {
+      SynthesizeDataBlockInto(object_id, track, block_bytes, &read.data);
+      continue;
+    }
+    const int64_t group = layout.GroupOf(track);
+    if (group != synthesized_group) {
+      GroupExtent(layout, group, object_tracks, &first, &members);
+    }
+    FTMS_RETURN_IF_ERROR(CheckGroupReconstructible(
+        layout, object_id, track, group, first, members, failed_disks));
+    if (group != synthesized_group) {
+      SynthesizeGroupMembers(object_id, first, members, block_bytes,
+                             scratch);
+      synthesized_group = group;
+    }
+    ReconstructFromGroup(static_cast<int>(track - first), members, scratch,
+                         &read.data);
+    read.reconstructed = true;
+  }
+  return Status::Ok();
 }
 
 StatusOr<int64_t> VerifyObjectReadback(const Layout& layout, int object_id,

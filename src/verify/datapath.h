@@ -2,6 +2,7 @@
 #define FTMS_VERIFY_DATAPATH_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "layout/layout.h"
 #include "parity/parity.h"
@@ -22,9 +23,12 @@ namespace ftms {
 // data blocks — exactly the bytes a real write path would have placed.
 //
 // The `...Into` forms write through caller-owned blocks/scratch so that
-// loops over many tracks (scrubbing, integrity-mode delivery, the
-// degraded-read bench) allocate nothing in steady state; the
-// value-returning forms are conveniences over them.
+// loops over many tracks (scrubbing, integrity-mode delivery, rebuild,
+// the degraded-read bench) allocate nothing in steady state; the
+// value-returning forms are conveniences over them. All XOR folds go
+// through the dispatched multi-source kernel (parity/xor_kernels.h):
+// reconstructing a track is one seed copy plus one fused pass over the
+// destination, not C-1 pairwise passes.
 
 // Deterministic contents of data track `track` of `object_id`, written
 // into *out (resized to `block_bytes`; capacity is reused across calls).
@@ -35,14 +39,23 @@ void SynthesizeDataBlockInto(int object_id, int64_t track,
 Block SynthesizeDataBlock(int object_id, int64_t track,
                           size_t block_bytes);
 
+// Reusable state for the group-at-a-time paths: one synthesis slot per
+// group member plus the pointer batch handed to the multi-source kernel.
+// Slot capacity survives across calls, so steady-state loops allocate
+// nothing.
+struct DegradedReadScratch {
+  std::vector<Block> group;          // synthesized group member blocks
+  std::vector<const uint8_t*> srcs;  // kernel source-pointer batch
+};
+
 // Parity block contents for group `group` of an object of
 // `object_tracks` total tracks (short final groups XOR fewer blocks),
-// written into *out. *scratch holds one synthesized member block at a
-// time — the group is never materialized.
+// written into *out via one fused multi-source fold over the group
+// members synthesized into *scratch.
 Status SynthesizeParityBlockInto(const Layout& layout, int object_id,
                                  int64_t group, int64_t object_tracks,
                                  size_t block_bytes, Block* out,
-                                 Block* scratch);
+                                 DegradedReadScratch* scratch);
 
 // Value-returning convenience form.
 StatusOr<Block> SynthesizeParityBlock(const Layout& layout, int object_id,
@@ -53,13 +66,6 @@ StatusOr<Block> SynthesizeParityBlock(const Layout& layout, int object_id,
 struct TrackRead {
   bool reconstructed = false;  // served via parity instead of directly
   Block data;
-};
-
-// Reusable state for ReadTrackDegradedInto: a running XOR for the
-// reconstruction and one block of synthesis scratch.
-struct DegradedReadScratch {
-  ParityAccumulator acc;
-  Block synth;
 };
 
 // Reads data track `track` into out->data, reconstructing from the
@@ -77,6 +83,22 @@ StatusOr<TrackRead> ReadTrackDegraded(const Layout& layout, int object_id,
                                       int64_t track, int64_t object_tracks,
                                       const DiskSet& failed_disks,
                                       size_t block_bytes);
+
+// Batched reconstruction: serves every entry of `tracks` (in order) the
+// way ReadTrackDegradedInto would, writing (*out)[i] for tracks[i], but
+// amortizing the per-track overhead across the batch — consecutive
+// tracks of the same parity group share one group synthesis, and all
+// scratch/output capacity is reused across calls. This is the
+// RebuildManager's byte-level regeneration path: one call per rebuild
+// cycle instead of one fold per track. Fails (UNAVAILABLE / OUT_OF_RANGE)
+// on the first unreconstructible track, like the single-track form.
+Status ReconstructTracksInto(const Layout& layout, int object_id,
+                             std::span<const int64_t> tracks,
+                             int64_t object_tracks,
+                             const DiskSet& failed_disks,
+                             size_t block_bytes,
+                             DegradedReadScratch* scratch,
+                             std::vector<TrackRead>* out);
 
 // Convenience for tests: reads every track of the object under the given
 // failures and verifies each against the synthesized ground truth.

@@ -17,30 +17,43 @@ StatusOr<ScrubReport> ScrubObject(const Layout& layout, int object_id,
   ScrubReport report;
   const int per_group = layout.DataBlocksPerGroup();
   const int64_t groups = (object_tracks + per_group - 1) / per_group;
+  // One synthesis slot per group member plus the parity block and the
+  // kernel pointer batch, all reused across groups: the scrub loop
+  // allocates nothing in steady state.
+  std::vector<Block> data(static_cast<size_t>(per_group));
+  std::vector<const uint8_t*> srcs;
+  Block parity;
   for (int64_t g = 0; g < groups; ++g) {
-    const int64_t first = g * per_group;
-    const int64_t last = std::min<int64_t>(first + per_group,
+    const int64_t gfirst = g * per_group;
+    const int64_t last = std::min<int64_t>(gfirst + per_group,
                                            object_tracks);
-    std::vector<Block> data;
-    for (int64_t t = first; t < last; ++t) {
-      Block block = SynthesizeDataBlock(object_id, t, block_bytes);
-      if (corruption) {
-        const BlockLocation loc = layout.DataLocation(object_id, t);
-        corruption(loc.disk, /*is_parity=*/false, block);
-      }
-      data.push_back(std::move(block));
+    const size_t members = static_cast<size_t>(last - gfirst);
+    for (size_t m = 0; m < members; ++m) {
+      SynthesizeDataBlockInto(object_id, gfirst + static_cast<int64_t>(m),
+                              block_bytes, &data[m]);
       ++report.blocks_read;
     }
-    StatusOr<Block> parity = SynthesizeParityBlock(
-        layout, object_id, g, object_tracks, block_bytes);
-    if (!parity.ok()) return parity.status();
-    if (corruption) {
-      const BlockLocation loc = layout.ParityLocation(object_id, g);
-      corruption(loc.disk, /*is_parity=*/true, *parity);
-    }
+    // The stored parity is the XOR of the CLEAN member blocks (it was
+    // written before any latent error appeared), so fold it here — one
+    // fused multi-source pass — before the corruption hook runs.
+    parity.assign(data[0].begin(), data[0].end());
+    srcs.clear();
+    for (size_t m = 1; m < members; ++m) srcs.push_back(data[m].data());
+    XorIntoN(parity, srcs.data(), static_cast<int>(srcs.size()));
     ++report.blocks_read;
 
-    StatusOr<bool> clean = VerifyGroup(data, *parity);
+    if (corruption) {
+      for (size_t m = 0; m < members; ++m) {
+        const BlockLocation loc = layout.DataLocation(
+            object_id, gfirst + static_cast<int64_t>(m));
+        corruption(loc.disk, /*is_parity=*/false, data[m]);
+      }
+      const BlockLocation loc = layout.ParityLocation(object_id, g);
+      corruption(loc.disk, /*is_parity=*/true, parity);
+    }
+
+    StatusOr<bool> clean = VerifyGroup(
+        std::span<const Block>(data.data(), members), parity);
     if (!clean.ok()) return clean.status();
     if (!*clean) ++report.parity_mismatches;
     ++report.groups_checked;

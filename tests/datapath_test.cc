@@ -56,6 +56,47 @@ TEST(DataPathTest, ShortFinalGroupReconstructs) {
   EXPECT_EQ(read.data, SynthesizeDataBlock(0, 5, kBlockBytes));
 }
 
+// The batched path must be equivalent to N single-track calls: same
+// bytes, same reconstructed flags, for a mix of degraded and healthy
+// tracks in one batch (the rebuilt disk holds only some of them).
+TEST(DataPathTest, BatchedReconstructionMatchesSingleTrackReads) {
+  auto layout = CreateLayout(Scheme::kStreamingRaid, 10, 5).value();
+  const int64_t object_tracks = 26;  // includes a short final group
+  const DiskSet failed({2});
+  std::vector<int64_t> tracks;
+  for (int64_t t = 0; t < object_tracks; ++t) tracks.push_back(t);
+  DegradedReadScratch scratch;
+  std::vector<TrackRead> batched;
+  ASSERT_TRUE(ReconstructTracksInto(*layout, 0, tracks, object_tracks,
+                                    failed, kBlockBytes, &scratch,
+                                    &batched)
+                  .ok());
+  ASSERT_EQ(batched.size(), tracks.size());
+  int64_t reconstructed = 0;
+  for (size_t i = 0; i < tracks.size(); ++i) {
+    const TrackRead single =
+        ReadTrackDegraded(*layout, 0, tracks[i], object_tracks, failed,
+                          kBlockBytes)
+            .value();
+    EXPECT_EQ(batched[i].reconstructed, single.reconstructed)
+        << "track " << tracks[i];
+    EXPECT_EQ(batched[i].data, single.data) << "track " << tracks[i];
+    if (batched[i].reconstructed) ++reconstructed;
+  }
+  EXPECT_GT(reconstructed, 0);  // disk 2 holds data of this object
+}
+
+TEST(DataPathTest, BatchedReconstructionRejectsDoubleFailure) {
+  auto layout = CreateLayout(Scheme::kStreamingRaid, 10, 5).value();
+  const std::vector<int64_t> tracks = {2};
+  DegradedReadScratch scratch;
+  std::vector<TrackRead> out;
+  EXPECT_EQ(ReconstructTracksInto(*layout, 0, tracks, 100, {1, 2},
+                                  kBlockBytes, &scratch, &out)
+                .code(),
+            StatusCode::kUnavailable);
+}
+
 // The headline property: for every scheme, group size and single failed
 // disk, EVERY track of an object reads back bit-exact.
 class DataPathProperty

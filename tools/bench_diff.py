@@ -5,9 +5,10 @@ Usage:
     tools/bench_diff.py BASELINE.json CURRENT.json [--threshold PCT]
 
 Metric direction is inferred from the key name: throughput-style keys
-(*_per_sec, *_per_s) are better when higher; time-style keys (wall_s, *_s,
-*_seconds) are better when lower; anything else (counts, thread counts) is
-informational and compared for drift only, never flagged.
+(*_per_sec, *_per_s, *_gbps — the parity-kernel bench reports GB/s) are
+better when higher; time-style keys (wall_s, *_s, *_seconds) are better
+when lower; anything else (counts, thread counts) is informational and
+compared for drift only, never flagged.
 
 Exit status: 0 = no regression beyond the threshold, 1 = at least one
 regression, 2 = usage / file error.
@@ -20,7 +21,7 @@ import sys
 
 def metric_direction(key):
     """Returns 'higher', 'lower', or None (informational)."""
-    if key.endswith("_per_sec") or key.endswith("_per_s"):
+    if key.endswith(("_per_sec", "_per_s", "_gbps")):
         return "higher"
     if key == "wall_s" or key.endswith("_s") or key.endswith("_seconds"):
         return "lower"

@@ -1,0 +1,189 @@
+// Event-engine microbenchmark: queue implementation x event mix.
+//
+// Sweeps both EventQueue implementations (binary heap oracle, calendar
+// queue) across the three event mixes the simulations actually produce:
+//
+//   periodic     hundreds of periodic processes sharing a few distinct
+//                periods — the cycle-driven server simulations, where
+//                whole batches of events share one timestamp;
+//   exponential  self-rescheduling chains with exponentially distributed
+//                delays — the reliability/failure simulations;
+//   mixed        both at once — failure injection riding on a cycle-driven
+//                run (integration-style).
+//
+// Each cell reports events per wall-clock second. The bench doubles as a
+// cross-implementation equivalence smoke: before timing, a seeded mixed
+// workload is replayed on both queues and the pop order byte-compared —
+// any divergence exits nonzero (so the perf_smoke CI label catches engine
+// bugs, not just regressions).
+//
+// Writes BENCH_event_engine.json (schema v3; env.event_queue stamps the
+// engine default under FTMS_EVENT_QUEUE).
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_report.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "util/random.h"
+
+namespace ftms {
+namespace {
+
+constexpr int64_t kEventsPerCell = 400000;
+
+// Self-rescheduling exponential chain; the event capture is one pointer,
+// so every hop stays inline (no allocation).
+struct ExpChain {
+  Simulator* sim;
+  Rng rng;
+  int64_t* budget;
+
+  void Hop() {
+    if (--*budget <= 0) return;
+    sim->Schedule(rng.ExponentialMean(1.0), [this] { Hop(); });
+  }
+};
+
+double RunPeriodic(EventQueueKind kind, int64_t events) {
+  Simulator sim(kind);
+  int64_t budget = events;
+  for (int i = 0; i < 512; ++i) {
+    const double period = 1.0 + 0.25 * static_cast<double>(i % 8);
+    SchedulePeriodic(sim, 0.0, period, [&budget] { return --budget > 0; });
+  }
+  bench::WallTimer timer;
+  sim.Run();
+  return static_cast<double>(sim.events_processed()) / timer.Seconds();
+}
+
+double RunExponential(EventQueueKind kind, int64_t events) {
+  Simulator sim(kind);
+  int64_t budget = events;
+  std::vector<ExpChain> chains;
+  chains.reserve(256);
+  for (uint64_t i = 0; i < 256; ++i) {
+    chains.push_back(ExpChain{&sim, Rng(1000 + i), &budget});
+  }
+  for (ExpChain& chain : chains) {
+    ExpChain* c = &chain;
+    sim.Schedule(c->rng.ExponentialMean(1.0), [c] { c->Hop(); });
+  }
+  bench::WallTimer timer;
+  sim.Run();
+  return static_cast<double>(sim.events_processed()) / timer.Seconds();
+}
+
+double RunMixed(EventQueueKind kind, int64_t events) {
+  Simulator sim(kind);
+  int64_t periodic_budget = events / 2;
+  int64_t exp_budget = events - periodic_budget;
+  for (int i = 0; i < 256; ++i) {
+    const double period = 1.0 + 0.25 * static_cast<double>(i % 8);
+    SchedulePeriodic(sim, 0.0, period,
+                     [&periodic_budget] { return --periodic_budget > 0; });
+  }
+  std::vector<ExpChain> chains;
+  chains.reserve(64);
+  for (uint64_t i = 0; i < 64; ++i) {
+    chains.push_back(ExpChain{&sim, Rng(2000 + i), &exp_budget});
+  }
+  for (ExpChain& chain : chains) {
+    ExpChain* c = &chain;
+    sim.Schedule(c->rng.ExponentialMean(1.0), [c] { c->Hop(); });
+  }
+  bench::WallTimer timer;
+  sim.Run();
+  return static_cast<double>(sim.events_processed()) / timer.Seconds();
+}
+
+// Replays one seeded interleaved push/pop workload on both queues and
+// compares the pop order exactly. Returns false on any divergence.
+bool QueuesAgree() {
+  Rng rng(8881);
+  HeapEventQueue heap;
+  CalendarEventQueue cal;
+  uint64_t seq = 0;
+  double clock = 0;
+  for (int round = 0; round < 50000; ++round) {
+    if (rng.NextDouble() < 0.55 || heap.empty()) {
+      double t = clock;
+      const double mix = rng.NextDouble();
+      if (mix < 0.5) {
+        t += static_cast<double>(rng.UniformInt(4));
+      } else if (mix < 0.9) {
+        t += rng.ExponentialMean(1.0);
+      } else {
+        t += 1e9 * rng.NextDouble();
+      }
+      heap.Push(EventRec{t, seq, [] {}});
+      cal.Push(EventRec{t, seq, [] {}});
+      ++seq;
+    } else {
+      EventRec a, b;
+      heap.PopMin(&a);
+      cal.PopMin(&b);
+      if (a.time != b.time || a.seq != b.seq) return false;
+      clock = a.time;
+    }
+  }
+  while (!heap.empty()) {
+    EventRec a, b;
+    heap.PopMin(&a);
+    if (!cal.PopMin(&b)) return false;
+    if (a.time != b.time || a.seq != b.seq) return false;
+  }
+  return cal.empty();
+}
+
+int Main() {
+  if (!QueuesAgree()) {
+    std::fprintf(stderr,
+                 "FAIL: calendar queue diverged from heap oracle\n");
+    return 1;
+  }
+  std::printf("queue equivalence: heap == calendar on seeded mixed "
+              "workload\n\n");
+
+  struct Mix {
+    const char* name;
+    double (*run)(EventQueueKind, int64_t);
+  };
+  const Mix mixes[] = {
+      {"periodic", RunPeriodic},
+      {"exponential", RunExponential},
+      {"mixed", RunMixed},
+  };
+
+  bench::Reporter reporter("event_engine");
+  reporter.Set("events_per_cell", static_cast<double>(kEventsPerCell));
+  std::printf("%-14s %16s %16s %8s\n", "mix", "heap ev/s", "calendar ev/s",
+              "ratio");
+  for (const Mix& mix : mixes) {
+    // Warm each cell once (allocator + branch predictors), then measure.
+    mix.run(EventQueueKind::kHeap, kEventsPerCell / 8);
+    const double heap_rate = mix.run(EventQueueKind::kHeap, kEventsPerCell);
+    mix.run(EventQueueKind::kCalendar, kEventsPerCell / 8);
+    const double cal_rate =
+        mix.run(EventQueueKind::kCalendar, kEventsPerCell);
+    const double ratio = cal_rate / heap_rate;
+    std::printf("%-14s %16.3e %16.3e %7.2fx\n", mix.name, heap_rate,
+                cal_rate, ratio);
+    reporter.Set(std::string("heap_") + mix.name + "_events_per_sec",
+                 heap_rate);
+    reporter.Set(std::string("calendar_") + mix.name + "_events_per_sec",
+                 cal_rate);
+    reporter.Set(std::string("calendar_vs_heap_") + mix.name, ratio);
+  }
+  reporter.WriteJson();
+  return 0;
+}
+
+}  // namespace
+}  // namespace ftms
+
+int main() { return ftms::Main(); }

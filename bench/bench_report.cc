@@ -7,6 +7,7 @@
 
 #include "parity/xor_kernels.h"
 #include "qos/event_journal.h"
+#include "sim/event_queue.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
 #include "util/trace_event.h"
@@ -65,6 +66,10 @@ std::string Reporter::WriteJson() const {
   json += std::string("    \"qos_enabled\": ") +
           (journal != nullptr ? "true" : "false") + ",\n";
   json += std::string("    \"xor_kernel\": \"") + ActiveXorKernelName() +
+          "\",\n";
+  json += std::string("    \"event_queue\": \"") +
+          (EventQueueKindFromEnv() == EventQueueKind::kHeap ? "heap"
+                                                            : "calendar") +
           "\"\n";
   json += "  },\n";
   json += "  \"metrics\": {\n";

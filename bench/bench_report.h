@@ -38,7 +38,9 @@ class WallTimer {
 // Still within v3 (additive key, old readers unaffected), the env stamp
 // also carries "xor_kernel" — the dispatched multi-source XOR kernel
 // (parity/xor_kernels.h), which materially changes every parity-heavy
-// timing and so must travel with the numbers.
+// timing and so must travel with the numbers — and "event_queue", the
+// FTMS_EVENT_QUEUE selection (heap | calendar) driving the discrete-event
+// engine, which changes what simulator-bound timings mean.
 //
 // Environment knobs:
 //   FTMS_BENCH_JSON=0        disable writing entirely

@@ -14,13 +14,4 @@ const char* DiskStateName(DiskState state) {
   return "unknown";
 }
 
-bool Disk::Read(int tracks) {
-  if (state_ != DiskState::kOperational) {
-    ++failed_reads_;
-    return false;
-  }
-  tracks_read_ += tracks;
-  return true;
-}
-
 }  // namespace ftms

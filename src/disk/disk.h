@@ -44,8 +44,16 @@ class Disk {
   // counters when the disk is operational; returns false (recording the
   // failed attempt) otherwise. Rebuilding drives can serve reads only for
   // already-rebuilt data; the schedulers treat them as non-operational for
-  // simplicity, matching the paper's normal/degraded-mode focus.
-  bool Read(int tracks);
+  // simplicity, matching the paper's normal/degraded-mode focus. Inline:
+  // this sits on the schedulers' per-read path.
+  bool Read(int tracks) {
+    if (state_ != DiskState::kOperational) {
+      ++failed_reads_;
+      return false;
+    }
+    tracks_read_ += tracks;
+    return true;
+  }
 
   int64_t tracks_read() const { return tracks_read_; }
   int64_t failed_reads() const { return failed_reads_; }

@@ -9,6 +9,20 @@ DiskArray::DiskArray(int num_disks, int cluster_size,
     : cluster_size_(cluster_size), params_(params) {
   disks_.reserve(static_cast<size_t>(num_disks));
   for (int i = 0; i < num_disks; ++i) disks_.emplace_back(i);
+  up_.assign(static_cast<size_t>(num_disks), 1);
+  failed_in_cluster_.assign(static_cast<size_t>(num_disks / cluster_size),
+                            0);
+}
+
+void DiskArray::SyncDiskUp(int id) {
+  const uint8_t now_up = disks_[static_cast<size_t>(id)].operational()
+                             ? uint8_t{1}
+                             : uint8_t{0};
+  if (now_up == up_[static_cast<size_t>(id)]) return;
+  up_[static_cast<size_t>(id)] = now_up;
+  const int delta = now_up != 0 ? -1 : 1;
+  num_failed_ += delta;
+  failed_in_cluster_[static_cast<size_t>(ClusterOf(id))] += delta;
 }
 
 StatusOr<DiskArray> DiskArray::Create(int num_disks, int cluster_size,
@@ -34,6 +48,7 @@ Status DiskArray::FailDisk(int id) {
     return Status::OutOfRange("disk id out of range");
   }
   disks_[static_cast<size_t>(id)].Fail();
+  SyncDiskUp(id);
   return Status::Ok();
 }
 
@@ -42,23 +57,17 @@ Status DiskArray::RepairDisk(int id) {
     return Status::OutOfRange("disk id out of range");
   }
   disks_[static_cast<size_t>(id)].Repair();
+  SyncDiskUp(id);
   return Status::Ok();
 }
 
-int DiskArray::NumFailed() const {
-  int n = 0;
-  for (const Disk& d : disks_) {
-    if (!d.operational()) ++n;
+Status DiskArray::StartRebuildDisk(int id) {
+  if (id < 0 || id >= num_disks()) {
+    return Status::OutOfRange("disk id out of range");
   }
-  return n;
-}
-
-int DiskArray::NumFailedInCluster(int cluster) const {
-  int n = 0;
-  for (int i = 0; i < cluster_size_; ++i) {
-    if (!disk(DiskId(cluster, i)).operational()) ++n;
-  }
-  return n;
+  disks_[static_cast<size_t>(id)].StartRebuild();
+  SyncDiskUp(id);
+  return Status::Ok();
 }
 
 bool DiskArray::HasCatastrophicClusterFailure() const {

@@ -29,8 +29,16 @@ class DiskArray {
   int num_clusters() const { return num_disks() / cluster_size_; }
   const DiskParameters& params() const { return params_; }
 
+  // Mutable access is for I/O counters only: state transitions must go
+  // through FailDisk / RepairDisk / StartRebuildDisk, which keep the
+  // structure-of-arrays failure columns below in sync.
   Disk& disk(int id) { return disks_[static_cast<size_t>(id)]; }
   const Disk& disk(int id) const { return disks_[static_cast<size_t>(id)]; }
+
+  // O(1) hot-path query backed by the per-disk up/down byte column (the
+  // schedulers probe disk health for every planned read of every cycle;
+  // a byte load here replaces a Disk-object chase + state compare).
+  bool DiskUp(int id) const { return up_[static_cast<size_t>(id)] != 0; }
 
   // Cluster index of disk `id`.
   int ClusterOf(int id) const { return id / cluster_size_; }
@@ -49,13 +57,19 @@ class DiskArray {
     return DiskId(cluster, cluster_size_ - 1);
   }
 
-  // Failure / repair injection.
+  // Failure / repair injection. StartRebuildDisk moves a disk to the
+  // rebuilding state (still non-operational for reads); it exists so the
+  // rebuild machinery never mutates Disk state behind the failure columns.
   Status FailDisk(int id);
   Status RepairDisk(int id);
+  Status StartRebuildDisk(int id);
 
-  // Number of currently failed (or rebuilding) disks, total and per cluster.
-  int NumFailed() const;
-  int NumFailedInCluster(int cluster) const;
+  // Number of currently failed (or rebuilding) disks, total and per
+  // cluster — O(1), maintained incrementally by the mutators above.
+  int NumFailed() const { return num_failed_; }
+  int NumFailedInCluster(int cluster) const {
+    return failed_in_cluster_[static_cast<size_t>(cluster)];
+  }
 
   // True when some cluster has >= 2 failed disks: with one parity block per
   // group this is the paper's "catastrophic failure" for clustered layouts.
@@ -67,9 +81,18 @@ class DiskArray {
  private:
   DiskArray(int num_disks, int cluster_size, const DiskParameters& params);
 
+  // Re-derives the SoA failure columns for `id` after a state change.
+  void SyncDiskUp(int id);
+
   int cluster_size_;
   DiskParameters params_;
   std::vector<Disk> disks_;
+  // Structure-of-arrays mirror of the per-disk health the schedulers poll
+  // every cycle: one byte per disk plus per-cluster / total failed counts,
+  // updated only on the (rare) fail/repair/rebuild transitions.
+  std::vector<uint8_t> up_;
+  std::vector<int> failed_in_cluster_;
+  int num_failed_ = 0;
 };
 
 }  // namespace ftms

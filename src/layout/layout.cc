@@ -5,6 +5,19 @@
 
 namespace ftms {
 
+LayoutGeom Layout::Geom() const {
+  LayoutGeom g;
+  g.num_clusters = num_clusters();
+  g.disks_per_cluster = disks_per_cluster();
+  g.per_group = DataBlocksPerGroup();
+  g.striped = striped();
+  g.ib = scheme_family() == Scheme::kImprovedBandwidth;
+  g.per_group_div = FastDiv(static_cast<uint32_t>(g.per_group));
+  g.clusters_div = FastDiv(static_cast<uint32_t>(g.num_clusters));
+  g.dpc_div = FastDiv(static_cast<uint32_t>(g.disks_per_cluster));
+  return g;
+}
+
 std::vector<BlockLocation> Layout::GroupDataLocations(int object_id,
                                                       int64_t group) const {
   std::vector<BlockLocation> out;

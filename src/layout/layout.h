@@ -7,6 +7,7 @@
 
 #include "layout/media_object.h"
 #include "layout/schemes.h"
+#include "util/fastdiv.h"
 #include "util/status.h"
 
 namespace ftms {
@@ -19,6 +20,77 @@ struct BlockLocation {
 
   friend bool operator==(const BlockLocation&, const BlockLocation&) =
       default;
+};
+
+// Devirtualized snapshot of a Layout's placement geometry. Every layout in
+// this codebase is a pure integer function of (clusters, disks-per-cluster,
+// C-1, striped?, IB placement?) — LayoutGeom captures those five values
+// plus Lemire fast-division magic for the three divisors, so the
+// schedulers' per-read location math is inline integer arithmetic instead
+// of two virtual calls and three 64-bit divides. Built by Layout::Geom();
+// CycleScheduler cross-checks it against the virtual interface in debug
+// builds, so a future Layout subclass with novel placement math fails loud
+// rather than silently desyncing.
+struct LayoutGeom {
+  int num_clusters = 1;
+  int disks_per_cluster = 1;
+  int per_group = 1;   // data blocks per parity group (C-1)
+  bool striped = true;  // round-robin groups over clusters?
+  bool ib = false;      // Improved-bandwidth placement (parity on i+1)
+  FastDiv per_group_div;  // by per_group
+  FastDiv clusters_div;   // by num_clusters
+  FastDiv dpc_div;        // by disks_per_cluster
+
+  int64_t GroupOf(int64_t track) const {
+    assert(track >= 0 && track <= INT64_C(0xffffffff));
+    return per_group_div.Div(static_cast<uint32_t>(track));
+  }
+  int PositionInGroup(int64_t track) const {
+    assert(track >= 0 && track <= INT64_C(0xffffffff));
+    return static_cast<int>(
+        per_group_div.Mod(static_cast<uint32_t>(track)));
+  }
+  int HomeCluster(int object_id) const {
+    assert(object_id >= 0);
+    return static_cast<int>(
+        clusters_div.Mod(static_cast<uint32_t>(object_id)));
+  }
+  int GroupCluster(int object_id, int64_t group) const {
+    const int home = HomeCluster(object_id);
+    if (!striped) return home;
+    assert(group >= 0 && home + group <= INT64_C(0xffffffff));
+    return static_cast<int>(
+        clusters_div.Mod(static_cast<uint32_t>(home + group)));
+  }
+  int ClusterOfDisk(int disk) const {
+    return static_cast<int>(dpc_div.Div(static_cast<uint32_t>(disk)));
+  }
+  // Global disk of data position `pos` of a group on `cluster`.
+  int DataDisk(int cluster, int pos) const {
+    return cluster * disks_per_cluster + pos;
+  }
+  int DataDiskOf(int object_id, int64_t track) const {
+    return DataDisk(GroupCluster(object_id, GroupOf(track)),
+                    PositionInGroup(track));
+  }
+  // Global disk of the parity block of `group`, and the cluster it lives
+  // on (the data cluster for clustered layouts; the right-hand neighbor
+  // for Improved-bandwidth).
+  int ParityDisk(int object_id, int64_t group, int data_cluster) const {
+    if (!ib) {
+      return DataDisk(data_cluster, disks_per_cluster - 1);
+    }
+    const int pc = data_cluster + 1 == num_clusters ? 0 : data_cluster + 1;
+    assert(object_id >= 0 && group >= 0 &&
+           object_id + group <= INT64_C(0xffffffff));
+    const int index = static_cast<int>(dpc_div.Mod(
+        static_cast<uint32_t>(static_cast<int64_t>(object_id) + group)));
+    return DataDisk(pc, index);
+  }
+  int ParityCluster(int data_cluster) const {
+    if (!ib) return data_cluster;
+    return data_cluster + 1 == num_clusters ? 0 : data_cluster + 1;
+  }
 };
 
 // Maps (object, track) -> disk for a given data layout. Layouts are pure
@@ -65,6 +137,13 @@ class Layout {
     return static_cast<int>(
         (HomeCluster(object_id) + group) % num_clusters());
   }
+
+  // Whether groups round-robin over clusters (everything except the
+  // non-striped ablation layout).
+  virtual bool striped() const { return true; }
+
+  // Devirtualized geometry for scheduler hot paths; see LayoutGeom.
+  LayoutGeom Geom() const;
 
   // Location of data track `track` of the object.
   virtual BlockLocation DataLocation(int object_id, int64_t track) const = 0;
@@ -159,6 +238,7 @@ class NonStripedLayout : public ClusteredLayout {
   int GroupCluster(int object_id, int64_t /*group*/) const override {
     return HomeCluster(object_id);
   }
+  bool striped() const override { return false; }
 
  protected:
   NonStripedLayout(int num_disks, int parity_group_size)

@@ -73,14 +73,46 @@ void FoldMetrics(SchedulerMetrics& into, const SchedulerMetrics& shard) {
   into.verify_failures += shard.verify_failures;
 }
 
+#ifndef NDEBUG
+// Cross-checks the devirtualized geometry against the virtual layout on a
+// sample of blocks/disks, so a Layout subclass whose overrides disagree
+// with Geom()'s snapshot fails loudly at construction.
+void ValidateGeom(const LayoutGeom& g, const Layout& layout) {
+  const int num_disks = layout.num_clusters() * layout.disks_per_cluster();
+  const int64_t tracks = std::max<int64_t>(
+      1, static_cast<int64_t>(layout.DataBlocksPerGroup()) * 4 + 3);
+  for (int obj = 0; obj < 3; ++obj) {
+    for (int64_t t = 0; t < tracks; ++t) {
+      const BlockLocation want = layout.DataLocation(obj, t);
+      assert(g.DataDiskOf(obj, static_cast<uint32_t>(t)) == want.disk);
+      const uint32_t group = g.GroupOf(static_cast<uint32_t>(t));
+      const BlockLocation parity = layout.ParityLocation(obj, group);
+      assert(g.ParityDisk(static_cast<uint32_t>(obj), group,
+                          g.GroupCluster(static_cast<uint32_t>(obj),
+                                         group)) == parity.disk);
+      assert(g.GroupCluster(static_cast<uint32_t>(obj), group) ==
+             layout.GroupCluster(obj, group));
+    }
+  }
+  for (int d = 0; d < num_disks; ++d) {
+    assert(static_cast<int>(g.ClusterOfDisk(static_cast<uint32_t>(d))) ==
+           d / layout.disks_per_cluster());
+  }
+}
+#endif
+
 }  // namespace
 
 CycleScheduler::CycleScheduler(const SchedulerConfig& config,
                                DiskArray* disks, const Layout* layout)
-    : disks_(disks), layout_(layout), config_(config), pool_(0),
+    : disks_(disks), layout_(layout), config_(config),
+      geom_(layout != nullptr ? layout->Geom() : LayoutGeom{}), pool_(0),
       mid_cycle_failed_(disks != nullptr ? disks->num_disks() : 0) {
   assert(disks_ != nullptr);
   assert(layout_ != nullptr);
+#ifndef NDEBUG
+  ValidateGeom(geom_, *layout_);
+#endif
   slots_per_disk_ = config_.slots_per_disk > 0
                         ? config_.slots_per_disk
                         : config_.disk.TracksPerCycle(CycleSeconds());
@@ -136,6 +168,9 @@ void CycleScheduler::InitInstruments() {
         indexed("ftms_sched_reconstructions_total", "cluster", c),
         "tracks rebuilt on-the-fly from parity, by cluster"));
   }
+  // Borrowed by the inline TryRead path; set only after the vector is
+  // fully built (push_back above may reallocate).
+  degraded_cells_ = instr_->cluster_degraded.data();
   for (int d = 0; d < disks_->num_disks(); ++d) {
     instr_->disk_busy.push_back(registry->GetCounter(
         indexed("ftms_sched_disk_busy_slots_total", "disk", d),
@@ -238,7 +273,8 @@ StatusOr<StreamId> CycleScheduler::AddStream(const MediaObject& object) {
         "(base rate or, where supported, an integer multiple of it)");
   }
   const StreamId id = static_cast<StreamId>(streams_.size());
-  streams_.push_back(std::make_unique<Stream>(id, object, cycle_));
+  const int32_t row = table_.AddRow(object, cycle_);
+  streams_.push_back(std::make_unique<Stream>(&table_, row, id));
   DoAddStream(streams_.back().get());
   return id;
 }
@@ -443,51 +479,6 @@ int32_t CycleScheduler::trace_tid() const {
   return instr_ != nullptr ? instr_->tid : -1;
 }
 
-bool CycleScheduler::DiskUp(int disk) const {
-  return disks_->disk(disk).operational();
-}
-
-bool CycleScheduler::FailedMidCycle(int disk) const {
-  return mid_cycle_failed_.Contains(disk);
-}
-
-int CycleScheduler::FreeSlots(int disk) const {
-  return slots_per_disk_ - slots_used_[static_cast<size_t>(disk)];
-}
-
-CycleScheduler::ReadOutcome CycleScheduler::TryReadImpl(
-    SchedulerMetrics& metrics, int disk, bool is_parity) {
-  if (FreeSlots(disk) <= 0) {
-    ++metrics.dropped_reads;
-    return ReadOutcome::kNoSlot;
-  }
-  ++slots_used_[static_cast<size_t>(disk)];
-  if (!disks_->disk(disk).Read(1)) {
-    ++metrics.failed_reads;
-    if (instr_ != nullptr && instr_->registry != nullptr) {
-      instr_->cluster_degraded[static_cast<size_t>(disks_->ClusterOf(disk))]
-          ->Add(1);
-    }
-    return ReadOutcome::kFailedDisk;
-  }
-  if (is_parity) {
-    ++metrics.parity_reads;
-  } else {
-    ++metrics.data_reads;
-  }
-  return ReadOutcome::kOk;
-}
-
-void CycleScheduler::DeliverTrackImpl(SchedulerMetrics& metrics,
-                                      Stream* stream, bool on_time) {
-  stream->Deliver(cycle_, on_time);
-  if (on_time) {
-    ++metrics.tracks_delivered;
-  } else {
-    ++metrics.hiccups;
-  }
-}
-
 ThreadPool* CycleScheduler::CyclePool() const {
   if (exec_pool_ == nullptr) return nullptr;
   return ActiveStreams() >= kMinActiveStreamsForParallel ? exec_pool_
@@ -547,11 +538,14 @@ void CycleScheduler::RunClusterSharded(
     pool = nullptr;
   }
   bool cross_cluster = false;
-  for (const auto& owned : streams_) {
-    Stream* stream = owned.get();
+  const StreamState* state = table_.state();
+  const size_t n = streams_.size();
+  for (size_t i = 0; i < n; ++i) {
     // Every kernel skips non-active streams; dropping them here keeps the
-    // shards dense and is behavior-identical.
-    if (stream->state() != StreamState::kActive) continue;
+    // shards dense and is behavior-identical. The state column scan makes
+    // this admission-order sweep branch on one dense byte array.
+    if (state[i] != StreamState::kActive) continue;
+    Stream* stream = streams_[i].get();
     active_streams_.push_back(stream);
     if (pool == nullptr || cross_cluster) continue;
     const int key = cluster_key(*stream);
@@ -629,18 +623,22 @@ Stream* CycleScheduler::FindStream(StreamId id) {
 }
 
 int CycleScheduler::ActiveStreams() const {
+  const StreamState* state = table_.state();
+  const int32_t rows = table_.size();
   int n = 0;
-  for (const auto& s : streams_) {
-    if (s->state() == StreamState::kActive) ++n;
+  for (int32_t i = 0; i < rows; ++i) {
+    if (state[i] == StreamState::kActive) ++n;
   }
   return n;
 }
 
 int CycleScheduler::LiveStreams() const {
+  const StreamState* state = table_.state();
+  const int32_t rows = table_.size();
   int n = 0;
-  for (const auto& s : streams_) {
-    if (s->state() == StreamState::kActive ||
-        s->state() == StreamState::kPaused) {
+  for (int32_t i = 0; i < rows; ++i) {
+    if (state[i] == StreamState::kActive ||
+        state[i] == StreamState::kPaused) {
       ++n;
     }
   }
@@ -648,8 +646,11 @@ int CycleScheduler::LiveStreams() const {
 }
 
 int64_t CycleScheduler::TotalHiccups() const {
+  const int32_t rows = table_.size();
   int64_t n = 0;
-  for (const auto& s : streams_) n += s->hiccup_count();
+  for (int32_t i = 0; i < rows; ++i) {
+    n += static_cast<int64_t>(table_.hiccups(i).size());
+  }
   return n;
 }
 

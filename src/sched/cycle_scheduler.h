@@ -295,7 +295,8 @@ class CycleScheduler {
   // slot, then succeeds iff the disk is up (and not failing mid-cycle).
   // Updates the metrics counters. The ShardCtx overloads of the helpers
   // below are for kernels inside parallel sections; the plain overloads
-  // are for serial phases and out-of-cycle paths.
+  // are for serial phases and out-of-cycle paths. Inline: TryRead runs
+  // once per planned read — it IS the simulation's inner loop.
   ReadOutcome TryRead(int disk, bool is_parity) {
     return TryReadImpl(metrics_, disk, is_parity);
   }
@@ -303,16 +304,20 @@ class CycleScheduler {
     return TryReadImpl(ctx.metrics, disk, is_parity);
   }
 
-  // True when reads on `disk` succeed this cycle.
-  bool DiskUp(int disk) const;
+  // True when reads on `disk` succeed this cycle (O(1) byte load).
+  bool DiskUp(int disk) const { return disks_->DiskUp(disk); }
 
   // True when `disk` failed in the middle of the upcoming cycle's sweep:
   // the failure is discovered too late for this cycle's read plan to react
   // (no parity substitution until the next cycle).
-  bool FailedMidCycle(int disk) const;
+  bool FailedMidCycle(int disk) const {
+    return mid_cycle_failed_.Contains(disk);
+  }
 
   // Remaining slots on `disk` this cycle.
-  int FreeSlots(int disk) const;
+  int FreeSlots(int disk) const {
+    return slots_per_disk_ - slots_used_[static_cast<size_t>(disk)];
+  }
 
   // Records an on-time (or missed) delivery for the stream.
   void DeliverTrack(Stream* stream, bool on_time) {
@@ -320,6 +325,13 @@ class CycleScheduler {
   }
   void DeliverTrack(ShardCtx& ctx, Stream* stream, bool on_time) {
     DeliverTrackImpl(ctx.metrics, stream, on_time);
+  }
+  // `n` consecutive on-time deliveries in one call — the all-tracks-read
+  // fast path of the group schedulers (identical to calling DeliverTrack
+  // n times with on_time=true).
+  void DeliverTracksOnTime(ShardCtx& ctx, Stream* stream, int n) {
+    table_.DeliverRowBatchOnTime(stream->row(), cycle_, n);
+    ctx.metrics.tracks_delivered += n;
   }
 
   // Observability: counts one on-the-fly parity reconstruction against
@@ -352,9 +364,18 @@ class CycleScheduler {
     ctx.pending_release += n;
   }
 
+  // Structure-of-arrays stream store backing the Stream handles in
+  // `streams_`; scheduler sweeps read its columns directly.
+  StreamTable& stream_table() { return table_; }
+  const StreamTable& stream_table() const { return table_; }
+
   DiskArray* disks_;
   const Layout* layout_;
   SchedulerConfig config_;
+  // Devirtualized layout geometry (validated against `layout_` at
+  // construction in debug builds): all per-read location math goes
+  // through this, not the virtual interface.
+  LayoutGeom geom_;
   SchedulerMetrics metrics_;
 
  private:
@@ -373,9 +394,38 @@ class CycleScheduler {
   // cycle-duration histograms, gauges, counter deltas, the cycle span.
   void SampleCycleInstruments(int64_t cycle_start_us, double wall_us);
   ReadOutcome TryReadImpl(SchedulerMetrics& metrics, int disk,
-                          bool is_parity);
+                          bool is_parity) {
+    int& used = slots_used_[static_cast<size_t>(disk)];
+    if (used >= slots_per_disk_) {
+      ++metrics.dropped_reads;
+      return ReadOutcome::kNoSlot;
+    }
+    ++used;
+    if (!disks_->disk(disk).Read(1)) {
+      ++metrics.failed_reads;
+      // `degraded_cells_` is non-null only with a live registry; the
+      // per-cluster cell is an atomic counter, safe from cluster kernels.
+      if (degraded_cells_ != nullptr) {
+        degraded_cells_[disks_->ClusterOf(disk)]->Add(1);
+      }
+      return ReadOutcome::kFailedDisk;
+    }
+    if (is_parity) {
+      ++metrics.parity_reads;
+    } else {
+      ++metrics.data_reads;
+    }
+    return ReadOutcome::kOk;
+  }
   void DeliverTrackImpl(SchedulerMetrics& metrics, Stream* stream,
-                        bool on_time);
+                        bool on_time) {
+    table_.DeliverRow(stream->row(), cycle_, on_time);
+    if (on_time) {
+      ++metrics.tracks_delivered;
+    } else {
+      ++metrics.hiccups;
+    }
+  }
   // Resets the first `n` shard contexts (growing the array as needed) /
   // folds them back into the shared state in index order.
   void ResetShardCtxs(int64_t n);
@@ -383,6 +433,9 @@ class CycleScheduler {
 
   BufferPool pool_;  // unlimited; measures occupancy / peak
   int64_t pending_release_ = 0;
+  // Column store first, handles after: the handles borrow table rows, so
+  // declaration order keeps the table alive past every Stream destructor.
+  StreamTable table_;
   std::vector<std::unique_ptr<Stream>> streams_;
   int64_t cycle_ = 0;
   int slots_per_disk_ = 0;
@@ -403,6 +456,9 @@ class CycleScheduler {
   std::vector<std::vector<Stream*>> cluster_streams_;
   std::vector<Stream*> active_streams_;  // serial-fallback ordering
   std::unique_ptr<Instruments> instr_;
+  // Borrowed view of Instruments::cluster_degraded for the inline read
+  // path; null when the registry is off.
+  Counter* const* degraded_cells_ = nullptr;
   // QoS sinks (see SchedulerConfig::journal/ledger). `qos_active_` folds
   // both null checks into the one branch RunCycle takes when QoS is off.
   EventJournal* journal_ = nullptr;

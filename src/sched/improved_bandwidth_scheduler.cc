@@ -18,11 +18,6 @@ void ImprovedBandwidthScheduler::DoAddStream(Stream* stream) {
   parity_planned_.resize(std::max(parity_planned_.size(), n), false);
 }
 
-bool ImprovedBandwidthScheduler::PlannerSeesUp(int disk) const {
-  // A mid-cycle failure is invisible to this cycle's plan.
-  return DiskUp(disk) || FailedMidCycle(disk);
-}
-
 void ImprovedBandwidthScheduler::DoOnStreamStopped(Stream* stream) {
   GroupBuffer& buf = state_[static_cast<size_t>(stream->id())];
   if (buf.ready) {
@@ -35,9 +30,16 @@ void ImprovedBandwidthScheduler::DoOnStreamStopped(Stream* stream) {
 void ImprovedBandwidthScheduler::DeliverGroup(ShardCtx& ctx,
                                               Stream* stream,
                                               GroupBuffer* buf) {
-  int missing = 0;
-  for (int i = 0; i < buf->tracks; ++i) {
-    if (!buf->have[static_cast<size_t>(i)]) ++missing;
+  // `have_count` was maintained at plan commit, so no rescan of `have`.
+  const int missing = buf->tracks - buf->have_count;
+  if (missing == 0) {
+    // Healthy fast path: the whole group arrived; deliver it in one
+    // batched column update.
+    DeliverTracksOnTime(ctx, stream, buf->tracks);
+    ReleaseBuffersAtCycleEnd(ctx, buf->buffered_tracks);
+    buf->ready = false;
+    buf->buffered_tracks = 0;
+    return;
   }
   const bool can_reconstruct = missing == 1 && buf->parity_ok;
   for (int i = 0; i < buf->tracks; ++i) {
@@ -45,8 +47,8 @@ void ImprovedBandwidthScheduler::DeliverGroup(ShardCtx& ctx,
     if (!on_time && can_reconstruct) {
       on_time = true;
       ++ctx.metrics.reconstructed;
-      CountReconstruction(layout_->GroupCluster(
-          stream->object().id, layout_->GroupOf(buf->first_track)));
+      CountReconstruction(geom_.GroupCluster(
+          stream->object().id, geom_.GroupOf(buf->first_track)));
     }
     DeliverTrack(ctx, stream, on_time);
   }
@@ -62,22 +64,27 @@ void ImprovedBandwidthScheduler::PlanStreamReads(ShardCtx& ctx,
     return;
   }
   if (buf->ready) return;  // still holding an undelivered group
-  const int per_group = layout_->DataBlocksPerGroup();
+  const int per_group = geom_.per_group;
   const int64_t first = stream->position();
-  const int tracks = static_cast<int>(std::min<int64_t>(
-      per_group, stream->object().num_tracks - first));
+  const MediaObject& object = stream->object();
+  const int tracks = static_cast<int>(
+      std::min<int64_t>(per_group, object.num_tracks - first));
   buf->ready = true;
   buf->first_track = first;
   buf->tracks = tracks;
+  buf->have_count = 0;
   buf->have.assign(static_cast<size_t>(tracks), false);
   buf->parity_ok = false;
   buf->buffered_tracks = 0;
 
+  // Delivery always consumes whole groups, so `first` is group-aligned
+  // and data position i of the group is disk i of the group's cluster.
+  assert(first % per_group == 0);
+  const int cluster = geom_.GroupCluster(object.id, geom_.GroupOf(first));
   for (int i = 0; i < tracks; ++i) {
-    const BlockLocation loc =
-        layout_->DataLocation(stream->object().id, first + i);
-    auto& disk_plan = plan_[static_cast<size_t>(loc.disk)];
-    if (!PlannerSeesUp(loc.disk)) {
+    const int disk = geom_.DataDisk(cluster, i);
+    auto& disk_plan = plan_[static_cast<size_t>(disk)];
+    if (!PlannerSeesUp(disk)) {
       // Known failure: skip the read; parity substitution follows in
       // PlanFailureParity().
       ++missing_count_[static_cast<size_t>(stream->id())];
@@ -116,15 +123,16 @@ bool ImprovedBandwidthScheduler::PlaceParityRead(StreamId stream,
   }
   Stream* s = FindStream(stream);
   const GroupBuffer& buf = state_[static_cast<size_t>(stream)];
-  const int64_t group = layout_->GroupOf(buf.first_track);
-  const BlockLocation parity =
-      layout_->ParityLocation(s->object().id, group);
-  if (!PlannerSeesUp(parity.disk)) {
+  const int64_t group = geom_.GroupOf(buf.first_track);
+  const int object_id = s->object().id;
+  const int parity_disk = geom_.ParityDisk(
+      object_id, group, geom_.GroupCluster(object_id, group));
+  if (!PlannerSeesUp(parity_disk)) {
     // Parity disk itself is down: a second failure in an adjacent
     // cluster — catastrophic for this group (Section 4).
     return false;
   }
-  auto& disk_plan = plan_[static_cast<size_t>(parity.disk)];
+  auto& disk_plan = plan_[static_cast<size_t>(parity_disk)];
   if (static_cast<int>(disk_plan.size()) < slots_per_disk()) {
     disk_plan.push_back(PlannedRead{stream, 0, true});
     parity_planned_[static_cast<size_t>(stream)] = true;
@@ -152,9 +160,11 @@ bool ImprovedBandwidthScheduler::PlaceParityRead(StreamId stream,
 }
 
 void ImprovedBandwidthScheduler::PlanFailureParity() {
-  for (const auto& stream : streams()) {
-    if (stream->state() != StreamState::kActive) continue;
-    const StreamId id = stream->id();
+  // Dense state-column scan; rows are admission-ordered StreamIds.
+  const StreamState* state = stream_table().state();
+  const int32_t rows = stream_table().size();
+  for (int32_t id = 0; id < rows; ++id) {
+    if (state[id] != StreamState::kActive) continue;
     if (missing_count_[static_cast<size_t>(id)] == 1 &&
         !parity_planned_[static_cast<size_t>(id)]) {
       if (!PlaceParityRead(id, 0)) {
@@ -166,16 +176,18 @@ void ImprovedBandwidthScheduler::PlanFailureParity() {
 
 void ImprovedBandwidthScheduler::PlanPrefetchParity() {
   if (!config_.ib_prefetch_parity) return;
-  for (const auto& stream : streams()) {
-    if (stream->state() != StreamState::kActive) continue;
-    const StreamId id = stream->id();
+  const StreamState* state = stream_table().state();
+  const int32_t* object_id = stream_table().object_id();
+  const int32_t rows = stream_table().size();
+  for (int32_t id = 0; id < rows; ++id) {
+    if (state[id] != StreamState::kActive) continue;
     const GroupBuffer& buf = state_[static_cast<size_t>(id)];
     if (!buf.ready || parity_planned_[static_cast<size_t>(id)]) continue;
-    const int64_t group = layout_->GroupOf(buf.first_track);
-    const BlockLocation parity =
-        layout_->ParityLocation(stream->object().id, group);
-    auto& disk_plan = plan_[static_cast<size_t>(parity.disk)];
-    if (PlannerSeesUp(parity.disk) &&
+    const int64_t group = geom_.GroupOf(buf.first_track);
+    const int parity_disk = geom_.ParityDisk(
+        object_id[id], group, geom_.GroupCluster(object_id[id], group));
+    auto& disk_plan = plan_[static_cast<size_t>(parity_disk)];
+    if (PlannerSeesUp(parity_disk) &&
         static_cast<int>(disk_plan.size()) < slots_per_disk()) {
       disk_plan.push_back(PlannedRead{id, 0, true});
       parity_planned_[static_cast<size_t>(id)] = true;
@@ -190,7 +202,7 @@ int ImprovedBandwidthScheduler::ShardCluster(const Stream& stream) const {
   // next one.
   const int64_t pos =
       buf.ready ? buf.first_track + buf.tracks : stream.position();
-  return layout_->GroupCluster(stream.object().id, layout_->GroupOf(pos));
+  return geom_.GroupCluster(stream.object().id, geom_.GroupOf(pos));
 }
 
 void ImprovedBandwidthScheduler::ExecutePlan() {
@@ -218,13 +230,15 @@ void ImprovedBandwidthScheduler::ExecutePlan() {
         buf.parity_ok = true;
       } else {
         buf.have[static_cast<size_t>(read.pos)] = true;
+        ++buf.have_count;
       }
     }
     plan_[static_cast<size_t>(disk)].clear();
   }
   // Account the buffered tracks for this cycle's reads.
-  for (const auto& stream : streams()) {
-    GroupBuffer& buf = state_[static_cast<size_t>(stream->id())];
+  const int32_t rows = stream_table().size();
+  for (int32_t id = 0; id < rows; ++id) {
+    GroupBuffer& buf = state_[static_cast<size_t>(id)];
     if (buf.ready && buf.buffered_tracks > 0) {
       AcquireBuffers(buf.buffered_tracks);
     }

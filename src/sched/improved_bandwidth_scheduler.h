@@ -45,6 +45,7 @@ class ImprovedBandwidthScheduler : public CycleScheduler {
     bool ready = false;
     int64_t first_track = 0;
     int tracks = 0;
+    int have_count = 0;         // data positions read OK (== trues in have)
     std::vector<uint8_t> have;  // byte flags, not vector<bool>
     bool parity_ok = false;
     int64_t buffered_tracks = 0;
@@ -59,7 +60,10 @@ class ImprovedBandwidthScheduler : public CycleScheduler {
 
   // True when the planner believes the disk serves reads this cycle
   // (an actual mid-cycle failure is discovered only at execution).
-  bool PlannerSeesUp(int disk) const;
+  // Inline: tested once per planned read.
+  bool PlannerSeesUp(int disk) const {
+    return DiskUp(disk) || FailedMidCycle(disk);
+  }
 
   // The cluster holding the group this stream delivers/plans this cycle
   // (every data read of a group shares one cluster; the parity read is

@@ -17,10 +17,12 @@ NonClusteredScheduler::NonClusteredScheduler(const SchedulerConfig& config,
 void NonClusteredScheduler::DoAddStream(Stream* stream) {
   state_.resize(std::max(state_.size(),
                          static_cast<size_t>(stream->id()) + 1));
+  NcState& st = state_[static_cast<size_t>(stream->id())];
   // One group plus the largest rate-multiplier burst; sized here so the
   // per-cycle buffering path never allocates.
-  state_[static_cast<size_t>(stream->id())].buffered.Reserve(
-      static_cast<size_t>(layout_->parity_group_size()) + 16);
+  st.buffered.Reserve(static_cast<size_t>(layout_->parity_group_size()) +
+                      16);
+  st.multiplier = RateMultiplier(*stream);
 }
 
 int NonClusteredScheduler::FailedDataIndex(int cluster) const {
@@ -37,17 +39,14 @@ int NonClusteredScheduler::FailedDataIndex(int cluster) const {
 }
 
 int NonClusteredScheduler::NumFailedData(int cluster) const {
-  const int c = layout_->parity_group_size();
-  int n = 0;
-  for (int i = 0; i < c - 1; ++i) {
-    if (!disks_->disk(cluster * c + i).operational()) ++n;
-  }
-  return n;
+  // O(1) from the array's per-cluster failure count: every disk of the
+  // cluster except the last is a data disk.
+  return disks_->NumFailedInCluster(cluster) - (ParityUp(cluster) ? 0 : 1);
 }
 
 bool NonClusteredScheduler::ParityUp(int cluster) const {
   const int c = layout_->parity_group_size();
-  return disks_->disk(cluster * c + c - 1).operational();
+  return disks_->DiskUp(cluster * c + c - 1);
 }
 
 bool NonClusteredScheduler::CanReconstruct(int cluster) const {
@@ -88,7 +87,7 @@ void NonClusteredScheduler::DeliverStream(ShardCtx& ctx, Stream* stream,
                                           NcState* st) {
   if (!st->started) return;
   // Streams at m-times the base rate transmit m tracks per cycle.
-  const int multiplier = RateMultiplier(*stream);
+  const int multiplier = st->multiplier;
   for (int k = 0;
        k < multiplier && stream->state() == StreamState::kActive; ++k) {
     DeliverOneTrack(ctx, stream, st);
@@ -105,10 +104,10 @@ void NonClusteredScheduler::DeliverOneTrack(ShardCtx& ctx, Stream* stream,
   }
   // Deferred strategy: while a group's reconstruction is pending, fold
   // the delivered track into the running XOR instead of discarding it.
-  const int64_t group = layout_->GroupOf(p);
+  const int64_t group = geom_.GroupOf(p);
   if (config_.nc_transition == NcTransition::kDeferredRead &&
       st->acc_group == group && have &&
-      layout_->PositionInGroup(p) == st->acc_prefix) {
+      geom_.PositionInGroup(p) == st->acc_prefix) {
     if (!st->acc_held) {
       AcquireBuffers(ctx, 1);  // the accumulator buffer
       st->acc_held = true;
@@ -119,7 +118,7 @@ void NonClusteredScheduler::DeliverOneTrack(ShardCtx& ctx, Stream* stream,
   // Drop a stale accumulator at group end (e.g. the disk was repaired
   // before the reconstruction deadline) or at stream end.
   const bool group_done =
-      layout_->PositionInGroup(p) == layout_->DataBlocksPerGroup() - 1;
+      geom_.PositionInGroup(p) == geom_.per_group - 1;
   if ((stream->state() != StreamState::kActive || group_done) &&
       st->acc_group == group) {
     if (st->acc_held) {
@@ -135,8 +134,8 @@ void NonClusteredScheduler::ReadGroupNow(ShardCtx& ctx, Stream* stream,
                                          NcState* st, int64_t group,
                                          bool with_server) {
   const int object_id = stream->object().id;
-  const int per_group = layout_->DataBlocksPerGroup();
-  const int cluster = layout_->GroupCluster(object_id, group);
+  const int per_group = geom_.per_group;
+  const int cluster = geom_.GroupCluster(object_id, group);
   const int64_t first = group * per_group;
   const int64_t last = std::min<int64_t>(first + per_group,
                                          stream->object().num_tracks);
@@ -146,15 +145,18 @@ void NonClusteredScheduler::ReadGroupNow(ShardCtx& ctx, Stream* stream,
   int64_t missing_track = -1;
   for (int64_t t = std::max(first, stream->position()); t < last; ++t) {
     if (st->buffered.Contains(t)) continue;
-    const BlockLocation loc = layout_->DataLocation(object_id, t);
-    if (!DiskUp(loc.disk)) {
+    // Position of t within this group is t - first (the loop stays inside
+    // one group), so the disk is inline arithmetic off the group cluster.
+    const int disk =
+        geom_.DataDisk(cluster, static_cast<int>(t - first));
+    if (!DiskUp(disk)) {
       // The planner never issues reads to a known-dead disk, so record
       // the degraded read here — TryRead can't see skipped attempts.
-      CountDegradedRead(disks_->ClusterOf(loc.disk));
+      CountDegradedRead(cluster);
       missing_track = t;
       continue;
     }
-    if (TryRead(ctx, loc.disk, /*is_parity=*/false) == ReadOutcome::kOk) {
+    if (TryRead(ctx, disk, /*is_parity=*/false) == ReadOutcome::kOk) {
       BufferTrack(ctx, st, t);
     } else {
       all_survivors_ok = false;
@@ -172,17 +174,15 @@ void NonClusteredScheduler::ReadGroupNow(ShardCtx& ctx, Stream* stream,
       // Tracks delivered before this group read must be in the XOR
       // accumulator (deferred) -- otherwise they are gone.
       prefix_ok = st->acc_group == group &&
-                  st->acc_prefix >= layout_->PositionInGroup(t) + 1;
+                  st->acc_prefix >= geom_.PositionInGroup(t) + 1;
       if (!prefix_ok) break;
     }
     bool parity_ok = false;
     if (CanReconstruct(cluster) && with_server && prefix_ok &&
         all_survivors_ok) {
-      const BlockLocation parity =
-          layout_->ParityLocation(object_id, group);
       AcquireBuffers(ctx, 1);
-      parity_ok = TryRead(ctx, parity.disk, /*is_parity=*/true) ==
-                  ReadOutcome::kOk;
+      parity_ok = TryRead(ctx, geom_.ParityDisk(object_id, group, cluster),
+                          /*is_parity=*/true) == ReadOutcome::kOk;
       ReleaseBuffersAtCycleEnd(ctx, 1);  // folded into the reconstruction immediately
     }
     if (parity_ok) {
@@ -209,18 +209,18 @@ void NonClusteredScheduler::GroupReadStream(ShardCtx& ctx, Stream* stream,
   if (stream->state() != StreamState::kActive) return;
   const int64_t first_due = DueTrack(*stream, *st);
   if (first_due < 0) return;
-  const int multiplier = RateMultiplier(*stream);
+  const int multiplier = st->multiplier;
   for (int k = 0; k < multiplier; ++k) {
     const int64_t due = first_due + k;
     if (due >= stream->object().num_tracks) break;
     if (st->buffered.Contains(due)) continue;
-    const int64_t group = layout_->GroupOf(due);
+    const int64_t group = geom_.GroupOf(due);
     const int cluster =
-        layout_->GroupCluster(stream->object().id, group);
+        geom_.GroupCluster(stream->object().id, group);
     if (!ClusterDegraded(cluster)) continue;
     const bool with_server =
         server_attached_[static_cast<size_t>(cluster)];
-    const int pos = layout_->PositionInGroup(due);
+    const int pos = geom_.PositionInGroup(due);
     const int failed = FailedDataIndex(cluster);
 
     if (config_.nc_transition == NcTransition::kImmediateShift) {
@@ -252,24 +252,25 @@ void NonClusteredScheduler::NormalReadStream(ShardCtx& ctx, Stream* stream,
   if (stream->state() != StreamState::kActive) return;
   const int64_t first_due = DueTrack(*stream, *st);
   if (first_due < 0) return;
-  const int multiplier = RateMultiplier(*stream);
+  const int multiplier = st->multiplier;
+  const int object_id = stream->object().id;
+  const int64_t num_tracks = stream->object().num_tracks;
   for (int k = 0; k < multiplier; ++k) {
     const int64_t due = first_due + k;
-    if (due >= stream->object().num_tracks) break;
+    if (due >= num_tracks) break;
     if (st->buffered.Contains(due)) {
       st->started = true;  // a group read already staged this track
       continue;
     }
-    const BlockLocation loc =
-        layout_->DataLocation(stream->object().id, due);
-    if (!DiskUp(loc.disk)) {
+    const int disk = geom_.DataDiskOf(object_id, due);
+    if (!DiskUp(disk)) {
       // Lost to the failure; the delivery phase will record the hiccup
       // when the track comes due.
-      CountDegradedRead(disks_->ClusterOf(loc.disk));
+      CountDegradedRead(geom_.ClusterOfDisk(disk));
       st->started = true;
       continue;
     }
-    if (TryRead(ctx, loc.disk, /*is_parity=*/false) == ReadOutcome::kOk) {
+    if (TryRead(ctx, disk, /*is_parity=*/false) == ReadOutcome::kOk) {
       BufferTrack(ctx, st, due);
     }
     st->started = true;
@@ -279,31 +280,36 @@ void NonClusteredScheduler::NormalReadStream(ShardCtx& ctx, Stream* stream,
 int NonClusteredScheduler::ShardCluster(const Stream& stream) const {
   const NcState& st = state_[static_cast<size_t>(stream.id())];
   const MediaObject& object = stream.object();
-  const int multiplier = RateMultiplier(stream);
+  const int multiplier = st.multiplier;
   // The delivery phase advances the position by the rate multiplier
   // before this cycle's reads pick their due tracks.
   const int64_t due =
       stream.position() + (st.started ? multiplier : 0);
   if (due >= object.num_tracks) {
     // No reads left; any cluster works for the (delivery-only) kernel.
-    return layout_->HomeCluster(object.id);
+    return geom_.HomeCluster(object.id);
   }
   const int64_t last =
       std::min<int64_t>(due + multiplier - 1, object.num_tracks - 1);
-  const int64_t first_group = layout_->GroupOf(due);
-  const int cluster = layout_->GroupCluster(object.id, first_group);
-  for (int64_t g = first_group + 1; g <= layout_->GroupOf(last); ++g) {
+  const int64_t first_group = geom_.GroupOf(due);
+  const int cluster = geom_.GroupCluster(object.id, first_group);
+  for (int64_t g = first_group + 1; g <= geom_.GroupOf(last); ++g) {
     // A multi-rate burst crossing a group boundary can touch two
     // clusters in one cycle; signal the serial fallback.
-    if (layout_->GroupCluster(object.id, g) != cluster) return -1;
+    if (geom_.GroupCluster(object.id, g) != cluster) return -1;
   }
   return cluster;
 }
 
 void NonClusteredScheduler::DoRunCycle() {
+  // With every disk up no cluster is degraded, so the group-read pass is
+  // a per-stream no-op (its only effects are gated on ClusterDegraded);
+  // skip the whole sweep in the failure-free common case. The decision
+  // reads scheduler state only, so thread-count invariance holds.
+  const bool any_failed = disks_->NumFailed() > 0;
   RunClusterSharded(
       [this](const Stream& stream) { return ShardCluster(stream); },
-      [this](ShardCtx& ctx, std::span<Stream* const> shard) {
+      [this, any_failed](ShardCtx& ctx, std::span<Stream* const> shard) {
         // Same three phases as the serial scheduler, restricted to one
         // cluster's streams: deliver, then high-priority group reads,
         // then low-priority single-track reads.
@@ -311,9 +317,11 @@ void NonClusteredScheduler::DoRunCycle() {
           DeliverStream(ctx, stream,
                         &state_[static_cast<size_t>(stream->id())]);
         }
-        for (Stream* stream : shard) {
-          GroupReadStream(ctx, stream,
-                          &state_[static_cast<size_t>(stream->id())]);
+        if (any_failed) {
+          for (Stream* stream : shard) {
+            GroupReadStream(ctx, stream,
+                            &state_[static_cast<size_t>(stream->id())]);
+          }
         }
         for (Stream* stream : shard) {
           NormalReadStream(ctx, stream,

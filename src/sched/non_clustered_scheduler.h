@@ -91,6 +91,9 @@ class NonClusteredScheduler : public CycleScheduler {
 
   struct NcState {
     bool started = false;
+    // Rate multiplier of the stream, resolved once at admission (the
+    // floating-point round is off the per-cycle path).
+    int multiplier = 1;
     SmallTrackSet buffered;  // absolute object tracks in memory
     // Deferred-reconstruction state for the current group:
     int64_t acc_group = -1;  // group whose delivered prefix is accumulated

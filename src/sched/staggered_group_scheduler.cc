@@ -19,13 +19,8 @@ void StaggeredGroupScheduler::DoAddStream(Stream* stream) {
   // C-1 read phases round-robin, so both the disk load and the memory
   // peaks are out of phase (Figure 4).
   const size_t home =
-      static_cast<size_t>(layout_->HomeCluster(stream->object().id));
-  st.phase = next_phase_per_cluster_[home]++ % layout_->DataBlocksPerGroup();
-}
-
-bool StaggeredGroupScheduler::IsReadCycle(const SgState& st) const {
-  const int per_group = layout_->DataBlocksPerGroup();
-  return (cycle() - st.phase) % per_group == 0;
+      static_cast<size_t>(geom_.HomeCluster(stream->object().id));
+  st.phase = next_phase_per_cluster_[home]++ % geom_.per_group;
 }
 
 int64_t StaggeredGroupScheduler::BufferedTracksOf(StreamId id) const {
@@ -44,28 +39,31 @@ void StaggeredGroupScheduler::DoOnStreamStopped(Stream* stream) {
 
 void StaggeredGroupScheduler::ReadGroup(ShardCtx& ctx, Stream* stream,
                                         SgState* st) {
-  const int per_group = layout_->DataBlocksPerGroup();
+  const int per_group = geom_.per_group;
   const int64_t first = stream->position();
   assert(first % per_group == 0);
-  const int64_t group = layout_->GroupOf(first);
-  const int tracks = static_cast<int>(std::min<int64_t>(
-      per_group, stream->object().num_tracks - first));
+  const int64_t group = geom_.GroupOf(first);
+  const MediaObject& object = stream->object();
+  const int tracks = static_cast<int>(
+      std::min<int64_t>(per_group, object.num_tracks - first));
 
   st->first_track = first;
   st->tracks = tracks;
   st->delivered = 0;
+  st->missing = 0;
   st->have.assign(static_cast<size_t>(tracks), false);
 
+  // Group-aligned read: data position i is disk i of the group's cluster.
+  const int cluster = geom_.GroupCluster(object.id, group);
   for (int i = 0; i < tracks; ++i) {
-    const BlockLocation loc =
-        layout_->DataLocation(stream->object().id, first + i);
-    st->have[static_cast<size_t>(i)] =
-        TryRead(ctx, loc.disk, /*is_parity=*/false) == ReadOutcome::kOk;
+    const bool ok = TryRead(ctx, geom_.DataDisk(cluster, i),
+                            /*is_parity=*/false) == ReadOutcome::kOk;
+    st->have[static_cast<size_t>(i)] = ok;
+    if (!ok) ++st->missing;
   }
-  const BlockLocation parity =
-      layout_->ParityLocation(stream->object().id, group);
   st->parity_ok =
-      TryRead(ctx, parity.disk, /*is_parity=*/true) == ReadOutcome::kOk;
+      TryRead(ctx, geom_.ParityDisk(object.id, group, cluster),
+              /*is_parity=*/true) == ReadOutcome::kOk;
 
   st->buffered_tracks = tracks + 1;  // group + parity held in memory
   AcquireBuffers(ctx, st->buffered_tracks);
@@ -75,19 +73,17 @@ void StaggeredGroupScheduler::ReadGroup(ShardCtx& ctx, Stream* stream,
 void StaggeredGroupScheduler::DeliverOne(ShardCtx& ctx, Stream* stream,
                                          SgState* st) {
   const int i = st->delivered;
-  int missing = 0;
-  for (int j = 0; j < st->tracks; ++j) {
-    if (!st->have[static_cast<size_t>(j)]) ++missing;
-  }
+  // `missing` was counted once at ReadGroup; `have` is immutable between
+  // the group read and its last delivery.
   bool on_time = st->have[static_cast<size_t>(i)];
-  if (!on_time && missing == 1 && st->parity_ok) {
+  if (!on_time && st->missing == 1 && st->parity_ok) {
     // Entire group (minus the lost block) plus parity is in memory: the
     // missing track is rebuilt on the fly (Observation 2 holds because
     // the group was read in full before its first delivery cycle).
     on_time = true;
     ++ctx.metrics.reconstructed;
-    CountReconstruction(layout_->GroupCluster(
-        stream->object().id, layout_->GroupOf(stream->position())));
+    CountReconstruction(geom_.GroupCluster(
+        stream->object().id, geom_.GroupOf(stream->position())));
   }
   DeliverTrack(ctx, stream, on_time);
   ++st->delivered;
@@ -107,7 +103,7 @@ int StaggeredGroupScheduler::ShardCluster(const Stream& stream) const {
   // The delivery phase advances the position by one before any read this
   // cycle could happen.
   if (st.started && st.delivered < st.tracks) ++pos;
-  return layout_->GroupCluster(stream.object().id, layout_->GroupOf(pos));
+  return geom_.GroupCluster(stream.object().id, geom_.GroupOf(pos));
 }
 
 void StaggeredGroupScheduler::DoRunCycle() {

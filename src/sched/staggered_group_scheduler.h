@@ -39,12 +39,22 @@ class StaggeredGroupScheduler : public CycleScheduler {
     int64_t first_track = 0;
     int tracks = 0;
     int delivered = 0;  // tracks of the group delivered so far
+    int missing = 0;    // tracks of the group that failed to read
     std::vector<uint8_t> have;  // byte flags, not vector<bool>
     bool parity_ok = false;
     int64_t buffered_tracks = 0;  // pool accounting
   };
 
-  bool IsReadCycle(const SgState& st) const;
+  // Whether this is one of the stream's staggered read cycles. Inline:
+  // tested once per active stream per cycle. The guard on cycle() >=
+  // phase keeps the modulo on non-negative values (a negative dividend in
+  // (-(C-1), 0) is never congruent to 0, so the result is unchanged).
+  bool IsReadCycle(const SgState& st) const {
+    const int64_t since = cycle() - st.phase;
+    if (since < 0) return false;
+    assert(since <= INT64_C(0xffffffff));
+    return geom_.per_group_div.Mod(static_cast<uint32_t>(since)) == 0;
+  }
   // The cluster this stream's reads (if any) land on this cycle: the
   // group containing the position AFTER this cycle's delivery.
   int ShardCluster(const Stream& stream) const;

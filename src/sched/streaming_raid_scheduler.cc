@@ -31,10 +31,16 @@ void StreamingRaidScheduler::DeliverGroup(ShardCtx& ctx, Stream* stream,
                                           VerifyScratch* scratch) {
   // Track i of the buffered group is on time if it was read, or if it is
   // the only missing block and the parity block plus all other data blocks
-  // are present (on-the-fly reconstruction, Observation 2).
-  int missing = 0;
-  for (int i = 0; i < buf->tracks; ++i) {
-    if (!buf->have[static_cast<size_t>(i)]) ++missing;
+  // are present (on-the-fly reconstruction, Observation 2). `missing` was
+  // counted when the group was read; `have` is immutable in between.
+  const int missing = buf->missing;
+  if (missing == 0 && !config_.verify_data) {
+    // Healthy fast path: whole group present, one batched delivery.
+    DeliverTracksOnTime(ctx, stream, buf->tracks);
+    ReleaseBuffersAtCycleEnd(ctx, buf->buffered_tracks);
+    buf->ready = false;
+    buf->buffered_tracks = 0;
+    return;
   }
   const bool can_reconstruct = missing == 1 && buf->parity_ok;
   for (int i = 0; i < buf->tracks; ++i) {
@@ -42,8 +48,8 @@ void StreamingRaidScheduler::DeliverGroup(ShardCtx& ctx, Stream* stream,
     if (!on_time && can_reconstruct) {
       on_time = true;
       ++ctx.metrics.reconstructed;
-      CountReconstruction(layout_->GroupCluster(
-          stream->object().id, layout_->GroupOf(buf->first_track)));
+      CountReconstruction(geom_.GroupCluster(
+          stream->object().id, geom_.GroupOf(buf->first_track)));
       if (config_.verify_data) {
         // Rebuild the missing block from the bytes actually in memory:
         // XOR of the surviving data blocks and the parity block, fused
@@ -79,16 +85,18 @@ void StreamingRaidScheduler::DeliverGroup(ShardCtx& ctx, Stream* stream,
 void StreamingRaidScheduler::ReadNextGroup(ShardCtx& ctx, Stream* stream,
                                            GroupBuffer* buf,
                                            VerifyScratch* scratch) {
-  const int per_group = layout_->DataBlocksPerGroup();
+  const int per_group = geom_.per_group;
   const int64_t first = stream->position();
-  const int64_t group = layout_->GroupOf(first);
+  const int64_t group = geom_.GroupOf(first);
   assert(first % per_group == 0);
-  const int tracks = static_cast<int>(std::min<int64_t>(
-      per_group, stream->object().num_tracks - first));
+  const MediaObject& object = stream->object();
+  const int tracks = static_cast<int>(
+      std::min<int64_t>(per_group, object.num_tracks - first));
 
   buf->ready = true;
   buf->first_track = first;
   buf->tracks = tracks;
+  buf->missing = 0;
   buf->have.assign(static_cast<size_t>(tracks), false);
   buf->parity_ok = false;
 
@@ -96,26 +104,26 @@ void StreamingRaidScheduler::ReadNextGroup(ShardCtx& ctx, Stream* stream,
     buf->data.resize(static_cast<size_t>(tracks));
     for (Block& block : buf->data) block.clear();
   }
+  // The group is aligned (first % per_group == 0), so data position i of
+  // the group is track first + i on disk i of the group's cluster.
+  const int cluster = geom_.GroupCluster(object.id, group);
   for (int i = 0; i < tracks; ++i) {
-    const BlockLocation loc =
-        layout_->DataLocation(stream->object().id, first + i);
-    const bool ok =
-        TryRead(ctx, loc.disk, /*is_parity=*/false) == ReadOutcome::kOk;
+    const bool ok = TryRead(ctx, geom_.DataDisk(cluster, i),
+                            /*is_parity=*/false) == ReadOutcome::kOk;
     buf->have[static_cast<size_t>(i)] = ok;
+    if (!ok) ++buf->missing;
     if (config_.verify_data && ok) {
-      SynthesizeDataBlockInto(stream->object().id, first + i,
-                              kVerifyBlockBytes,
+      SynthesizeDataBlockInto(object.id, first + i, kVerifyBlockBytes,
                               &buf->data[static_cast<size_t>(i)]);
     }
   }
-  const BlockLocation parity =
-      layout_->ParityLocation(stream->object().id, group);
-  buf->parity_ok = TryRead(ctx, parity.disk, /*is_parity=*/true) ==
-                   ReadOutcome::kOk;
+  buf->parity_ok =
+      TryRead(ctx, geom_.ParityDisk(object.id, group, cluster),
+              /*is_parity=*/true) == ReadOutcome::kOk;
   if (config_.verify_data && buf->parity_ok) {
     const Status status = SynthesizeParityBlockInto(
-        *layout_, stream->object().id, group, stream->object().num_tracks,
-        kVerifyBlockBytes, &buf->parity, &scratch->parity_scratch);
+        *layout_, object.id, group, object.num_tracks, kVerifyBlockBytes,
+        &buf->parity, &scratch->parity_scratch);
     if (!status.ok()) buf->parity.clear();
   }
 
@@ -130,7 +138,7 @@ int StreamingRaidScheduler::ShardCluster(const Stream& stream) const {
   // group at first_track + tracks; otherwise the group at its position.
   const int64_t pos =
       buf.ready ? buf.first_track + buf.tracks : stream.position();
-  return layout_->GroupCluster(stream.object().id, layout_->GroupOf(pos));
+  return geom_.GroupCluster(stream.object().id, geom_.GroupOf(pos));
 }
 
 void StreamingRaidScheduler::DoRunCycle() {

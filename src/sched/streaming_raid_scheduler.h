@@ -35,6 +35,7 @@ class StreamingRaidScheduler : public CycleScheduler {
     int64_t first_track = 0;        // first object track of the group
     int tracks = 0;                 // data tracks in the group (final group
                                     // of an object may be short)
+    int missing = 0;                // data positions that failed to read
     std::vector<uint8_t> have;      // per position: data track read OK
                                     // (byte flags: indexed without the
                                     // vector<bool> bit-twiddling)

@@ -100,7 +100,8 @@ Status RebuildManager::StartRebuild(int disk) {
           "failure; reload from tertiary storage instead)");
     }
   }
-  d.StartRebuild();
+  // Through the array so its failure columns stay in sync.
+  disks_->StartRebuildDisk(disk).ok();
   active_disk_ = disk;
   if (data_attached_) PrepareDataRebuild();
   tracks_rebuilt_ = 0;

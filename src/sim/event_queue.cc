@@ -1,0 +1,26 @@
+#include "sim/event_queue.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace ftms {
+
+EventQueueKind EventQueueKindFromEnv() {
+  const char* v = std::getenv("FTMS_EVENT_QUEUE");
+  if (v != nullptr && std::strcmp(v, "heap") == 0) {
+    return EventQueueKind::kHeap;
+  }
+  return EventQueueKind::kCalendar;
+}
+
+std::unique_ptr<EventQueue> MakeEventQueue(EventQueueKind kind) {
+  switch (kind) {
+    case EventQueueKind::kHeap:
+      return std::make_unique<HeapEventQueue>();
+    case EventQueueKind::kCalendar:
+      return std::make_unique<CalendarEventQueue>();
+  }
+  return std::make_unique<CalendarEventQueue>();
+}
+
+}  // namespace ftms

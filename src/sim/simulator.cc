@@ -1,48 +1,39 @@
 #include "sim/simulator.h"
 
 #include <cassert>
-#include <memory>
-#include <utility>
 
 #include "qos/event_journal.h"
 #include "util/metrics.h"
 
 namespace ftms {
 
-void Simulator::ScheduleAt(SimTime t, Callback cb) {
-  assert(cb);
-  if (t < now_) t = now_;
-  queue_.push(Event{t, next_seq_++, std::move(cb)});
-}
-
-bool Simulator::Step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top() returns a const ref; move the callback out via a
-  // const_cast-free copy of the small struct members and a pop.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  now_ = ev.time;
-  ++events_processed_;
-  if (events_counter_ != nullptr) events_counter_->Add(1);
-  if (pending_gauge_ != nullptr) {
-    pending_gauge_->Set(static_cast<double>(queue_.size()));
-  }
-  ev.cb();
-  return true;
-}
+Simulator::~Simulator() = default;
 
 void Simulator::Run() {
-  while (Step()) {
+  while (StepNoFlush()) {
   }
+  FlushInstruments();
   JournalHorizon();
 }
 
 void Simulator::RunUntil(SimTime t) {
-  while (!queue_.empty() && queue_.top().time <= t) {
-    Step();
+  while (!queue_->empty() && queue_->MinTime() <= t) {
+    StepNoFlush();
   }
   if (t > now_) now_ = t;
+  FlushInstruments();
   JournalHorizon();
+}
+
+void Simulator::FlushInstruments() {
+  if (events_counter_ != nullptr && events_processed_ != events_flushed_) {
+    events_counter_->Add(
+        static_cast<int64_t>(events_processed_ - events_flushed_));
+    events_flushed_ = events_processed_;
+  }
+  if (pending_gauge_ != nullptr) {
+    pending_gauge_->Set(static_cast<double>(queue_->size()));
+  }
 }
 
 void Simulator::JournalHorizon() {
@@ -58,20 +49,9 @@ void Simulator::JournalHorizon() {
 void SchedulePeriodic(Simulator& sim, SimTime start, SimTime period,
                       std::function<bool()> cb) {
   assert(period > 0);
-  auto shared = std::make_shared<std::function<bool()>>(std::move(cb));
-  // Self-rescheduling closure; stops (and releases itself) when the user
-  // callback returns false.
-  struct Ticker {
-    Simulator* sim;
-    SimTime period;
-    std::shared_ptr<std::function<bool()>> cb;
-    void operator()() const {
-      if (!(*cb)()) return;
-      Ticker next = *this;
-      sim->Schedule(period, next);
-    }
-  };
-  sim.ScheduleAt(start, Ticker{&sim, period, shared});
+  auto timer = std::make_unique<PeriodicTimer>(&sim, period, std::move(cb));
+  timer->Start(start);
+  sim.owned_timers_.push_back(std::move(timer));
 }
 
 }  // namespace ftms

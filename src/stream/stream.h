@@ -2,90 +2,102 @@
 #define FTMS_STREAM_STREAM_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "layout/media_object.h"
+#include "stream/stream_table.h"
 
 namespace ftms {
 
 using StreamId = int;
-
-enum class StreamState {
-  kActive,      // being delivered
-  kPaused,      // viewer paused; resources stay reserved
-  kCompleted,   // played to the end
-  kTerminated,  // stopped by the viewer or dropped (degradation)
-};
-
-// One lost or late track in a stream's delivery: the paper's "hiccup".
-struct Hiccup {
-  int64_t cycle = 0;  // scheduling cycle in which delivery was due
-  int64_t track = 0;  // object track that was not delivered on time
-};
 
 // The delivery of one object to one viewer, offset in time from any other
 // delivery of the same object (Section 2's definition). A Stream tracks
 // the delivery pointer and the hiccups it suffered; the schedulers decide
 // what is read, the stream only records what reached (or failed to reach)
 // the viewer.
+//
+// Storage lives in a StreamTable (structure-of-arrays; see
+// stream/stream_table.h) — a Stream is a handle over one row, so the
+// schedulers' per-cycle sweeps touch dense columns rather than scattered
+// objects. Two construction modes:
+//  * (table, row, id): a row of an externally owned table. The scheduler
+//    admits streams this way; the table must outlive the handle.
+//  * (id, object, admitted_cycle): standalone — the stream owns a private
+//    single-row table. Unit tests and ad-hoc uses; semantics identical.
 class Stream {
  public:
   Stream(StreamId id, const MediaObject& object, int64_t admitted_cycle = 0)
-      : id_(id), object_(object), admitted_cycle_(admitted_cycle) {}
+      : owned_(std::make_unique<StreamTable>()),
+        table_(owned_.get()),
+        id_(id),
+        row_(owned_->AddRow(object, admitted_cycle)) {}
+
+  Stream(StreamTable* table, int32_t row, StreamId id)
+      : table_(table), id_(id), row_(row) {}
 
   StreamId id() const { return id_; }
-  const MediaObject& object() const { return object_; }
-  StreamState state() const { return state_; }
+  int32_t row() const { return row_; }
+  const MediaObject& object() const { return table_->object(row_); }
+  StreamState state() const { return table_->state()[row_]; }
 
   // QoS bookkeeping: the cycle the stream was admitted in, and the cycle
   // its first track reached the viewer (-1 until then). Their difference
   // is the stream's startup latency in cycles.
-  int64_t admitted_cycle() const { return admitted_cycle_; }
-  int64_t first_delivered_cycle() const { return first_delivered_cycle_; }
+  int64_t admitted_cycle() const { return table_->admitted_cycle(row_); }
+  int64_t first_delivered_cycle() const {
+    return table_->first_delivered()[row_];
+  }
 
   // Next object track due for delivery.
-  int64_t position() const { return position_; }
-  int64_t tracks_remaining() const { return object_.num_tracks - position_; }
-  bool finished() const { return position_ >= object_.num_tracks; }
+  int64_t position() const { return table_->position()[row_]; }
+  int64_t tracks_remaining() const {
+    return table_->num_tracks()[row_] - position();
+  }
+  bool finished() const { return position() >= table_->num_tracks()[row_]; }
 
   // Records delivery of the track at the current position during `cycle`.
   // `on_time` is false when the track was missing (disk failure not yet
   // masked): the viewer sees a hiccup but playback continues. Advances the
   // position either way and completes the stream at the last track.
-  void Deliver(int64_t cycle, bool on_time);
+  void Deliver(int64_t cycle, bool on_time) {
+    table_->DeliverRow(row_, cycle, on_time);
+  }
 
   // VCR controls: a paused stream keeps its position (and, in the
   // schedulers, its buffers) and resumes with no startup latency beyond
   // one read cycle.
   void Pause() {
-    if (state_ == StreamState::kActive) state_ = StreamState::kPaused;
+    StreamState& s = table_->state()[row_];
+    if (s == StreamState::kActive) s = StreamState::kPaused;
   }
   void Resume() {
-    if (state_ == StreamState::kPaused) state_ = StreamState::kActive;
+    StreamState& s = table_->state()[row_];
+    if (s == StreamState::kPaused) s = StreamState::kActive;
   }
 
   // Stops the stream (viewer abandon or degradation of service).
   void Terminate() {
-    if (state_ == StreamState::kActive || state_ == StreamState::kPaused) {
-      state_ = StreamState::kTerminated;
+    StreamState& s = table_->state()[row_];
+    if (s == StreamState::kActive || s == StreamState::kPaused) {
+      s = StreamState::kTerminated;
     }
   }
 
-  const std::vector<Hiccup>& hiccups() const { return hiccups_; }
-  int64_t hiccup_count() const {
-    return static_cast<int64_t>(hiccups_.size());
+  const std::vector<Hiccup>& hiccups() const {
+    return table_->hiccups(row_);
   }
-  int64_t delivered_tracks() const { return delivered_; }
+  int64_t hiccup_count() const {
+    return static_cast<int64_t>(hiccups().size());
+  }
+  int64_t delivered_tracks() const { return table_->delivered()[row_]; }
 
  private:
+  std::unique_ptr<StreamTable> owned_;  // standalone mode only
+  StreamTable* table_;
   StreamId id_;
-  MediaObject object_;
-  StreamState state_ = StreamState::kActive;
-  int64_t admitted_cycle_ = 0;
-  int64_t first_delivered_cycle_ = -1;
-  int64_t position_ = 0;
-  int64_t delivered_ = 0;
-  std::vector<Hiccup> hiccups_;
+  int32_t row_;
 };
 
 }  // namespace ftms

@@ -1,0 +1,84 @@
+#include "stream/stream_table.h"
+
+#include <cstring>
+#include <new>
+
+namespace ftms {
+
+namespace {
+
+constexpr size_t kColumnAlign = 64;  // cache-line aligned column starts
+
+size_t AlignUp(size_t n) {
+  return (n + kColumnAlign - 1) & ~(kColumnAlign - 1);
+}
+
+}  // namespace
+
+StreamTable::~StreamTable() {
+  if (arena_ != nullptr) {
+    ::operator delete[](arena_, std::align_val_t{kColumnAlign});
+  }
+}
+
+void StreamTable::Grow(int32_t capacity) {
+  const size_t n = static_cast<size_t>(capacity);
+  // One arena block; every column starts on its own cache line.
+  const size_t off_state = 0;
+  const size_t off_position = AlignUp(off_state + n * sizeof(StreamState));
+  const size_t off_delivered = AlignUp(off_position + n * sizeof(int64_t));
+  const size_t off_first = AlignUp(off_delivered + n * sizeof(int64_t));
+  const size_t off_tracks = AlignUp(off_first + n * sizeof(int64_t));
+  const size_t off_object = AlignUp(off_tracks + n * sizeof(int64_t));
+  const size_t bytes = AlignUp(off_object + n * sizeof(int32_t));
+
+  auto* arena = static_cast<unsigned char*>(
+      ::operator new[](bytes, std::align_val_t{kColumnAlign}));
+  auto* state = reinterpret_cast<StreamState*>(arena + off_state);
+  auto* position = reinterpret_cast<int64_t*>(arena + off_position);
+  auto* delivered = reinterpret_cast<int64_t*>(arena + off_delivered);
+  auto* first = reinterpret_cast<int64_t*>(arena + off_first);
+  auto* tracks = reinterpret_cast<int64_t*>(arena + off_tracks);
+  auto* object = reinterpret_cast<int32_t*>(arena + off_object);
+
+  const size_t used = static_cast<size_t>(size_);
+  if (used > 0) {
+    std::memcpy(state, state_, used * sizeof(StreamState));
+    std::memcpy(position, position_, used * sizeof(int64_t));
+    std::memcpy(delivered, delivered_, used * sizeof(int64_t));
+    std::memcpy(first, first_delivered_, used * sizeof(int64_t));
+    std::memcpy(tracks, num_tracks_, used * sizeof(int64_t));
+    std::memcpy(object, object_id_, used * sizeof(int32_t));
+  }
+  if (arena_ != nullptr) {
+    ::operator delete[](arena_, std::align_val_t{kColumnAlign});
+  }
+  arena_ = arena;
+  arena_bytes_ = bytes;
+  capacity_ = capacity;
+  state_ = state;
+  position_ = position;
+  delivered_ = delivered;
+  first_delivered_ = first;
+  num_tracks_ = tracks;
+  object_id_ = object;
+}
+
+int32_t StreamTable::AddRow(const MediaObject& object,
+                            int64_t admitted_cycle) {
+  if (size_ == capacity_) {
+    Grow(capacity_ == 0 ? 64 : capacity_ * 2);
+  }
+  const int32_t row = size_++;
+  const size_t r = static_cast<size_t>(row);
+  state_[r] = StreamState::kActive;
+  position_[r] = 0;
+  delivered_[r] = 0;
+  first_delivered_[r] = -1;
+  num_tracks_[r] = object.num_tracks;
+  object_id_[r] = object.id;
+  cold_.push_back(ColdRow{object, admitted_cycle, {}});
+  return row;
+}
+
+}  // namespace ftms

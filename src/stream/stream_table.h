@@ -1,0 +1,138 @@
+#ifndef FTMS_STREAM_STREAM_TABLE_H_
+#define FTMS_STREAM_STREAM_TABLE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "layout/media_object.h"
+
+namespace ftms {
+
+enum class StreamState : uint8_t {
+  kActive,      // being delivered
+  kPaused,      // viewer paused; resources stay reserved
+  kCompleted,   // played to the end
+  kTerminated,  // stopped by the viewer or dropped (degradation)
+};
+
+// One lost or late track in a stream's delivery: the paper's "hiccup".
+struct Hiccup {
+  int64_t cycle = 0;  // scheduling cycle in which delivery was due
+  int64_t track = 0;  // object track that was not delivered on time
+};
+
+// Structure-of-arrays store for per-stream state. The four schedulers
+// touch `state`, `position`, `num_tracks` and the delivery counters for
+// every active stream every cycle; as fields of heap-allocated Stream
+// objects those loads were a pointer chase each into a ~100-byte object.
+// Here each hot field is a dense column inside ONE arena block (64-byte
+// aligned column starts, grown geometrically by column-wise memcpy), so a
+// scheduler sweep walks a few contiguous arrays instead of the heap.
+// Cold per-stream state — the MediaObject copy, the admission cycle, the
+// hiccup log — stays row-wise in `cold_`, touched only off the per-cycle
+// path. Stream (stream/stream.h) is a thin handle over one row.
+//
+// Rows are only appended (admission order), matching the schedulers'
+// dense StreamId space; columns therefore never move mid-cycle (growth
+// happens at admission, a serial point).
+class StreamTable {
+ public:
+  StreamTable() = default;
+  ~StreamTable();
+
+  StreamTable(const StreamTable&) = delete;
+  StreamTable& operator=(const StreamTable&) = delete;
+
+  // Appends a row (initial state: active, position 0); returns its index.
+  int32_t AddRow(const MediaObject& object, int64_t admitted_cycle);
+
+  int32_t size() const { return size_; }
+
+  // Hot columns, indexed by row in [0, size()).
+  StreamState* state() { return state_; }
+  const StreamState* state() const { return state_; }
+  int64_t* position() { return position_; }
+  const int64_t* position() const { return position_; }
+  int64_t* delivered() { return delivered_; }
+  const int64_t* delivered() const { return delivered_; }
+  int64_t* first_delivered() { return first_delivered_; }
+  const int64_t* first_delivered() const { return first_delivered_; }
+  int64_t* num_tracks() { return num_tracks_; }
+  const int64_t* num_tracks() const { return num_tracks_; }
+  int32_t* object_id() { return object_id_; }
+  const int32_t* object_id() const { return object_id_; }
+
+  // Cold per-row state.
+  const MediaObject& object(int32_t row) const {
+    return cold_[static_cast<size_t>(row)].object;
+  }
+  int64_t admitted_cycle(int32_t row) const {
+    return cold_[static_cast<size_t>(row)].admitted_cycle;
+  }
+  std::vector<Hiccup>& hiccups(int32_t row) {
+    return cold_[static_cast<size_t>(row)].hiccups;
+  }
+  const std::vector<Hiccup>& hiccups(int32_t row) const {
+    return cold_[static_cast<size_t>(row)].hiccups;
+  }
+
+  // Records delivery of the track at the row's current position during
+  // `cycle` (Stream::Deliver semantics): a no-op unless active; playback
+  // starts with the first delivery attempt, hiccup or not; the position
+  // advances either way; the stream completes at the last track.
+  void DeliverRow(int32_t row, int64_t cycle, bool on_time) {
+    const size_t r = static_cast<size_t>(row);
+    if (state_[r] != StreamState::kActive) return;
+    if (first_delivered_[r] < 0) first_delivered_[r] = cycle;
+    if (on_time) {
+      ++delivered_[r];
+    } else {
+      cold_[r].hiccups.push_back(Hiccup{cycle, position_[r]});
+    }
+    if (++position_[r] >= num_tracks_[r]) {
+      state_[r] = StreamState::kCompleted;
+    }
+  }
+
+  // Exactly `n` consecutive DeliverRow(row, cycle, /*on_time=*/true)
+  // calls, folded into one column update. The caller guarantees the row
+  // never advances past its last track mid-batch (group reads are clipped
+  // to the object end), which is what makes the fold equivalent.
+  void DeliverRowBatchOnTime(int32_t row, int64_t cycle, int n) {
+    const size_t r = static_cast<size_t>(row);
+    if (state_[r] != StreamState::kActive) return;
+    if (first_delivered_[r] < 0) first_delivered_[r] = cycle;
+    delivered_[r] += n;
+    position_[r] += n;
+    if (position_[r] >= num_tracks_[r]) {
+      state_[r] = StreamState::kCompleted;
+    }
+  }
+
+ private:
+  struct ColdRow {
+    MediaObject object;
+    int64_t admitted_cycle = 0;
+    std::vector<Hiccup> hiccups;
+  };
+
+  // Reallocates the arena for `capacity` rows and rebases the columns.
+  void Grow(int32_t capacity);
+
+  int32_t size_ = 0;
+  int32_t capacity_ = 0;
+  unsigned char* arena_ = nullptr;
+  size_t arena_bytes_ = 0;
+  StreamState* state_ = nullptr;
+  int64_t* position_ = nullptr;
+  int64_t* delivered_ = nullptr;
+  int64_t* first_delivered_ = nullptr;
+  int64_t* num_tracks_ = nullptr;
+  int32_t* object_id_ = nullptr;
+  std::vector<ColdRow> cold_;
+};
+
+}  // namespace ftms
+
+#endif  // FTMS_STREAM_STREAM_TABLE_H_

@@ -1,0 +1,50 @@
+#ifndef FTMS_UTIL_FASTDIV_H_
+#define FTMS_UTIL_FASTDIV_H_
+
+#include <cassert>
+#include <cstdint>
+
+namespace ftms {
+
+// Division / remainder by a runtime-constant 32-bit divisor without a div
+// instruction, after Lemire, Kaser & Kurz, "Faster remainder by direct
+// computation" (2019): precompute M = ceil(2^64 / d); then for any
+// n < 2^32, n / d = (M * n) >> 64 and n % d = ((M * n mod 2^64) * d) >> 64,
+// both exactly. The schedulers divide by layout constants (C-1, cluster
+// count, disks per cluster) on every read of every cycle; dividends are
+// track/cluster indices, far below 2^32 (asserted in debug builds by the
+// callers). Each op is one or two 64x64->128 multiplies — ~5x cheaper than
+// a 64-bit divide and independent of the divisor's value.
+class FastDiv {
+ public:
+  // Divisor 1 so a default-constructed instance is harmless.
+  FastDiv() : magic_(0), d_(1) {}
+  explicit FastDiv(uint32_t d) : magic_(d > 1 ? ~uint64_t{0} / d + 1 : 0),
+                                 d_(d) {
+    assert(d > 0);
+  }
+
+  uint32_t divisor() const { return d_; }
+
+  uint32_t Div(uint32_t n) const {
+    // M would need 65 bits for d == 1; special-case it (predicted branch).
+    if (d_ == 1) return n;
+    return static_cast<uint32_t>(
+        (static_cast<unsigned __int128>(magic_) * n) >> 64);
+  }
+
+  uint32_t Mod(uint32_t n) const {
+    if (d_ == 1) return 0;
+    const uint64_t low = magic_ * n;  // M * n mod 2^64
+    return static_cast<uint32_t>(
+        (static_cast<unsigned __int128>(low) * d_) >> 64);
+  }
+
+ private:
+  uint64_t magic_;
+  uint32_t d_;
+};
+
+}  // namespace ftms
+
+#endif  // FTMS_UTIL_FASTDIV_H_

@@ -1,0 +1,370 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/random.h"
+
+namespace ftms {
+namespace {
+
+// The event queues' contract: pop order is exactly (time, seq) regardless
+// of implementation — the calendar's buckets, overflow heap, and resizes
+// are invisible. These tests drive the edges the calendar's bucket math
+// must get right (ties, far-future overflow, clock-adjacent inserts,
+// resize churn) and the inline/slab split of EventCallback.
+
+EventRec Rec(SimTime t, uint64_t seq) {
+  return EventRec{t, seq, [] {}};
+}
+
+std::vector<std::pair<SimTime, uint64_t>> Drain(EventQueue& q) {
+  std::vector<std::pair<SimTime, uint64_t>> out;
+  EventRec rec;
+  while (q.PopMin(&rec)) out.emplace_back(rec.time, rec.seq);
+  return out;
+}
+
+class EventQueueBothKinds : public ::testing::TestWithParam<EventQueueKind> {
+ protected:
+  std::unique_ptr<EventQueue> queue_ = MakeEventQueue(GetParam());
+};
+
+TEST_P(EventQueueBothKinds, PopsInTimeOrder) {
+  const double times[] = {5.0, 1.0, 3.0, 2.0, 4.0, 0.5};
+  uint64_t seq = 0;
+  for (double t : times) queue_->Push(Rec(t, seq++));
+  const auto order = Drain(*queue_);
+  ASSERT_EQ(order.size(), 6u);
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LT(order[i - 1].first, order[i].first);
+  }
+}
+
+TEST_P(EventQueueBothKinds, TiesBreakBySequence) {
+  for (uint64_t s = 0; s < 64; ++s) queue_->Push(Rec(7.0, s));
+  const auto order = Drain(*queue_);
+  ASSERT_EQ(order.size(), 64u);
+  for (uint64_t s = 0; s < 64; ++s) EXPECT_EQ(order[s].second, s);
+}
+
+TEST_P(EventQueueBothKinds, InterleavedTiesAcrossPops) {
+  // Push ties, drain half, push more ties at the same timestamp: the
+  // later pushes must come out after the earlier ones (sorted insert into
+  // the calendar's partially drained current bucket).
+  for (uint64_t s = 0; s < 4; ++s) queue_->Push(Rec(1.0, s));
+  EventRec rec;
+  ASSERT_TRUE(queue_->PopMin(&rec));
+  EXPECT_EQ(rec.seq, 0u);
+  ASSERT_TRUE(queue_->PopMin(&rec));
+  EXPECT_EQ(rec.seq, 1u);
+  for (uint64_t s = 4; s < 8; ++s) queue_->Push(Rec(1.0, s));
+  const auto rest = Drain(*queue_);
+  ASSERT_EQ(rest.size(), 6u);
+  for (size_t i = 0; i < rest.size(); ++i) {
+    EXPECT_EQ(rest[i].second, i + 2);
+  }
+}
+
+TEST_P(EventQueueBothKinds, MinTimeTracksEarliestEvent) {
+  queue_->Push(Rec(9.0, 0));
+  EXPECT_EQ(queue_->MinTime(), 9.0);
+  queue_->Push(Rec(2.0, 1));
+  EXPECT_EQ(queue_->MinTime(), 2.0);
+  EventRec rec;
+  ASSERT_TRUE(queue_->PopMin(&rec));
+  EXPECT_EQ(queue_->MinTime(), 9.0);
+}
+
+TEST_P(EventQueueBothKinds, FarFutureEventsReturnInOrder) {
+  // A sparse far tail (way outside any initial calendar window) mixed
+  // with near events: the calendar parks these in its overflow heap and
+  // must still interleave them correctly as the window slides out.
+  uint64_t seq = 0;
+  queue_->Push(Rec(1e12, seq++));
+  queue_->Push(Rec(0.5, seq++));
+  queue_->Push(Rec(1e6, seq++));
+  queue_->Push(Rec(2.0, seq++));
+  queue_->Push(Rec(1e12, seq++));  // tie in the far future
+  const auto order = Drain(*queue_);
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order[0].first, 0.5);
+  EXPECT_EQ(order[1].first, 2.0);
+  EXPECT_EQ(order[2].first, 1e6);
+  EXPECT_EQ(order[3], (std::pair<SimTime, uint64_t>{1e12, 0}));
+  EXPECT_EQ(order[4], (std::pair<SimTime, uint64_t>{1e12, 4}));
+}
+
+TEST_P(EventQueueBothKinds, GrowShrinkChurnKeepsOrder) {
+  // Push far past the grow threshold, drain past the shrink threshold,
+  // refill — exercises both resize directions and width re-estimation.
+  Rng rng(123);
+  uint64_t seq = 0;
+  std::vector<std::pair<SimTime, uint64_t>> expected;
+  auto push = [&](double t) {
+    queue_->Push(Rec(t, seq));
+    expected.emplace_back(t, seq);
+    ++seq;
+  };
+  for (int i = 0; i < 3000; ++i) push(rng.NextDouble() * 100.0);
+  EventRec rec;
+  for (int i = 0; i < 2900; ++i) ASSERT_TRUE(queue_->PopMin(&rec));
+  for (int i = 0; i < 500; ++i) push(100.0 + rng.NextDouble() * 10.0);
+  std::sort(expected.begin(), expected.end());
+  const auto tail = Drain(*queue_);
+  ASSERT_EQ(tail.size(), 600u);
+  for (size_t i = 0; i < tail.size(); ++i) {
+    EXPECT_EQ(tail[i], expected[2900 + i]) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, EventQueueBothKinds,
+                         ::testing::Values(EventQueueKind::kHeap,
+                                           EventQueueKind::kCalendar));
+
+TEST(CalendarEventQueueTest, FarFutureParksInOverflow) {
+  CalendarEventQueue q;
+  q.Push(Rec(0.5, 0));
+  q.Push(Rec(1e15, 1));
+  EXPECT_EQ(q.overflow_size(), 1u);
+  EventRec rec;
+  ASSERT_TRUE(q.PopMin(&rec));
+  EXPECT_EQ(rec.time, 0.5);
+  // The jump to the overflow minimum promotes it into the window.
+  EXPECT_EQ(q.MinTime(), 1e15);
+  EXPECT_EQ(q.overflow_size(), 0u);
+}
+
+TEST(CalendarEventQueueTest, ResizeTracksPopulation) {
+  CalendarEventQueue q;
+  const size_t initial = q.num_buckets();
+  for (uint64_t s = 0; s < 4096; ++s) {
+    q.Push(Rec(static_cast<double>(s) * 0.25, s));
+  }
+  EXPECT_GT(q.num_buckets(), initial);
+  EventRec rec;
+  while (q.PopMin(&rec)) {
+  }
+  EXPECT_EQ(q.num_buckets(), initial);  // shrank back to the floor
+}
+
+TEST(CalendarEventQueueTest, SameTimestampBatchSharesOneBucket) {
+  // The simulation's dominant mix: a whole cycle's worth of events at one
+  // timestamp. All land in one bucket regardless of count.
+  CalendarEventQueue q;
+  for (uint64_t s = 0; s < 1000; ++s) q.Push(Rec(42.0, s));
+  const auto order = Drain(q);
+  for (uint64_t s = 0; s < 1000; ++s) EXPECT_EQ(order[s].second, s);
+}
+
+// Randomized differential: the calendar must agree with the heap oracle
+// event for event under interleaved pushes and pops with clustered,
+// uniform, and far-future times.
+TEST(CalendarEventQueueTest, RandomDifferentialAgainstHeap) {
+  Rng rng(20260808);
+  HeapEventQueue heap;
+  CalendarEventQueue cal;
+  uint64_t seq = 0;
+  double clock = 0;
+  for (int round = 0; round < 20000; ++round) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.55 || heap.empty()) {
+      double t;
+      const double mix = rng.NextDouble();
+      if (mix < 0.5) {
+        t = clock + static_cast<double>(rng.UniformInt(4));  // clustered ties
+      } else if (mix < 0.9) {
+        t = clock + rng.ExponentialMean(1.0);
+      } else {
+        t = clock + 1e9 * rng.NextDouble();  // far future
+      }
+      heap.Push(Rec(t, seq));
+      cal.Push(Rec(t, seq));
+      ++seq;
+    } else {
+      EventRec a, b;
+      ASSERT_EQ(heap.MinTime(), cal.MinTime());
+      ASSERT_TRUE(heap.PopMin(&a));
+      ASSERT_TRUE(cal.PopMin(&b));
+      ASSERT_EQ(a.time, b.time);
+      ASSERT_EQ(a.seq, b.seq);
+      clock = a.time;
+    }
+    ASSERT_EQ(heap.size(), cal.size());
+  }
+  while (!heap.empty()) {
+    EventRec a, b;
+    ASSERT_TRUE(heap.PopMin(&a));
+    ASSERT_TRUE(cal.PopMin(&b));
+    ASSERT_EQ(a.time, b.time);
+    ASSERT_EQ(a.seq, b.seq);
+  }
+  EXPECT_TRUE(cal.empty());
+}
+
+TEST(EventCallbackTest, SmallTrivialCapturesAreInline) {
+  int x = 0;
+  int* p = &x;
+  EventCallback cb([p] { *p = 7; });  // one word, trivial
+  EXPECT_TRUE(cb.inlined());
+  cb();
+  EXPECT_EQ(x, 7);
+}
+
+TEST(EventCallbackTest, ThreeWordCaptureIsInline) {
+  int64_t a = 1, b = 2, c = 3;
+  int64_t sum = 0;
+  int64_t* out = &sum;
+  struct Cap {
+    int64_t a, b;
+    int64_t* out;
+  };
+  Cap cap{a, b, out};
+  EventCallback cb([cap] { *cap.out = cap.a + cap.b; });
+  EXPECT_TRUE(cb.inlined());
+  cb();
+  EXPECT_EQ(sum, 3);
+  (void)c;
+}
+
+TEST(EventCallbackTest, LargeCaptureSpillsToSlabAndRuns) {
+  std::array<int64_t, 8> big{1, 2, 3, 4, 5, 6, 7, 8};
+  int64_t sum = 0;
+  int64_t* out = &sum;
+  EventCallback cb([big, out] {
+    int64_t s = 0;
+    for (int64_t v : big) s += v;
+    *out = s;
+  });
+  EXPECT_FALSE(cb.inlined());
+  cb();
+  EXPECT_EQ(sum, 36);
+}
+
+TEST(EventCallbackTest, NonTrivialCaptureSpillsAndDestroys) {
+  auto tracked = std::make_shared<int>(5);
+  std::weak_ptr<int> weak = tracked;
+  {
+    EventCallback cb([tracked] { (void)*tracked; });
+    EXPECT_FALSE(cb.inlined());
+    tracked.reset();
+    EXPECT_FALSE(weak.expired());  // callback keeps the capture alive
+    cb();
+  }
+  EXPECT_TRUE(weak.expired());  // destroying the callback ran the dtor
+}
+
+TEST(EventCallbackTest, MoveTransfersOwnership) {
+  auto tracked = std::make_shared<int>(1);
+  std::weak_ptr<int> weak = tracked;
+  EventCallback a([tracked] {});
+  tracked.reset();
+  EventCallback b(std::move(a));
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): moved-from is empty
+  EXPECT_TRUE(b);
+  EXPECT_FALSE(weak.expired());
+  b = EventCallback([] {});
+  EXPECT_TRUE(weak.expired());  // assignment disposed the old capture
+}
+
+TEST(EventCallbackTest, SlabRecyclesFreedBlocks) {
+  // Steady-state churn of spilled callbacks must recycle the same slab
+  // blocks (pointer equality is not guaranteed by the API, but churning
+  // many times must not grow without bound — smoke-checked by running a
+  // large loop; the real assertion is that nothing crashes under reuse).
+  for (int i = 0; i < 10000; ++i) {
+    std::array<int64_t, 6> payload{};
+    payload[0] = i;
+    int64_t out = 0;
+    int64_t* p = &out;
+    EventCallback cb([payload, p] { *p = payload[0]; });
+    cb();
+    ASSERT_EQ(out, i);
+  }
+}
+
+// Simulator-level edges of the new engine.
+
+class SimulatorBothQueues : public ::testing::TestWithParam<EventQueueKind> {};
+
+TEST_P(SimulatorBothQueues, NegativeDelayClampsToNow) {
+  Simulator sim(GetParam());
+  sim.Schedule(2.0, [] {});
+  sim.Run();
+  bool fired = false;
+  sim.Schedule(-5.0, [&] { fired = true; });
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.Run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.Now(), 2.0);
+}
+
+TEST_P(SimulatorBothQueues, RunUntilHonorsHorizonExactly) {
+  Simulator sim(GetParam());
+  std::vector<double> fired;
+  for (int i = 1; i <= 10; ++i) {
+    sim.Schedule(static_cast<double>(i), [&fired, i] {
+      fired.push_back(static_cast<double>(i));
+    });
+  }
+  sim.RunUntil(4.0);
+  EXPECT_EQ(fired.size(), 4u);
+  EXPECT_EQ(sim.Now(), 4.0);
+  sim.RunUntil(4.5);  // no events in (4, 4.5]
+  EXPECT_EQ(fired.size(), 4u);
+  EXPECT_EQ(sim.Now(), 4.5);
+  sim.Run();
+  EXPECT_EQ(fired.size(), 10u);
+}
+
+TEST_P(SimulatorBothQueues, PeriodicTimerCancelStopsTicks) {
+  Simulator sim(GetParam());
+  int ticks = 0;
+  PeriodicTimer timer(&sim, 1.0, [&] {
+    ++ticks;
+    return true;
+  });
+  timer.Start(0.0);
+  sim.RunUntil(2.5);
+  EXPECT_EQ(ticks, 3);  // t = 0, 1, 2
+  EXPECT_TRUE(timer.active());
+  timer.Cancel();
+  sim.RunUntil(10.0);
+  EXPECT_EQ(ticks, 3);  // queued firing became a no-op
+  EXPECT_FALSE(timer.active());
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST_P(SimulatorBothQueues, PeriodicTicksInterleaveFifoWithScheduledEvents) {
+  // The tick body runs BEFORE the next firing is scheduled, so an event
+  // the tick schedules for the next period gets a SMALLER sequence number
+  // than the next tick and runs first — the legacy Ticker ordering the
+  // intrusive timer must preserve.
+  Simulator sim(GetParam());
+  std::vector<std::string> order;
+  int n = 0;
+  SchedulePeriodic(sim, 0.0, 1.0, [&] {
+    order.push_back("tick" + std::to_string(n));
+    sim.Schedule(1.0, [&order, n2 = n] {
+      order.push_back("echo" + std::to_string(n2));
+    });
+    return ++n < 3;
+  });
+  sim.Run();
+  const std::vector<std::string> expected = {"tick0", "echo0", "tick1",
+                                             "echo1", "tick2", "echo2"};
+  EXPECT_EQ(order, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, SimulatorBothQueues,
+                         ::testing::Values(EventQueueKind::kHeap,
+                                           EventQueueKind::kCalendar));
+
+}  // namespace
+}  // namespace ftms

@@ -70,6 +70,21 @@ def main():
             f"note: comparing different benches ({base_name} vs {cur_name})"
         )
 
+    # The event-queue implementation (env.event_queue, from
+    # FTMS_EVENT_QUEUE) changes what simulator-bound timings mean; a
+    # heap-pinned snapshot is not a baseline for a calendar run. Older v3
+    # snapshots without the key are treated as the engine default.
+    base_queue = (base_doc.get("env") or {}).get("event_queue", "calendar")
+    cur_queue = (cur_doc.get("env") or {}).get("event_queue", "calendar")
+    if base_queue != cur_queue:
+        print(
+            f"bench_diff: event queue mismatch ({base_queue} vs "
+            f"{cur_queue}); rerun with the same FTMS_EVENT_QUEUE on both "
+            f"sides",
+            file=sys.stderr,
+        )
+        return 2
+
     regressions = []
     print(f"{'metric':<24} {'baseline':>14} {'current':>14} {'delta':>9}")
     for key in base:

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "parity/pq_kernels.h"
 #include "parity/xor_kernels.h"
 #include "qos/event_journal.h"
 #include "sim/event_queue.h"
@@ -66,6 +67,8 @@ std::string Reporter::WriteJson() const {
   json += std::string("    \"qos_enabled\": ") +
           (journal != nullptr ? "true" : "false") + ",\n";
   json += std::string("    \"xor_kernel\": \"") + ActiveXorKernelName() +
+          "\",\n";
+  json += std::string("    \"pq_kernel\": \"") + ActivePqKernelName() +
           "\",\n";
   json += std::string("    \"event_queue\": \"") +
           (EventQueueKindFromEnv() == EventQueueKind::kHeap ? "heap"

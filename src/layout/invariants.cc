@@ -32,6 +32,15 @@ Status CheckNoDuplicateDisksInGroup(const Layout& layout, int num_objects,
         return Status::Internal("parity disk " + std::to_string(parity.disk) +
                                 " collides with a data disk" + Where(obj, g));
       }
+      if (layout.parity_blocks() == 2) {
+        const BlockLocation q = layout.QParityLocation(obj, g);
+        if (!disks.insert(q.disk).second) {
+          return Status::Internal("q parity disk " +
+                                  std::to_string(q.disk) +
+                                  " collides with another group disk" +
+                                  Where(obj, g));
+        }
+      }
     }
   }
   return Status::Ok();
@@ -112,13 +121,15 @@ Status CheckDataLoadBalance(const Layout& layout, int object_id,
       ++per_disk[static_cast<size_t>(loc.disk)];
     }
   }
-  // Only disks that can hold data participate: for the clustered family the
-  // dedicated parity disks never receive data.
+  // Only disks that can hold data participate: for the clustered family
+  // the dedicated parity disks (one per cluster, two for dual-parity)
+  // never receive data.
   std::vector<int64_t> data_disks;
   for (int d = 0; d < layout.num_disks(); ++d) {
     const bool parity_only =
         layout.scheme_family() != Scheme::kImprovedBandwidth &&
-        d % layout.parity_group_size() == layout.parity_group_size() - 1;
+        d % layout.parity_group_size() >=
+            layout.parity_group_size() - layout.parity_blocks();
     if (!parity_only) data_disks.push_back(per_disk[static_cast<size_t>(d)]);
   }
   const auto [min_it, max_it] =
@@ -127,6 +138,41 @@ Status CheckDataLoadBalance(const Layout& layout, int object_id,
     return Status::Internal(
         "data load imbalance: min=" + std::to_string(*min_it) +
         " max=" + std::to_string(*max_it));
+  }
+  return Status::Ok();
+}
+
+Status CheckDualParityDisks(const Layout& layout, int num_objects,
+                            int64_t num_groups) {
+  if (layout.parity_blocks() != 2) {
+    return Status::Internal("layout does not advertise two parity blocks");
+  }
+  const int c = layout.parity_group_size();
+  for (int obj = 0; obj < num_objects; ++obj) {
+    for (int64_t g = 0; g < num_groups; ++g) {
+      const int cluster = layout.GroupCluster(obj, g);
+      const BlockLocation p = layout.ParityLocation(obj, g);
+      const BlockLocation q = layout.QParityLocation(obj, g);
+      if (p.cluster != cluster || q.cluster != cluster) {
+        return Status::Internal("P/Q block off-cluster" + Where(obj, g));
+      }
+      if (p.disk != cluster * c + c - 2) {
+        return Status::Internal("P not on slot C-2" + Where(obj, g));
+      }
+      if (q.disk != cluster * c + c - 1) {
+        return Status::Internal("Q not on slot C-1" + Where(obj, g));
+      }
+      if (!p.is_parity || !q.is_parity) {
+        return Status::Internal("P/Q block not marked parity" +
+                                Where(obj, g));
+      }
+      for (const BlockLocation& loc : layout.GroupDataLocations(obj, g)) {
+        if (loc.disk == p.disk || loc.disk == q.disk) {
+          return Status::Internal("data block on a parity disk" +
+                                  Where(obj, g));
+        }
+      }
+    }
   }
   return Status::Ok();
 }

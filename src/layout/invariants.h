@@ -39,6 +39,13 @@ Status CheckRoundRobinGroups(const Layout& layout, int num_objects,
 Status CheckDataLoadBalance(const Layout& layout, int object_id,
                             int64_t num_groups, int64_t tolerance);
 
+// Dual-parity family (SR-2/NC-2): every group's P block lives on its
+// cluster's slot C-2 and the Q block on slot C-1, both distinct from
+// every data disk of the group, and the layout advertises two parity
+// blocks per group.
+Status CheckDualParityDisks(const Layout& layout, int num_objects,
+                            int64_t num_groups);
+
 }  // namespace ftms
 
 #endif  // FTMS_LAYOUT_INVARIANTS_H_

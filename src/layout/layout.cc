@@ -10,6 +10,7 @@ LayoutGeom Layout::Geom() const {
   g.num_clusters = num_clusters();
   g.disks_per_cluster = disks_per_cluster();
   g.per_group = DataBlocksPerGroup();
+  g.parity_blocks = parity_blocks();
   g.striped = striped();
   g.ib = scheme_family() == Scheme::kImprovedBandwidth;
   g.per_group_div = FastDiv(static_cast<uint32_t>(g.per_group));
@@ -77,6 +78,54 @@ BlockLocation ClusteredLayout::ParityLocation(int object_id,
   return loc;
 }
 
+StatusOr<std::unique_ptr<DualParityLayout>> DualParityLayout::Create(
+    int num_disks, int parity_group_size) {
+  FTMS_RETURN_IF_ERROR(ValidateCommon(num_disks, parity_group_size));
+  if (parity_group_size < 3) {
+    return Status::InvalidArgument(
+        "dual-parity clusters need C >= 3 (two parity disks plus data)");
+  }
+  if (num_disks % parity_group_size != 0) {
+    return Status::InvalidArgument(
+        "num_disks (" + std::to_string(num_disks) +
+        ") must be a multiple of the parity group size (" +
+        std::to_string(parity_group_size) + ")");
+  }
+  return std::unique_ptr<DualParityLayout>(
+      new DualParityLayout(num_disks, parity_group_size));
+}
+
+BlockLocation DualParityLayout::DataLocation(int object_id,
+                                             int64_t track) const {
+  const int64_t group = GroupOf(track);
+  const int cluster = GroupCluster(object_id, group);
+  BlockLocation loc;
+  loc.cluster = cluster;
+  loc.disk = cluster * parity_group_size() + PositionInGroup(track);
+  loc.is_parity = false;
+  return loc;
+}
+
+BlockLocation DualParityLayout::ParityLocation(int object_id,
+                                               int64_t group) const {
+  const int cluster = GroupCluster(object_id, group);
+  BlockLocation loc;
+  loc.cluster = cluster;
+  loc.disk = PDisk(cluster);
+  loc.is_parity = true;
+  return loc;
+}
+
+BlockLocation DualParityLayout::QParityLocation(int object_id,
+                                                int64_t group) const {
+  const int cluster = GroupCluster(object_id, group);
+  BlockLocation loc;
+  loc.cluster = cluster;
+  loc.disk = QDisk(cluster);
+  loc.is_parity = true;
+  return loc;
+}
+
 StatusOr<std::unique_ptr<ImprovedBandwidthLayout>>
 ImprovedBandwidthLayout::Create(int num_disks, int parity_group_size) {
   FTMS_RETURN_IF_ERROR(ValidateCommon(num_disks, parity_group_size));
@@ -136,6 +185,11 @@ StatusOr<std::unique_ptr<Layout>> CreateLayout(Scheme scheme, int num_disks,
   if (scheme == Scheme::kImprovedBandwidth) {
     auto layout = ImprovedBandwidthLayout::Create(num_disks,
                                                   parity_group_size);
+    if (!layout.ok()) return layout.status();
+    return StatusOr<std::unique_ptr<Layout>>(std::move(layout.value()));
+  }
+  if (IsDualParity(scheme)) {
+    auto layout = DualParityLayout::Create(num_disks, parity_group_size);
     if (!layout.ok()) return layout.status();
     return StatusOr<std::unique_ptr<Layout>>(std::move(layout.value()));
   }

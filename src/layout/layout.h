@@ -34,7 +34,8 @@ struct BlockLocation {
 struct LayoutGeom {
   int num_clusters = 1;
   int disks_per_cluster = 1;
-  int per_group = 1;   // data blocks per parity group (C-1)
+  int per_group = 1;   // data blocks per parity group (C - parity_blocks)
+  int parity_blocks = 1;  // parity blocks per group (2 for P+Q layouts)
   bool striped = true;  // round-robin groups over clusters?
   bool ib = false;      // Improved-bandwidth placement (parity on i+1)
   FastDiv per_group_div;  // by per_group
@@ -75,10 +76,11 @@ struct LayoutGeom {
   }
   // Global disk of the parity block of `group`, and the cluster it lives
   // on (the data cluster for clustered layouts; the right-hand neighbor
-  // for Improved-bandwidth).
+  // for Improved-bandwidth). For dual-parity layouts this is the P disk
+  // (slot C-2); QParityDisk() below is the Q disk (slot C-1).
   int ParityDisk(int object_id, int64_t group, int data_cluster) const {
     if (!ib) {
-      return DataDisk(data_cluster, disks_per_cluster - 1);
+      return DataDisk(data_cluster, disks_per_cluster - parity_blocks);
     }
     const int pc = data_cluster + 1 == num_clusters ? 0 : data_cluster + 1;
     assert(object_id >= 0 && group >= 0 &&
@@ -90,6 +92,11 @@ struct LayoutGeom {
   int ParityCluster(int data_cluster) const {
     if (!ib) return data_cluster;
     return data_cluster + 1 == num_clusters ? 0 : data_cluster + 1;
+  }
+  // The Q (second parity) disk of a dual-parity cluster: the last slot.
+  // Meaningful only when parity_blocks == 2.
+  int QParityDisk(int data_cluster) const {
+    return DataDisk(data_cluster, disks_per_cluster - 1);
   }
 };
 
@@ -110,7 +117,12 @@ class Layout {
 
   int num_disks() const { return num_disks_; }
   int parity_group_size() const { return parity_group_size_; }  // C
-  int DataBlocksPerGroup() const { return parity_group_size_ - 1; }
+  // Parity blocks per group: 1 for the paper's four schemes, 2 for the
+  // P+Q dual-parity variants.
+  int parity_blocks() const { return parity_blocks_; }
+  int DataBlocksPerGroup() const {
+    return parity_group_size_ - parity_blocks_;
+  }
 
   // Number of disk clusters. Clustered layouts group C disks; the
   // Improved-bandwidth layout groups C-1 (all of data role).
@@ -148,21 +160,32 @@ class Layout {
   // Location of data track `track` of the object.
   virtual BlockLocation DataLocation(int object_id, int64_t track) const = 0;
 
-  // Location of the parity block for group `group` of the object.
+  // Location of the parity block for group `group` of the object (the
+  // P block for dual-parity layouts).
   virtual BlockLocation ParityLocation(int object_id,
                                        int64_t group) const = 0;
+
+  // Location of the Q (second parity) block for dual-parity layouts;
+  // a default-constructed location (disk == -1) everywhere else.
+  virtual BlockLocation QParityLocation(int /*object_id*/,
+                                        int64_t /*group*/) const {
+    return BlockLocation{};
+  }
 
   // All data locations of group `group` in group order (C-1 entries).
   std::vector<BlockLocation> GroupDataLocations(int object_id,
                                                 int64_t group) const;
 
  protected:
-  Layout(int num_disks, int parity_group_size)
-      : num_disks_(num_disks), parity_group_size_(parity_group_size) {}
+  Layout(int num_disks, int parity_group_size, int parity_blocks = 1)
+      : num_disks_(num_disks),
+        parity_group_size_(parity_group_size),
+        parity_blocks_(parity_blocks) {}
 
  private:
   int num_disks_;
   int parity_group_size_;
+  int parity_blocks_;
 };
 
 // Layout for the Streaming RAID, Staggered-group and Non-clustered schemes
@@ -192,6 +215,43 @@ class ClusteredLayout : public Layout {
  protected:
   ClusteredLayout(int num_disks, int parity_group_size)
       : Layout(num_disks, parity_group_size) {}
+};
+
+// Layout for the dual-parity (P+Q / RAID-6) scheme variants SR-2 and
+// NC-2: clusters hold C disks — data disks 0..C-3, the P disk at C-2
+// and the Q disk at C-1. Placement is otherwise identical to
+// ClusteredLayout (round-robin groups, one object per group); only the
+// split of each cluster into data and parity roles changes, so any two
+// concurrent failures inside one cluster stay recoverable.
+class DualParityLayout : public Layout {
+ public:
+  // `num_disks` must be a positive multiple of C, and C >= 3 (at least
+  // one data disk next to the two parity disks).
+  static StatusOr<std::unique_ptr<DualParityLayout>> Create(
+      int num_disks, int parity_group_size);
+
+  Scheme scheme_family() const override { return Scheme::kStreamingRaid2; }
+  int num_clusters() const override {
+    return num_disks() / parity_group_size();
+  }
+  int disks_per_cluster() const override { return parity_group_size(); }
+
+  BlockLocation DataLocation(int object_id, int64_t track) const override;
+  BlockLocation ParityLocation(int object_id, int64_t group) const override;
+  BlockLocation QParityLocation(int object_id,
+                                int64_t group) const override;
+
+  // The dedicated P and Q disks of `cluster`.
+  int PDisk(int cluster) const {
+    return cluster * parity_group_size() + parity_group_size() - 2;
+  }
+  int QDisk(int cluster) const {
+    return cluster * parity_group_size() + parity_group_size() - 1;
+  }
+
+ private:
+  DualParityLayout(int num_disks, int parity_group_size)
+      : Layout(num_disks, parity_group_size, /*parity_blocks=*/2) {}
 };
 
 // Layout for the Improved-bandwidth scheme (Section 4, Figure 8): clusters

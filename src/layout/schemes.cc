@@ -12,6 +12,10 @@ std::string_view SchemeName(Scheme scheme) {
       return "Non-clustered";
     case Scheme::kImprovedBandwidth:
       return "Improved-bandwidth";
+    case Scheme::kStreamingRaid2:
+      return "Streaming RAID P+Q";
+    case Scheme::kNonClustered2:
+      return "Non-clustered P+Q";
   }
   return "unknown";
 }
@@ -26,6 +30,10 @@ std::string_view SchemeAbbrev(Scheme scheme) {
       return "NC";
     case Scheme::kImprovedBandwidth:
       return "IB";
+    case Scheme::kStreamingRaid2:
+      return "SR2";
+    case Scheme::kNonClustered2:
+      return "NC2";
   }
   return "??";
 }

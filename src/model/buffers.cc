@@ -10,11 +10,16 @@ double BuffersPerStreamNormal(Scheme scheme, int parity_group_size) {
   const double c = static_cast<double>(parity_group_size);
   switch (scheme) {
     case Scheme::kStreamingRaid:
+    case Scheme::kStreamingRaid2:
+      // Whole-cluster read with double buffering; the second parity disk
+      // does not change the per-stream buffer footprint, only how many of
+      // the 2C slots hold data.
       return 2.0 * c;
     case Scheme::kStaggeredGroup:
       // C(C+1)/2 tracks shared by C-1 streams in staggered phases.
       return c * (c + 1.0) / 2.0 / (c - 1.0);
     case Scheme::kNonClustered:
+    case Scheme::kNonClustered2:
       return 2.0;
     case Scheme::kImprovedBandwidth:
       return 2.0 * (c - 1.0);
@@ -58,13 +63,15 @@ StatusOr<double> TotalBufferTracks(const SystemParameters& p, Scheme scheme,
 
   switch (scheme) {
     case Scheme::kStreamingRaid:
+    case Scheme::kStreamingRaid2:
       return 2.0 * static_cast<double>(c) * streams;  // eq. (12)
     case Scheme::kStaggeredGroup:
       return StaggeredGroupTracks(p, c);  // eq. (13)
-    case Scheme::kNonClustered: {  // eq. (14)
+    case Scheme::kNonClustered:
+    case Scheme::kNonClustered2: {  // eq. (14)
       StatusOr<double> sg = StaggeredGroupTracksExact(p, c);
       if (!sg.ok()) return sg.status();
-      const double data_disks = DataDisks(p, Scheme::kNonClustered, c);
+      const double data_disks = DataDisks(p, scheme, c);
       const double clusters_over_data = data_disks / static_cast<double>(c);
       const double degraded =
           *sg / clusters_over_data * static_cast<double>(p.k_reserve);

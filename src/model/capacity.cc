@@ -20,8 +20,13 @@ int KPrimeOf(Scheme scheme, int parity_group_size) {
     case Scheme::kStreamingRaid:
     case Scheme::kImprovedBandwidth:
       return parity_group_size - 1;
+    case Scheme::kStreamingRaid2:
+      // Whole-group delivery like SR, but a dual-parity cluster holds only
+      // C-2 data blocks per group.
+      return parity_group_size - 2;
     case Scheme::kStaggeredGroup:
     case Scheme::kNonClustered:
+    case Scheme::kNonClustered2:
       return 1;
   }
   return 1;
@@ -33,7 +38,8 @@ double DataDisks(const SystemParameters& p, Scheme scheme,
   if (scheme == Scheme::kImprovedBandwidth) {
     return d - static_cast<double>(p.k_reserve);
   }
-  return d * static_cast<double>(parity_group_size - 1) /
+  const double parity = static_cast<double>(ParityDisksPerCluster(scheme));
+  return d * (static_cast<double>(parity_group_size) - parity) /
          static_cast<double>(parity_group_size);
 }
 
@@ -42,6 +48,10 @@ StatusOr<double> MaxStreamsExact(const SystemParameters& p, Scheme scheme,
   FTMS_RETURN_IF_ERROR(p.Validate());
   if (parity_group_size < 2) {
     return Status::InvalidArgument("parity group size must be >= 2");
+  }
+  if (IsDualParity(scheme) && parity_group_size < 3) {
+    return Status::InvalidArgument(
+        "dual-parity schemes need parity group size >= 3");
   }
   const int k_prime = KPrimeOf(scheme, parity_group_size);
   return StreamsPerDataDisk(p, k_prime) *

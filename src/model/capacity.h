@@ -30,11 +30,12 @@ double CycleSeconds(const SystemParameters& p, int k_prime);
 double StreamsPerDataDisk(const SystemParameters& p, int k_prime);
 
 // k' used by each scheme for parity group size C: SR and IB read/deliver a
-// whole group per cycle (k' = C-1); SG and NC deliver one track per cycle.
+// whole group per cycle (k' = C-1, and C-2 for the dual-parity SR-2); SG
+// and NC (and NC-2) deliver one track per cycle.
 int KPrimeOf(Scheme scheme, int parity_group_size);
 
 // Number of data-role disks D' (equations (8)-(11)):
-//   SR/SG/NC: D (C-1)/C;  IB: D - K_IB.
+//   SR/SG/NC: D (C-1)/C;  SR-2/NC-2: D (C-2)/C;  IB: D - K_IB.
 double DataDisks(const SystemParameters& p, Scheme scheme,
                  int parity_group_size);
 

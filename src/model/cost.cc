@@ -9,12 +9,22 @@
 namespace ftms {
 
 int DisksForWorkingSet(const DesignParameters& d, const SystemParameters& p,
-                       int parity_group_size) {
+                       Scheme scheme, int parity_group_size) {
+  // IB stores parity in its bandwidth reserve, not on dedicated disks, but
+  // its capacity fraction still loses one block per group; dual-parity
+  // clusters lose two.
+  const int parity = std::max(1, ParityDisksPerCluster(scheme));
   const double data_fraction =
-      static_cast<double>(parity_group_size - 1) /
+      static_cast<double>(parity_group_size - parity) /
       static_cast<double>(parity_group_size);
   return static_cast<int>(
       std::ceil(d.working_set_mb / (p.disk.capacity_mb * data_fraction)));
+}
+
+int DisksForWorkingSet(const DesignParameters& d, const SystemParameters& p,
+                       int parity_group_size) {
+  return DisksForWorkingSet(d, p, Scheme::kStreamingRaid,
+                            parity_group_size);
 }
 
 StatusOr<double> SystemCost(const DesignParameters& d,
@@ -33,7 +43,7 @@ StatusOr<double> SystemCost(const DesignParameters& d,
 StatusOr<DesignPoint> EvaluateDesign(const DesignParameters& d,
                                      const SystemParameters& p,
                                      Scheme scheme, int parity_group_size) {
-  const int disks = DisksForWorkingSet(d, p, parity_group_size);
+  const int disks = DisksForWorkingSet(d, p, scheme, parity_group_size);
   SystemParameters sized = p;
   sized.num_disks = disks;
   if (sized.k_reserve >= disks) {
@@ -76,7 +86,9 @@ int DisksForStreams(const SystemParameters& p, Scheme scheme,
         std::ceil(data_disks + static_cast<double>(p.k_reserve)));
   }
   const double c = static_cast<double>(parity_group_size);
-  return static_cast<int>(std::ceil(data_disks * c / (c - 1.0)));
+  const double parity =
+      static_cast<double>(ParityDisksPerCluster(scheme));
+  return static_cast<int>(std::ceil(data_disks * c / (c - parity)));
 }
 
 }  // namespace
@@ -88,7 +100,7 @@ StatusOr<DesignPoint> PlanCheapest(const DesignParameters& d,
   DesignPoint best;
   for (int c = std::max(2, req.min_group_size); c <= req.max_group_size;
        ++c) {
-    const int for_capacity = DisksForWorkingSet(d, p, c);
+    const int for_capacity = DisksForWorkingSet(d, p, scheme, c);
     const int for_streams =
         DisksForStreams(p, scheme, c, req.required_streams);
     if (for_streams == 0) continue;  // seek dominates the cycle: infeasible

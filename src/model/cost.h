@@ -14,9 +14,13 @@ namespace ftms {
 // buffers the chosen scheme needs at its maximum stream load.
 
 // Minimum number of disks whose data fraction (C-1)/C holds W MB
-// (D(W,C) in the paper). Rounded up to a whole disk.
+// (D(W,C) in the paper). Rounded up to a whole disk. The scheme-aware
+// overload accounts for dual-parity clusters, whose data fraction is
+// (C-2)/C; the two-argument form assumes one parity disk per cluster.
 int DisksForWorkingSet(const DesignParameters& d, const SystemParameters& p,
                        int parity_group_size);
+int DisksForWorkingSet(const DesignParameters& d, const SystemParameters& p,
+                       Scheme scheme, int parity_group_size);
 
 // Total dollar cost (equations (16)-(19)) of a system of `num_disks` disks
 // running `scheme` with parity groups of C: disk cost + buffer cost at the

@@ -17,6 +17,20 @@ StatusOr<double> MttfCatastrophicHours(const SystemParameters& p,
   const double mttr = p.disk.mttr_hours;
   const double d = static_cast<double>(p.num_disks);
   const double c = static_cast<double>(parity_group_size);
+  if (IsDualParity(scheme)) {
+    // Three concurrent failures inside one cluster are needed for data
+    // loss: first anywhere (MTTF/D), second among the C-1 cluster peers
+    // within the first repair window, third among the remaining C-2
+    // while BOTH are still under repair. Repairs run in parallel, so the
+    // two-down state drains at rate 2/MTTR — hence the factor 2 (the
+    // Monte-Carlo in reliability/markov_sim.cc confirms it).
+    if (parity_group_size < 3) {
+      return Status::InvalidArgument(
+          "dual-parity schemes need parity group size >= 3");
+    }
+    return mttf / d * (mttf / ((c - 1.0) * mttr)) *
+           (2.0 * mttf / ((c - 2.0) * mttr));
+  }
   const double exposure =
       scheme == Scheme::kImprovedBandwidth ? (2.0 * c - 1.0) : (c - 1.0);
   return mttf * mttf / (d * exposure * mttr);
@@ -43,6 +57,9 @@ StatusOr<double> MttdsHours(const SystemParameters& p, Scheme scheme,
   switch (scheme) {
     case Scheme::kStreamingRaid:
     case Scheme::kStaggeredGroup:
+    case Scheme::kStreamingRaid2:
+      // A cluster always reserves enough bandwidth to mask every failure
+      // pattern it can survive, so degradation coincides with data loss.
       return MttfCatastrophicHours(p, scheme, parity_group_size);
     case Scheme::kNonClustered:
     case Scheme::kImprovedBandwidth:
@@ -53,6 +70,16 @@ StatusOr<double> MttdsHours(const SystemParameters& p, Scheme scheme,
       return KConcurrentFailuresMeanHours(p.disk.mttf_hours,
                                           p.disk.mttr_hours, p.num_disks,
                                           p.k_reserve);
+    case Scheme::kNonClustered2:
+      // The second parity column lets every cluster absorb one extra
+      // concurrent failure before the buffer reserve is consumed.
+      if (p.k_reserve < 1) {
+        return Status::InvalidArgument(
+            "NC/IB degradation model needs k_reserve >= 1");
+      }
+      return KConcurrentFailuresMeanHours(p.disk.mttf_hours,
+                                          p.disk.mttr_hours, p.num_disks,
+                                          p.k_reserve + 1);
   }
   return Status::Internal("unknown scheme");
 }

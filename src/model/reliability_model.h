@@ -19,6 +19,8 @@ double MeanTimeToFirstFailureHours(double disk_mttf_hours, int num_disks);
 // hours:
 //   SR/SG/NC (eq. 4): MTTF(disk)^2 / (D (C-1) MTTR)
 //   IB       (eq. 5): MTTF(disk)^2 / (D (2C-1) MTTR)
+//   SR-2/NC-2:        MTTF(disk)^3 / (D (C-1)(C-2) MTTR^2)  — data loss
+//                     needs a third concurrent failure in one cluster.
 // The (2C-1) factor reflects the IB scheme's extra exposure: disks serve
 // both their own cluster's groups and the left neighbor's parity.
 StatusOr<double> MttfCatastrophicHours(const SystemParameters& p,

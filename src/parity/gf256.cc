@@ -1,0 +1,99 @@
+#include "parity/gf256.h"
+
+#include <cassert>
+
+namespace ftms::gf256 {
+
+uint8_t MulSlow(uint8_t a, uint8_t b) {
+  unsigned acc = 0;
+  unsigned aa = a;
+  for (unsigned bb = b; bb != 0; bb >>= 1) {
+    if (bb & 1) acc ^= aa;
+    aa <<= 1;
+    if (aa & 0x100) aa ^= kPoly;
+  }
+  return static_cast<uint8_t>(acc);
+}
+
+const Tables& GetTables() {
+  static const Tables* tables = [] {
+    auto* t = new Tables();
+    unsigned x = 1;
+    for (int i = 0; i < 255; ++i) {
+      t->exp[i] = static_cast<uint8_t>(x);
+      t->exp[i + 255] = static_cast<uint8_t>(x);
+      t->log[x] = static_cast<uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= kPoly;
+    }
+    assert(x == 1);  // g must have full order 255
+    t->log[0] = 0;
+    t->inv[0] = 0;
+    for (int a = 1; a < 256; ++a) {
+      t->inv[a] = t->exp[255 - t->log[a]];
+    }
+    for (int a = 0; a < 256; ++a) {
+      t->mul[0][a] = 0;
+      t->mul[a][0] = 0;
+    }
+    for (int a = 1; a < 256; ++a) {
+      const int la = t->log[a];
+      for (int b = 1; b < 256; ++b) {
+        t->mul[a][b] = t->exp[la + t->log[b]];
+      }
+    }
+    return t;
+  }();
+  return *tables;
+}
+
+uint8_t Exp(int e) {
+  int r = e % 255;
+  if (r < 0) r += 255;
+  return GetTables().exp[r];
+}
+
+uint8_t Log(uint8_t a) {
+  assert(a != 0);
+  return GetTables().log[a];
+}
+
+uint8_t Inv(uint8_t a) {
+  assert(a != 0);
+  return GetTables().inv[a];
+}
+
+void NibbleTables(uint8_t c, uint8_t lo[16], uint8_t hi[16]) {
+  const uint8_t* row = MulRow(c);
+  for (int i = 0; i < 16; ++i) {
+    lo[i] = row[i];
+    hi[i] = row[i << 4];
+  }
+}
+
+uint64_t GfniMatrix(uint8_t c) {
+  // GF2P8AFFINEQB computes dst bit i = parity(matrix_byte[7-i] & src),
+  // so byte k of the qword is the row for output bit 7-k, and bit j of
+  // that row must be bit (7-k) of c * 2^j.
+  uint64_t m = 0;
+  for (int k = 0; k < 8; ++k) {
+    uint8_t row = 0;
+    for (int j = 0; j < 8; ++j) {
+      if ((Mul(c, static_cast<uint8_t>(1u << j)) >> (7 - k)) & 1) {
+        row |= static_cast<uint8_t>(1u << j);
+      }
+    }
+    m |= static_cast<uint64_t>(row) << (8 * k);
+  }
+  return m;
+}
+
+void TwoDataCoefficients(int x, int y, uint8_t* a, uint8_t* b) {
+  assert(0 <= x && x < y);
+  const uint8_t gyx = Exp(y - x);
+  const uint8_t denom_inv = Inv(static_cast<uint8_t>(gyx ^ 1));
+  *a = Mul(gyx, denom_inv);
+  *b = Mul(Exp(-x), denom_inv);
+}
+
+}  // namespace ftms::gf256

@@ -1,0 +1,84 @@
+#ifndef FTMS_PARITY_GF256_H_
+#define FTMS_PARITY_GF256_H_
+
+#include <cstdint>
+
+namespace ftms::gf256 {
+
+// GF(2^8) arithmetic for the P+Q (RAID-6) codec.
+//
+// Field: polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11d), generator g = 2
+// — the same parameters as Linux's raid6 and ISA-L, so Q syndromes are
+// byte-compatible with standard RAID-6 tooling. With two parity blocks
+//   P = D0 ^ D1 ^ ... ^ D(k-1)
+//   Q = g^0·D0 ^ g^1·D1 ^ ... ^ g^(k-1)·D(k-1)
+// any two erasures in a group are recoverable (the 2x2 Vandermonde
+// system is nonsingular because the g^i are distinct and nonzero).
+//
+// Everything here is table-driven and built once at first use; the
+// PqKernel translation units consume the rows/tables below.
+
+inline constexpr unsigned kPoly = 0x11d;
+inline constexpr uint8_t kGenerator = 2;
+
+struct Tables {
+  // exp[i] = g^i. Doubled so exp[log a + log b] never needs a mod 255.
+  uint8_t exp[510];
+  // log[a] for a != 0; log[0] is 0 and must never be consulted.
+  uint8_t log[256];
+  // inv[a] for a != 0; inv[0] is 0 and must never be consulted.
+  uint8_t inv[256];
+  // Full product table; mul[c] is the 256-byte multiply-by-c row the
+  // scalar kernel walks (64 KB total, L2-resident).
+  uint8_t mul[256][256];
+};
+
+// The process-wide tables, built on first call (thread-safe).
+const Tables& GetTables();
+
+// a * b in the field, via the product table.
+inline uint8_t Mul(uint8_t a, uint8_t b) { return GetTables().mul[a][b]; }
+
+// The 256-byte multiply-by-c row.
+inline const uint8_t* MulRow(uint8_t c) { return GetTables().mul[c]; }
+
+// Bitwise carry-less multiply-and-reduce. Independent of the tables —
+// the reference the table builders and tests are checked against.
+uint8_t MulSlow(uint8_t a, uint8_t b);
+
+// g^e for any integer exponent, negatives included (g^-e = g^(255-e)).
+uint8_t Exp(int e);
+
+// Discrete log of a (a != 0; asserts in debug builds).
+uint8_t Log(uint8_t a);
+
+// Multiplicative inverse of a (a != 0; asserts in debug builds).
+uint8_t Inv(uint8_t a);
+
+// a / b (b != 0).
+inline uint8_t Div(uint8_t a, uint8_t b) { return Mul(a, Inv(b)); }
+
+// Fills the two 16-byte pshufb/vtbl tables for multiply-by-c:
+//   lo[i] = c * i          (low nibble contribution)
+//   hi[i] = c * (i << 4)   (high nibble contribution)
+// so c*x = lo[x & 15] ^ hi[x >> 4] — the classic nibble-split SIMD
+// GF multiply.
+void NibbleTables(uint8_t c, uint8_t lo[16], uint8_t hi[16]);
+
+// The 8x8 bit matrix for GF2P8AFFINEQB that implements multiply-by-c
+// in THIS field (the affine form works for any polynomial; the
+// instruction's own gf2p8mulb is locked to 0x11b and useless here).
+// Byte k of the result is the matrix row producing output bit 7-k:
+// bit j of that row is bit (7-k) of c * 2^j.
+uint64_t GfniMatrix(uint8_t c);
+
+// Coefficients for the two-missing-data reconstruction (missing data
+// indices x < y). With P' = P ^ (XOR of surviving data) and
+// Q' = Q ^ (Q-syndrome of surviving data):
+//   D_x = A*P' ^ B*Q',   D_y = P' ^ D_x
+// where A = g^(y-x) / (g^(y-x) ^ 1) and B = g^(-x) / (g^(y-x) ^ 1).
+void TwoDataCoefficients(int x, int y, uint8_t* a, uint8_t* b);
+
+}  // namespace ftms::gf256
+
+#endif  // FTMS_PARITY_GF256_H_

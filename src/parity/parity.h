@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "parity/pq_kernels.h"
 #include "parity/xor_kernels.h"
 #include "util/status.h"
 
@@ -46,6 +47,35 @@ StatusOr<Block> ReconstructMissing(std::span<const Block> survivors,
 // internally consistent. Allocation-free: the fold runs chunk-wise
 // through a stack buffer and never materializes the computed parity.
 StatusOr<bool> VerifyGroup(std::span<const Block> data, const Block& parity);
+
+// ---------------------------------------------------------------------
+// P+Q (RAID-6) codec — the dual-parity groups of the SR-2/NC-2 scheme
+// variants. Unit index convention for a group with k data blocks:
+// units 0..k-1 are the data blocks, unit k is P, unit k+1 is Q, with
+//   P = D0 ^ ... ^ D(k-1),   Q = g^0*D0 ^ ... ^ g^(k-1)*D(k-1)
+// over GF(2^8) (parity/gf256.h). Any two lost units are recoverable.
+
+inline constexpr int PqUnitP(int data_blocks) { return data_blocks; }
+inline constexpr int PqUnitQ(int data_blocks) { return data_blocks + 1; }
+
+// Computes both syndromes of `data` (non-empty, equal-sized) in fused
+// kernel passes; p and q are overwritten.
+Status ComputePq(std::span<const Block> data, Block* p, Block* q);
+
+// Verifies that p and q both match `data` — the dual-parity scrub
+// check.
+StatusOr<bool> VerifyPqGroup(std::span<const Block> data, const Block& p,
+                             const Block& q);
+
+// Repairs up to two missing units of a P+Q group in place. `missing`
+// holds the distinct unit indices of the lost blocks (0..k+1 with
+// k = data.size()), in any order; the blocks at those positions must be
+// allocated to the group's block size (contents ignored), every other
+// block must hold its true contents. Covers all two-erasure cases:
+// data+data, data+P, data+Q and P+Q. InvalidArgument on more than two
+// missing units, duplicate or out-of-range indices, or size mismatches.
+Status ReconstructPq(std::span<Block> data, Block* p, Block* q,
+                     std::span<const int> missing);
 
 // Incremental XOR accumulator. Section 3's deferred-transition scheme
 // buffers "A0 ^ A1" after delivering A0 and A1 so the missing A2 can be

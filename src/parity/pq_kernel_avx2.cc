@@ -1,0 +1,125 @@
+#include "parity/pq_kernels_internal.h"
+
+#if defined(FTMS_PQ_BUILD_AVX2) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include "parity/gf256.h"
+
+namespace ftms::internal {
+namespace {
+
+bool Avx2Supported() { return __builtin_cpu_supports("avx2"); }
+
+// vpshufb shuffles within each 128-bit lane, so broadcasting the
+// 16-byte nibble tables across both lanes gives 32 GF multiplies per
+// instruction pair.
+struct NibblePair {
+  __m256i lo;
+  __m256i hi;
+};
+
+NibblePair LoadTables(uint8_t c) {
+  alignas(16) uint8_t lo[16];
+  alignas(16) uint8_t hi[16];
+  gf256::NibbleTables(c, lo, hi);
+  return {_mm256_broadcastsi128_si256(
+              _mm_load_si128(reinterpret_cast<const __m128i*>(lo))),
+          _mm256_broadcastsi128_si256(
+              _mm_load_si128(reinterpret_cast<const __m128i*>(hi)))};
+}
+
+inline __m256i MulBytes(__m256i v, const NibblePair& t, __m256i mask) {
+  const __m256i lo = _mm256_and_si256(v, mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), mask);
+  return _mm256_xor_si256(_mm256_shuffle_epi8(t.lo, lo),
+                          _mm256_shuffle_epi8(t.hi, hi));
+}
+
+void PqAvx2(uint8_t* p, uint8_t* q, const uint8_t* const* srcs,
+            const uint8_t* coeffs, int nsrc, size_t bytes) {
+  NibblePair tables[kMaxPqSources];
+  for (int s = 0; s < nsrc; ++s) tables[s] = LoadTables(coeffs[s]);
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  size_t off = 0;
+  // Two 32-byte accumulator pairs hide shuffle latency while the
+  // sources stream; p and q stay in registers for the whole fold.
+  for (; off + 64 <= bytes; off += 64) {
+    __m256i p0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(p + off));
+    __m256i p1 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(p + off + 32));
+    __m256i q0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(q + off));
+    __m256i q1 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(q + off + 32));
+    for (int s = 0; s < nsrc; ++s) {
+      const uint8_t* src = srcs[s] + off;
+      const __m256i v0 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(src));
+      const __m256i v1 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(src + 32));
+      p0 = _mm256_xor_si256(p0, v0);
+      p1 = _mm256_xor_si256(p1, v1);
+      q0 = _mm256_xor_si256(q0, MulBytes(v0, tables[s], mask));
+      q1 = _mm256_xor_si256(q1, MulBytes(v1, tables[s], mask));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p + off), p0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p + off + 32), p1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(q + off), q0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(q + off + 32), q1);
+  }
+  for (; off + 32 <= bytes; off += 32) {
+    __m256i vp = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(p + off));
+    __m256i vq = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(q + off));
+    for (int s = 0; s < nsrc; ++s) {
+      const __m256i v = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(srcs[s] + off));
+      vp = _mm256_xor_si256(vp, v);
+      vq = _mm256_xor_si256(vq, MulBytes(v, tables[s], mask));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p + off), vp);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(q + off), vq);
+  }
+  if (off < bytes) {
+    const uint8_t* tails[kMaxPqSources];
+    for (int s = 0; s < nsrc; ++s) tails[s] = srcs[s] + off;
+    PqScalarImpl(p + off, q + off, tails, coeffs, nsrc, bytes - off);
+  }
+}
+
+void MulXorAvx2(uint8_t* dst, const uint8_t* src, uint8_t c,
+                size_t bytes) {
+  const NibblePair t = LoadTables(c);
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  size_t off = 0;
+  for (; off + 32 <= bytes; off += 32) {
+    const __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(src + off));
+    __m256i d = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(dst + off));
+    d = _mm256_xor_si256(d, MulBytes(v, t, mask));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + off), d);
+  }
+  if (off < bytes) MulXorScalarImpl(dst + off, src + off, c, bytes - off);
+}
+
+}  // namespace
+
+const PqKernel* GetPqKernelAvx2() {
+  static constexpr PqKernel kKernel = {"avx2", Avx2Supported, PqAvx2,
+                                       MulXorAvx2};
+  return &kKernel;
+}
+
+}  // namespace ftms::internal
+
+#else  // compiled without AVX2 support
+
+namespace ftms::internal {
+const PqKernel* GetPqKernelAvx2() { return nullptr; }
+}  // namespace ftms::internal
+
+#endif

@@ -1,0 +1,95 @@
+#include "parity/pq_kernels_internal.h"
+
+#if defined(FTMS_PQ_BUILD_AVX512) && defined(__AVX512F__) && \
+    defined(__AVX512BW__)
+
+#include <immintrin.h>
+
+#include "parity/gf256.h"
+
+namespace ftms::internal {
+namespace {
+
+// vpshufb on zmm registers needs AVX-512BW (AVX-512F alone has no
+// 512-bit byte shuffle).
+bool Avx512Supported() { return __builtin_cpu_supports("avx512bw"); }
+
+// The shuffle stays lane-local, so the 16-byte nibble tables broadcast
+// to all four 128-bit lanes: 64 GF multiplies per instruction pair.
+struct NibblePair {
+  __m512i lo;
+  __m512i hi;
+};
+
+NibblePair LoadTables(uint8_t c) {
+  alignas(16) uint8_t lo[16];
+  alignas(16) uint8_t hi[16];
+  gf256::NibbleTables(c, lo, hi);
+  return {_mm512_broadcast_i32x4(
+              _mm_load_si128(reinterpret_cast<const __m128i*>(lo))),
+          _mm512_broadcast_i32x4(
+              _mm_load_si128(reinterpret_cast<const __m128i*>(hi)))};
+}
+
+inline __m512i MulBytes(__m512i v, const NibblePair& t, __m512i mask) {
+  const __m512i lo = _mm512_and_si512(v, mask);
+  const __m512i hi = _mm512_and_si512(_mm512_srli_epi16(v, 4), mask);
+  return _mm512_xor_si512(_mm512_shuffle_epi8(t.lo, lo),
+                          _mm512_shuffle_epi8(t.hi, hi));
+}
+
+void PqAvx512(uint8_t* p, uint8_t* q, const uint8_t* const* srcs,
+              const uint8_t* coeffs, int nsrc, size_t bytes) {
+  NibblePair tables[kMaxPqSources];
+  for (int s = 0; s < nsrc; ++s) tables[s] = LoadTables(coeffs[s]);
+  const __m512i mask = _mm512_set1_epi8(0x0f);
+  size_t off = 0;
+  for (; off + 64 <= bytes; off += 64) {
+    __m512i vp = _mm512_loadu_si512(p + off);
+    __m512i vq = _mm512_loadu_si512(q + off);
+    for (int s = 0; s < nsrc; ++s) {
+      const __m512i v = _mm512_loadu_si512(srcs[s] + off);
+      vp = _mm512_xor_si512(vp, v);
+      vq = _mm512_xor_si512(vq, MulBytes(v, tables[s], mask));
+    }
+    _mm512_storeu_si512(p + off, vp);
+    _mm512_storeu_si512(q + off, vq);
+  }
+  if (off < bytes) {
+    const uint8_t* tails[kMaxPqSources];
+    for (int s = 0; s < nsrc; ++s) tails[s] = srcs[s] + off;
+    PqScalarImpl(p + off, q + off, tails, coeffs, nsrc, bytes - off);
+  }
+}
+
+void MulXorAvx512(uint8_t* dst, const uint8_t* src, uint8_t c,
+                  size_t bytes) {
+  const NibblePair t = LoadTables(c);
+  const __m512i mask = _mm512_set1_epi8(0x0f);
+  size_t off = 0;
+  for (; off + 64 <= bytes; off += 64) {
+    const __m512i v = _mm512_loadu_si512(src + off);
+    __m512i d = _mm512_loadu_si512(dst + off);
+    d = _mm512_xor_si512(d, MulBytes(v, t, mask));
+    _mm512_storeu_si512(dst + off, d);
+  }
+  if (off < bytes) MulXorScalarImpl(dst + off, src + off, c, bytes - off);
+}
+
+}  // namespace
+
+const PqKernel* GetPqKernelAvx512() {
+  static constexpr PqKernel kKernel = {"avx512", Avx512Supported, PqAvx512,
+                                       MulXorAvx512};
+  return &kKernel;
+}
+
+}  // namespace ftms::internal
+
+#else  // compiled without AVX-512BW support
+
+namespace ftms::internal {
+const PqKernel* GetPqKernelAvx512() { return nullptr; }
+}  // namespace ftms::internal
+
+#endif

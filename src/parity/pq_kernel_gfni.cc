@@ -1,0 +1,80 @@
+#include "parity/pq_kernels_internal.h"
+
+#if defined(FTMS_PQ_BUILD_GFNI) && defined(__GFNI__) && \
+    defined(__AVX512F__) && defined(__AVX512BW__)
+
+#include <immintrin.h>
+
+#include "parity/gf256.h"
+
+namespace ftms::internal {
+namespace {
+
+// 512-bit VGF2P8AFFINEQB needs GFNI + AVX-512F (GCC additionally gates
+// the intrinsic behind AVX-512BW). The instruction's own gf2p8mulb is
+// locked to polynomial 0x11b; the affine form takes our 0x11d multiply
+// as an 8x8 bit matrix, so one instruction does 64 GF multiplies with
+// no table loads at all.
+bool GfniSupported() {
+  return __builtin_cpu_supports("gfni") &&
+         __builtin_cpu_supports("avx512bw");
+}
+
+void PqGfni(uint8_t* p, uint8_t* q, const uint8_t* const* srcs,
+            const uint8_t* coeffs, int nsrc, size_t bytes) {
+  __m512i mats[kMaxPqSources];
+  for (int s = 0; s < nsrc; ++s) {
+    mats[s] = _mm512_set1_epi64(
+        static_cast<long long>(gf256::GfniMatrix(coeffs[s])));
+  }
+  size_t off = 0;
+  for (; off + 64 <= bytes; off += 64) {
+    __m512i vp = _mm512_loadu_si512(p + off);
+    __m512i vq = _mm512_loadu_si512(q + off);
+    for (int s = 0; s < nsrc; ++s) {
+      const __m512i v = _mm512_loadu_si512(srcs[s] + off);
+      vp = _mm512_xor_si512(vp, v);
+      vq = _mm512_xor_si512(
+          vq, _mm512_gf2p8affine_epi64_epi8(v, mats[s], 0));
+    }
+    _mm512_storeu_si512(p + off, vp);
+    _mm512_storeu_si512(q + off, vq);
+  }
+  if (off < bytes) {
+    const uint8_t* tails[kMaxPqSources];
+    for (int s = 0; s < nsrc; ++s) tails[s] = srcs[s] + off;
+    PqScalarImpl(p + off, q + off, tails, coeffs, nsrc, bytes - off);
+  }
+}
+
+void MulXorGfni(uint8_t* dst, const uint8_t* src, uint8_t c,
+                size_t bytes) {
+  const __m512i mat = _mm512_set1_epi64(
+      static_cast<long long>(gf256::GfniMatrix(c)));
+  size_t off = 0;
+  for (; off + 64 <= bytes; off += 64) {
+    const __m512i v = _mm512_loadu_si512(src + off);
+    __m512i d = _mm512_loadu_si512(dst + off);
+    d = _mm512_xor_si512(d, _mm512_gf2p8affine_epi64_epi8(v, mat, 0));
+    _mm512_storeu_si512(dst + off, d);
+  }
+  if (off < bytes) MulXorScalarImpl(dst + off, src + off, c, bytes - off);
+}
+
+}  // namespace
+
+const PqKernel* GetPqKernelGfni() {
+  static constexpr PqKernel kKernel = {"gfni", GfniSupported, PqGfni,
+                                       MulXorGfni};
+  return &kKernel;
+}
+
+}  // namespace ftms::internal
+
+#else  // compiled without GFNI + AVX-512 support
+
+namespace ftms::internal {
+const PqKernel* GetPqKernelGfni() { return nullptr; }
+}  // namespace ftms::internal
+
+#endif

@@ -1,0 +1,90 @@
+#include "parity/pq_kernels_internal.h"
+
+#if defined(FTMS_PQ_BUILD_NEON) && defined(__ARM_NEON)
+
+#include <arm_neon.h>
+
+#include "parity/gf256.h"
+
+namespace ftms::internal {
+namespace {
+
+// NEON is architectural on AArch64.
+bool NeonSupported() { return true; }
+
+// vqtbl1q_u8 is the 16-byte table lookup — the same nibble-split GF
+// multiply as pshufb.
+struct NibblePair {
+  uint8x16_t lo;
+  uint8x16_t hi;
+};
+
+NibblePair LoadTables(uint8_t c) {
+  alignas(16) uint8_t lo[16];
+  alignas(16) uint8_t hi[16];
+  gf256::NibbleTables(c, lo, hi);
+  return {vld1q_u8(lo), vld1q_u8(hi)};
+}
+
+inline uint8x16_t MulBytes(uint8x16_t v, const NibblePair& t,
+                           uint8x16_t mask) {
+  const uint8x16_t lo = vandq_u8(v, mask);
+  const uint8x16_t hi = vandq_u8(vshrq_n_u8(v, 4), mask);
+  return veorq_u8(vqtbl1q_u8(t.lo, lo), vqtbl1q_u8(t.hi, hi));
+}
+
+void PqNeon(uint8_t* p, uint8_t* q, const uint8_t* const* srcs,
+            const uint8_t* coeffs, int nsrc, size_t bytes) {
+  NibblePair tables[kMaxPqSources];
+  for (int s = 0; s < nsrc; ++s) tables[s] = LoadTables(coeffs[s]);
+  const uint8x16_t mask = vdupq_n_u8(0x0f);
+  size_t off = 0;
+  for (; off + 16 <= bytes; off += 16) {
+    uint8x16_t vp = vld1q_u8(p + off);
+    uint8x16_t vq = vld1q_u8(q + off);
+    for (int s = 0; s < nsrc; ++s) {
+      const uint8x16_t v = vld1q_u8(srcs[s] + off);
+      vp = veorq_u8(vp, v);
+      vq = veorq_u8(vq, MulBytes(v, tables[s], mask));
+    }
+    vst1q_u8(p + off, vp);
+    vst1q_u8(q + off, vq);
+  }
+  if (off < bytes) {
+    const uint8_t* tails[kMaxPqSources];
+    for (int s = 0; s < nsrc; ++s) tails[s] = srcs[s] + off;
+    PqScalarImpl(p + off, q + off, tails, coeffs, nsrc, bytes - off);
+  }
+}
+
+void MulXorNeon(uint8_t* dst, const uint8_t* src, uint8_t c,
+                size_t bytes) {
+  const NibblePair t = LoadTables(c);
+  const uint8x16_t mask = vdupq_n_u8(0x0f);
+  size_t off = 0;
+  for (; off + 16 <= bytes; off += 16) {
+    const uint8x16_t v = vld1q_u8(src + off);
+    uint8x16_t d = vld1q_u8(dst + off);
+    d = veorq_u8(d, MulBytes(v, t, mask));
+    vst1q_u8(dst + off, d);
+  }
+  if (off < bytes) MulXorScalarImpl(dst + off, src + off, c, bytes - off);
+}
+
+}  // namespace
+
+const PqKernel* GetPqKernelNeon() {
+  static constexpr PqKernel kKernel = {"neon", NeonSupported, PqNeon,
+                                       MulXorNeon};
+  return &kKernel;
+}
+
+}  // namespace ftms::internal
+
+#else  // compiled without NEON support
+
+namespace ftms::internal {
+const PqKernel* GetPqKernelNeon() { return nullptr; }
+}  // namespace ftms::internal
+
+#endif

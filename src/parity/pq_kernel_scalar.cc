@@ -1,0 +1,46 @@
+#include "parity/gf256.h"
+#include "parity/pq_kernels_internal.h"
+
+namespace ftms::internal {
+namespace {
+
+bool AlwaysSupported() { return true; }
+
+}  // namespace
+
+void PqScalarImpl(uint8_t* p, uint8_t* q, const uint8_t* const* srcs,
+                  const uint8_t* coeffs, int nsrc, size_t bytes) {
+  // One 256-byte multiply row per coefficient (hot rows stay in L1),
+  // one pass over p and q: per byte, fold every source into both
+  // accumulators before the store. This table walk IS the scalar GF
+  // baseline the SIMD kernels are measured against.
+  const uint8_t* rows[kMaxPqSources];
+  for (int s = 0; s < nsrc; ++s) rows[s] = gf256::MulRow(coeffs[s]);
+  for (size_t i = 0; i < bytes; ++i) {
+    uint8_t dp = p[i];
+    uint8_t dq = q[i];
+    for (int s = 0; s < nsrc; ++s) {
+      const uint8_t v = srcs[s][i];
+      dp = static_cast<uint8_t>(dp ^ v);
+      dq = static_cast<uint8_t>(dq ^ rows[s][v]);
+    }
+    p[i] = dp;
+    q[i] = dq;
+  }
+}
+
+void MulXorScalarImpl(uint8_t* dst, const uint8_t* src, uint8_t c,
+                      size_t bytes) {
+  const uint8_t* row = gf256::MulRow(c);
+  for (size_t i = 0; i < bytes; ++i) {
+    dst[i] = static_cast<uint8_t>(dst[i] ^ row[src[i]]);
+  }
+}
+
+const PqKernel* GetPqKernelScalar() {
+  static constexpr PqKernel kKernel = {"scalar", AlwaysSupported,
+                                       PqScalarImpl, MulXorScalarImpl};
+  return &kKernel;
+}
+
+}  // namespace ftms::internal

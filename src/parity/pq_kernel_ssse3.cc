@@ -1,0 +1,96 @@
+#include "parity/pq_kernels_internal.h"
+
+#if defined(FTMS_PQ_BUILD_SSSE3) && defined(__SSSE3__)
+
+#include <immintrin.h>
+
+#include "parity/gf256.h"
+
+namespace ftms::internal {
+namespace {
+
+bool Ssse3Supported() { return __builtin_cpu_supports("ssse3"); }
+
+// Loads the two 16-byte nibble tables for multiply-by-c: the classic
+// pshufb GF multiply splits each byte into nibbles and looks both up,
+// c*x = lo[x & 15] ^ hi[x >> 4].
+struct NibblePair {
+  __m128i lo;
+  __m128i hi;
+};
+
+NibblePair LoadTables(uint8_t c) {
+  alignas(16) uint8_t lo[16];
+  alignas(16) uint8_t hi[16];
+  gf256::NibbleTables(c, lo, hi);
+  return {_mm_load_si128(reinterpret_cast<const __m128i*>(lo)),
+          _mm_load_si128(reinterpret_cast<const __m128i*>(hi))};
+}
+
+inline __m128i MulBytes(__m128i v, const NibblePair& t, __m128i mask) {
+  const __m128i lo = _mm_and_si128(v, mask);
+  const __m128i hi = _mm_and_si128(_mm_srli_epi16(v, 4), mask);
+  return _mm_xor_si128(_mm_shuffle_epi8(t.lo, lo),
+                       _mm_shuffle_epi8(t.hi, hi));
+}
+
+void PqSsse3(uint8_t* p, uint8_t* q, const uint8_t* const* srcs,
+             const uint8_t* coeffs, int nsrc, size_t bytes) {
+  NibblePair tables[kMaxPqSources];
+  for (int s = 0; s < nsrc; ++s) tables[s] = LoadTables(coeffs[s]);
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  size_t off = 0;
+  for (; off + 16 <= bytes; off += 16) {
+    __m128i vp = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(p + off));
+    __m128i vq = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(q + off));
+    for (int s = 0; s < nsrc; ++s) {
+      const __m128i v = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(srcs[s] + off));
+      vp = _mm_xor_si128(vp, v);
+      vq = _mm_xor_si128(vq, MulBytes(v, tables[s], mask));
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p + off), vp);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(q + off), vq);
+  }
+  if (off < bytes) {
+    const uint8_t* tails[kMaxPqSources];
+    for (int s = 0; s < nsrc; ++s) tails[s] = srcs[s] + off;
+    PqScalarImpl(p + off, q + off, tails, coeffs, nsrc, bytes - off);
+  }
+}
+
+void MulXorSsse3(uint8_t* dst, const uint8_t* src, uint8_t c,
+                 size_t bytes) {
+  const NibblePair t = LoadTables(c);
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  size_t off = 0;
+  for (; off + 16 <= bytes; off += 16) {
+    const __m128i v = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(src + off));
+    __m128i d = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(dst + off));
+    d = _mm_xor_si128(d, MulBytes(v, t, mask));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + off), d);
+  }
+  if (off < bytes) MulXorScalarImpl(dst + off, src + off, c, bytes - off);
+}
+
+}  // namespace
+
+const PqKernel* GetPqKernelSsse3() {
+  static constexpr PqKernel kKernel = {"ssse3", Ssse3Supported, PqSsse3,
+                                       MulXorSsse3};
+  return &kKernel;
+}
+
+}  // namespace ftms::internal
+
+#else  // compiled without SSSE3 support
+
+namespace ftms::internal {
+const PqKernel* GetPqKernelSsse3() { return nullptr; }
+}  // namespace ftms::internal
+
+#endif

@@ -62,13 +62,18 @@ ConformanceWatchdog::Failures() const {
 
 bool ConformanceWatchdog::HadOverlappingFailures() const {
   if (journal_ == nullptr) return false;
-  const std::string_view scheme =
-      SchemeAbbrev(scheduler_->config().scheme);
+  const Scheme s = scheduler_->config().scheme;
+  const std::string_view scheme = SchemeAbbrev(s);
+  // Single-parity bounds assume one failure at a time; the dual-parity
+  // schemes are IN SPEC with two concurrent failures (P+Q repairs any
+  // two erasures per cluster), so only a third overlapping failure
+  // pushes them into the catastrophic regime.
+  const int tolerated = std::max(1, ParityDisksPerCluster(s));
   int down = 0;
   for (const QosEvent& e : journal_->Snapshot()) {
     if (e.scheme != scheme) continue;
     if (e.kind == QosEventKind::kDiskFailed) {
-      if (++down > 1) return true;
+      if (++down > tolerated) return true;
     } else if (e.kind == QosEventKind::kDiskRepaired) {
       down = std::max(0, down - 1);
     }
@@ -132,7 +137,19 @@ std::vector<ConformanceFinding> ConformanceWatchdog::Run() const {
       }
       break;
     }
-    case Scheme::kNonClustered: {
+    case Scheme::kStreamingRaid2: {
+      const char* check = "sr2_two_failure_masking";
+      if (gated(check, m.dropped_reads == 0,
+                "reads were dropped (overload): masking bound voided")) {
+        findings.push_back(Checked(
+            check, static_cast<double>(m.hiccups), 0,
+            "up to two concurrent failures per cluster are masked by "
+            "P+Q parity; " + regime));
+      }
+      break;
+    }
+    case Scheme::kNonClustered:
+    case Scheme::kNonClustered2: {
       const bool no_degradation = m.degradation_events == 0;
       const char* why = "buffer servers exhausted: reconstruction bound "
                         "voided (Section 3 degradation)";
@@ -161,6 +178,9 @@ std::vector<ConformanceFinding> ConformanceWatchdog::Run() const {
             "nc_transition_window", static_cast<double>(outside), 0,
             "hiccups outside every C-cycle transition window; " + regime));
       }
+      // Bounds scale with the group's data-block count: C-1 for NC,
+      // C-2 for the dual-parity NC-2.
+      const int dpg = c - ParityDisksPerCluster(config.scheme);
       if (gated("nc_loss_total_bound", no_degradation, why)) {
         int64_t worst_window = 0;
         for (const auto& [w, n] : window_total) {
@@ -168,8 +188,8 @@ std::vector<ConformanceFinding> ConformanceWatchdog::Run() const {
         }
         findings.push_back(Checked(
             "nc_loss_total_bound", static_cast<double>(worst_window),
-            static_cast<double>((c - 1) * (c - 2)) / 2.0,
-            "tracks lost per failure <= 1+2+...+(C-2) (Figure 6); " +
+            static_cast<double>(dpg * (dpg - 1)) / 2.0,
+            "tracks lost per failure <= 1+2+...+(D'-1) (Figure 6); " +
                 regime));
       }
       if (gated("nc_loss_per_stream_bound", no_degradation, why)) {
@@ -179,8 +199,8 @@ std::vector<ConformanceFinding> ConformanceWatchdog::Run() const {
         }
         findings.push_back(Checked(
             "nc_loss_per_stream_bound", static_cast<double>(worst_stream),
-            static_cast<double>(std::max(0, c - 2)),
-            "stream at group position q loses C-1-q tracks, max C-2; " +
+            static_cast<double>(std::max(0, dpg - 1)),
+            "stream at group position q loses D'-q tracks, max D'-1; " +
                 regime));
       }
       break;

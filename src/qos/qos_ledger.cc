@@ -149,6 +149,11 @@ std::vector<SloSpec> DefaultSlos(Scheme scheme, int parity_group_size) {
     case Scheme::kStaggeredGroup:
       per_stream_bound = 0;  // single failures are fully masked
       break;
+    case Scheme::kStreamingRaid2:
+      // P+Q keeps the whole group in memory: even TWO concurrent
+      // failures per cluster are fully masked.
+      per_stream_bound = 0;
+      break;
     case Scheme::kImprovedBandwidth:
       per_stream_bound = 1;  // at most one isolated hiccup
       break;
@@ -157,6 +162,12 @@ std::vector<SloSpec> DefaultSlos(Scheme scheme, int parity_group_size) {
       // position q >= 1: worst placed stream loses C-2.
       per_stream_bound = static_cast<double>(
           std::max(0, parity_group_size - 2));
+      break;
+    case Scheme::kNonClustered2:
+      // Same switchover losses as NC, with one fewer data track per
+      // group (C-2 data blocks): worst placed stream loses C-3.
+      per_stream_bound = static_cast<double>(
+          std::max(0, parity_group_size - 3));
       break;
   }
   std::vector<SloSpec> slos;

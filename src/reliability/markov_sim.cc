@@ -161,13 +161,17 @@ StatusOr<ReliabilityEstimate> EstimateMttfCatastrophic(
         "num_disks must be a multiple of the cluster size");
   }
   const int clusters = config.num_disks / cluster_size;
+  // Single-parity clusters die at two concurrent failures; dual-parity
+  // (P+Q) clusters survive two and die at three.
+  const int fatal = ParityDisksPerCluster(config.scheme) >= 2 ? 3 : 2;
 
   return RunTrials(
       config, cluster_size, "catastrophic",
-      [ib, clusters, cluster_size](const std::vector<int>& down_per_cluster,
-                                   int /*total*/, int disk) {
+      [ib, clusters, cluster_size,
+       fatal](const std::vector<int>& down_per_cluster, int /*total*/,
+              int disk) {
         const int cl = disk / cluster_size;
-        if (down_per_cluster[static_cast<size_t>(cl)] >= 2) return true;
+        if (down_per_cluster[static_cast<size_t>(cl)] >= fatal) return true;
         if (!ib) return false;
         // IB: a down disk in an adjacent cluster is also fatal (shared
         // parity dependency across the cluster boundary).

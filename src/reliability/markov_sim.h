@@ -20,6 +20,8 @@ namespace ftms {
 // Events:
 //  * catastrophic, clustered schemes: two disks of one C-disk cluster are
 //    down simultaneously (the group's data can no longer be reconstructed);
+//    the dual-parity variants (SR-2/NC-2) survive two and die at THREE
+//    down disks in one cluster — P+Q repairs any two erasures;
 //  * catastrophic, Improved-bandwidth: two down disks in the same or in
 //    adjacent (C-1)-disk clusters — disks serve their own cluster's data
 //    AND the left neighbor's parity, so adjacency is fatal (Section 4);

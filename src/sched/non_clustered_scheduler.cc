@@ -27,30 +27,33 @@ void NonClusteredScheduler::DoAddStream(Stream* stream) {
 
 int NonClusteredScheduler::FailedDataIndex(int cluster) const {
   const int c = layout_->parity_group_size();
-  int failed = -1;
-  for (int i = 0; i < c - 1; ++i) {
-    const int disk = cluster * c + i;
-    if (!disks_->disk(disk).operational()) {
-      if (failed >= 0) return failed;  // multiple: caller checks count
-      failed = i;
-    }
+  const int data_slots = c - layout_->parity_blocks();
+  for (int i = 0; i < data_slots; ++i) {
+    if (!disks_->disk(cluster * c + i).operational()) return i;
   }
-  return failed;
+  return -1;
 }
 
 int NonClusteredScheduler::NumFailedData(int cluster) const {
   // O(1) from the array's per-cluster failure count: every disk of the
-  // cluster except the last is a data disk.
-  return disks_->NumFailedInCluster(cluster) - (ParityUp(cluster) ? 0 : 1);
+  // cluster except the trailing parity slot(s) is a data disk.
+  const int parity_failed =
+      layout_->parity_blocks() - ParityDisksUp(cluster);
+  return disks_->NumFailedInCluster(cluster) - parity_failed;
 }
 
-bool NonClusteredScheduler::ParityUp(int cluster) const {
+int NonClusteredScheduler::ParityDisksUp(int cluster) const {
   const int c = layout_->parity_group_size();
-  return disks_->DiskUp(cluster * c + c - 1);
+  int up = 0;
+  for (int s = c - layout_->parity_blocks(); s < c; ++s) {
+    if (disks_->DiskUp(cluster * c + s)) ++up;
+  }
+  return up;
 }
 
 bool NonClusteredScheduler::CanReconstruct(int cluster) const {
-  return NumFailedData(cluster) == 1 && ParityUp(cluster);
+  const int failed = NumFailedData(cluster);
+  return failed >= 1 && failed <= ParityDisksUp(cluster);
 }
 
 bool NonClusteredScheduler::ClusterDegraded(int cluster) const {
@@ -142,7 +145,8 @@ void NonClusteredScheduler::ReadGroupNow(ShardCtx& ctx, Stream* stream,
 
   // Read every not-yet-buffered, not-yet-delivered track of the group.
   bool all_survivors_ok = true;
-  int64_t missing_track = -1;
+  int missing_count = 0;
+  int64_t missing_tracks[2] = {-1, -1};
   for (int64_t t = std::max(first, stream->position()); t < last; ++t) {
     if (st->buffered.Contains(t)) continue;
     // Position of t within this group is t - first (the loop stays inside
@@ -153,7 +157,8 @@ void NonClusteredScheduler::ReadGroupNow(ShardCtx& ctx, Stream* stream,
       // The planner never issues reads to a known-dead disk, so record
       // the degraded read here — TryRead can't see skipped attempts.
       CountDegradedRead(cluster);
-      missing_track = t;
+      if (missing_count < 2) missing_tracks[missing_count] = t;
+      ++missing_count;
       continue;
     }
     if (TryRead(ctx, disk, /*is_parity=*/false) == ReadOutcome::kOk) {
@@ -163,12 +168,14 @@ void NonClusteredScheduler::ReadGroupNow(ShardCtx& ctx, Stream* stream,
     }
   }
 
-  // Parity read + on-the-fly reconstruction of the failed block. Requires
-  // the whole rest of the group in memory: every survivor just read, plus
-  // (deferred strategy) the accumulated prefix of already-delivered
-  // tracks. Without a buffer server the cluster has no memory to stage
-  // the group, so the block is lost.
-  if (missing_track >= 0) {
+  // Parity read(s) + on-the-fly reconstruction of the failed block(s):
+  // one parity column per missing block (P for a single erasure, P and Q
+  // for the dual-parity double-erasure repair). Requires the whole rest
+  // of the group in memory: every survivor just read, plus (deferred
+  // strategy) the accumulated prefix of already-delivered tracks.
+  // Without a buffer server the cluster has no memory to stage the
+  // group, so the block(s) are lost.
+  if (missing_count > 0) {
     bool prefix_ok = true;
     for (int64_t t = first; t < stream->position() && t < last; ++t) {
       // Tracks delivered before this group read must be in the XOR
@@ -177,18 +184,28 @@ void NonClusteredScheduler::ReadGroupNow(ShardCtx& ctx, Stream* stream,
                   st->acc_prefix >= geom_.PositionInGroup(t) + 1;
       if (!prefix_ok) break;
     }
-    bool parity_ok = false;
-    if (CanReconstruct(cluster) && with_server && prefix_ok &&
-        all_survivors_ok) {
-      AcquireBuffers(ctx, 1);
-      parity_ok = TryRead(ctx, geom_.ParityDisk(object_id, group, cluster),
-                          /*is_parity=*/true) == ReadOutcome::kOk;
-      ReleaseBuffersAtCycleEnd(ctx, 1);  // folded into the reconstruction immediately
+    int parity_reads_ok = 0;
+    if (CanReconstruct(cluster) && missing_count <= ParityDisksUp(cluster) &&
+        with_server && prefix_ok && all_survivors_ok) {
+      AcquireBuffers(ctx, missing_count);
+      const int c = geom_.disks_per_cluster;
+      for (int s = c - geom_.parity_blocks;
+           s < c && parity_reads_ok < missing_count; ++s) {
+        const int disk = geom_.DataDisk(cluster, s);
+        if (!DiskUp(disk)) continue;
+        if (TryRead(ctx, disk, /*is_parity=*/true) == ReadOutcome::kOk) {
+          ++parity_reads_ok;
+        }
+      }
+      // Folded into the reconstruction immediately.
+      ReleaseBuffersAtCycleEnd(ctx, missing_count);
     }
-    if (parity_ok) {
-      BufferTrack(ctx, st, missing_track);
-      ++ctx.metrics.reconstructed;
-      CountReconstruction(cluster);
+    if (parity_reads_ok >= missing_count) {
+      for (int m = 0; m < missing_count; ++m) {
+        BufferTrack(ctx, st, missing_tracks[m]);
+        ++ctx.metrics.reconstructed;
+        CountReconstruction(cluster);
+      }
     }
   }
 
@@ -344,7 +361,9 @@ void NonClusteredScheduler::DoOnStreamStopped(Stream* stream) {
 void NonClusteredScheduler::DoOnDiskFailed(int disk) {
   const int cluster = disk / layout_->parity_group_size();
   const int index = disk % layout_->parity_group_size();
-  if (index == layout_->parity_group_size() - 1) return;  // parity disk
+  const int data_slots =
+      layout_->parity_group_size() - layout_->parity_blocks();
+  if (index >= data_slots) return;  // parity disk (P or Q)
   if (!server_attached_[static_cast<size_t>(cluster)]) {
     if (servers_.AttachToCluster(cluster).ok()) {
       server_attached_[static_cast<size_t>(cluster)] = true;

@@ -101,12 +101,14 @@ class NonClusteredScheduler : public CycleScheduler {
     bool acc_held = false;   // one buffer held for the running XOR
   };
 
-  // Index of the single failed data disk in `cluster`, or -1 when no data
-  // disk is down. Reconstruction requires exactly one failed data disk and
-  // an operational parity disk.
+  // Index of the first failed data disk in `cluster`, or -1 when no data
+  // disk is down. Reconstruction requires no more failed data disks than
+  // operational parity disks (one for NC, up to two for the dual-parity
+  // NC-2, which repairs through the P+Q codec).
   int FailedDataIndex(int cluster) const;
   int NumFailedData(int cluster) const;
-  bool ParityUp(int cluster) const;
+  // Operational parity disks of the cluster (0..1 for NC, 0..2 for NC-2).
+  int ParityDisksUp(int cluster) const;
   bool CanReconstruct(int cluster) const;
 
   // The first track due for delivery next cycle (the read target of

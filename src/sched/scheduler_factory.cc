@@ -28,9 +28,14 @@ StatusOr<std::unique_ptr<CycleScheduler>> CreateScheduler(
     return Status::InvalidArgument(
         "clustered schedulers require the clustered layout");
   }
+  if (IsDualParity(config.scheme) != (layout->parity_blocks() == 2)) {
+    return Status::InvalidArgument(
+        "dual-parity schemes and the dual-parity layout must be paired");
+  }
   std::unique_ptr<CycleScheduler> sched;
   switch (config.scheme) {
     case Scheme::kStreamingRaid:
+    case Scheme::kStreamingRaid2:
       sched = std::make_unique<StreamingRaidScheduler>(config, disks,
                                                        layout);
       break;
@@ -39,6 +44,7 @@ StatusOr<std::unique_ptr<CycleScheduler>> CreateScheduler(
                                                         layout);
       break;
     case Scheme::kNonClustered:
+    case Scheme::kNonClustered2:
       sched = std::make_unique<NonClusteredScheduler>(config, disks,
                                                       layout);
       break;

@@ -26,13 +26,62 @@ void StreamingRaidScheduler::DoOnStreamStopped(Stream* stream) {
   }
 }
 
+bool StreamingRaidScheduler::RepairGroupBytes(GroupBuffer* buf,
+                                              VerifyScratch* scratch) {
+  if (geom_.parity_blocks == 2) {
+    // Dual parity: hand every erased unit (missing data positions, P at
+    // index k, Q at k+1) to the GF(2^8) codec in one call. Erased units
+    // need correctly sized placeholder blocks.
+    scratch->missing_units.clear();
+    for (int i = 0; i < buf->tracks; ++i) {
+      if (!buf->have[static_cast<size_t>(i)]) {
+        buf->data[static_cast<size_t>(i)].assign(kVerifyBlockBytes, 0);
+        scratch->missing_units.push_back(i);
+      }
+    }
+    if (!buf->parity_ok) {
+      buf->parity.assign(kVerifyBlockBytes, 0);
+      scratch->missing_units.push_back(buf->tracks);
+    }
+    if (!buf->q_ok) {
+      buf->qparity.assign(kVerifyBlockBytes, 0);
+      scratch->missing_units.push_back(buf->tracks + 1);
+    }
+    if (scratch->missing_units.size() > 2) return false;
+    return ReconstructPq(
+               std::span<Block>(buf->data.data(),
+                                static_cast<size_t>(buf->tracks)),
+               &buf->parity, &buf->qparity, scratch->missing_units)
+        .ok();
+  }
+  // Single parity: XOR of the surviving data blocks and the parity
+  // block, fused into one multi-source kernel pass over the destination.
+  int missing_at = -1;
+  for (int i = 0; i < buf->tracks; ++i) {
+    if (!buf->have[static_cast<size_t>(i)]) missing_at = i;
+  }
+  if (missing_at < 0) return true;
+  Block rebuilt = buf->parity;
+  scratch->srcs.clear();
+  for (int j = 0; j < buf->tracks; ++j) {
+    if (j == missing_at) continue;
+    scratch->srcs.push_back(buf->data[static_cast<size_t>(j)].data());
+  }
+  XorIntoN(rebuilt, scratch->srcs.data(),
+           static_cast<int>(scratch->srcs.size()));
+  buf->data[static_cast<size_t>(missing_at)] = std::move(rebuilt);
+  return true;
+}
+
 void StreamingRaidScheduler::DeliverGroup(ShardCtx& ctx, Stream* stream,
                                           GroupBuffer* buf,
                                           VerifyScratch* scratch) {
-  // Track i of the buffered group is on time if it was read, or if it is
-  // the only missing block and the parity block plus all other data blocks
-  // are present (on-the-fly reconstruction, Observation 2). `missing` was
-  // counted when the group was read; `have` is immutable in between.
+  // Track i of the buffered group is on time if it was read, or if the
+  // missing blocks are recoverable from the parity blocks present in
+  // memory (on-the-fly reconstruction, Observation 2): one erasure via P
+  // on single-parity layouts, any two erasures via P+Q on dual-parity.
+  // `missing` was counted when the group was read; `have` is immutable
+  // in between.
   const int missing = buf->missing;
   if (missing == 0 && !config_.verify_data) {
     // Healthy fast path: whole group present, one batched delivery.
@@ -42,7 +91,13 @@ void StreamingRaidScheduler::DeliverGroup(ShardCtx& ctx, Stream* stream,
     buf->buffered_tracks = 0;
     return;
   }
-  const bool can_reconstruct = missing == 1 && buf->parity_ok;
+  const int parity_up = (buf->parity_ok ? 1 : 0) + (buf->q_ok ? 1 : 0);
+  bool can_reconstruct = missing > 0 && missing <= parity_up;
+  if (can_reconstruct && config_.verify_data) {
+    // Repair the actual bytes before delivery; a codec failure (which
+    // the accounting above says cannot happen) falls back to hiccups.
+    can_reconstruct = RepairGroupBytes(buf, scratch);
+  }
   for (int i = 0; i < buf->tracks; ++i) {
     bool on_time = buf->have[static_cast<size_t>(i)];
     if (!on_time && can_reconstruct) {
@@ -50,20 +105,6 @@ void StreamingRaidScheduler::DeliverGroup(ShardCtx& ctx, Stream* stream,
       ++ctx.metrics.reconstructed;
       CountReconstruction(geom_.GroupCluster(
           stream->object().id, geom_.GroupOf(buf->first_track)));
-      if (config_.verify_data) {
-        // Rebuild the missing block from the bytes actually in memory:
-        // XOR of the surviving data blocks and the parity block, fused
-        // into one multi-source kernel pass over the destination.
-        Block rebuilt = buf->parity;
-        scratch->srcs.clear();
-        for (int j = 0; j < buf->tracks; ++j) {
-          if (j == i) continue;
-          scratch->srcs.push_back(buf->data[static_cast<size_t>(j)].data());
-        }
-        XorIntoN(rebuilt, scratch->srcs.data(),
-                 static_cast<int>(scratch->srcs.size()));
-        buf->data[static_cast<size_t>(i)] = std::move(rebuilt);
-      }
     }
     if (config_.verify_data && on_time) {
       ++ctx.metrics.verified_tracks;
@@ -80,6 +121,7 @@ void StreamingRaidScheduler::DeliverGroup(ShardCtx& ctx, Stream* stream,
   buf->buffered_tracks = 0;
   buf->data.clear();
   buf->parity.clear();
+  buf->qparity.clear();
 }
 
 void StreamingRaidScheduler::ReadNextGroup(ShardCtx& ctx, Stream* stream,
@@ -126,9 +168,21 @@ void StreamingRaidScheduler::ReadNextGroup(ShardCtx& ctx, Stream* stream,
         &buf->parity, &scratch->parity_scratch);
     if (!status.ok()) buf->parity.clear();
   }
+  buf->q_ok = false;
+  if (geom_.parity_blocks == 2) {
+    buf->q_ok = TryRead(ctx, geom_.QParityDisk(cluster),
+                        /*is_parity=*/true) == ReadOutcome::kOk;
+    if (config_.verify_data && buf->q_ok) {
+      const Status status = SynthesizeQParityBlockInto(
+          *layout_, object.id, group, object.num_tracks, kVerifyBlockBytes,
+          &buf->qparity, &scratch->parity_scratch);
+      if (!status.ok()) buf->qparity.clear();
+    }
+  }
 
-  // Group in memory until delivered: C-1 data + 1 parity buffers.
-  buf->buffered_tracks = tracks + 1;
+  // Group in memory until delivered: the data tracks plus every parity
+  // track (one for SR, P and Q for SR-2).
+  buf->buffered_tracks = tracks + geom_.parity_blocks;
   AcquireBuffers(ctx, buf->buffered_tracks);
 }
 

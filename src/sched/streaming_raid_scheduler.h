@@ -18,6 +18,12 @@ namespace ftms {
 // with no hiccup — even one striking in the middle of a cycle — at the
 // price of 2C buffer tracks per stream (equation (12)) and a 1/C
 // bandwidth reservation.
+//
+// On a dual-parity (SR-2) layout the same scheduler reads C-2 data
+// tracks plus the P and Q parity tracks per group and masks ANY two
+// concurrent failures inside a cluster: the missing blocks are repaired
+// through the GF(2^8) P+Q codec (parity/parity.h) instead of the plain
+// XOR fold. The per-stream buffer footprint stays 2C.
 class StreamingRaidScheduler : public CycleScheduler {
  public:
   StreamingRaidScheduler(const SchedulerConfig& config, DiskArray* disks,
@@ -40,10 +46,12 @@ class StreamingRaidScheduler : public CycleScheduler {
                                     // (byte flags: indexed without the
                                     // vector<bool> bit-twiddling)
     bool parity_ok = false;
+    bool q_ok = false;              // dual-parity layouts: Q track read OK
     int64_t buffered_tracks = 0;    // buffer-pool accounting for release
     // Integrity mode: the actual bytes carried through the pipeline.
     std::vector<Block> data;        // per position (empty when not read)
-    Block parity;
+    Block parity;                   // P block
+    Block qparity;                  // Q block (dual-parity layouts)
   };
 
   // Bytes per track in integrity mode: small, so tests stay fast while
@@ -57,7 +65,13 @@ class StreamingRaidScheduler : public CycleScheduler {
     Block block;
     DegradedReadScratch parity_scratch;
     std::vector<const uint8_t*> srcs;
+    std::vector<int> missing_units;  // dual-parity codec erasure list
   };
+
+  // Repairs the buffered group's missing bytes in place (integrity mode):
+  // XOR through P for single-parity layouts, the P+Q codec for dual-
+  // parity. Returns false when the repair could not run (codec error).
+  bool RepairGroupBytes(GroupBuffer* buf, VerifyScratch* scratch);
 
   // The cluster every read of `stream` lands on this cycle: the group
   // being fetched after delivery (all C-1 data disks plus the parity disk

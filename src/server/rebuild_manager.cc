@@ -91,9 +91,15 @@ Status RebuildManager::StartRebuild(int disk) {
   if (d.state() != DiskState::kFailed) {
     return Status::FailedPrecondition("disk is not failed");
   }
-  // Regeneration needs every source operational.
+  // Regeneration needs enough operational sources: every one for
+  // single-parity layouts; dual-parity (P+Q) layouts absorb ONE more
+  // failed column — the codec repairs two erasures per group, so the
+  // rebuild can run while a second cluster disk is still down.
+  const int tolerated_down = layout_->parity_blocks() - 1;
+  int down_sources = 0;
   for (int source : SourceDisks(disk)) {
-    if (!disks_->disk(source).operational()) {
+    if (!disks_->disk(source).operational() &&
+        ++down_sources > tolerated_down) {
       return Status::FailedPrecondition(
           "source disk " + std::to_string(source) +
           " is down: rebuild impossible from parity (catastrophic "
@@ -126,12 +132,19 @@ void RebuildManager::AdvanceOneCycle() {
   ++cycles_elapsed_;
   // Progress is gated by the least-idle source: one idle slot on every
   // source regenerates one track (the spare's write bandwidth is never
-  // the bottleneck; it serves no reads while rebuilding).
+  // the bottleneck; it serves no reads while rebuilding). Dual-parity
+  // layouts keep rebuilding with one source down — that column is simply
+  // skipped and the P+Q codec covers it; a second down source stalls.
   int idle = scheduler_->slots_per_disk();
+  int down_sources = 0;
+  const int tolerated_down = layout_->parity_blocks() - 1;
   for (int source : SourceDisks(active_disk_)) {
     if (!disks_->disk(source).operational()) {
-      idle = 0;  // a source died mid-rebuild: stall until repaired
-      break;
+      if (++down_sources > tolerated_down) {
+        idle = 0;  // sources died mid-rebuild: stall until repaired
+        break;
+      }
+      continue;
     }
     idle = std::min(
         idle, scheduler_->slots_per_disk() -
@@ -224,8 +237,19 @@ void RebuildManager::PrepareDataRebuild() {
       data_pending_.push_back(t);
     }
   }
+  RefreshDataFailedSet();
+}
+
+void RebuildManager::RefreshDataFailedSet() {
+  // The rebuilt disk plus every source currently down (dual-parity only;
+  // single-parity rebuilds never run with a down source) — recomputed per
+  // batch so a mid-rebuild source failure reaches the datapath's erasure
+  // accounting.
   data_failed_.Clear();
   data_failed_.Add(active_disk_);
+  for (int source : SourceDisks(active_disk_)) {
+    if (!disks_->disk(source).operational()) data_failed_.Add(source);
+  }
 }
 
 void RebuildManager::ReconstructDataTracks(int budget) {
@@ -233,6 +257,7 @@ void RebuildManager::ReconstructDataTracks(int budget) {
       static_cast<int64_t>(data_pending_.size()) - data_pos_;
   const int64_t take = std::min<int64_t>(budget, remaining);
   if (take <= 0) return;
+  RefreshDataFailedSet();
   data_batch_.assign(data_pending_.begin() + data_pos_,
                      data_pending_.begin() + data_pos_ + take);
   data_pos_ += take;

@@ -31,8 +31,9 @@ class RebuildManager {
 
   // Begins rebuilding `disk` onto a spare. The disk must currently be
   // failed, and no other rebuild may be in progress on its cluster.
-  // Rebuilding requires the cluster to be reconstructible (at most this
-  // one failed member).
+  // Rebuilding requires the cluster to be reconstructible: at most this
+  // one failed member for single-parity layouts, or one additional
+  // failed member for dual-parity (P+Q) layouts.
   Status StartRebuild(int disk);
 
   // Optional byte-level rebuild: attaches the verify datapath so each
@@ -81,6 +82,9 @@ class RebuildManager {
   std::vector<int> SourceDisks(int disk) const;
   // Derives the attached object's tracks resident on the active disk.
   void PrepareDataRebuild();
+  // Rebuilt disk plus any currently-down sources (dual-parity layouts
+  // run with up to one), recomputed per batch.
+  void RefreshDataFailedSet();
   // Reconstructs and verifies up to `budget` pending tracks in one
   // batched datapath call.
   void ReconstructDataTracks(int budget);

@@ -59,6 +59,57 @@ void ReconstructFromGroup(int missing, int members,
            static_cast<int>(scratch->srcs.size()));
 }
 
+// Dual-parity degraded path: collects the group's erased unit indices
+// (data positions, then `members` for P and `members`+1 for Q), checks
+// the two-erasure bound, and repairs the whole group in place via the
+// GF(2^8) P+Q codec. On success scratch->group[0..members) holds every
+// member's true bytes and scratch->repaired_group records the group, so
+// batched callers serve later tracks of the same group by copy.
+Status RepairGroupPq(const Layout& layout, int object_id, int64_t group,
+                     int64_t first, int members,
+                     const DiskSet& failed_disks, size_t block_bytes,
+                     DegradedReadScratch* scratch) {
+  scratch->repaired_group = -1;
+  scratch->missing.clear();
+  for (int m = 0; m < members; ++m) {
+    if (failed_disks.Contains(
+            layout.DataLocation(object_id, first + m).disk)) {
+      scratch->missing.push_back(m);
+    }
+  }
+  const bool p_down =
+      failed_disks.Contains(layout.ParityLocation(object_id, group).disk);
+  const bool q_down =
+      failed_disks.Contains(layout.QParityLocation(object_id, group).disk);
+  if (static_cast<int>(scratch->missing.size()) + (p_down ? 1 : 0) +
+          (q_down ? 1 : 0) >
+      2) {
+    return Status::Unavailable(
+        "more than two units of the group are down: catastrophic");
+  }
+  if (p_down) scratch->missing.push_back(members);
+  if (q_down) scratch->missing.push_back(members + 1);
+  // P and Q as the write path would have stored them: syndromes of the
+  // TRUE group contents. Then clobber every erased unit so the bytes the
+  // caller receives provably come out of the codec, not the synthesizer.
+  SynthesizeGroupMembers(object_id, first, members, block_bytes, scratch);
+  FTMS_RETURN_IF_ERROR(ComputePq(
+      std::span<const Block>(scratch->group.data(),
+                             static_cast<size_t>(members)),
+      &scratch->p, &scratch->q));
+  for (const int u : scratch->missing) {
+    Block& b = u < members ? scratch->group[static_cast<size_t>(u)]
+                           : (u == members ? scratch->p : scratch->q);
+    std::fill(b.begin(), b.end(), uint8_t{0xEE});
+  }
+  FTMS_RETURN_IF_ERROR(ReconstructPq(
+      std::span<Block>(scratch->group.data(),
+                       static_cast<size_t>(members)),
+      &scratch->p, &scratch->q, scratch->missing));
+  scratch->repaired_group = group;
+  return Status::Ok();
+}
+
 // Shared precheck of the degraded path: parity disk up, every other
 // group member's disk up. `track` is the member being reconstructed.
 Status CheckGroupReconstructible(const Layout& layout, int object_id,
@@ -130,6 +181,29 @@ Status SynthesizeParityBlockInto(const Layout& layout, int object_id,
   return Status::Ok();
 }
 
+Status SynthesizeQParityBlockInto(const Layout& layout, int object_id,
+                                  int64_t group, int64_t object_tracks,
+                                  size_t block_bytes, Block* out,
+                                  DegradedReadScratch* scratch) {
+  if (layout.parity_blocks() != 2) {
+    return Status::InvalidArgument(
+        "layout has no Q parity column");
+  }
+  int64_t first;
+  int members;
+  GroupExtent(layout, group, object_tracks, &first, &members);
+  if (first >= object_tracks) {
+    return Status::OutOfRange("group beyond object end");
+  }
+  SynthesizeGroupMembers(object_id, first, members, block_bytes, scratch);
+  FTMS_RETURN_IF_ERROR(ComputePq(
+      std::span<const Block>(scratch->group.data(),
+                             static_cast<size_t>(members)),
+      &scratch->p, out));
+  scratch->repaired_group = -1;  // scratch->p was overwritten
+  return Status::Ok();
+}
+
 StatusOr<Block> SynthesizeParityBlock(const Layout& layout, int object_id,
                                       int64_t group, int64_t object_tracks,
                                       size_t block_bytes) {
@@ -166,6 +240,16 @@ Status ReadTrackDegradedInto(const Layout& layout, int object_id,
   int64_t first;
   int members;
   GroupExtent(layout, group, object_tracks, &first, &members);
+  if (layout.parity_blocks() == 2) {
+    FTMS_RETURN_IF_ERROR(RepairGroupPq(layout, object_id, group, first,
+                                       members, failed_disks, block_bytes,
+                                       scratch));
+    const Block& repaired =
+        scratch->group[static_cast<size_t>(track - first)];
+    out->data.assign(repaired.begin(), repaired.end());
+    out->reconstructed = true;
+    return Status::Ok();
+  }
   FTMS_RETURN_IF_ERROR(CheckGroupReconstructible(
       layout, object_id, track, group, first, members, failed_disks));
   SynthesizeGroupMembers(object_id, first, members, block_bytes, scratch);
@@ -216,6 +300,21 @@ Status ReconstructTracksInto(const Layout& layout, int object_id,
     const int64_t group = layout.GroupOf(track);
     if (group != synthesized_group) {
       GroupExtent(layout, group, object_tracks, &first, &members);
+    }
+    if (layout.parity_blocks() == 2) {
+      // One whole-group P+Q repair per group; later tracks of the same
+      // group are served out of the repaired scratch by copy.
+      if (scratch->repaired_group != group) {
+        FTMS_RETURN_IF_ERROR(RepairGroupPq(layout, object_id, group, first,
+                                           members, failed_disks,
+                                           block_bytes, scratch));
+        synthesized_group = -1;  // scratch->group no longer pristine
+      }
+      const Block& repaired =
+          scratch->group[static_cast<size_t>(track - first)];
+      read.data.assign(repaired.begin(), repaired.end());
+      read.reconstructed = true;
+      continue;
     }
     FTMS_RETURN_IF_ERROR(CheckGroupReconstructible(
         layout, object_id, track, group, first, members, failed_disks));

@@ -46,6 +46,11 @@ Block SynthesizeDataBlock(int object_id, int64_t track,
 struct DegradedReadScratch {
   std::vector<Block> group;          // synthesized group member blocks
   std::vector<const uint8_t*> srcs;  // kernel source-pointer batch
+  // Dual-parity (P+Q) paths only:
+  Block p;                   // P block scratch
+  Block q;                   // Q block scratch
+  std::vector<int> missing;  // erased unit indices handed to the codec
+  int64_t repaired_group = -1;  // group whose repair `group` holds
 };
 
 // Parity block contents for group `group` of an object of
@@ -62,6 +67,16 @@ StatusOr<Block> SynthesizeParityBlock(const Layout& layout, int object_id,
                                       int64_t group, int64_t object_tracks,
                                       size_t block_bytes);
 
+// Q (second parity) block contents for group `group` of a dual-parity
+// layout: the GF(2^8) syndrome sum g^i * D_i over the group's members
+// (short final groups sum fewer terms), computed through the dispatched
+// P+Q kernel. Fails INVALID_ARGUMENT unless the layout has two parity
+// blocks per group.
+Status SynthesizeQParityBlockInto(const Layout& layout, int object_id,
+                                  int64_t group, int64_t object_tracks,
+                                  size_t block_bytes, Block* out,
+                                  DegradedReadScratch* scratch);
+
 // Outcome of reading one track through the (possibly degraded) array.
 struct TrackRead {
   bool reconstructed = false;  // served via parity instead of directly
@@ -70,8 +85,10 @@ struct TrackRead {
 
 // Reads data track `track` into out->data, reconstructing from the
 // surviving group members + parity when its disk is in `failed_disks`.
-// Fails with UNAVAILABLE when reconstruction is impossible (a second
-// failure in the group — the paper's catastrophic case).
+// Fails with UNAVAILABLE when reconstruction is impossible: a second
+// failure in the group for single-parity layouts (the paper's
+// catastrophic case), a THIRD for dual-parity layouts, whose P+Q codec
+// repairs any two concurrent erasures per group.
 Status ReadTrackDegradedInto(const Layout& layout, int object_id,
                              int64_t track, int64_t object_tracks,
                              const DiskSet& failed_disks,

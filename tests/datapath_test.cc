@@ -97,6 +97,67 @@ TEST(DataPathTest, BatchedReconstructionRejectsDoubleFailure) {
             StatusCode::kUnavailable);
 }
 
+// Dual-parity (P+Q) layouts repair any TWO erasures per group. Cluster 0
+// of the C=5 layout: data on disks 0-2, P on 3, Q on 4.
+TEST(DataPathTest, DualParityTwoErasuresAreByteExact) {
+  auto layout = CreateLayout(Scheme::kStreamingRaid2, 10, 5).value();
+  const std::vector<DiskSet> patterns = {
+      DiskSet({0, 1}),  // data + data: the full P+Q solve
+      DiskSet({1, 3}),  // data + P: Q-only reconstruction
+      DiskSet({2, 4}),  // data + Q: falls back to the XOR path
+      DiskSet({3, 4}),  // P + Q: data reads stay direct
+  };
+  for (const DiskSet& failed : patterns) {
+    for (int64_t track = 0; track < 3; ++track) {
+      const TrackRead read =
+          ReadTrackDegraded(*layout, 0, track, 100, failed, kBlockBytes)
+              .value();
+      EXPECT_EQ(read.data, SynthesizeDataBlock(0, track, kBlockBytes))
+          << "track " << track;
+    }
+  }
+}
+
+TEST(DataPathTest, DualParityThreeErasuresAreUnavailable) {
+  auto layout = CreateLayout(Scheme::kStreamingRaid2, 10, 5).value();
+  EXPECT_EQ(ReadTrackDegraded(*layout, 0, 0, 100, {0, 1, 2}, kBlockBytes)
+                .status()
+                .code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(ReadTrackDegraded(*layout, 0, 0, 100, {0, 3, 4}, kBlockBytes)
+                .status()
+                .code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(DataPathTest, DualParityBatchedMatchesSingleTrackReads) {
+  auto layout = CreateLayout(Scheme::kStreamingRaid2, 10, 5).value();
+  const int64_t object_tracks = 20;  // short final group (3-track groups)
+  const DiskSet failed({0, 1});
+  std::vector<int64_t> tracks;
+  for (int64_t t = 0; t < object_tracks; ++t) tracks.push_back(t);
+  DegradedReadScratch scratch;
+  std::vector<TrackRead> batched;
+  ASSERT_TRUE(ReconstructTracksInto(*layout, 0, tracks, object_tracks,
+                                    failed, kBlockBytes, &scratch,
+                                    &batched)
+                  .ok());
+  ASSERT_EQ(batched.size(), tracks.size());
+  int64_t reconstructed = 0;
+  for (size_t i = 0; i < tracks.size(); ++i) {
+    const TrackRead single =
+        ReadTrackDegraded(*layout, 0, tracks[i], object_tracks, failed,
+                          kBlockBytes)
+            .value();
+    EXPECT_EQ(batched[i].data, single.data) << "track " << tracks[i];
+    EXPECT_EQ(batched[i].data,
+              SynthesizeDataBlock(0, tracks[i], kBlockBytes))
+        << "track " << tracks[i];
+    if (batched[i].reconstructed) ++reconstructed;
+  }
+  EXPECT_GT(reconstructed, 0);
+}
+
 // The headline property: for every scheme, group size and single failed
 // disk, EVERY track of an object reads back bit-exact.
 class DataPathProperty
@@ -132,6 +193,12 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(Scheme::kStreamingRaid,
                                          Scheme::kImprovedBandwidth),
                        ::testing::Values(2, 3, 5, 7)));
+
+// Dual parity needs C >= 3 (two parity disks leave C-2 data slots).
+INSTANTIATE_TEST_SUITE_P(
+    DualParityGroups, DataPathProperty,
+    ::testing::Combine(::testing::Values(Scheme::kStreamingRaid2),
+                       ::testing::Values(3, 5, 7)));
 
 }  // namespace
 }  // namespace ftms

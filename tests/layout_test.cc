@@ -151,5 +151,34 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(2, 3, 5, 7, 10),
                        ::testing::Values(2, 4, 9)));
 
+// Dual-parity geometries (C >= 3): the shared structural checks plus the
+// P/Q placement invariant.
+class DualParityLayoutInvariants
+    : public ::testing::TestWithParam<std::tuple<Scheme, int, int>> {};
+
+TEST_P(DualParityLayoutInvariants, StructureAndParityPlacement) {
+  const auto [scheme, c, clusters] = GetParam();
+  auto layout = CreateLayout(scheme, c * clusters, c).value();
+  ASSERT_EQ(layout->parity_blocks(), 2);
+  constexpr int kObjects = 7;
+  constexpr int64_t kGroups = 40;
+  EXPECT_TRUE(
+      CheckNoDuplicateDisksInGroup(*layout, kObjects, kGroups).ok());
+  EXPECT_TRUE(CheckRoundRobinGroups(*layout, kObjects, kGroups).ok());
+  EXPECT_TRUE(CheckGroupWithinCluster(*layout, kObjects, kGroups).ok());
+  EXPECT_TRUE(CheckDualParityDisks(*layout, kObjects, kGroups).ok());
+  const int64_t balanced_groups = 10 * layout->num_clusters();
+  EXPECT_TRUE(
+      CheckDataLoadBalance(*layout, /*object_id=*/3, balanced_groups, 0)
+          .ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, DualParityLayoutInvariants,
+    ::testing::Combine(::testing::Values(Scheme::kStreamingRaid2,
+                                         Scheme::kNonClustered2),
+                       ::testing::Values(3, 5, 7, 10),
+                       ::testing::Values(2, 4, 9)));
+
 }  // namespace
 }  // namespace ftms

@@ -55,6 +55,34 @@ TEST(ReliabilitySimTest, ImprovedBandwidthIsLessReliable) {
   EXPECT_NEAR(clustered / ib, (2.0 * 5 - 1) / (5 - 1), 1.2);
 }
 
+TEST(ReliabilitySimTest, DualParityCatastropheMatchesClosedForm) {
+  // P+Q clusters die at THREE concurrent failures. The closed form
+  // MTTF^3 * 2 / (D (C-1)(C-2) MTTR^2) carries the parallel-repair
+  // factor 2: in the two-down state either repair completing rescues the
+  // cluster, so it drains at rate 2/MTTR.
+  ReliabilitySimConfig config;
+  config.num_disks = 40;
+  config.parity_group_size = 5;
+  config.scheme = Scheme::kStreamingRaid2;
+  config.mttf_hours = 1000.0;
+  config.mttr_hours = 20.0;
+  config.trials = 300;
+  const ReliabilityEstimate est =
+      EstimateMttfCatastrophic(config).value();
+
+  SystemParameters p;
+  p.num_disks = config.num_disks;
+  p.disk.mttf_hours = config.mttf_hours;
+  p.disk.mttr_hours = config.mttr_hours;
+  const double predicted =
+      MttfCatastrophicHours(p, Scheme::kStreamingRaid2, 5).value();
+  EXPECT_NEAR(est.mean_hours, predicted, 0.30 * predicted);
+  // And it must sit far above the single-parity farm's MTTF.
+  const double single =
+      MttfCatastrophicHours(p, Scheme::kStreamingRaid, 5).value();
+  EXPECT_GT(est.mean_hours, 3.0 * single);
+}
+
 TEST(ReliabilitySimTest, KConcurrentMatchesEquation6UpToFactorial) {
   // The exact birth-death hitting time for K concurrent failures is
   // (K-1)! * MTTF^K / (D (D-1) ... (D-K+1) MTTR^(K-1)): in state j the

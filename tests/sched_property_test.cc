@@ -82,12 +82,14 @@ TEST_P(SchedulerProperty, BufferPeakWithinAnalyticalBound) {
   double per_stream = 0;
   switch (scheme) {
     case Scheme::kStreamingRaid:
+    case Scheme::kStreamingRaid2:
       per_stream = 2.0 * c;
       break;
     case Scheme::kStaggeredGroup:
       per_stream = c + 2.0;
       break;
     case Scheme::kNonClustered:
+    case Scheme::kNonClustered2:
       per_stream = 2.0;
       break;
     case Scheme::kImprovedBandwidth:
@@ -109,7 +111,8 @@ TEST_P(SchedulerProperty, SingleFailureNeverLosesDataAtGroupGranularity) {
   SchedRig rig = MakeRig(scheme, c, DisksFor(scheme, c, 3));
   const int64_t tracks = 10LL * (c - 1);
   const StreamId id = rig.sched->AddStream(TestObject(0, tracks)).value();
-  if (scheme == Scheme::kNonClustered) {
+  if (scheme == Scheme::kNonClustered ||
+      scheme == Scheme::kNonClustered2) {
     // Fail before the stream starts: it is at a group boundary.
     rig.sched->OnDiskFailed(0, false);
   } else {
@@ -126,7 +129,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(Scheme::kStreamingRaid,
                                          Scheme::kStaggeredGroup,
                                          Scheme::kNonClustered,
-                                         Scheme::kImprovedBandwidth),
+                                         Scheme::kImprovedBandwidth,
+                                         Scheme::kStreamingRaid2,
+                                         Scheme::kNonClustered2),
                        ::testing::Values(3, 5, 7)),
     [](const ::testing::TestParamInfo<std::tuple<Scheme, int>>& info) {
       return std::string(SchemeAbbrev(std::get<0>(info.param))) + "_C" +

@@ -5,10 +5,11 @@ Usage:
     tools/bench_diff.py BASELINE.json CURRENT.json [--threshold PCT]
 
 Metric direction is inferred from the key name: throughput-style keys
-(*_per_sec, *_per_s, *_gbps — the parity-kernel bench reports GB/s) are
-better when higher; time-style keys (wall_s, *_s, *_seconds) are better
-when lower; anything else (counts, thread counts) is informational and
-compared for drift only, never flagged.
+(*_per_sec, *_per_s, *_mb_per_s, *_gbps — the parity-kernel bench
+reports GB/s, the farm bench MB/s) are better when higher; time-style
+keys (wall_s, *_s, *_seconds) are better when lower; anything else
+(counts, thread counts) is informational and compared for drift only,
+never flagged.
 
 Exit status: 0 = no regression beyond the threshold, 1 = at least one
 regression, 2 = usage / file error.
@@ -21,7 +22,9 @@ import sys
 
 def metric_direction(key):
     """Returns 'higher', 'lower', or None (informational)."""
-    if key.endswith(("_per_sec", "_per_s", "_gbps")):
+    # _mb_per_s before the _s time suffix: "..._mb_per_s" is throughput,
+    # not a duration, despite also ending in "_s".
+    if key.endswith(("_per_sec", "_per_s", "_mb_per_s", "_gbps")):
         return "higher"
     if key == "wall_s" or key.endswith("_s") or key.endswith("_seconds"):
         return "lower"
@@ -84,6 +87,23 @@ def main():
             file=sys.stderr,
         )
         return 2
+
+    # Likewise a kernel pin (env.xor_kernel / env.pq_kernel, from
+    # FTMS_XOR_KERNEL / FTMS_PQ_KERNEL) changes what the parity-bound
+    # numbers mean: a scalar-pinned snapshot is not a baseline for a
+    # dispatched run. Snapshots without the key ran the auto-dispatcher.
+    for env_key, env_var in (("xor_kernel", "FTMS_XOR_KERNEL"),
+                             ("pq_kernel", "FTMS_PQ_KERNEL")):
+        base_kernel = (base_doc.get("env") or {}).get(env_key, "auto")
+        cur_kernel = (cur_doc.get("env") or {}).get(env_key, "auto")
+        if base_kernel != cur_kernel:
+            print(
+                f"bench_diff: {env_key} mismatch ({base_kernel} vs "
+                f"{cur_kernel}); rerun with the same {env_var} on both "
+                f"sides",
+                file=sys.stderr,
+            )
+            return 2
 
     regressions = []
     print(f"{'metric':<24} {'baseline':>14} {'current':>14} {'delta':>9}")

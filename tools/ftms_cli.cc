@@ -7,13 +7,20 @@
 //   ftms simulate <scheme> <C> <D>       run the cycle simulation with a
 //        <streams> <cycles>              failure drill at mid-run
 //        [fail_disk]
-//   ftms reliability <D> <C> [K]         closed-form + exact reliability
+//   ftms reliability <D> <C> [K]         closed-form + exact reliability,
+//                                        plus the dual-parity (P+Q) MTTF
+//                                        with a Monte-Carlo cross-check
+//                                        and the cost-per-stream crossover
+//                                        of the second parity disk
 //   ftms qos <scheme> [C] [D]            failure + rebuild drill with the
 //        [--json] [--journal-out FILE]   per-stream QoS ledger, SLO table
 //                                        and model-conformance watchdog;
-//                                        exits 1 on a bound violation
+//                                        exits 1 on a bound violation.
+//                                        Dual-parity schemes drill a
+//                                        DOUBLE failure (two disks of one
+//                                        cluster) and rebuild both.
 //
-// Schemes: sr | sg | nc | ib.
+// Schemes: sr | sg | nc | ib | sr2 | nc2.
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +34,7 @@
 #include "qos/event_journal.h"
 #include "qos/qos_ledger.h"
 #include "reliability/birth_death.h"
+#include "reliability/markov_sim.h"
 #include "server/server.h"
 #include "util/metrics.h"
 #include "util/units.h"
@@ -40,10 +48,11 @@ int Usage() {
       "usage:\n"
       "  ftms tables [C]\n"
       "  ftms plan <W_gb> <streams> [disk_$/MB] [mem_$/MB]\n"
-      "  ftms simulate <sr|sg|nc|ib> <C> <D> <streams> <cycles> "
+      "  ftms simulate <sr|sg|nc|ib|sr2|nc2> <C> <D> <streams> <cycles> "
       "[fail_disk]\n"
       "  ftms reliability <D> <C> [K]\n"
-      "  ftms qos <sr|sg|nc|ib> [C] [D] [--json] [--journal-out FILE]\n");
+      "  ftms qos <sr|sg|nc|ib|sr2|nc2> [C] [D] [--json] "
+      "[--journal-out FILE]\n");
   return 2;
 }
 
@@ -51,6 +60,8 @@ Scheme ParseScheme(const char* arg) {
   if (std::strcmp(arg, "sg") == 0) return Scheme::kStaggeredGroup;
   if (std::strcmp(arg, "nc") == 0) return Scheme::kNonClustered;
   if (std::strcmp(arg, "ib") == 0) return Scheme::kImprovedBandwidth;
+  if (std::strcmp(arg, "sr2") == 0) return Scheme::kStreamingRaid2;
+  if (std::strcmp(arg, "nc2") == 0) return Scheme::kNonClustered2;
   return Scheme::kStreamingRaid;
 }
 
@@ -246,18 +257,27 @@ int CmdQos(int argc, char** argv) {
     server->RunCycles(1);
   }
   server->RunCycles(4);
-  const int fail_disk = 0;
-  if (Status s = server->FailDisk(fail_disk, /*mid_cycle=*/true); !s.ok()) {
-    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
-    return 1;
+  // Dual-parity schemes drill their full tolerance: TWO disks of cluster 0
+  // go down concurrently and both are rebuilt (the second rebuild starts
+  // while the cluster still runs on P+Q-repaired reads).
+  const int fail_count = IsDualParity(scheme) ? 2 : 1;
+  for (int fail_disk = 0; fail_disk < fail_count; ++fail_disk) {
+    if (Status s = server->FailDisk(fail_disk, /*mid_cycle=*/true);
+        !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    server->RunCycles(1);
   }
   server->RunCycles(c);  // degraded operation across the transition window
-  if (Status s = server->StartRebuild(fail_disk); !s.ok()) {
-    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
-    return 1;
-  }
-  for (int i = 0; i < 200 && server->rebuild().Active(); ++i) {
-    server->RunCycles(1);
+  for (int fail_disk = 0; fail_disk < fail_count; ++fail_disk) {
+    if (Status s = server->StartRebuild(fail_disk); !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    for (int i = 0; i < 200 && server->rebuild().Active(); ++i) {
+      server->RunCycles(1);
+    }
   }
   server->RunCycles(4);  // settle after the repair
 
@@ -354,6 +374,82 @@ int CmdReliability(int argc, char** argv) {
         "exact birth-death K-concurrent hitting time: %.1f years\n"
         "(the paper's equation (6) omits a (K-1)! factor)\n",
         HoursToYears(*exact));
+  }
+
+  if (c < 3) return 0;
+  std::printf("\ndual parity (P+Q, two parity disks per cluster):\n");
+  for (Scheme scheme : kDualParitySchemes) {
+    auto mttf = MttfCatastrophicHours(params, scheme, c);
+    auto mttds = MttdsHours(params, scheme, c);
+    if (!mttf.ok() || !mttds.ok()) continue;
+    std::printf("%-22s MTTF %12.4g years   MTTDS %14.1f years\n",
+                std::string(SchemeName(scheme)).c_str(),
+                HoursToYears(*mttf), HoursToYears(*mttds));
+  }
+
+  // Monte-Carlo cross-check of the double-failure MTTDL at a scaled-down
+  // MTTF/MTTR ratio (real parameters make three-in-a-cluster events take
+  // geological time; the formula is scale-free in the ratio).
+  if (params.num_disks % c == 0) {
+    ReliabilitySimConfig sim;
+    sim.num_disks = params.num_disks;
+    sim.parity_group_size = c;
+    sim.scheme = Scheme::kStreamingRaid2;
+    sim.mttf_hours = 1000.0;
+    sim.mttr_hours = 10.0;
+    sim.trials = 200;
+    SystemParameters scaled = params;
+    scaled.disk.mttf_hours = sim.mttf_hours;
+    scaled.disk.mttr_hours = sim.mttr_hours;
+    const auto mc = EstimateMttfCatastrophic(sim);
+    const auto cf =
+        MttfCatastrophicHours(scaled, Scheme::kStreamingRaid2, c);
+    if (mc.ok() && cf.ok()) {
+      std::printf(
+          "double-failure MTTDL Monte-Carlo (scaled MTTF/MTTR %.0f/%.0f "
+          "h): %.0f h +/- %.0f vs closed form %.0f h\n",
+          sim.mttf_hours, sim.mttr_hours, mc->mean_hours, mc->ci95_hours,
+          *cf);
+    }
+  }
+
+  // When does the second parity disk pay for itself? Compare cost per
+  // stream (Section 5 sizing at the working set below) for the base
+  // scheme at C against its dual-parity variant at growing group sizes:
+  // the crossover C' is where widening the group has absorbed the extra
+  // parity disk's capacity and buffer cost.
+  DesignParameters design;
+  for (Scheme dual : kDualParitySchemes) {
+    const Scheme base = BaseScheme(dual);
+    const auto base_pt = EvaluateDesign(design, params, base, c);
+    if (!base_pt.ok() || base_pt->max_streams <= 0) continue;
+    const double base_cps =
+        base_pt->cost_dollars / base_pt->max_streams;
+    std::printf("%-22s $/stream %8.0f at C=%d\n",
+                std::string(SchemeName(base)).c_str(), base_cps, c);
+    int crossover = -1;
+    double dual_cps_at_c = 0;
+    for (int cd = c; cd <= c + 12; ++cd) {
+      const auto dual_pt = EvaluateDesign(design, params, dual, cd);
+      if (!dual_pt.ok() || dual_pt->max_streams <= 0) continue;
+      const double cps = dual_pt->cost_dollars / dual_pt->max_streams;
+      if (cd == c) dual_cps_at_c = cps;
+      if (cps <= base_cps) {
+        crossover = cd;
+        break;
+      }
+    }
+    if (crossover >= 0) {
+      std::printf(
+          "%-22s $/stream %8.0f at C=%d; crosses below %s at C'=%d\n",
+          std::string(SchemeName(dual)).c_str(), dual_cps_at_c, c,
+          std::string(SchemeAbbrev(base)).c_str(), crossover);
+    } else {
+      std::printf(
+          "%-22s $/stream %8.0f at C=%d; no crossover up to C'=%d\n",
+          std::string(SchemeName(dual)).c_str(), dual_cps_at_c, c,
+          c + 12);
+    }
   }
   return 0;
 }

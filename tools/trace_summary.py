@@ -118,7 +118,7 @@ JOURNAL_KINDS = {
 JOURNAL_FIELDS = (
     "kind", "scheme", "sim_us", "cycle", "disk", "cluster", "stream", "value"
 )
-JOURNAL_SCHEMES = {"SR", "SG", "NC", "IB"}
+JOURNAL_SCHEMES = {"SR", "SG", "NC", "IB", "SR2", "NC2"}
 
 
 def check_journal(path):

@@ -10,7 +10,9 @@
 #include "qos/event_journal.h"
 #include "sim/event_queue.h"
 #include "util/metrics.h"
+#include "util/profiler.h"
 #include "util/thread_pool.h"
+#include "util/timeseries.h"
 #include "util/trace_event.h"
 
 namespace ftms::bench {
@@ -53,6 +55,11 @@ std::string Reporter::WriteJson() const {
   MetricsRegistry* registry = MetricsRegistry::GlobalIfEnabled();
   Tracer* tracer = Tracer::GlobalIfEnabled();
   EventJournal* journal = EventJournal::GlobalIfEnabled();
+  TimeSeriesRecorder* timeseries = TimeSeriesRecorder::GlobalIfEnabled();
+  const bool prof = Profiler::GlobalEnabled();
+  // Writing a report is a serial point: fold worker scope trees first so
+  // the embedded profile sees everything.
+  if (prof) Profiler::FoldAtSyncPoint();
 
   std::string json = "{\n  \"bench\": \"" + name_ + "\",\n";
   json += "  \"schema_version\": " + std::to_string(kSchemaVersion) + ",\n";
@@ -66,6 +73,10 @@ std::string Reporter::WriteJson() const {
           (tracer != nullptr ? "true" : "false") + ",\n";
   json += std::string("    \"qos_enabled\": ") +
           (journal != nullptr ? "true" : "false") + ",\n";
+  json += std::string("    \"prof_enabled\": ") + (prof ? "true" : "false") +
+          ",\n";
+  json += std::string("    \"timeseries_enabled\": ") +
+          (timeseries != nullptr ? "true" : "false") + ",\n";
   json += std::string("    \"xor_kernel\": \"") + ActiveXorKernelName() +
           "\",\n";
   json += std::string("    \"pq_kernel\": \"") + ActivePqKernelName() +
@@ -89,6 +100,14 @@ std::string Reporter::WriteJson() const {
   if (journal != nullptr) {
     json += ",\n  \"qos\": ";
     json += journal->StatsJson("    ", "  ");
+  }
+  if (prof) {
+    json += ",\n  \"profile\": ";
+    json += Profiler::SnapshotJson();
+  }
+  if (timeseries != nullptr) {
+    json += ",\n  \"timeseries\": ";
+    json += timeseries->SummaryJson("    ", "  ");
   }
   json += "\n}\n";
 
@@ -118,6 +137,25 @@ std::string Reporter::WriteJson() const {
   if (journal != nullptr) {
     if (const char* out = std::getenv("FTMS_QOS_OUT")) {
       if (out[0] != '\0' && journal->WriteJsonl(out).ok()) {
+        std::printf("wrote %s\n", out);
+      }
+    }
+  }
+  if (prof) {
+    if (const char* out = std::getenv("FTMS_PROF_OUT")) {
+      if (out[0] != '\0' && Profiler::WriteJson(out).ok()) {
+        std::printf("wrote %s\n", out);
+      }
+    }
+  }
+  if (timeseries != nullptr) {
+    if (const char* out = std::getenv("FTMS_TIMESERIES_OUT")) {
+      if (out[0] != '\0' && timeseries->WriteJson(out).ok()) {
+        std::printf("wrote %s\n", out);
+      }
+    }
+    if (const char* out = std::getenv("FTMS_TIMESERIES_CSV")) {
+      if (out[0] != '\0' && timeseries->WriteCsv(out).ok()) {
         std::printf("wrote %s\n", out);
       }
     }

@@ -41,6 +41,12 @@ class WallTimer {
 // timing and so must travel with the numbers — and "event_queue", the
 // FTMS_EVENT_QUEUE selection (heap | calendar) driving the discrete-event
 // engine, which changes what simulator-bound timings mean.
+// Schema version 4 adds "prof_enabled" / "timeseries_enabled" to the env
+// stamp (both skew timings when on) and two optional blocks: "profile"
+// (the hierarchical wall-clock scope tree, when FTMS_PROF=1) and
+// "timeseries" (the recorder's per-series summary, when
+// FTMS_TIMESERIES=1). bench_diff.py diffs the profile tree node-by-node
+// and uses it to attribute guarded-metric regressions to subsystems.
 //
 // Environment knobs:
 //   FTMS_BENCH_JSON=0        disable writing entirely
@@ -51,6 +57,11 @@ class WallTimer {
 //                            trace JSON to `path`
 //   FTMS_QOS_OUT=path        also export the global QoS journal as
 //                            JSONL to `path`
+//   FTMS_PROF_OUT=path       also export the profiler tree as JSON to
+//                            `path`
+//   FTMS_TIMESERIES_OUT=path also export the time-series recorder as
+//                            JSON to `path` (FTMS_TIMESERIES_CSV=path
+//                            for the CSV flattening)
 class Reporter {
  public:
   explicit Reporter(std::string name) : name_(std::move(name)) {}
@@ -68,7 +79,7 @@ class Reporter {
   const std::string& name() const { return name_; }
 
   // The bench report schema emitted by WriteJson().
-  static constexpr int kSchemaVersion = 3;
+  static constexpr int kSchemaVersion = 4;
 
  private:
   std::string name_;

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <string>
 
+#include "util/timeseries.h"
+
 namespace ftms {
 
 Status BufferPool::Acquire(int64_t tracks) {
@@ -49,6 +51,18 @@ void BufferPool::BindInstruments(Gauge* in_use, Gauge* peak,
   peak_gauge_ = peak;
   failed_counter_ = failed;
   PublishOccupancy();
+}
+
+void BufferPool::BindTimeSeries(TimeSeriesRecorder* recorder,
+                                const std::string& series_name) {
+  ts_ = recorder;
+  ts_in_use_ = recorder != nullptr ? recorder->DefineSeries(series_name) : -1;
+}
+
+void BufferPool::SampleTimeSeries(int64_t t_us) const {
+  if (ts_ != nullptr) {
+    ts_->Append(ts_in_use_, t_us, static_cast<double>(in_use_));
+  }
 }
 
 BufferServerPool::BufferServerPool(int num_servers,

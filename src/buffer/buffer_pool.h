@@ -2,12 +2,15 @@
 #define FTMS_BUFFER_BUFFER_POOL_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "util/metrics.h"
 #include "util/status.h"
 
 namespace ftms {
+
+class TimeSeriesRecorder;
 
 // Track-granularity main-memory accounting. The cycle-based schedulers
 // hold every track read from disk in memory until it has been transmitted
@@ -83,6 +86,13 @@ class BufferPool {
   // suffice.
   void BindInstruments(Gauge* in_use, Gauge* peak, Counter* failed);
 
+  // Time-series hook: records occupancy as `series_name` into `recorder`.
+  // The owning scheduler calls SampleTimeSeries from its serial cycle-end
+  // point, so the curve is byte-identical at any thread count.
+  void BindTimeSeries(TimeSeriesRecorder* recorder,
+                      const std::string& series_name);
+  void SampleTimeSeries(int64_t t_us) const;
+
  private:
   void PublishOccupancy() {
     if (in_use_gauge_ != nullptr) {
@@ -98,6 +108,8 @@ class BufferPool {
   Gauge* in_use_gauge_ = nullptr;
   Gauge* peak_gauge_ = nullptr;
   Counter* failed_counter_ = nullptr;
+  TimeSeriesRecorder* ts_ = nullptr;
+  int ts_in_use_ = -1;
 };
 
 // The shared pool of "buffer servers" of Section 3: extra processors with

@@ -10,6 +10,7 @@
 #include "parity/pq_kernels_internal.h"
 #include "util/log.h"
 #include "util/metrics.h"
+#include "util/profiler.h"
 
 namespace ftms {
 namespace {
@@ -153,6 +154,7 @@ const char* ActivePqKernelName() { return ActivePqKernel().name; }
 
 void PqGenerateN(uint8_t* p, uint8_t* q, const uint8_t* const* srcs,
                  int nsrc, size_t bytes, int first_index) {
+  FTMS_PROF_SCOPE("parity/pq");
   const PqKernel& kernel = ActivePqKernel();
   uint8_t coeffs[kMaxPqSources];
   int index = first_index;
@@ -170,6 +172,7 @@ void PqGenerateN(uint8_t* p, uint8_t* q, const uint8_t* const* srcs,
 
 void PqAccumulate(uint8_t* p, uint8_t* q, const uint8_t* const* srcs,
                   const uint8_t* coeffs, int nsrc, size_t bytes) {
+  FTMS_PROF_SCOPE("parity/pq");
   const PqKernel& kernel = ActivePqKernel();
   while (nsrc > kMaxPqSources) {
     kernel.pq(p, q, srcs, coeffs, kMaxPqSources, bytes);

@@ -9,6 +9,7 @@
 #include "parity/xor_kernels_internal.h"
 #include "util/log.h"
 #include "util/metrics.h"
+#include "util/profiler.h"
 
 namespace ftms {
 namespace {
@@ -146,6 +147,7 @@ const char* ActiveXorKernelName() { return ActiveXorKernel().name; }
 
 void XorIntoN(uint8_t* dst, const uint8_t* const* srcs, int nsrc,
               size_t bytes) {
+  FTMS_PROF_SCOPE("parity/xor");
   const XorKernel& kernel = ActiveXorKernel();
   while (nsrc > kMaxXorSources) {
     kernel.xor_n(dst, srcs, kMaxXorSources, bytes);

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "util/timeseries.h"
+
 namespace ftms {
 
 namespace {
@@ -226,6 +228,18 @@ void QosLedger::BindMetrics(MetricsRegistry* registry,
   }
 }
 
+void QosLedger::BindTimeSeries(TimeSeriesRecorder* recorder,
+                               const std::string& prefix) {
+  ts_ = recorder;
+  if (ts_ == nullptr) {
+    ts_burn_max_ = -1;
+    ts_active_breaches_ = -1;
+    return;
+  }
+  ts_burn_max_ = ts_->DefineSeries(prefix + ".slo_burn_max");
+  ts_active_breaches_ = ts_->DefineSeries(prefix + ".active_breaches");
+}
+
 void QosLedger::OnFailure(int64_t cycle, bool mid_cycle) {
   (void)cycle;
   (void)mid_cycle;
@@ -279,6 +293,15 @@ void QosLedger::OnCycleEnd(int64_t cycle, bool degraded,
     active_breaches_gauge_->Set(static_cast<double>(active_breaches_));
     degraded_stream_cycles_gauge_->Set(
         static_cast<double>(degraded_stream_cycles_));
+  }
+  if (ts_ != nullptr) {
+    double burn_max = 0;
+    for (const SloStatus& s : statuses) {
+      burn_max = std::max(burn_max, s.budget_burn);
+    }
+    ts_->Append(ts_burn_max_, sim_us, burn_max);
+    ts_->Append(ts_active_breaches_, sim_us,
+                static_cast<double>(active_breaches_));
   }
 }
 

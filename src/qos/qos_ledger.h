@@ -15,6 +15,8 @@
 
 namespace ftms {
 
+class TimeSeriesRecorder;
+
 // Per-stream QoS facts distilled from a scheduler's streams plus the
 // ledger's own degraded-exposure accounting. The paper's guarantees are
 // per-viewer — "which streams hiccup, and how often" — so this is the
@@ -107,6 +109,14 @@ class QosLedger {
   // Null registry detaches metric export.
   void BindMetrics(MetricsRegistry* registry, std::string_view scheme);
 
+  // Time-series hook: per-cycle max SLO budget burn and active breach
+  // count, as `<prefix>.slo_burn_max` / `<prefix>.active_breaches`.
+  // Pushed from OnCycleEnd, which runs at the scheduler's serial
+  // cycle-end fold, so the curves are thread-count invariant. Null
+  // recorder detaches.
+  void BindTimeSeries(TimeSeriesRecorder* recorder,
+                      const std::string& prefix);
+
   // Failure-injection hook (serial; called from OnDiskFailed).
   void OnFailure(int64_t cycle, bool mid_cycle);
 
@@ -162,6 +172,10 @@ class QosLedger {
   std::vector<Gauge*> burn_gauges_;  // parallel to slos_
   MetricsRegistry* registry_ = nullptr;
   std::string metrics_scheme_;
+
+  TimeSeriesRecorder* ts_ = nullptr;
+  int ts_burn_max_ = -1;
+  int ts_active_breaches_ = -1;
 };
 
 // Formatting helpers shared by ftms_cli, failure_drill and StatusLine.

@@ -1,0 +1,534 @@
+#include "qos/run_report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "util/json.h"
+
+namespace ftms {
+
+namespace {
+
+void AppendInt(std::string* out, int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out->append(buf);
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  out->append(buf);
+}
+
+// Simulated microseconds as seconds with millisecond precision — the
+// journal's native resolution at cycle granularity.
+void AppendSeconds(std::string* out, int64_t us) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f",
+                static_cast<double>(us) / 1e6);
+  out->append(buf);
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot read " + path);
+  }
+  std::string data;
+  char buf[65536];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    data.append(buf, n);
+  }
+  std::fclose(f);
+  return data;
+}
+
+Status LoadJournal(const std::string& path, RunReport* report) {
+  StatusOr<std::string> text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  std::map<std::string, int64_t> counts;
+  size_t pos = 0;
+  int64_t line_no = 0;
+  while (pos < text->size()) {
+    size_t end = text->find('\n', pos);
+    if (end == std::string::npos) end = text->size();
+    const std::string_view line(text->data() + pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string_view::npos) continue;
+    StatusOr<JsonValue> value = JsonValue::Parse(line);
+    if (!value.ok()) {
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(line_no) + ": " +
+          std::string(value.status().message()));
+    }
+    const JsonValue* kind = value->Find("kind");
+    if (kind == nullptr || !kind->is_string()) {
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(line_no) +
+          ": journal event without a \"kind\" string");
+    }
+    ++report->event_count;
+    ++counts[kind->AsString()];
+    RunReport::TimelineEvent event;
+    event.kind = kind->AsString();
+    if (const JsonValue* v = value->Find("sim_us")) event.sim_us = v->AsInt();
+    if (const JsonValue* v = value->Find("cycle")) event.cycle = v->AsInt();
+    if (const JsonValue* v = value->Find("value")) event.value = v->AsInt();
+    if (const JsonValue* v = value->Find("scheme")) {
+      event.scheme = v->AsString();
+    }
+    report->horizon_us = std::max(report->horizon_us, event.sim_us);
+    if (event.kind == "hiccups") {
+      report->hiccups.push_back(std::move(event));
+    } else if (event.kind == "slo_breach") {
+      report->slo_breaches.push_back(std::move(event));
+    } else if (event.kind == "rebuild_start" ||
+               event.kind == "rebuild_progress" ||
+               event.kind == "rebuild_done") {
+      report->rebuild.push_back(std::move(event));
+    }
+  }
+  report->kind_counts.assign(counts.begin(), counts.end());
+  return Status::Ok();
+}
+
+void FlattenProfile(const JsonValue& node, const std::string& prefix,
+                    int depth, std::vector<RunReport::ProfileNode>* out) {
+  const JsonValue* name = node.Find("name");
+  if (name == nullptr || !name->is_string()) return;
+  RunReport::ProfileNode flat;
+  flat.path = prefix.empty() ? name->AsString()
+                             : prefix + " > " + name->AsString();
+  flat.depth = depth;
+  if (const JsonValue* v = node.Find("count")) flat.count = v->AsInt();
+  if (const JsonValue* v = node.Find("wall_us")) {
+    flat.wall_us = v->AsNumber();
+  }
+  const std::string path = flat.path;
+  out->push_back(std::move(flat));
+  if (const JsonValue* children = node.Find("children")) {
+    for (const JsonValue& child : children->items()) {
+      FlattenProfile(child, path, depth + 1, out);
+    }
+  }
+}
+
+Status LoadMetrics(const std::string& path, RunReport* report) {
+  StatusOr<std::string> text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  StatusOr<JsonValue> value = JsonValue::Parse(*text);
+  if (!value.ok()) {
+    return Status::InvalidArgument(path + ": " +
+                                   std::string(value.status().message()));
+  }
+  if (!value->is_object()) {
+    return Status::InvalidArgument(path + ": expected a JSON object");
+  }
+  const JsonValue* metrics = value->Find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    return Status::InvalidArgument(
+        path + ": no \"metrics\" object (not a bench report?)");
+  }
+  report->has_metrics = true;
+  if (const JsonValue* bench = value->Find("bench")) {
+    report->bench_name = bench->AsString();
+  }
+  if (const JsonValue* schema = value->Find("schema_version")) {
+    report->schema_version = schema->AsInt();
+  }
+  for (const auto& [key, v] : metrics->members()) {
+    report->metrics.emplace_back(key, v.AsNumber());
+  }
+  if (const JsonValue* profile = value->Find("profile")) {
+    if (const JsonValue* nodes = profile->Find("nodes")) {
+      for (const JsonValue& node : nodes->items()) {
+        FlattenProfile(node, "", 0, &report->profile);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status LoadTimeSeries(const std::string& path, RunReport* report) {
+  StatusOr<std::string> text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  StatusOr<JsonValue> value = JsonValue::Parse(*text);
+  if (!value.ok()) {
+    return Status::InvalidArgument(path + ": " +
+                                   std::string(value.status().message()));
+  }
+  const JsonValue* series = value->Find("series");
+  if (series == nullptr || !series->is_object()) {
+    return Status::InvalidArgument(
+        path + ": no \"series\" object (not a time-series dump?)");
+  }
+  report->has_timeseries = true;
+  for (const auto& [name, s] : series->members()) {
+    const JsonValue* t = s.Find("t");
+    const JsonValue* v = s.Find("v");
+    if (t == nullptr || v == nullptr || !t->is_array() || !v->is_array() ||
+        t->items().size() != v->items().size()) {
+      return Status::InvalidArgument(path + ": series \"" + name +
+                                     "\" has mismatched t/v columns");
+    }
+    RunReport::SeriesSummary sum;
+    sum.name = name;
+    sum.points = t->items().size();
+    if (const JsonValue* stride = s.Find("stride")) {
+      sum.stride = stride->AsInt();
+    }
+    sum.curve.reserve(sum.points);
+    for (size_t i = 0; i < sum.points; ++i) {
+      const int64_t ti = t->items()[i].AsInt();
+      const double vi = v->items()[i].AsNumber();
+      if (i == 0) {
+        sum.t_first = ti;
+        sum.v_first = vi;
+        sum.v_min = vi;
+        sum.v_max = vi;
+      }
+      sum.t_last = ti;
+      sum.v_last = vi;
+      sum.v_min = std::min(sum.v_min, vi);
+      sum.v_max = std::max(sum.v_max, vi);
+      sum.curve.emplace_back(ti, vi);
+    }
+    report->series.push_back(std::move(sum));
+  }
+  std::sort(report->series.begin(), report->series.end(),
+            [](const RunReport::SeriesSummary& a,
+               const RunReport::SeriesSummary& b) { return a.name < b.name; });
+  return Status::Ok();
+}
+
+// Renders a curve as at most `max_points` "t -> v" steps (first and last
+// always kept), so long runs stay readable.
+void AppendCurve(std::string* out, const RunReport::SeriesSummary& s,
+                 size_t max_points) {
+  if (s.curve.empty()) return;
+  const size_t n = s.curve.size();
+  const size_t step = n <= max_points ? 1 : (n + max_points - 1) / max_points;
+  for (size_t i = 0; i < n; i += step) {
+    const auto& [t, v] = s.curve[i];
+    *out += "  - t=";
+    AppendSeconds(out, t);
+    *out += "s: ";
+    AppendDouble(out, v);
+    *out += "\n";
+  }
+  if ((n - 1) % step != 0) {
+    const auto& [t, v] = s.curve.back();
+    *out += "  - t=";
+    AppendSeconds(out, t);
+    *out += "s: ";
+    AppendDouble(out, v);
+    *out += "\n";
+  }
+}
+
+}  // namespace
+
+StatusOr<RunReport> LoadRunReport(const std::string& journal_path,
+                                  const std::string& metrics_path,
+                                  const std::string& timeseries_path) {
+  RunReport report;
+  report.journal_path = journal_path;
+  FTMS_RETURN_IF_ERROR(LoadJournal(journal_path, &report));
+  if (!metrics_path.empty()) {
+    FTMS_RETURN_IF_ERROR(LoadMetrics(metrics_path, &report));
+  }
+  if (!timeseries_path.empty()) {
+    FTMS_RETURN_IF_ERROR(LoadTimeSeries(timeseries_path, &report));
+  }
+  return report;
+}
+
+std::string RenderRunReportMarkdown(const RunReport& report) {
+  std::string out = "# FTMS run report\n\n";
+  out += "Journal: `" + report.journal_path + "` — ";
+  AppendInt(&out, report.event_count);
+  out += " events, horizon ";
+  AppendSeconds(&out, report.horizon_us);
+  out += " s simulated.\n";
+
+  out += "\n## Journal events\n\n";
+  if (report.kind_counts.empty()) {
+    out += "No events recorded.\n";
+  } else {
+    out += "| kind | count |\n|---|---|\n";
+    for (const auto& [kind, count] : report.kind_counts) {
+      out += "| " + kind + " | ";
+      AppendInt(&out, count);
+      out += " |\n";
+    }
+  }
+
+  out += "\n## SLO burn\n\n";
+  if (report.slo_breaches.empty()) {
+    out += "No SLO breaches recorded.\n";
+  } else {
+    AppendInt(&out, static_cast<int64_t>(report.slo_breaches.size()));
+    out += " breach transition(s):\n\n";
+    for (const auto& e : report.slo_breaches) {
+      out += "- t=";
+      AppendSeconds(&out, e.sim_us);
+      out += "s cycle=";
+      AppendInt(&out, e.cycle);
+      out += " slo_index=";
+      AppendInt(&out, e.value);
+      if (!e.scheme.empty()) out += " (" + e.scheme + ")";
+      out += "\n";
+    }
+  }
+  for (const auto& s : report.series) {
+    if (s.name.find("slo_burn") == std::string::npos) continue;
+    out += "\nBurn rate `" + s.name + "` (max ";
+    AppendDouble(&out, s.v_max);
+    out += ", last ";
+    AppendDouble(&out, s.v_last);
+    out += "):\n";
+    AppendCurve(&out, s, 8);
+  }
+
+  out += "\n## Hiccup timeline\n\n";
+  if (report.hiccups.empty()) {
+    out += "No hiccups recorded.\n";
+  } else {
+    const size_t shown = std::min<size_t>(report.hiccups.size(), 20);
+    for (size_t i = 0; i < shown; ++i) {
+      const auto& e = report.hiccups[i];
+      out += "- t=";
+      AppendSeconds(&out, e.sim_us);
+      out += "s cycle=";
+      AppendInt(&out, e.cycle);
+      out += " tracks_missed=";
+      AppendInt(&out, e.value);
+      if (!e.scheme.empty()) out += " (" + e.scheme + ")";
+      out += "\n";
+    }
+    if (report.hiccups.size() > shown) {
+      out += "- ... and ";
+      AppendInt(&out, static_cast<int64_t>(report.hiccups.size() - shown));
+      out += " more\n";
+    }
+  }
+
+  out += "\n## Rebuild\n\n";
+  if (report.rebuild.empty()) {
+    out += "No rebuild recorded.\n";
+  } else {
+    for (const auto& e : report.rebuild) {
+      out += "- t=";
+      AppendSeconds(&out, e.sim_us);
+      out += "s " + e.kind;
+      if (e.kind == "rebuild_start") {
+        out += " tracks_total=";
+        AppendInt(&out, e.value);
+      } else if (e.kind == "rebuild_progress") {
+        out += " percent=";
+        AppendInt(&out, e.value);
+      } else if (e.kind == "rebuild_done") {
+        out += " cycles=";
+        AppendInt(&out, e.value);
+      }
+      out += "\n";
+    }
+  }
+  for (const auto& s : report.series) {
+    if (s.name.find("rebuild.") != 0 ||
+        s.name.find(".progress") == std::string::npos) {
+      continue;
+    }
+    out += "\nProgress curve `" + s.name + "` (";
+    AppendInt(&out, static_cast<int64_t>(s.points));
+    out += " points, stride ";
+    AppendInt(&out, s.stride);
+    out += "):\n";
+    AppendCurve(&out, s, 16);
+  }
+
+  if (!report.profile.empty()) {
+    out += "\n## Per-subsystem time split\n\n";
+    double top_total = 0;
+    for (const auto& node : report.profile) {
+      if (node.depth == 0) top_total += node.wall_us;
+    }
+    out += "| scope | calls | wall ms | share |\n|---|---|---|---|\n";
+    for (const auto& node : report.profile) {
+      out += "| ";
+      for (int i = 0; i < node.depth; ++i) out += "&nbsp;&nbsp;";
+      const size_t leaf = node.path.rfind(" > ");
+      out += leaf == std::string::npos ? node.path
+                                       : node.path.substr(leaf + 3);
+      out += " | ";
+      AppendInt(&out, node.count);
+      out += " | ";
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.3f", node.wall_us / 1000.0);
+      out += buf;
+      out += " | ";
+      if (node.depth == 0 && top_total > 0) {
+        std::snprintf(buf, sizeof(buf), "%.1f%%",
+                      100.0 * node.wall_us / top_total);
+        out += buf;
+      } else {
+        out += "-";
+      }
+      out += " |\n";
+    }
+  }
+
+  if (report.has_timeseries) {
+    out += "\n## Time series\n\n";
+    if (report.series.empty()) {
+      out += "No series recorded.\n";
+    } else {
+      out += "| series | points | stride | t range (s) | last |\n"
+             "|---|---|---|---|---|\n";
+      for (const auto& s : report.series) {
+        out += "| " + s.name + " | ";
+        AppendInt(&out, static_cast<int64_t>(s.points));
+        out += " | ";
+        AppendInt(&out, s.stride);
+        out += " | ";
+        AppendSeconds(&out, s.t_first);
+        out += " – ";
+        AppendSeconds(&out, s.t_last);
+        out += " | ";
+        AppendDouble(&out, s.v_last);
+        out += " |\n";
+      }
+    }
+  }
+
+  if (report.has_metrics) {
+    out += "\n## Bench metrics\n\n";
+    if (!report.bench_name.empty()) {
+      out += "`" + report.bench_name + "` (schema ";
+      AppendInt(&out, report.schema_version);
+      out += ")\n\n";
+    }
+    out += "| metric | value |\n|---|---|\n";
+    for (const auto& [key, value] : report.metrics) {
+      out += "| " + key + " | ";
+      AppendDouble(&out, value);
+      out += " |\n";
+    }
+  }
+
+  return out;
+}
+
+std::string RenderRunReportJson(const RunReport& report) {
+  std::string out = "{\n  \"journal\": ";
+  AppendJsonString(&out, report.journal_path);
+  out += ",\n  \"event_count\": ";
+  AppendInt(&out, report.event_count);
+  out += ",\n  \"horizon_us\": ";
+  AppendInt(&out, report.horizon_us);
+  out += ",\n  \"events\": {";
+  for (size_t i = 0; i < report.kind_counts.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    ";
+    AppendJsonString(&out, report.kind_counts[i].first);
+    out += ": ";
+    AppendInt(&out, report.kind_counts[i].second);
+  }
+  out += report.kind_counts.empty() ? "}" : "\n  }";
+
+  const auto emit_events =
+      [&](const char* key, const std::vector<RunReport::TimelineEvent>& evs) {
+        out += ",\n  \"";
+        out += key;
+        out += "\": [";
+        for (size_t i = 0; i < evs.size(); ++i) {
+          out += i == 0 ? "\n" : ",\n";
+          out += "    {\"sim_us\": ";
+          AppendInt(&out, evs[i].sim_us);
+          out += ", \"cycle\": ";
+          AppendInt(&out, evs[i].cycle);
+          out += ", \"kind\": ";
+          AppendJsonString(&out, evs[i].kind);
+          out += ", \"value\": ";
+          AppendInt(&out, evs[i].value);
+          out += "}";
+        }
+        out += evs.empty() ? "]" : "\n  ]";
+      };
+  emit_events("hiccups", report.hiccups);
+  emit_events("slo_breaches", report.slo_breaches);
+  emit_events("rebuild", report.rebuild);
+
+  if (report.has_metrics) {
+    out += ",\n  \"metrics\": {";
+    for (size_t i = 0; i < report.metrics.size(); ++i) {
+      out += i == 0 ? "\n" : ",\n";
+      out += "    ";
+      AppendJsonString(&out, report.metrics[i].first);
+      out += ": ";
+      AppendDouble(&out, report.metrics[i].second);
+    }
+    out += report.metrics.empty() ? "}" : "\n  }";
+    out += ",\n  \"profile\": [";
+    for (size_t i = 0; i < report.profile.size(); ++i) {
+      out += i == 0 ? "\n" : ",\n";
+      out += "    {\"path\": ";
+      AppendJsonString(&out, report.profile[i].path);
+      out += ", \"count\": ";
+      AppendInt(&out, report.profile[i].count);
+      out += ", \"wall_us\": ";
+      AppendDouble(&out, report.profile[i].wall_us);
+      out += "}";
+    }
+    out += report.profile.empty() ? "]" : "\n  ]";
+  }
+
+  if (report.has_timeseries) {
+    out += ",\n  \"timeseries\": {";
+    for (size_t i = 0; i < report.series.size(); ++i) {
+      const auto& s = report.series[i];
+      out += i == 0 ? "\n" : ",\n";
+      out += "    ";
+      AppendJsonString(&out, s.name);
+      out += ": {\"points\": ";
+      AppendInt(&out, static_cast<int64_t>(s.points));
+      out += ", \"stride\": ";
+      AppendInt(&out, s.stride);
+      out += ", \"t_first\": ";
+      AppendInt(&out, s.t_first);
+      out += ", \"t_last\": ";
+      AppendInt(&out, s.t_last);
+      out += ", \"v_min\": ";
+      AppendDouble(&out, s.v_min);
+      out += ", \"v_max\": ";
+      AppendDouble(&out, s.v_max);
+      out += ", \"v_last\": ";
+      AppendDouble(&out, s.v_last);
+      out += "}";
+    }
+    out += report.series.empty() ? "}" : "\n  }";
+  }
+
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace ftms

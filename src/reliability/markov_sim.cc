@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "util/metrics.h"
+#include "util/profiler.h"
 #include "util/thread_pool.h"
 
 namespace ftms {
@@ -132,6 +133,9 @@ ReliabilityEstimate RunTrials(const ReliabilitySimConfig& c,
   ParallelFor(pool, 0, c.trials, [&](int64_t lo, int64_t hi) {
     TrialScratch scratch;
     for (int64_t t = lo; t < hi; ++t) {
+      // One scope per TRIAL (the logical work unit), never per chunk:
+      // chunk shapes vary with the thread count, trial counts do not.
+      FTMS_PROF_SCOPE("reliability/trial");
       Rng rng(c.seed ^ SplitMix64Hash(static_cast<uint64_t>(t)));
       times[static_cast<size_t>(t)] =
           RunTrial(c, cluster_size, rng, scratch, stop);

@@ -6,6 +6,8 @@
 #include <chrono>
 #include <string>
 
+#include "util/profiler.h"
+
 namespace ftms {
 
 // Registry cells and the trace track for one scheduler instance, resolved
@@ -125,6 +127,7 @@ CycleScheduler::CycleScheduler(const SchedulerConfig& config,
   }  // threads == 1 (or negative): exec_pool_ stays null, always serial
   InitInstruments();
   InitQos();
+  InitTimeSeries();
 }
 
 CycleScheduler::~CycleScheduler() = default;
@@ -240,6 +243,30 @@ void CycleScheduler::InitQos() {
   qos_active_ = journal_ != nullptr || ledger_ != nullptr;
 }
 
+void CycleScheduler::InitTimeSeries() {
+  ts_ = config_.timeseries != nullptr
+            ? config_.timeseries
+            : TimeSeriesRecorder::GlobalIfEnabled();
+  if (ts_ == nullptr) return;
+  // Instance-numbered prefix, mirroring the trace-track naming: several
+  // rigs sharing one recorder keep distinct series, and the numbering is
+  // process-deterministic so dumps stay byte-identical across runs and
+  // thread counts.
+  static std::atomic<int> instance{0};
+  ts_prefix_ =
+      std::string(SchemeAbbrev(config_.scheme)) + "." +
+      std::to_string(instance.fetch_add(1, std::memory_order_relaxed));
+  const std::string base = "sched." + ts_prefix_ + ".";
+  ts_degraded_ = ts_->DefineSeries(base + "degraded_reads");
+  ts_queue_depth_ = ts_->DefineSeries(base + "disk_queue_depth_mean");
+  ts_streams_ = ts_->DefineSeries(base + "active_streams");
+  ts_hiccups_ = ts_->DefineSeries(base + "hiccups");
+  pool_.BindTimeSeries(ts_, base + "buffer_in_use");
+  if (ledger_ != nullptr) {
+    ledger_->BindTimeSeries(ts_, "qos." + ts_prefix_);
+  }
+}
+
 double CycleScheduler::CycleSeconds() const {
   // T_cyc = k' B / b_o; k' depends on the scheme (Section 2).
   const int k_prime = (config_.scheme == Scheme::kStreamingRaid ||
@@ -280,6 +307,7 @@ StatusOr<StreamId> CycleScheduler::AddStream(const MediaObject& object) {
 }
 
 void CycleScheduler::RunCycle() {
+  FTMS_PROF_SCOPE("sched/cycle");
   if (instr_ == nullptr) {
     BeginCycle();
     DoRunCycle();
@@ -289,6 +317,7 @@ void CycleScheduler::RunCycle() {
     ++cycle_;
     ++metrics_.cycles;
     if (qos_active_) EndCycleQos();
+    if (ts_ != nullptr) SampleTimeSeries();
     return;
   }
   const int64_t cycle_start_us = SimTimeMicros();
@@ -301,6 +330,7 @@ void CycleScheduler::RunCycle() {
   ++cycle_;
   ++metrics_.cycles;
   if (qos_active_) EndCycleQos();
+  if (ts_ != nullptr) SampleTimeSeries();
   const double wall_us =
       std::chrono::duration<double, std::micro>(
           std::chrono::steady_clock::now() - wall_start)
@@ -309,6 +339,7 @@ void CycleScheduler::RunCycle() {
 }
 
 void CycleScheduler::EndCycleQos() {
+  FTMS_PROF_SCOPE("sched/qos");
   const int64_t completed = cycle_ - 1;
   const int64_t sim_us = SimTimeMicros();  // end of the completed cycle
   if (journal_ != nullptr) {
@@ -372,6 +403,28 @@ void CycleScheduler::SampleCycleInstruments(int64_t cycle_start_us,
         static_cast<double>(ActiveStreams()), "failed_disks",
         static_cast<double>(disks_->NumFailed()));
   }
+}
+
+void CycleScheduler::SampleTimeSeries() {
+  const int64_t t = SimTimeMicros();  // end of the completed cycle
+  const SchedulerMetrics& m = metrics_;
+  ts_->Append(ts_degraded_, t,
+              static_cast<double>(m.failed_reads - ts_last_.failed_reads));
+  int64_t used_total = 0;
+  for (const int used : slots_used_) used_total += used;
+  ts_->Append(ts_queue_depth_, t,
+              slots_used_.empty()
+                  ? 0.0
+                  : static_cast<double>(used_total) /
+                        static_cast<double>(slots_used_.size()));
+  ts_->Append(ts_streams_, t, static_cast<double>(ActiveStreams()));
+  ts_->Append(ts_hiccups_, t,
+              static_cast<double>(m.hiccups - ts_last_.hiccups));
+  ts_last_ = m;
+  pool_.SampleTimeSeries(t);
+  // Pull-model registry series (if any were registered on this recorder)
+  // sample at the same serial point.
+  ts_->Sample(t);
 }
 
 void CycleScheduler::RunCycles(int n) {

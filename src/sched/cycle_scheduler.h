@@ -19,6 +19,7 @@
 #include "util/metrics.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
+#include "util/timeseries.h"
 #include "util/trace_event.h"
 
 namespace ftms {
@@ -100,6 +101,16 @@ struct SchedulerConfig {
   // thread count.
   EventJournal* journal = nullptr;
   QosLedger* ledger = nullptr;
+
+  // Time-series sink. Null falls back to the process-wide recorder,
+  // which is off unless FTMS_TIMESERIES=1 — the usual zero-cost-off
+  // contract. When live, the scheduler pushes per-cycle curves (degraded
+  // reads, disk queue depth, active streams, hiccups, buffer occupancy)
+  // from its serial cycle-end point, and RebuildManager / QosLedger
+  // attach their own series through timeseries_recorder(). All pushes
+  // derive from deterministic fold state, so dumps are byte-identical at
+  // any thread count.
+  TimeSeriesRecorder* timeseries = nullptr;
 };
 
 // Counters accumulated over a run. A "hiccup" is one track that missed its
@@ -192,6 +203,12 @@ class CycleScheduler {
   // Resolved QoS sinks; null when QoS observability is off.
   EventJournal* journal() const { return journal_; }
   QosLedger* qos_ledger() const { return ledger_; }
+  // Resolved time-series recorder (config's, else the globally enabled
+  // instance, else null) and the series-name prefix this scheduler's
+  // curves use ("<SCHEME>.<instance>"). RebuildManager and QosLedger
+  // attach their own series under the same prefix.
+  TimeSeriesRecorder* timeseries_recorder() const { return ts_; }
+  const std::string& timeseries_prefix() const { return ts_prefix_; }
   int num_clusters() const { return layout_->num_clusters(); }
 
   // All streams ever admitted (active and finished).
@@ -387,6 +404,12 @@ class CycleScheduler {
   void BeginCycle();
   void InitInstruments();
   void InitQos();
+  void InitTimeSeries();
+  // Serial end-of-cycle time-series push: per-cycle degraded reads, mean
+  // disk queue depth, active streams, hiccup delta and buffer occupancy,
+  // all derived from fold state — never from worker-local scratch — so
+  // the curves are byte-identical at any FTMS_THREADS.
+  void SampleTimeSeries();
   // Serial end-of-cycle QoS fold: hiccup-delta and transition-end journal
   // events, the ledger's per-stream exposure/SLO pass.
   void EndCycleQos();
@@ -467,6 +490,15 @@ class CycleScheduler {
   bool qos_active_ = false;
   std::string_view qos_scheme_ = "";
   int64_t journaled_hiccups_ = 0;
+  // Time-series state (see SchedulerConfig::timeseries). `ts_` is null
+  // when recording is off, folding every push site into one branch.
+  TimeSeriesRecorder* ts_ = nullptr;
+  std::string ts_prefix_;
+  int ts_degraded_ = -1;
+  int ts_queue_depth_ = -1;
+  int ts_streams_ = -1;
+  int ts_hiccups_ = -1;
+  SchedulerMetrics ts_last_;  // previous cycle-end totals for deltas
   // Open degraded transitions: cluster and the cycle its C-cycle window
   // closes (journal kDegradedTransitionEnd is emitted at that fold).
   std::vector<std::pair<int, int64_t>> open_transitions_;

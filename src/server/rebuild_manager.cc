@@ -5,6 +5,8 @@
 #include <string>
 
 #include "layout/schemes.h"
+#include "util/profiler.h"
+#include "util/timeseries.h"
 
 namespace ftms {
 
@@ -41,6 +43,11 @@ void RebuildManager::InitInstruments() {
     trace_tid_ = tracer_->RegisterTrack("rebuild");
   }
   journal_ = scheduler_->journal();
+  ts_ = scheduler_->timeseries_recorder();
+  if (ts_ != nullptr) {
+    ts_progress_ = ts_->DefineSeries(
+        "rebuild." + scheduler_->timeseries_prefix() + ".progress");
+  }
 }
 
 // All rebuild journal events share the scheduler's scheme label and the
@@ -129,6 +136,7 @@ Status RebuildManager::StartRebuild(int disk) {
 
 void RebuildManager::AdvanceOneCycle() {
   if (!Active()) return;
+  FTMS_PROF_SCOPE("rebuild/advance");
   ++cycles_elapsed_;
   // Progress is gated by the least-idle source: one idle slot on every
   // source regenerates one track (the spare's write bandwidth is never
@@ -208,6 +216,11 @@ void RebuildManager::AdvanceOneCycle() {
   } else if (progress_gauge_ != nullptr) {
     progress_gauge_->Set(Progress());
   }
+  if (ts_ != nullptr) {
+    // AdvanceOneCycle runs serially right after the scheduler's cycle
+    // fold, so this push keeps the thread-invariance contract.
+    ts_->Append(ts_progress_, scheduler_->SimTimeMicros(), Progress());
+  }
 }
 
 Status RebuildManager::AttachDataPath(int object_id, int64_t object_tracks,
@@ -253,6 +266,7 @@ void RebuildManager::RefreshDataFailedSet() {
 }
 
 void RebuildManager::ReconstructDataTracks(int budget) {
+  FTMS_PROF_SCOPE("rebuild/reconstruct");
   const int64_t remaining =
       static_cast<int64_t>(data_pending_.size()) - data_pos_;
   const int64_t take = std::min<int64_t>(budget, remaining);

@@ -133,6 +133,8 @@ class RebuildManager {
   Tracer* tracer_ = nullptr;
   int32_t trace_tid_ = -1;
   int64_t start_sim_us_ = 0;
+  TimeSeriesRecorder* ts_ = nullptr;
+  int ts_progress_ = -1;
 };
 
 }  // namespace ftms

@@ -58,6 +58,7 @@ StatusOr<std::unique_ptr<MultimediaServer>> MultimediaServer::Create(
   sched_config.ib_prefetch_parity = config.ib_prefetch_parity;
   sched_config.journal = config.journal;
   sched_config.ledger = config.ledger;
+  sched_config.timeseries = config.timeseries;
   StatusOr<std::unique_ptr<CycleScheduler>> scheduler = CreateScheduler(
       sched_config, server->disks_.get(), server->layout_.get());
   if (!scheduler.ok()) return scheduler.status();

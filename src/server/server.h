@@ -34,6 +34,11 @@ struct ServerConfig {
   // CLI inject private instances.
   EventJournal* journal = nullptr;
   QosLedger* ledger = nullptr;
+
+  // Time-series recorder forwarded to the scheduler (see
+  // SchedulerConfig::timeseries): null keeps the FTMS_TIMESERIES-gated
+  // global recorder.
+  TimeSeriesRecorder* timeseries = nullptr;
 };
 
 // The multimedia on-demand server of Figure 1, disk subsystem side:

@@ -11,6 +11,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/profiler.h"
+
 namespace ftms {
 
 // Simulated time, in seconds (shared with Simulator).
@@ -213,11 +215,13 @@ class EventQueue {
 class HeapEventQueue final : public EventQueue {
  public:
   void Push(EventRec rec) override {
+    FTMS_PROF_SCOPE("sim/queue/push");
     heap_.push_back(std::move(rec));
     std::push_heap(heap_.begin(), heap_.end(), Later);
   }
 
   bool PopMin(EventRec* out) override {
+    FTMS_PROF_SCOPE("sim/queue/pop");
     if (heap_.empty()) return false;
     std::pop_heap(heap_.begin(), heap_.end(), Later);
     *out = std::move(heap_.back());
@@ -274,6 +278,7 @@ class CalendarEventQueue final : public EventQueue {
   CalendarEventQueue() { Rebuild(kMinBuckets, 1.0, 0); }
 
   void Push(EventRec rec) override {
+    FTMS_PROF_SCOPE("sim/queue/push");
     ++size_;
     if (InWindow(rec.time)) {
       InsertBucket(std::move(rec));
@@ -295,6 +300,7 @@ class CalendarEventQueue final : public EventQueue {
   }
 
   bool PopMin(EventRec* out) override {
+    FTMS_PROF_SCOPE("sim/queue/pop");
     if (size_ == 0) return false;
     AdvanceToMin();
     std::vector<EventRec>& bucket = buckets_[CurSlot()];

@@ -4,21 +4,28 @@
 
 #include "qos/event_journal.h"
 #include "util/metrics.h"
+#include "util/profiler.h"
 
 namespace ftms {
 
 Simulator::~Simulator() = default;
 
 void Simulator::Run() {
-  while (StepNoFlush()) {
+  {
+    FTMS_PROF_SCOPE("sim/run");
+    while (StepNoFlush()) {
+    }
   }
   FlushInstruments();
   JournalHorizon();
 }
 
 void Simulator::RunUntil(SimTime t) {
-  while (!queue_->empty() && queue_->MinTime() <= t) {
-    StepNoFlush();
+  {
+    FTMS_PROF_SCOPE("sim/run");
+    while (!queue_->empty() && queue_->MinTime() <= t) {
+      StepNoFlush();
+    }
   }
   if (t > now_) now_ = t;
   FlushInstruments();
@@ -26,6 +33,9 @@ void Simulator::RunUntil(SimTime t) {
 }
 
 void Simulator::FlushInstruments() {
+  // A flush is a serial sync point for every observability sink, so fold
+  // the worker-thread profiler trees here too.
+  if (Profiler::GlobalEnabled()) Profiler::FoldAtSyncPoint();
   if (events_counter_ != nullptr && events_processed_ != events_flushed_) {
     events_counter_->Add(
         static_cast<int64_t>(events_processed_ - events_flushed_));

@@ -257,6 +257,11 @@ std::string MetricsRegistry::PrometheusText() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   std::string_view last_family;
+  // Histogram quantile summaries, grouped by suffixed family so each
+  // emits exactly one TYPE line (they are separate gauge families and
+  // must not appear under the histogram family's TYPE).
+  std::map<std::string, std::vector<std::pair<std::string, double>>>
+      quantile_families;
   for (const auto& [name, metric] : metrics_) {
     const std::string_view family = FamilyOf(name);
     if (family != last_family) {
@@ -310,8 +315,27 @@ std::string MetricsRegistry::PrometheusText() const {
         out += ' ';
         AppendNumber(&out, static_cast<double>(h.count()));
         out += '\n';
+        for (const auto& [suffix, q] :
+             {std::pair<const char*, double>{"_p50", 0.5},
+              {"_p90", 0.9},
+              {"_p99", 0.99}}) {
+          const std::string sample = WithSuffix(name, suffix);
+          quantile_families[std::string(FamilyOf(sample))].emplace_back(
+              sample, h.Quantile(q));
+        }
         break;
       }
+    }
+  }
+  for (const auto& [family, samples] : quantile_families) {
+    out += "# TYPE ";
+    out += family;
+    out += " gauge\n";
+    for (const auto& [sample, value] : samples) {
+      out += sample;
+      out += ' ';
+      AppendNumber(&out, value);
+      out += '\n';
     }
   }
   return out;
@@ -350,6 +374,7 @@ std::string MetricsRegistry::JsonObject(const std::string& indent,
         emit(WithSuffix(name, "_count"), static_cast<double>(h.count()));
         emit(WithSuffix(name, "_sum"), h.sum());
         emit(WithSuffix(name, "_p50"), h.Quantile(0.5));
+        emit(WithSuffix(name, "_p90"), h.Quantile(0.9));
         emit(WithSuffix(name, "_p99"), h.Quantile(0.99));
         break;
       }

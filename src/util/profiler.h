@@ -1,0 +1,131 @@
+#ifndef FTMS_UTIL_PROFILER_H_
+#define FTMS_UTIL_PROFILER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ftms {
+
+// Scoped hierarchical wall-clock profiler.
+//
+// Each thread owns a private call tree; `FTMS_PROF_SCOPE("sched/cycle")`
+// pushes a node on entry and accumulates steady-clock nanoseconds on
+// exit. Thread trees are folded into one persistent global tree at serial
+// sync points (Simulator::FlushInstruments, exporters), where no worker
+// holds an open scope; the merged tree orders children by name, so its
+// *structure and counts* are identical across runs and FTMS_THREADS
+// settings while the wall times describe this particular run.
+//
+// Zero-cost-off follows the metrics registry's pattern: when profiling is
+// off (no FTMS_PROF=1 / SetGlobalEnabled(true)), a scope is one atomic
+// load and an untaken branch — no clock reads, no allocation. Scope names
+// must be string literals (or otherwise outlive the process).
+//
+// Invariance contract: a scope's count per NAME (summed over every path
+// and thread it appears under) equals the number of times the annotated
+// work unit ran, so counts are thread-count invariant as long as sites
+// annotate logical work units (a cycle, a kernel call, a trial) rather
+// than pool-sized chunks.
+class Profiler {
+ public:
+  struct Node {
+    const char* name;  // static lifetime
+    Node* parent;      // null for a tree root
+    std::vector<std::unique_ptr<Node>> children;
+    int64_t count = 0;
+    int64_t total_ns = 0;
+  };
+
+  // Merged (cross-thread, cross-path-preserving) view of the call tree.
+  struct MergedNode {
+    std::string name;
+    int64_t count = 0;
+    int64_t total_ns = 0;
+    std::vector<MergedNode> children;  // sorted by name
+  };
+
+  static bool GlobalEnabled() {
+    const int state = enabled_state_.load(std::memory_order_acquire);
+    if (state < 0) return ResolveEnabledFromEnv();
+    return state == 1;
+  }
+  static void SetGlobalEnabled(bool enabled);
+
+  // Enters `name` under the calling thread's current scope and returns
+  // the node for Exit. Only called with profiling on (see ProfScope).
+  static Node* Enter(const char* name);
+  static void Exit(Node* node, int64_t elapsed_ns);
+
+  // Folds every thread-local tree into the persistent global tree and
+  // zeroes the thread-local counts. Call at serial sync points only (no
+  // open scopes on worker threads). Cheap no-op when profiling is off.
+  static void FoldAtSyncPoint();
+
+  // Merged tree: the persistent global tree plus any not-yet-folded
+  // thread-local residue. Children are sorted by name at every level.
+  // Call at serial points.
+  static MergedNode MergedTree();
+
+  // Total count for `name` summed over every path and thread (the
+  // thread-invariant quantity).
+  static int64_t CountOf(const std::string& name);
+
+  // JSON export: {"schema": 1, "nodes": [{"name", "count", "wall_us",
+  // "children": [...]}, ...]} — stable node order, wall times in
+  // microseconds with 3 decimals.
+  static std::string SnapshotJson();
+  static Status WriteJson(const std::string& path);
+
+  // Drops all recorded data (global tree and thread-local trees). Call at
+  // serial points only; intended for tests.
+  static void Reset();
+
+ private:
+  static bool ResolveEnabledFromEnv();
+
+  static std::atomic<int> enabled_state_;  // -1 = not yet resolved
+};
+
+// RAII profiling scope. When profiling is off the constructor is a single
+// atomic load; when on, it records steady-clock nanoseconds into the
+// calling thread's call tree under the currently open scope.
+class ProfScope {
+ public:
+  explicit ProfScope(const char* name) {
+    if (Profiler::GlobalEnabled()) {
+      node_ = Profiler::Enter(name);
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~ProfScope() {
+    if (node_ != nullptr) {
+      const int64_t elapsed =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start_)
+              .count();
+      Profiler::Exit(node_, elapsed);
+    }
+  }
+
+  ProfScope(const ProfScope&) = delete;
+  ProfScope& operator=(const ProfScope&) = delete;
+
+ private:
+  Profiler::Node* node_ = nullptr;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+#define FTMS_PROF_CONCAT_INNER(a, b) a##b
+#define FTMS_PROF_CONCAT(a, b) FTMS_PROF_CONCAT_INNER(a, b)
+#define FTMS_PROF_SCOPE(name) \
+  ::ftms::ProfScope FTMS_PROF_CONCAT(ftms_prof_scope_, __LINE__)(name)
+
+}  // namespace ftms
+
+#endif  // FTMS_UTIL_PROFILER_H_

@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "util/metrics.h"
+
 namespace ftms {
 
 namespace {
@@ -108,7 +110,20 @@ int64_t Tracer::WallMicros() const {
 
 void Tracer::Record(const Event& event) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (used_ == capacity_) ++overwritten_;
+  if (used_ == capacity_) {
+    ++overwritten_;
+    // Resolve once, on the first drop (registry mutex is distinct from
+    // mu_ and the registry never calls back into the tracer).
+    if (!dropped_counter_resolved_) {
+      dropped_counter_resolved_ = true;
+      if (MetricsRegistry* registry = MetricsRegistry::GlobalIfEnabled()) {
+        dropped_counter_ = registry->GetCounter(
+            "ftms_trace_dropped_total",
+            "trace events lost to ring wrap-around");
+      }
+    }
+    if (dropped_counter_ != nullptr) dropped_counter_->Add(1);
+  }
   ring_[next_] = event;
   next_ = (next_ + 1) % capacity_;
   used_ = std::min(used_ + 1, capacity_);
@@ -196,6 +211,10 @@ std::string Tracer::ToChromeJson() const {
 
   std::string out = "{\n\"displayTimeUnit\": \"ms\",\n\"otherData\": "
                     "{\"clock\": \"sim_us\", \"overwritten\": ";
+  AppendNumber(&out, static_cast<double>(overwritten));
+  // "dropped" is the stable name consumers key on; "overwritten" is kept
+  // for older tooling (same value: a wrap drops exactly one event).
+  out += ", \"dropped\": ";
   AppendNumber(&out, static_cast<double>(overwritten));
   out += "},\n\"traceEvents\": [";
   bool first = true;

@@ -13,6 +13,8 @@
 
 namespace ftms {
 
+class Counter;
+
 // Timeline tracer: a fixed-capacity ring buffer of spans and instant
 // events that exports Chrome `chrome://tracing` / Perfetto JSON, so one
 // run — failure injection, degraded transition, rebuild, catch-up — is
@@ -101,6 +103,10 @@ class Tracer {
   size_t next_ = 0;             // ring write cursor
   size_t used_ = 0;             // min(total recorded, capacity_)
   int64_t overwritten_ = 0;
+  // Mirrors overwritten_ into ftms_trace_dropped_total when the metrics
+  // registry is enabled; resolved lazily on the first overwrite.
+  bool dropped_counter_resolved_ = false;
+  Counter* dropped_counter_ = nullptr;
   int32_t next_tid_ = 0;
   std::map<int32_t, std::string> track_names_;
 };

@@ -193,6 +193,45 @@ INSTANTIATE_TEST_SUITE_P(AllSchemes, ObservabilityTest,
                            return std::string(SchemeAbbrev(info.param));
                          });
 
+TEST(PrometheusExpositionTest, HistogramSummaryQuantileGauges) {
+  // Pins the exposition format for histogram quantile summaries: p50 /
+  // p90 / p99 are emitted as separate gauge families AFTER the main
+  // family list, each with its own # TYPE line — never as extra samples
+  // inside the histogram family (a duplicate-TYPE violation scrapers
+  // reject). One value per bucket of [0, 10) x 10 makes the quantiles
+  // exact: p50 = 5, p90 = 9, p99 = 9.9.
+  MetricsRegistry registry;
+  HistogramCell* h = registry.GetHistogram("ftms_obs_lat", 0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h->Add(i + 0.5);
+
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("# TYPE ftms_obs_lat histogram"), std::string::npos);
+  EXPECT_NE(text.find("ftms_obs_lat_bucket{le=\"+Inf\"} 10"),
+            std::string::npos);
+  EXPECT_NE(text.find("ftms_obs_lat_count 10"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ftms_obs_lat_p50 gauge\nftms_obs_lat_p50 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE ftms_obs_lat_p90 gauge\nftms_obs_lat_p90 9\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("# TYPE ftms_obs_lat_p99 gauge\nftms_obs_lat_p99 9.9\n"),
+      std::string::npos);
+  // The quantile gauges follow the histogram family block.
+  EXPECT_GT(text.find("ftms_obs_lat_p50"), text.find("ftms_obs_lat_count"));
+}
+
+TEST(PrometheusExpositionTest, LabeledHistogramQuantilesKeepLabels) {
+  MetricsRegistry registry;
+  registry
+      .GetHistogram(LabeledName("ftms_obs_l", {{"scheme", "SR"}}), 0.0, 4.0,
+                    4)
+      ->Add(1.5);
+  const std::string text = registry.PrometheusText();
+  // The suffix lands on the family name, before the label set.
+  EXPECT_NE(text.find("# TYPE ftms_obs_l_p50 gauge"), std::string::npos);
+  EXPECT_NE(text.find("ftms_obs_l_p50{scheme=\"SR\"} "), std::string::npos);
+}
+
 TEST(ObservabilityOffTest, UninstrumentedSchedulerTouchesNoGlobalState) {
   // With no config override and the global sinks disabled, a full run
   // registers nothing anywhere.

@@ -35,6 +35,8 @@ struct RigOptions {
   // tests).
   EventJournal* journal = nullptr;
   QosLedger* ledger = nullptr;
+  // Private time-series sink (null = FTMS_TIMESERIES-gated default).
+  TimeSeriesRecorder* timeseries = nullptr;
   // Override the per-disk capacity (0 = keep the model default). Small
   // disks keep rebuild-to-completion scenarios fast in tests.
   double disk_capacity_mb = 0;
@@ -67,6 +69,7 @@ inline SchedRig MakeRig(Scheme scheme, int parity_group_size, int num_disks,
   config.tracer = options.tracer;
   config.journal = options.journal;
   config.ledger = options.ledger;
+  config.timeseries = options.timeseries;
   rig.sched = std::move(
       CreateScheduler(config, rig.disks.get(), rig.layout.get()).value());
   return rig;

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <string>
 
+#include "util/metrics.h"
+
 namespace ftms {
 namespace {
 
@@ -45,6 +47,36 @@ TEST(TracerTest, RingOverwritesOldest) {
   tracer.Clear();
   EXPECT_EQ(tracer.size(), 0u);
   EXPECT_EQ(tracer.overwritten(), 0);
+}
+
+TEST(TracerTest, OverflowPublishesDroppedCounterAndFooter) {
+  // Ring overflow is observable two ways: the ftms_trace_dropped_total
+  // counter (when the global registry is live) and the "dropped" field
+  // in the trace JSON footer — so a truncated trace is never mistaken
+  // for a complete one.
+  MetricsRegistry::SetGlobalEnabled(true);
+  Counter* dropped = MetricsRegistry::Global().GetCounter(
+      "ftms_trace_dropped_total", "trace events lost to ring wrap-around");
+  const int64_t before = dropped->value();
+
+  Tracer tracer(4);
+  const int32_t tid = tracer.RegisterTrack("t");
+  for (int i = 0; i < 7; ++i) {
+    tracer.Instant("e", "c", tid, i * 10);
+  }
+  EXPECT_EQ(tracer.overwritten(), 3);
+  EXPECT_EQ(dropped->value() - before, 3);
+  const std::string json = tracer.ToChromeJson();
+  EXPECT_NE(json.find("\"dropped\": 3"), std::string::npos);
+  MetricsRegistry::SetGlobalEnabled(false);
+}
+
+TEST(TracerTest, NoOverflowMeansZeroDroppedInFooter) {
+  Tracer tracer(8);
+  const int32_t tid = tracer.RegisterTrack("t");
+  tracer.Instant("e", "c", tid, 5);
+  const std::string json = tracer.ToChromeJson();
+  EXPECT_NE(json.find("\"dropped\": 0"), std::string::npos);
 }
 
 TEST(TracerTest, ChromeJsonShape) {

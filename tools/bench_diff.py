@@ -11,6 +11,11 @@ keys (wall_s, *_s, *_seconds) are better when lower; anything else
 (counts, thread counts) is informational and compared for drift only,
 never flagged.
 
+Schema v4 snapshots recorded with FTMS_PROF=1 embed a "profile" tree;
+scope call counts are diffed informationally (a count change means the
+workload changed shape), and when a guarded metric regresses the top-3
+top-level subtrees by wall-time delta are printed to localize it.
+
 Exit status: 0 = no regression beyond the threshold, 1 = at least one
 regression, 2 = usage / file error.
 """
@@ -45,6 +50,62 @@ def load(path):
     return doc.get("bench", "?"), doc.get("schema_version"), metrics, doc
 
 
+def flatten_profile(doc):
+    """Flattens a schema-v4 'profile' tree into {path: (count, wall_us)}.
+
+    Paths join nested scope names with ' > '; preorder, so a path's
+    prefix is always its enclosing scope. Returns {} when the run had no
+    profiler (FTMS_PROF unset) or the block is malformed.
+    """
+    profile = doc.get("profile")
+    if not isinstance(profile, dict):
+        return {}
+    flat = {}
+
+    def walk(nodes, prefix):
+        for node in nodes:
+            if not isinstance(node, dict) or "name" not in node:
+                continue
+            path = f"{prefix} > {node['name']}" if prefix else node["name"]
+            flat[path] = (
+                int(node.get("count", 0)),
+                float(node.get("wall_us", 0.0)),
+            )
+            walk(node.get("children", []), path)
+
+    walk(profile.get("nodes", []), "")
+    return flat
+
+
+def attribute_regressions(base_doc, cur_doc):
+    """Prints the top-3 profile subtrees by wall-time delta.
+
+    Called only when a guarded metric regressed: the per-subsystem wall
+    deltas point at which subtree ate the lost time. Attribution needs
+    both runs profiled (FTMS_PROF=1); says so and returns otherwise.
+    """
+    base_prof = flatten_profile(base_doc)
+    cur_prof = flatten_profile(cur_doc)
+    if not base_prof or not cur_prof:
+        print("profile: no attribution possible (rerun both sides with "
+              "FTMS_PROF=1 to localize the regression)")
+        return
+    # Top-level subtrees only: child deltas are already inside their
+    # parent's wall time, so mixing depths would double-count.
+    deltas = []
+    for path in sorted(set(base_prof) | set(cur_prof)):
+        if " > " in path:
+            continue
+        b = base_prof.get(path, (0, 0.0))[1]
+        c = cur_prof.get(path, (0, 0.0))[1]
+        deltas.append((c - b, path, b, c))
+    deltas.sort(reverse=True)
+    print("top subsystems by wall-time delta (current - baseline):")
+    for delta, path, b, c in deltas[:3]:
+        print(f"  {path:<24} {b / 1000.0:>10.3f} ms -> {c / 1000.0:>10.3f} "
+              f"ms  ({delta / 1000.0:+.3f} ms)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline")
@@ -64,7 +125,7 @@ def main():
             f"bench_diff: schema v{base_schema} vs v{cur_schema}; metrics "
             f"are not comparable across schemas -- regenerate the baseline "
             f"with the current binaries (v2 added the env/registry blocks, "
-            f"v3 adds the qos block)",
+            f"v3 the qos block, v4 the profile/timeseries blocks)",
             file=sys.stderr,
         )
         return 2
@@ -166,11 +227,31 @@ def main():
         for k in changed[:20]:
             print(f"  {k}: {base_qos.get(k)} -> {cur_qos.get(k)}")
 
+    # The profile block (schema >= 4, runs with FTMS_PROF=1) is diffed
+    # informationally — wall times are machine-noisy — but scope *counts*
+    # are deterministic per workload, so a count change means the work
+    # itself changed shape, not just its speed.
+    base_prof = flatten_profile(base_doc)
+    cur_prof = flatten_profile(cur_doc)
+    if base_prof and cur_prof:
+        count_changed = [
+            p
+            for p in sorted(set(base_prof) | set(cur_prof))
+            if base_prof.get(p, (0, 0))[0] != cur_prof.get(p, (0, 0))[0]
+        ]
+        print(f"\nprofile: {len(count_changed)} of "
+              f"{len(set(base_prof) | set(cur_prof))} scopes changed call "
+              f"count")
+        for p in count_changed[:20]:
+            print(f"  {p}: {base_prof.get(p, (0, 0))[0]} -> "
+                  f"{cur_prof.get(p, (0, 0))[0]} calls")
+
     if regressions:
         print(
             f"\n{len(regressions)} regression(s) beyond "
             f"{args.threshold:.0f}%: {', '.join(regressions)}"
         )
+        attribute_regressions(base_doc, cur_doc)
         return 1
     print(f"\nno regressions beyond {args.threshold:.0f}%")
     return 0

@@ -19,6 +19,11 @@
 //                                        Dual-parity schemes drill a
 //                                        DOUBLE failure (two disks of one
 //                                        cluster) and rebuild both.
+//   ftms report <journal.jsonl>          unified run report from a
+//        [--metrics BENCH.json]          recorded journal plus optional
+//        [--timeseries ts.json]          bench/profile and time-series
+//        [--md|--json]                   artifacts; exits 1 on malformed
+//                                        inputs.
 //
 // Schemes: sr | sg | nc | ib | sr2 | nc2.
 
@@ -33,10 +38,13 @@
 #include "qos/conformance.h"
 #include "qos/event_journal.h"
 #include "qos/qos_ledger.h"
+#include "qos/run_report.h"
 #include "reliability/birth_death.h"
 #include "reliability/markov_sim.h"
 #include "server/server.h"
 #include "util/metrics.h"
+#include "util/profiler.h"
+#include "util/timeseries.h"
 #include "util/units.h"
 
 namespace ftms {
@@ -52,7 +60,9 @@ int Usage() {
       "[fail_disk]\n"
       "  ftms reliability <D> <C> [K]\n"
       "  ftms qos <sr|sg|nc|ib|sr2|nc2> [C] [D] [--json] "
-      "[--journal-out FILE]\n");
+      "[--journal-out FILE]\n"
+      "  ftms report <journal.jsonl> [--metrics BENCH.json] "
+      "[--timeseries ts.json] [--md|--json]\n");
   return 2;
 }
 
@@ -294,6 +304,20 @@ int CmdQos(int argc, char** argv) {
     out += ConformanceWatchdog::ToJson(findings, "    ");
     out += ",\n  \"qos\": ";
     out += journal.StatsJson("    ", "  ");
+    // Active per-SLO budget burn, so dashboards get the live burn rate
+    // without re-deriving it from the ledger block.
+    out += ",\n  \"slo_burn\": {";
+    const auto statuses = ledger.Evaluate(streams);
+    for (size_t i = 0; i < statuses.size(); ++i) {
+      out += i == 0 ? "\n" : ",\n";
+      out += "    \"" + statuses[i].spec.name + "\": ";
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", statuses[i].budget_burn);
+      out += buf;
+    }
+    out += statuses.empty() ? "}" : "\n  }";
+    out += ",\n  \"active_breaches\": " +
+           std::to_string(ledger.active_breaches());
     out += "\n}\n";
     std::fputs(out.c_str(), stdout);
   } else {
@@ -342,10 +366,64 @@ int CmdQos(int argc, char** argv) {
       }
     }
   }
+  if (TimeSeriesRecorder* ts = TimeSeriesRecorder::GlobalIfEnabled()) {
+    if (const char* out = std::getenv("FTMS_TIMESERIES_OUT")) {
+      if (out[0] != '\0' && ts->WriteJson(out).ok()) {
+        std::fprintf(stderr, "wrote %s\n", out);
+      }
+    }
+    if (const char* out = std::getenv("FTMS_TIMESERIES_CSV")) {
+      if (out[0] != '\0' && ts->WriteCsv(out).ok()) {
+        std::fprintf(stderr, "wrote %s\n", out);
+      }
+    }
+  }
+  if (Profiler::GlobalEnabled()) {
+    Profiler::FoldAtSyncPoint();
+    if (const char* out = std::getenv("FTMS_PROF_OUT")) {
+      if (out[0] != '\0' && Profiler::WriteJson(out).ok()) {
+        std::fprintf(stderr, "wrote %s\n", out);
+      }
+    }
+  }
   if (!ConformanceWatchdog::AllOk(findings)) {
     std::fprintf(stderr, "conformance: VIOLATION of a paper bound\n");
     return 1;
   }
+  return 0;
+}
+
+// Renders a recorded run (journal JSONL + optional bench/profile and
+// time-series artifacts) as one report. Strict on inputs: any unreadable
+// or malformed file exits 1.
+int CmdReport(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string journal_path = argv[2];
+  std::string metrics_path;
+  std::string timeseries_path;
+  bool as_json = false;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--timeseries") == 0 && i + 1 < argc) {
+      timeseries_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      as_json = true;
+    } else if (std::strcmp(argv[i], "--md") == 0) {
+      as_json = false;
+    } else {
+      return Usage();
+    }
+  }
+  const auto report =
+      LoadRunReport(journal_path, metrics_path, timeseries_path);
+  if (!report.ok()) {
+    std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  const std::string out = as_json ? RenderRunReportJson(*report)
+                                  : RenderRunReportMarkdown(*report);
+  std::fputs(out.c_str(), stdout);
   return 0;
 }
 
@@ -469,5 +547,6 @@ int main(int argc, char** argv) {
     return CmdReliability(argc, argv);
   }
   if (std::strcmp(argv[1], "qos") == 0) return CmdQos(argc, argv);
+  if (std::strcmp(argv[1], "report") == 0) return CmdReport(argc, argv);
   return Usage();
 }

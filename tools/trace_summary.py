@@ -8,6 +8,8 @@ Usage:
     tools/trace_summary.py TRACE.json --check --prom METRICS.prom
     tools/trace_summary.py --journal JOURNAL.jsonl   # validate + per-kind
                                                      # counts (trace optional)
+    tools/trace_summary.py --timeseries TS.json      # validate a
+                                                     # FTMS_TIMESERIES_OUT dump
 
 Summary mode prints, per event category ("phase" of the run: sched,
 failure, rebuild, ...), the span count, total simulated microseconds, and
@@ -35,6 +37,14 @@ as written by EventJournal::WriteJsonl / FTMS_QOS_OUT):
     only allowed together with a cycle reset (a fresh rig reusing the
     journal), never mid-run.
 It then prints per-kind event counts.
+
+--timeseries FILE validates a time-series dump (as written by
+TimeSeriesRecorder::WriteJson / FTMS_TIMESERIES_OUT):
+  * the top level is an object with a "series" object;
+  * every series has an integer stride >= 1 and t/v arrays of equal
+    length;
+  * timestamps are strictly increasing integers and values are finite.
+It then prints per-series point counts.
 
 Exit status: 0 = ok, 1 = validation failure, 2 = usage / file error.
 """
@@ -190,6 +200,57 @@ def check_journal(path):
     return ok
 
 
+def check_timeseries(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"trace_summary: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    ok = True
+    series = doc.get("series") if isinstance(doc, dict) else None
+    if not isinstance(series, dict):
+        return fail(f"{path}: no 'series' object")
+    for name, s in series.items():
+        if not isinstance(s, dict):
+            ok = fail(f"{path}: series {name!r} is not an object")
+            continue
+        stride = s.get("stride")
+        if not isinstance(stride, int) or stride < 1:
+            ok = fail(f"{path}: series {name!r}: bad stride {stride!r}")
+        t, v = s.get("t"), s.get("v")
+        if not isinstance(t, list) or not isinstance(v, list):
+            ok = fail(f"{path}: series {name!r}: t/v are not arrays")
+            continue
+        if len(t) != len(v):
+            ok = fail(
+                f"{path}: series {name!r}: {len(t)} timestamps vs "
+                f"{len(v)} values"
+            )
+        for i, ts in enumerate(t):
+            if not isinstance(ts, int):
+                ok = fail(f"{path}: series {name!r}: t[{i}] = {ts!r} is "
+                          f"not an integer")
+            elif i > 0 and isinstance(t[i - 1], int) and ts <= t[i - 1]:
+                ok = fail(
+                    f"{path}: series {name!r}: t[{i}] = {ts} does not "
+                    f"increase (prev {t[i - 1]})"
+                )
+        for i, val in enumerate(v):
+            if not isinstance(val, (int, float)) or isinstance(val, bool) \
+                    or math.isnan(val) or math.isinf(val):
+                ok = fail(f"{path}: series {name!r}: v[{i}] = {val!r} is "
+                          f"not a finite number")
+    if not series:
+        ok = fail(f"{path}: empty series object")
+    if ok:
+        print(f"{path}: {len(series)} series ok")
+        for name in sorted(series):
+            print(f"  {name:<36} {len(series[name].get('t', [])):>8} points"
+                  f"  (stride {series[name].get('stride')})")
+    return ok
+
+
 def check_prometheus(path):
     try:
         with open(path) as f:
@@ -289,12 +350,22 @@ def main():
         "--journal", metavar="FILE",
         help="also validate a QoS event journal (JSONL) FILE"
     )
+    parser.add_argument(
+        "--timeseries", metavar="FILE",
+        help="also validate a time-series dump (FTMS_TIMESERIES_OUT) FILE"
+    )
     args = parser.parse_args()
 
     if args.trace is None:
-        if not args.journal:
-            parser.error("need a trace file and/or --journal FILE")
-        ok = check_journal(args.journal)
+        if not args.journal and not args.timeseries:
+            parser.error(
+                "need a trace file, --journal FILE, and/or --timeseries FILE"
+            )
+        ok = True
+        if args.journal:
+            ok = check_journal(args.journal) and ok
+        if args.timeseries:
+            ok = check_timeseries(args.timeseries) and ok
         if args.prom:
             ok = check_prometheus(args.prom) and ok
         return 0 if ok else 1
@@ -318,6 +389,8 @@ def main():
             ok = check_prometheus(args.prom) and ok
         if args.journal:
             ok = check_journal(args.journal) and ok
+        if args.timeseries:
+            ok = check_timeseries(args.timeseries) and ok
         if not ok:
             return 1
         real = sum(1 for e in events if e.get("ph") != "M")
@@ -330,6 +403,8 @@ def main():
         ok = check_prometheus(args.prom) and ok
     if args.journal:
         ok = check_journal(args.journal) and ok
+    if args.timeseries:
+        ok = check_timeseries(args.timeseries) and ok
     return 0 if ok else 1
 
 

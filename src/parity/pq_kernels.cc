@@ -72,10 +72,12 @@ void ExportSelection(const Selection& selection, MetricsRegistry* registry) {
   if (registry == nullptr) return;
   for (const PqKernelMeasurement& m : selection.report) {
     Gauge* gbps = registry->GetGauge(
-        LabeledName("ftms_parity_pq_kernel_gb_per_s", {{"kernel", m.name}}));
+        LabeledName("ftms_parity_pq_kernel_gb_per_s", {{"kernel", m.name}}),
+        "Measured GF(2^8) P+Q kernel throughput at selection time");
     if (gbps != nullptr) gbps->Set(m.gb_per_s);
     Gauge* active = registry->GetGauge(
-        LabeledName("ftms_parity_pq_kernel_active", {{"kernel", m.name}}));
+        LabeledName("ftms_parity_pq_kernel_active", {{"kernel", m.name}}),
+        "1 for the P+Q kernel the selector chose, 0 for the others");
     if (active != nullptr) active->Set(m.selected ? 1.0 : 0.0);
   }
 }

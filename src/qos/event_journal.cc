@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "util/metrics.h"
+
 namespace ftms {
 
 namespace {
@@ -40,6 +42,27 @@ void AppendEventJson(std::string* out, const QosEvent& e) {
   out->append(",\"value\":");
   AppendInt(out, e.value);
   out->append("}");
+}
+
+// The dropped-count footer appended to JSONL exports when the ring cap
+// evicted events; `sim_us` carries the newest retained event's clock.
+void AppendDroppedFooter(std::string* out, int64_t sim_us,
+                         int64_t dropped) {
+  out->append("{\"kind\":\"journal_dropped\",\"scheme\":\"sim\",\"sim_us\":");
+  AppendInt(out, sim_us);
+  out->append(",\"cycle\":-1,\"disk\":-1,\"cluster\":-1,\"stream\":-1,"
+              "\"value\":");
+  AppendInt(out, dropped);
+  out->append("}\n");
+}
+
+size_t ResolveMaxEventsFromEnv() {
+  const char* env = std::getenv("FTMS_QOS_MAX_EVENTS");
+  if (env == nullptr || env[0] == '\0') {
+    return EventJournal::kDefaultMaxEvents;
+  }
+  const long long v = std::atoll(env);
+  return v <= 0 ? 0 : static_cast<size_t>(v);
 }
 
 }  // namespace
@@ -90,14 +113,36 @@ void EventJournal::SetGlobalEnabled(bool enabled) {
   g_global_enabled.store(enabled ? 1 : 0, std::memory_order_release);
 }
 
+EventJournal::EventJournal() : max_events_(ResolveMaxEventsFromEnv()) {}
+
 void EventJournal::Append(const QosEvent& event) {
   std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(event);
+  if (max_events_ == 0 || events_.size() < max_events_) {
+    events_.push_back(event);
+    return;
+  }
+  // Ring is full: overwrite the oldest slot and advance the head.
+  events_[head_] = event;
+  head_ = (head_ + 1) % max_events_;
+  ++dropped_;
+  if (dropped_counter_ == nullptr) {
+    if (MetricsRegistry* registry = MetricsRegistry::GlobalIfEnabled()) {
+      dropped_counter_ = registry->GetCounter(
+          "ftms_qos_journal_dropped_total",
+          "journal events evicted by the FTMS_QOS_MAX_EVENTS ring cap");
+    }
+  }
+  if (dropped_counter_ != nullptr) dropped_counter_->Add(1);
 }
 
 std::vector<QosEvent> EventJournal::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return events_;
+  std::vector<QosEvent> out;
+  out.reserve(events_.size());
+  for (size_t i = 0; i < events_.size(); ++i) {
+    out.push_back(events_[RingIndex(i)]);
+  }
+  return out;
 }
 
 size_t EventJournal::size() const {
@@ -117,15 +162,49 @@ int64_t EventJournal::CountOf(QosEventKind kind) const {
 void EventJournal::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
+  head_ = 0;
+  dropped_ = 0;
+}
+
+int64_t EventJournal::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+int64_t EventJournal::total_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(events_.size()) + dropped_;
+}
+
+std::vector<std::string> EventJournal::TailLines(size_t n, int64_t* total,
+                                                 int64_t* dropped) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (total != nullptr) *total = static_cast<int64_t>(events_.size());
+  if (dropped != nullptr) *dropped = dropped_;
+  const size_t count = n < events_.size() ? n : events_.size();
+  std::vector<std::string> lines;
+  lines.reserve(count);
+  for (size_t i = events_.size() - count; i < events_.size(); ++i) {
+    std::string line;
+    AppendEventJson(&line, events_[RingIndex(i)]);
+    lines.push_back(std::move(line));
+  }
+  return lines;
 }
 
 std::string EventJournal::ToJsonl() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   out.reserve(events_.size() * 96);
-  for (const QosEvent& e : events_) {
-    AppendEventJson(&out, e);
+  for (size_t i = 0; i < events_.size(); ++i) {
+    AppendEventJson(&out, events_[RingIndex(i)]);
     out.push_back('\n');
+  }
+  if (dropped_ > 0) {
+    const int64_t last_us =
+        events_.empty() ? 0
+                        : events_[RingIndex(events_.size() - 1)].sim_us;
+    AppendDroppedFooter(&out, last_us, dropped_);
   }
   return out;
 }
@@ -163,9 +242,11 @@ std::string EventJournal::StatsJson(const std::string& indent,
   };
   int64_t counts[sizeof(kKinds) / sizeof(kKinds[0])] = {};
   size_t total = 0;
+  int64_t dropped = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     total = events_.size();
+    dropped = dropped_;
     for (const QosEvent& e : events_) {
       ++counts[static_cast<size_t>(e.kind)];
     }
@@ -182,6 +263,12 @@ std::string EventJournal::StatsJson(const std::string& indent,
     out += QosEventKindName(kKinds[i]);
     out += "\": ";
     AppendInt(&out, counts[i]);
+  }
+  if (dropped > 0) {
+    out += ",\n";
+    out += indent;
+    out += "\"journal_dropped\": ";
+    AppendInt(&out, dropped);
   }
   out += "\n" + close_indent + "}";
   return out;

@@ -55,9 +55,20 @@ struct QosEvent {
 // serial points only (cycle boundaries, failure injection, rebuild steps),
 // which makes the journal byte-identical at any FTMS_THREADS setting; the
 // internal mutex merely guards concurrent rigs sharing the global journal.
+//
+// Memory is bounded: the journal keeps at most `max_events` entries
+// (FTMS_QOS_MAX_EVENTS, default 262144 ≈ 11 MB) as a ring — when full,
+// each append evicts the oldest event and bumps the dropped count (and
+// the global ftms_qos_journal_dropped_total counter when metrics are on).
+// Exports append a `journal_dropped` footer line so a truncated JSONL
+// dump is self-describing. A cap of 0 means unbounded.
 class EventJournal {
  public:
-  EventJournal() = default;
+  static constexpr size_t kDefaultMaxEvents = 262144;
+
+  // Reads FTMS_QOS_MAX_EVENTS (absent -> kDefaultMaxEvents, 0 -> no cap).
+  EventJournal();
+  explicit EventJournal(size_t max_events) : max_events_(max_events) {}
   EventJournal(const EventJournal&) = delete;
   EventJournal& operator=(const EventJournal&) = delete;
 
@@ -70,15 +81,28 @@ class EventJournal {
 
   void Append(const QosEvent& event);
 
-  std::vector<QosEvent> Snapshot() const;
-  size_t size() const;
+  std::vector<QosEvent> Snapshot() const;  // oldest retained event first
+  size_t size() const;                     // events currently retained
   int64_t CountOf(QosEventKind kind) const;
-  void Clear();
+  void Clear();  // drops events AND resets the dropped count
+
+  size_t max_events() const { return max_events_; }
+  int64_t dropped() const;         // events evicted by the ring cap
+  int64_t total_appended() const;  // size() + dropped()
+
+  // Last `n` retained events as JSONL lines (oldest first, no trailing
+  // newline per line). `total` / `dropped` receive the retained and
+  // evicted counts from the same locked view when non-null.
+  std::vector<std::string> TailLines(size_t n, int64_t* total = nullptr,
+                                     int64_t* dropped = nullptr) const;
 
   // One JSON object per line, fields in fixed order — byte-identical for
   // identical event sequences:
   //   {"kind":"disk_failed","scheme":"SR","sim_us":0,"cycle":3,
   //    "disk":2,"cluster":0,"stream":-1,"value":1}
+  // When the ring cap has evicted events, a final footer line with
+  // kind "journal_dropped", scheme "sim" and value = dropped() records
+  // the truncation.
   std::string ToJsonl() const;
   Status WriteJsonl(const std::string& path) const;
 
@@ -87,7 +111,18 @@ class EventJournal {
                         const std::string& close_indent) const;
 
  private:
+  // Index of the i-th oldest retained event in the ring. Callers hold mu_.
+  size_t RingIndex(size_t i) const {
+    return events_.size() < max_events_ || max_events_ == 0
+               ? i
+               : (head_ + i) % max_events_;
+  }
+
   mutable std::mutex mu_;
+  size_t max_events_ = kDefaultMaxEvents;  // 0 = unbounded
+  size_t head_ = 0;      // oldest retained event once the ring is full
+  int64_t dropped_ = 0;  // events evicted by the cap
+  class Counter* dropped_counter_ = nullptr;  // lazily bound global metric
   std::vector<QosEvent> events_;
 };
 

@@ -106,15 +106,18 @@ void PublishEstimate(const ReliabilitySimConfig& c, const char* kind,
   if (registry == nullptr) return;
   registry
       ->GetCounter(
-          LabeledName("ftms_reliability_trials_total", {{"kind", kind}}))
+          LabeledName("ftms_reliability_trials_total", {{"kind", kind}}),
+          "Monte Carlo trials contributing to this reliability estimate")
       ->Add(est.trials);
   registry
       ->GetGauge(
-          LabeledName("ftms_reliability_mean_hours", {{"kind", kind}}))
+          LabeledName("ftms_reliability_mean_hours", {{"kind", kind}}),
+          "Estimated mean hours to the event named by the kind label")
       ->Set(est.mean_hours);
   registry
       ->GetGauge(
-          LabeledName("ftms_reliability_ci95_hours", {{"kind", kind}}))
+          LabeledName("ftms_reliability_ci95_hours", {{"kind", kind}}),
+          "Half-width of the 95% confidence interval on the mean")
       ->Set(est.ci95_hours);
 }
 

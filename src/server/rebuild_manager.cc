@@ -24,19 +24,26 @@ void RebuildManager::InitInstruments() {
     // (the clustered family serves SR, SG and NC alike).
     const std::string scheme(SchemeAbbrev(scheduler_->config().scheme));
     tracks_counter_ = registry->GetCounter(
-        LabeledName("ftms_rebuild_tracks_rebuilt_total", {{"scheme", scheme}}));
+        LabeledName("ftms_rebuild_tracks_rebuilt_total", {{"scheme", scheme}}),
+        "Tracks reconstructed onto the spare disk across all rebuilds");
     completed_counter_ = registry->GetCounter(
-        LabeledName("ftms_rebuilds_completed_total", {{"scheme", scheme}}));
+        LabeledName("ftms_rebuilds_completed_total", {{"scheme", scheme}}),
+        "Rebuilds that ran to completion and repaired the failed disk");
     stalled_cycles_counter_ = registry->GetCounter(
-        LabeledName("ftms_rebuild_stalled_cycles_total", {{"scheme", scheme}}));
+        LabeledName("ftms_rebuild_stalled_cycles_total", {{"scheme", scheme}}),
+        "Cycles an active rebuild made no progress for lack of idle slots");
     progress_gauge_ = registry->GetGauge(
-        LabeledName("ftms_rebuild_progress_ratio", {{"scheme", scheme}}));
+        LabeledName("ftms_rebuild_progress_ratio", {{"scheme", scheme}}),
+        "Fraction of the failed disk rebuilt so far (0 when idle)");
     tracks_per_cycle_hist_ = registry->GetHistogram(
         "ftms_rebuild_tracks_per_cycle", 0.0,
         static_cast<double>(scheduler_->slots_per_disk() + 1),
-        scheduler_->slots_per_disk() + 1);
-    data_bytes_counter_ = registry->GetCounter(LabeledName(
-        "ftms_rebuild_data_bytes_reconstructed_total", {{"scheme", scheme}}));
+        scheduler_->slots_per_disk() + 1,
+        "Distribution of tracks rebuilt per cycle while a rebuild is active");
+    data_bytes_counter_ = registry->GetCounter(
+        LabeledName("ftms_rebuild_data_bytes_reconstructed_total",
+                    {{"scheme", scheme}}),
+        "Bytes of track data regenerated through the parity datapath");
   }
   tracer_ = scheduler_->tracer();
   if (tracer_ != nullptr) {

@@ -2,12 +2,26 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 #include <utility>
 
 #include "model/capacity.h"
 
 namespace ftms {
+
+namespace {
+
+// ServerConfig::telemetry_port -1 defers to the environment; the
+// variable absent (or empty) keeps telemetry fully off.
+int ResolveTelemetryPort(int config_port) {
+  if (config_port >= 0) return config_port;
+  const char* env = std::getenv("FTMS_TELEMETRY_PORT");
+  if (env == nullptr || env[0] == '\0') return -1;
+  return std::atoi(env);
+}
+
+}  // namespace
 
 StatusOr<std::unique_ptr<MultimediaServer>> MultimediaServer::Create(
     const ServerConfig& config) {
@@ -68,7 +82,79 @@ StatusOr<std::unique_ptr<MultimediaServer>> MultimediaServer::Create(
       server->disks_.get(), server->layout_.get(),
       server->scheduler_.get());
 
+  // Live telemetry plane, only when asked for: the hub renders snapshots
+  // at cycle boundaries (serial points), the HTTP thread serves them.
+  // With telemetry off neither object exists — zero threads, zero
+  // per-cycle cost, byte-identical outputs.
+  const int telemetry_port = ResolveTelemetryPort(config.telemetry_port);
+  if (telemetry_port >= 0) {
+    MultimediaServer* raw = server.get();
+    server->telemetry_hub_ = std::make_unique<TelemetryHub>();
+    server->telemetry_hub_->AttachMetrics(
+        server->scheduler_->metrics_registry());
+    server->telemetry_hub_->AttachTimeSeries(
+        server->scheduler_->timeseries_recorder());
+    server->telemetry_hub_->AttachJournal(server->scheduler_->journal());
+    server->telemetry_hub_->AddProbe([raw](TelemetrySnapshot* snap) {
+      raw->ProbeTelemetry(snap);
+    });
+    TelemetryServerOptions options;
+    options.port = telemetry_port;
+    StatusOr<std::unique_ptr<TelemetryServer>> http =
+        TelemetryServer::Start(server->telemetry_hub_.get(), options);
+    if (!http.ok()) return http.status();
+    server->telemetry_server_ = std::move(*http);
+    server->PublishTelemetry();  // endpoints have content before cycle 1
+  }
+
   return server;
+}
+
+void MultimediaServer::ProbeTelemetry(TelemetrySnapshot* snap) {
+  snap->cycle = scheduler_->cycle();
+  snap->status_line = StatusLine();
+  snap->rebuild_active = rebuild_->Active();
+  snap->rebuild_disk = rebuild_->active_disk();
+  snap->rebuild_progress = rebuild_->Progress();
+
+  const int num_clusters = layout_->num_clusters();
+  const int disks_per_cluster = layout_->disks_per_cluster();
+  const int slots = scheduler_->slots_per_disk();
+  snap->clusters.assign(static_cast<size_t>(num_clusters), {});
+  for (int cl = 0; cl < num_clusters; ++cl) {
+    TelemetrySnapshot::ClusterStat& stat =
+        snap->clusters[static_cast<size_t>(cl)];
+    stat.cluster = cl;
+    stat.failed_disks = disks_->NumFailedInCluster(cl);
+    stat.rebuilding = rebuild_->Active() &&
+                      disks_->ClusterOf(rebuild_->active_disk()) == cl;
+    if (slots <= 0 || disks_per_cluster <= 0) continue;
+    int used = 0;
+    for (int d = cl * disks_per_cluster; d < (cl + 1) * disks_per_cluster;
+         ++d) {
+      used += scheduler_->SlotsUsedLastCycle(d);
+    }
+    stat.utilization = static_cast<double>(used) /
+                       (static_cast<double>(slots) * disks_per_cluster);
+  }
+
+  const auto& streams = scheduler_->streams();
+  snap->hiccups_total = scheduler_->metrics().hiccups;
+  for (const auto& stream : streams) {
+    snap->worst_stream_hiccups =
+        std::max(snap->worst_stream_hiccups, stream->hiccup_count());
+  }
+  if (const QosLedger* ledger = scheduler_->qos_ledger()) {
+    snap->active_breaches = ledger->active_breaches();
+    for (const SloStatus& status : ledger->Evaluate(streams)) {
+      snap->slo_burn.emplace_back(status.spec.name, status.budget_burn);
+    }
+  }
+}
+
+void MultimediaServer::PublishTelemetry() {
+  if (telemetry_hub_ == nullptr) return;
+  telemetry_hub_->Publish(static_cast<int64_t>(NowSeconds() * 1e6));
 }
 
 Status MultimediaServer::AddObject(const MediaObject& object) {
@@ -141,6 +227,9 @@ void MultimediaServer::RunCycles(int n) {
     scheduler_->RunCycle();
     rebuild_->AdvanceOneCycle();
     ReleaseFinishedSlots();
+    // Cycle end is the serial sync point: scrapes see a complete cycle
+    // or the one before it, never a torn view.
+    PublishTelemetry();
   }
 }
 

@@ -12,6 +12,7 @@
 #include "sched/cycle_scheduler.h"
 #include "server/rebuild_manager.h"
 #include "stream/admission.h"
+#include "telemetry/telemetry_server.h"
 #include "util/status.h"
 
 namespace ftms {
@@ -39,6 +40,13 @@ struct ServerConfig {
   // SchedulerConfig::timeseries): null keeps the FTMS_TIMESERIES-gated
   // global recorder.
   TimeSeriesRecorder* timeseries = nullptr;
+
+  // Telemetry exporter port: >= 0 starts the in-process HTTP server on
+  // 127.0.0.1 (0 = kernel-assigned ephemeral port); -1 falls back to the
+  // FTMS_TELEMETRY_PORT environment variable, and disables telemetry
+  // entirely when that is unset — no thread, no socket, no per-cycle
+  // snapshot work.
+  int telemetry_port = -1;
 };
 
 // The multimedia on-demand server of Figure 1, disk subsystem side:
@@ -127,11 +135,26 @@ class MultimediaServer {
   // against the scheme's DefaultSlos).
   std::string StatusLine() const;
 
+  // Live telemetry plane (null unless ServerConfig::telemetry_port or
+  // FTMS_TELEMETRY_PORT enabled it at Create time). Snapshots publish at
+  // every cycle boundary; PublishTelemetry() forces one extra publication
+  // from a serial point (exporters call it right before their final
+  // dump so the last scrape equals the written file).
+  const TelemetryServer* telemetry_server() const {
+    return telemetry_server_.get();
+  }
+  TelemetryHub* telemetry_hub() { return telemetry_hub_.get(); }
+  void PublishTelemetry();
+
  private:
   MultimediaServer() = default;
 
   // Returns completed/terminated streams' admission slots to the pool.
   void ReleaseFinishedSlots();
+
+  // Fills the live-state fields of a telemetry snapshot (rebuild window,
+  // per-cluster utilization, SLO burn). Serial points only.
+  void ProbeTelemetry(TelemetrySnapshot* snap);
 
   std::vector<bool> slot_released_;  // per StreamId
   ServerConfig config_;
@@ -141,6 +164,8 @@ class MultimediaServer {
   std::unique_ptr<AdmissionController> admission_;
   std::unique_ptr<CycleScheduler> scheduler_;
   std::unique_ptr<RebuildManager> rebuild_;
+  std::unique_ptr<TelemetryHub> telemetry_hub_;
+  std::unique_ptr<TelemetryServer> telemetry_server_;
 };
 
 }  // namespace ftms

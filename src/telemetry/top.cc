@@ -1,0 +1,240 @@
+#include "telemetry/top.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "telemetry/http.h"
+
+namespace ftms {
+
+namespace {
+
+constexpr int kBarWidth = 20;
+
+const char* kReset = "\x1b[0m";
+const char* kGreen = "\x1b[32m";
+const char* kRed = "\x1b[31m";
+const char* kYellow = "\x1b[33m";
+const char* kBold = "\x1b[1m";
+
+// "[########------------]" for fraction in [0, 1].
+std::string Bar(double fraction) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const int filled = static_cast<int>(fraction * kBarWidth + 0.5);
+  std::string out = "[";
+  out.append(static_cast<size_t>(filled), '#');
+  out.append(static_cast<size_t>(kBarWidth - filled), '-');
+  out += ']';
+  return out;
+}
+
+// Eight-level unicode sparkline over the last `width` samples.
+std::string Sparkline(const std::vector<double>& values, size_t width) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (values.empty()) return "";
+  const size_t start = values.size() > width ? values.size() - width : 0;
+  double lo = values[start], hi = values[start];
+  for (size_t i = start; i < values.size(); ++i) {
+    lo = std::min(lo, values[i]);
+    hi = std::max(hi, values[i]);
+  }
+  std::string out;
+  for (size_t i = start; i < values.size(); ++i) {
+    const double norm =
+        hi > lo ? (values[i] - lo) / (hi - lo) : (hi > 0 ? 1.0 : 0.0);
+    out += kLevels[std::clamp(static_cast<int>(norm * 7 + 0.5), 0, 7)];
+  }
+  return out;
+}
+
+double NumberAt(const JsonValue& obj, std::string_view key,
+                double fallback = 0) {
+  const JsonValue* v = obj.Find(key);
+  return v != nullptr ? v->AsNumber(fallback) : fallback;
+}
+
+// Last up-to-32 samples of the first /timeseries series whose name
+// contains `needle`.
+std::vector<double> SeriesTail(const JsonValue* timeseries,
+                               std::string_view needle) {
+  std::vector<double> out;
+  if (timeseries == nullptr) return out;
+  const JsonValue* series = timeseries->Find("series");
+  if (series == nullptr || !series->is_object()) return out;
+  for (const auto& [name, body] : series->members()) {
+    if (name.find(needle) == std::string::npos) continue;
+    const JsonValue* v = body.Find("v");
+    if (v == nullptr || !v->is_array()) continue;
+    const auto& items = v->items();
+    const size_t start = items.size() > 32 ? items.size() - 32 : 0;
+    for (size_t i = start; i < items.size(); ++i) {
+      out.push_back(items[i].AsNumber());
+    }
+    break;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderTopFrame(const JsonValue& vars,
+                           const JsonValue* timeseries, bool color) {
+  const auto paint = [&](const char* code, const std::string& text) {
+    return color ? std::string(code) + text + kReset : text;
+  };
+
+  const bool ready =
+      vars.Find("ready") != nullptr && vars.Find("ready")->AsBool();
+  const double sim_s = NumberAt(vars, "sim_us") / 1e6;
+  char head[160];
+  std::snprintf(head, sizeof(head),
+                "FTMS live  seq %lld  cycle %lld  t=%.3fs  ",
+                static_cast<long long>(NumberAt(vars, "seq")),
+                static_cast<long long>(NumberAt(vars, "cycle", -1)),
+                sim_s);
+  std::string out = paint(kBold, head);
+  out += ready ? paint(kGreen, "READY") : paint(kRed, "NOT READY");
+  out += '\n';
+  if (const JsonValue* line = vars.Find("status_line");
+      line != nullptr && !line->AsString().empty()) {
+    out += line->AsString();
+    out += '\n';
+  }
+
+  if (const JsonValue* clusters = vars.Find("clusters");
+      clusters != nullptr && !clusters->items().empty()) {
+    out += "\nclusters:\n";
+    for (const JsonValue& c : clusters->items()) {
+      const double util = NumberAt(c, "util");
+      const int failed = static_cast<int>(NumberAt(c, "failed"));
+      char row[96];
+      std::snprintf(row, sizeof(row), "  %3d %s util %4.2f",
+                    static_cast<int>(NumberAt(c, "cluster")),
+                    Bar(util).c_str(), util);
+      out += row;
+      if (failed > 0) {
+        out += "  " + paint(kRed, "failed " + std::to_string(failed));
+      }
+      if (const JsonValue* r = c.Find("rebuilding");
+          r != nullptr && r->AsBool()) {
+        out += "  " + paint(kYellow, "REBUILDING");
+      }
+      out += '\n';
+    }
+  }
+
+  if (const JsonValue* rebuild = vars.Find("rebuild");
+      rebuild != nullptr && rebuild->Find("active") != nullptr &&
+      rebuild->Find("active")->AsBool()) {
+    const double progress = NumberAt(*rebuild, "progress");
+    char row[96];
+    std::snprintf(row, sizeof(row), "\nrebuild: disk %d %s %3.0f%%",
+                  static_cast<int>(NumberAt(*rebuild, "disk", -1)),
+                  Bar(progress).c_str(), progress * 100);
+    out += paint(kYellow, row);
+    out += '\n';
+  }
+
+  if (const JsonValue* burn = vars.Find("slo_burn");
+      burn != nullptr && !burn->members().empty()) {
+    out += "\nslo burn:\n";
+    for (const auto& [name, value] : burn->members()) {
+      const double b = value.AsNumber();
+      char row[128];
+      std::snprintf(row, sizeof(row), "  %-32s %s %.3f", name.c_str(),
+                    Bar(b).c_str(), b);
+      out += b >= 1.0 ? paint(kRed, row) : row;
+      out += '\n';
+    }
+  }
+  const std::vector<double> burn_hist =
+      SeriesTail(timeseries, "slo_burn_max");
+  if (!burn_hist.empty()) {
+    out += "  burn history " + Sparkline(burn_hist, 32) + '\n';
+  }
+
+  if (const JsonValue* qos = vars.Find("qos"); qos != nullptr) {
+    char row[160];
+    std::snprintf(
+        row, sizeof(row),
+        "\nhiccups %lld (worst stream %lld)  breaches %lld  journal %lld "
+        "events (%lld dropped)\n",
+        static_cast<long long>(NumberAt(*qos, "hiccups_total")),
+        static_cast<long long>(NumberAt(*qos, "worst_stream_hiccups")),
+        static_cast<long long>(NumberAt(*qos, "active_breaches")),
+        static_cast<long long>(NumberAt(*qos, "journal_events")),
+        static_cast<long long>(NumberAt(*qos, "journal_dropped")));
+    out += row;
+  }
+  return out;
+}
+
+int RunTop(const TopOptions& options) {
+  int failures = 0;
+  for (int frame = 0;
+       options.max_frames == 0 || frame < options.max_frames; ++frame) {
+    StatusOr<HttpResponse> vars_response =
+        HttpGet(options.url + "/vars", 5000);
+    if (!vars_response.ok() || vars_response->status != 200) {
+      if (options.once || ++failures >= 3) {
+        std::fprintf(stderr, "ftms top: cannot fetch %s/vars: %s\n",
+                     options.url.c_str(),
+                     vars_response.ok()
+                         ? ("HTTP " + std::to_string(vars_response->status))
+                               .c_str()
+                         : vars_response.status().ToString().c_str());
+        return 1;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options.interval_ms));
+      continue;
+    }
+    failures = 0;
+
+    if (options.once && options.json) {
+      std::fputs(vars_response->body.c_str(), stdout);
+      return 0;
+    }
+
+    StatusOr<JsonValue> vars = JsonValue::Parse(vars_response->body);
+    if (!vars.ok()) {
+      std::fprintf(stderr, "ftms top: malformed /vars document: %s\n",
+                   vars.status().ToString().c_str());
+      return 1;
+    }
+
+    JsonValue timeseries;
+    const JsonValue* timeseries_ptr = nullptr;
+    if (StatusOr<HttpResponse> ts_response =
+            HttpGet(options.url + "/timeseries", 5000);
+        ts_response.ok() && ts_response->status == 200) {
+      if (StatusOr<JsonValue> parsed =
+              JsonValue::Parse(ts_response->body);
+          parsed.ok()) {
+        timeseries = std::move(*parsed);
+        timeseries_ptr = &timeseries;
+      }
+    }
+
+    if (!options.once) {
+      std::fputs("\x1b[2J\x1b[H", stdout);  // clear screen, home cursor
+    }
+    std::fputs(
+        RenderTopFrame(*vars, timeseries_ptr, options.color && !options.once)
+            .c_str(),
+        stdout);
+    std::fflush(stdout);
+    if (options.once) return 0;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options.interval_ms));
+  }
+  return 0;
+}
+
+}  // namespace ftms

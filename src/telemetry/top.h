@@ -1,0 +1,37 @@
+#ifndef FTMS_TELEMETRY_TOP_H_
+#define FTMS_TELEMETRY_TOP_H_
+
+#include <string>
+
+#include "util/json.h"
+#include "util/status.h"
+
+namespace ftms {
+
+// `ftms top <url>` — a curses-free ANSI terminal dashboard over the
+// telemetry plane. Polls /vars (and /timeseries for sparklines) and
+// renders per-cluster disk utilization, rebuild progress, SLO burn and
+// hiccup counters live during a drill. `--once` prints a single frame
+// and exits; `--json` with `--once` emits the raw /vars document for
+// scripting.
+struct TopOptions {
+  std::string url;       // e.g. http://127.0.0.1:9464
+  bool once = false;     // one frame, no screen clearing
+  bool json = false;     // with once: dump /vars JSON verbatim
+  int interval_ms = 1000;
+  int max_frames = 0;    // 0 = run until interrupted or the server goes away
+  bool color = true;     // ANSI colors (live mode)
+};
+
+// One dashboard frame from a parsed /vars document (and optionally the
+// /timeseries document for history sparklines). Pure; exposed for tests.
+std::string RenderTopFrame(const JsonValue& vars,
+                           const JsonValue* timeseries, bool color);
+
+// Runs the dashboard; returns a process exit code (1 when the endpoint
+// is unreachable or serves malformed documents).
+int RunTop(const TopOptions& options);
+
+}  // namespace ftms
+
+#endif  // FTMS_TELEMETRY_TOP_H_

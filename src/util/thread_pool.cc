@@ -75,9 +75,12 @@ ThreadPool& ThreadPool::Shared() {
     auto* p = new ThreadPool(DefaultThreadCount());
     if (MetricsRegistry* registry = MetricsRegistry::GlobalIfEnabled()) {
       p->BindInstruments(
-          registry->GetCounter("ftms_threadpool_tasks_submitted_total"),
-          registry->GetCounter("ftms_threadpool_tasks_executed_total"),
-          registry->GetGauge("ftms_threadpool_queue_depth"));
+          registry->GetCounter("ftms_threadpool_tasks_submitted_total",
+                               "Tasks enqueued on the shared worker pool"),
+          registry->GetCounter("ftms_threadpool_tasks_executed_total",
+                               "Tasks the shared worker pool finished"),
+          registry->GetGauge("ftms_threadpool_queue_depth",
+                             "Tasks currently waiting for a worker"));
     }
     return p;
   }();

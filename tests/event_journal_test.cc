@@ -91,6 +91,82 @@ TEST(EventJournalTest, WriteJsonlRoundTrips) {
   std::remove(path.c_str());
 }
 
+TEST(EventJournalTest, RingCapEvictsOldestAndCountsDrops) {
+  EventJournal journal(/*max_events=*/3);
+  for (int i = 0; i < 5; ++i) {
+    QosEvent e = MakeEvent(QosEventKind::kHiccups);
+    e.cycle = i;
+    journal.Append(e);
+  }
+  EXPECT_EQ(journal.size(), 3u);
+  EXPECT_EQ(journal.dropped(), 2);
+  EXPECT_EQ(journal.total_appended(), 5);
+  // The ring retains the newest 3 events, oldest-first.
+  const auto events = journal.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].cycle, 2);
+  EXPECT_EQ(events[2].cycle, 4);
+}
+
+TEST(EventJournalTest, DroppedFooterAppearsOnlyWhenTruncated) {
+  EventJournal journal(/*max_events=*/2);
+  journal.Append(MakeEvent(QosEventKind::kDiskFailed));
+  EXPECT_EQ(journal.ToJsonl().find("journal_dropped"), std::string::npos);
+  journal.Append(MakeEvent(QosEventKind::kHiccups));
+  journal.Append(MakeEvent(QosEventKind::kHiccups));
+  const std::string jsonl = journal.ToJsonl();
+  // Footer is the final line, uses the "sim" pseudo-scheme, and carries
+  // the eviction count as its value.
+  EXPECT_NE(jsonl.find("\"kind\":\"journal_dropped\",\"scheme\":\"sim\""),
+            std::string::npos);
+  // Footer is the final line and carries the eviction count.
+  const size_t last_line = jsonl.rfind('\n', jsonl.size() - 2) + 1;
+  EXPECT_EQ(jsonl.compare(last_line, 25, "{\"kind\":\"journal_dropped\""),
+            0);
+  EXPECT_NE(jsonl.find("\"value\":1}\n", last_line), std::string::npos);
+  // StatsJson surfaces the same count.
+  EXPECT_NE(journal.StatsJson("  ", "").find("\"journal_dropped\": 1"),
+            std::string::npos);
+}
+
+TEST(EventJournalTest, ClearResetsDroppedCount) {
+  EventJournal journal(/*max_events=*/1);
+  journal.Append(MakeEvent(QosEventKind::kHiccups));
+  journal.Append(MakeEvent(QosEventKind::kHiccups));
+  EXPECT_EQ(journal.dropped(), 1);
+  journal.Clear();
+  EXPECT_EQ(journal.size(), 0u);
+  EXPECT_EQ(journal.dropped(), 0);
+  EXPECT_EQ(journal.ToJsonl(), "");
+}
+
+TEST(EventJournalTest, ZeroCapMeansUnbounded) {
+  EventJournal journal(/*max_events=*/0);
+  for (int i = 0; i < 1000; ++i) {
+    journal.Append(MakeEvent(QosEventKind::kHiccups));
+  }
+  EXPECT_EQ(journal.size(), 1000u);
+  EXPECT_EQ(journal.dropped(), 0);
+}
+
+TEST(EventJournalTest, TailLinesReturnsNewestOldestFirst) {
+  EventJournal journal(/*max_events=*/4);
+  for (int i = 0; i < 6; ++i) {
+    QosEvent e = MakeEvent(QosEventKind::kHiccups);
+    e.cycle = i;
+    journal.Append(e);
+  }
+  int64_t total = 0, dropped = 0;
+  const auto tail = journal.TailLines(2, &total, &dropped);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_NE(tail[0].find("\"cycle\":4"), std::string::npos);
+  EXPECT_NE(tail[1].find("\"cycle\":5"), std::string::npos);
+  EXPECT_EQ(total, 4);
+  EXPECT_EQ(dropped, 2);
+  // Asking for more than retained returns everything retained.
+  EXPECT_EQ(journal.TailLines(100).size(), 4u);
+}
+
 TEST(EventJournalTest, GlobalIsOffByDefault) {
   // FTMS_QOS is unset in the test environment: the zero-cost-off
   // contract hands out no journal, and schedulers stay detached.

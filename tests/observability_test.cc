@@ -13,6 +13,7 @@
 
 #include "layout/schemes.h"
 #include "server/rebuild_manager.h"
+#include "telemetry/telemetry_server.h"
 #include "tests/sched_test_util.h"
 #include "util/metrics.h"
 #include "util/trace_event.h"
@@ -218,6 +219,51 @@ TEST(PrometheusExpositionTest, HistogramSummaryQuantileGauges) {
       std::string::npos);
   // The quantile gauges follow the histogram family block.
   EXPECT_GT(text.find("ftms_obs_lat_p50"), text.find("ftms_obs_lat_count"));
+}
+
+TEST(PrometheusExpositionTest, HelpLinesPrecedeTypeLines) {
+  // `# HELP` is emitted for every cell registered with a help string,
+  // immediately before the family's `# TYPE` line, with the family name
+  // (labels stripped) on the HELP line.
+  MetricsRegistry registry;
+  registry.GetCounter("ftms_obs_help_total", "Things counted for the test")
+      ->Add(3);
+  registry
+      .GetGauge(LabeledName("ftms_obs_help_g", {{"scheme", "SR"}}),
+                "A labeled gauge keeps help on the bare family name")
+      ->Set(1.5);
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(
+      text.find("# HELP ftms_obs_help_total Things counted for the test\n"
+                "# TYPE ftms_obs_help_total counter"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "# HELP ftms_obs_help_g A labeled gauge keeps help on the bare "
+          "family name\n# TYPE ftms_obs_help_g gauge"),
+      std::string::npos);
+}
+
+TEST(PrometheusExpositionTest, ScenarioRegistryCarriesHelpText) {
+  // The real registration sites thread help strings through: a full
+  // failure + rebuild scenario's registry documents its key families.
+  MetricsRegistry registry;
+  RunFailureRebuildScenario(Scheme::kStreamingRaid, &registry, nullptr, 1);
+  const std::string text = registry.PrometheusText();
+  for (const char* family :
+       {"ftms_rebuild_tracks_rebuilt_total", "ftms_rebuilds_completed_total",
+        "ftms_rebuild_progress_ratio", "ftms_sched_hiccups_total"}) {
+    EXPECT_NE(text.find(std::string("# HELP ") + family + " "),
+              std::string::npos)
+        << "missing # HELP for " << family;
+  }
+}
+
+TEST(PrometheusExpositionTest, ScrapeContentTypeIsExpositionV0_0_4) {
+  // The telemetry exporter must label /metrics with the exposition
+  // format version; Prometheus rejects bare text/plain in strict mode.
+  EXPECT_STREQ(kPrometheusContentType,
+               "text/plain; version=0.0.4; charset=utf-8");
 }
 
 TEST(PrometheusExpositionTest, LabeledHistogramQuantilesKeepLabels) {

@@ -87,6 +87,77 @@ TEST(RunReportTest, GoldenMarkdownForDrillJournal) {
   EXPECT_EQ(RenderRunReportMarkdown(*report), expected);
 }
 
+// A recorded SR-2 dual-failure drill (`ftms qos sr2 4 16`): two disks of
+// the same cluster fail one cycle apart — survivable only under dual
+// parity — then rebuild back-to-back.
+constexpr char kDualFailureJournal[] =
+    R"({"kind":"disk_failed","scheme":"SR2","sim_us":3200000,"cycle":12,"disk":0,"cluster":0,"stream":-1,"value":1}
+{"kind":"degraded_transition_start","scheme":"SR2","sim_us":3200000,"cycle":12,"disk":-1,"cluster":0,"stream":-1,"value":4}
+{"kind":"disk_failed","scheme":"SR2","sim_us":3466666,"cycle":13,"disk":1,"cluster":0,"stream":-1,"value":1}
+{"kind":"degraded_transition_start","scheme":"SR2","sim_us":3466666,"cycle":13,"disk":-1,"cluster":0,"stream":-1,"value":4}
+{"kind":"degraded_transition_end","scheme":"SR2","sim_us":4533333,"cycle":16,"disk":-1,"cluster":0,"stream":-1,"value":0}
+{"kind":"degraded_transition_end","scheme":"SR2","sim_us":4800000,"cycle":17,"disk":-1,"cluster":0,"stream":-1,"value":0}
+{"kind":"rebuild_start","scheme":"SR2","sim_us":4800000,"cycle":18,"disk":0,"cluster":0,"stream":-1,"value":50}
+{"kind":"rebuild_progress","scheme":"SR2","sim_us":5333333,"cycle":20,"disk":0,"cluster":0,"stream":-1,"value":48}
+{"kind":"rebuild_progress","scheme":"SR2","sim_us":5600000,"cycle":21,"disk":0,"cluster":0,"stream":-1,"value":72}
+{"kind":"rebuild_progress","scheme":"SR2","sim_us":5866666,"cycle":22,"disk":0,"cluster":0,"stream":-1,"value":96}
+{"kind":"disk_repaired","scheme":"SR2","sim_us":6133333,"cycle":23,"disk":0,"cluster":0,"stream":-1,"value":0}
+{"kind":"rebuild_done","scheme":"SR2","sim_us":6133333,"cycle":23,"disk":0,"cluster":0,"stream":-1,"value":5}
+{"kind":"rebuild_start","scheme":"SR2","sim_us":6133333,"cycle":23,"disk":1,"cluster":0,"stream":-1,"value":50}
+{"kind":"rebuild_progress","scheme":"SR2","sim_us":6666666,"cycle":25,"disk":1,"cluster":0,"stream":-1,"value":48}
+{"kind":"rebuild_progress","scheme":"SR2","sim_us":6933333,"cycle":26,"disk":1,"cluster":0,"stream":-1,"value":72}
+{"kind":"rebuild_progress","scheme":"SR2","sim_us":7200000,"cycle":27,"disk":1,"cluster":0,"stream":-1,"value":96}
+{"kind":"disk_repaired","scheme":"SR2","sim_us":7466666,"cycle":28,"disk":1,"cluster":0,"stream":-1,"value":0}
+{"kind":"rebuild_done","scheme":"SR2","sim_us":7466666,"cycle":28,"disk":1,"cluster":0,"stream":-1,"value":5}
+)";
+
+TEST(RunReportTest, GoldenMarkdownForDualFailureDrill) {
+  const std::string path =
+      WriteTempFile("golden_sr2.jsonl", kDualFailureJournal);
+  const auto report = LoadRunReport(path, "", "");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->event_count, 18);
+  ASSERT_EQ(report->rebuild.size(), 10u);
+
+  const std::string expected = std::string("# FTMS run report\n\n") +
+      "Journal: `" + path +
+      "` \xE2\x80\x94 18 events, horizon 7.467 s simulated.\n"
+      "\n"
+      "## Journal events\n"
+      "\n"
+      "| kind | count |\n"
+      "|---|---|\n"
+      "| degraded_transition_end | 2 |\n"
+      "| degraded_transition_start | 2 |\n"
+      "| disk_failed | 2 |\n"
+      "| disk_repaired | 2 |\n"
+      "| rebuild_done | 2 |\n"
+      "| rebuild_progress | 6 |\n"
+      "| rebuild_start | 2 |\n"
+      "\n"
+      "## SLO burn\n"
+      "\n"
+      "No SLO breaches recorded.\n"
+      "\n"
+      "## Hiccup timeline\n"
+      "\n"
+      "No hiccups recorded.\n"
+      "\n"
+      "## Rebuild\n"
+      "\n"
+      "- t=4.800s rebuild_start tracks_total=50\n"
+      "- t=5.333s rebuild_progress percent=48\n"
+      "- t=5.600s rebuild_progress percent=72\n"
+      "- t=5.867s rebuild_progress percent=96\n"
+      "- t=6.133s rebuild_done cycles=5\n"
+      "- t=6.133s rebuild_start tracks_total=50\n"
+      "- t=6.667s rebuild_progress percent=48\n"
+      "- t=6.933s rebuild_progress percent=72\n"
+      "- t=7.200s rebuild_progress percent=96\n"
+      "- t=7.467s rebuild_done cycles=5\n";
+  EXPECT_EQ(RenderRunReportMarkdown(*report), expected);
+}
+
 TEST(RunReportTest, JsonRenderIsStructured) {
   const std::string path = WriteTempFile("json.jsonl", kDrillJournal);
   const auto report = LoadRunReport(path, "", "");

@@ -1,0 +1,283 @@
+// Telemetry plane tests: hub snapshot publication, the HTTP exporter's
+// endpoint contract (socketless via Handle() and over real sockets), and
+// concurrent scrapes against a live failure + rebuild drill. The socket
+// tests bind port 0 on 127.0.0.1 only. Runs under the perf_smoke label so
+// the TSan CI job exercises the scrape/publish race surface.
+#include "telemetry/telemetry_server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "qos/event_journal.h"
+#include "server/server.h"
+#include "telemetry/http.h"
+#include "util/metrics.h"
+
+namespace ftms {
+namespace {
+
+HttpRequest Get(const std::string& target) {
+  return ParseHttpRequestHead("GET " + target + " HTTP/1.1\r\n\r\n").value();
+}
+
+// A hub with one published snapshot carrying controllable state.
+struct HubRig {
+  TelemetryHub hub;
+  MetricsRegistry metrics;
+  EventJournal journal{/*max_events=*/0};
+  bool rebuild_active = false;
+  int64_t breaches = 0;
+
+  HubRig() {
+    metrics.GetCounter("ftms_test_total", "A counter for the test")->Add(7);
+    hub.AttachMetrics(&metrics);
+    hub.AttachJournal(&journal);
+    hub.AddProbe([this](TelemetrySnapshot* snap) {
+      snap->rebuild_active = rebuild_active;
+      snap->active_breaches = breaches;
+    });
+  }
+
+  std::unique_ptr<TelemetryServer> Serve() {
+    auto server = std::move(
+        TelemetryServer::Start(&hub, TelemetryServerOptions()).value());
+    return server;
+  }
+};
+
+TEST(TelemetryHubTest, PublishBumpsSequenceAndSwapsSnapshot) {
+  HubRig rig;
+  EXPECT_EQ(rig.hub.Latest()->seq, 0u);  // pre-publish empty snapshot
+  rig.hub.Publish(1000);
+  const auto first = rig.hub.Latest();
+  EXPECT_EQ(first->seq, 1u);
+  EXPECT_EQ(first->sim_us, 1000);
+  EXPECT_NE(first->metrics_prom.find("ftms_test_total 7"),
+            std::string::npos);
+  rig.hub.Publish(2000);
+  const auto second = rig.hub.Latest();
+  EXPECT_EQ(second->seq, 2u);
+  // The first snapshot is immutable; readers holding it see old state.
+  EXPECT_EQ(first->sim_us, 1000);
+}
+
+TEST(TelemetryHubTest, ReadinessTracksRebuildAndBreaches) {
+  HubRig rig;
+  rig.hub.Publish(0);
+  EXPECT_TRUE(rig.hub.Latest()->ready());
+  rig.rebuild_active = true;
+  rig.hub.Publish(0);
+  EXPECT_FALSE(rig.hub.Latest()->ready());
+  rig.rebuild_active = false;
+  rig.breaches = 2;
+  rig.hub.Publish(0);
+  EXPECT_FALSE(rig.hub.Latest()->ready());
+  rig.breaches = 0;
+  rig.hub.Publish(0);
+  EXPECT_TRUE(rig.hub.Latest()->ready());
+}
+
+TEST(TelemetryServerTest, HandleRoutesEndpointsSocketlessly) {
+  HubRig rig;
+  rig.hub.Publish(5000000);
+  auto server = rig.Serve();
+
+  HttpResponse metrics = server->Handle(Get("/metrics"));
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_EQ(metrics.content_type, kPrometheusContentType);
+  EXPECT_NE(metrics.body.find("# HELP ftms_test_total"), std::string::npos);
+
+  EXPECT_EQ(server->Handle(Get("/healthz")).body, "ok\n");
+  EXPECT_EQ(server->Handle(Get("/readyz")).status, 200);
+  EXPECT_EQ(server->Handle(Get("/vars")).content_type, "application/json");
+  EXPECT_EQ(server->Handle(Get("/nope")).status, 404);
+
+  HttpRequest post = Get("/metrics");
+  post.method = "POST";
+  EXPECT_EQ(server->Handle(post).status, 405);
+
+  HttpRequest head = Get("/metrics");
+  head.method = "HEAD";
+  const HttpResponse head_response = server->Handle(head);
+  EXPECT_EQ(head_response.status, 200);
+  EXPECT_TRUE(head_response.body.empty());
+}
+
+TEST(TelemetryServerTest, ReadyzReports503WithReasons) {
+  HubRig rig;
+  rig.rebuild_active = true;
+  rig.breaches = 1;
+  rig.hub.Publish(0);
+  auto server = rig.Serve();
+  const HttpResponse response = server->Handle(Get("/readyz"));
+  EXPECT_EQ(response.status, 503);
+  EXPECT_NE(response.body.find("rebuild in flight"), std::string::npos);
+  EXPECT_NE(response.body.find("1 active breach"), std::string::npos);
+}
+
+TEST(TelemetryServerTest, JournalTailBoundsAndValidation) {
+  HubRig rig;
+  for (int i = 0; i < 5; ++i) {
+    QosEvent e;
+    e.kind = QosEventKind::kHiccups;
+    e.scheme = "SR";
+    e.cycle = i;
+    rig.journal.Append(e);
+  }
+  rig.hub.Publish(0);
+  auto server = rig.Serve();
+
+  // Default tail, bounded tail, over-ask, zero, and malformed n.
+  HttpResponse all = server->Handle(Get("/journal/tail"));
+  EXPECT_EQ(all.status, 200);
+  EXPECT_EQ(all.content_type, "application/x-ndjson");
+  HttpResponse two = server->Handle(Get("/journal/tail?n=2"));
+  int lines = 0;
+  for (const char c : two.body) lines += c == '\n';
+  EXPECT_EQ(lines, 2);
+  // The tail is the NEWEST two events.
+  EXPECT_NE(two.body.find("\"cycle\":3"), std::string::npos);
+  EXPECT_NE(two.body.find("\"cycle\":4"), std::string::npos);
+  EXPECT_EQ(server->Handle(Get("/journal/tail?n=100")).body, all.body);
+  EXPECT_TRUE(server->Handle(Get("/journal/tail?n=0")).body.empty());
+  EXPECT_EQ(server->Handle(Get("/journal/tail?n=-1")).status, 400);
+  EXPECT_EQ(server->Handle(Get("/journal/tail?n=bogus")).status, 400);
+}
+
+TEST(TelemetryServerTest, BindsEphemeralPortAndServesOverSocket) {
+  HubRig rig;
+  rig.hub.Publish(0);
+  auto server = rig.Serve();
+  ASSERT_GT(server->port(), 0);
+
+  const auto health = HttpGet(server->url() + "/healthz");
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(health->status, 200);
+  EXPECT_EQ(health->body, "ok\n");
+
+  const auto missing = HttpGet(server->url() + "/nope");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status, 404);
+  EXPECT_GE(server->requests_served(), 2u);
+}
+
+TEST(TelemetryServerTest, StopIsIdempotentAndJoinsTheThread) {
+  HubRig rig;
+  rig.hub.Publish(0);
+  auto server = rig.Serve();
+  const std::string url = server->url();
+  server->Stop();
+  server->Stop();  // second call is a no-op
+  EXPECT_FALSE(HttpGet(url + "/healthz", /*timeout_ms=*/500).ok());
+  // Destruction after an explicit Stop is clean too (covered by scope).
+}
+
+TEST(TelemetryServerTest, ConcurrentScrapesDuringRunningDrill) {
+  // The acceptance scenario: an SR failure + rebuild drill runs while
+  // scraper threads hammer every endpoint. Publication happens at cycle
+  // boundaries on the drill thread; scrapes must always see a complete
+  // snapshot (TSan-clean under the perf_smoke CI job).
+  ServerConfig config;
+  config.scheme = Scheme::kStreamingRaid;
+  config.parity_group_size = 5;
+  config.params.num_disks = 10;
+  config.params.k_reserve = 2;
+  config.params.disk.capacity_mb = 2.5;  // tiny disks: fast rebuild
+  config.slots_per_disk = 4;
+  config.telemetry_port = 0;
+  auto server = std::move(MultimediaServer::Create(config).value());
+  ASSERT_NE(server->telemetry_server(), nullptr);
+  const std::string url = server->telemetry_server()->url();
+
+  MediaObject movie;
+  movie.id = 0;
+  movie.rate_mb_s = 0.1875;
+  movie.num_tracks = 200;
+  ASSERT_TRUE(server->AddObject(movie).ok());
+  for (int i = 0; i < 3; ++i) server->StartStream(0).value();
+
+  std::atomic<bool> done{false};
+  std::atomic<int> scrapes{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> scrapers;
+  for (const char* endpoint : {"/metrics", "/vars", "/readyz",
+                               "/journal/tail?n=8"}) {
+    scrapers.emplace_back([&, endpoint] {
+      while (!done.load(std::memory_order_acquire)) {
+        const auto response = HttpGet(url + endpoint);
+        if (!response.ok()) {
+          failures.fetch_add(1);
+        } else {
+          scrapes.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  server->RunCycles(3);
+  ASSERT_TRUE(server->FailDisk(1).ok());
+  ASSERT_TRUE(server->StartRebuild(1).ok());
+  int guard = 0;
+  while (server->rebuild().Active() && ++guard < 200) {
+    server->RunCycles(1);
+  }
+  EXPECT_FALSE(server->rebuild().Active());
+  // The drill outruns the scrapers by orders of magnitude; keep the
+  // publisher cycling until every endpoint has been scraped a few times
+  // so the test actually overlaps scrapes with publications.
+  guard = 0;
+  while (scrapes.load() < 12 && ++guard < 20000) {
+    server->RunCycles(1);
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : scrapers) t.join();
+
+  EXPECT_GE(scrapes.load(), 12);
+  EXPECT_EQ(failures.load(), 0);
+  // The last published snapshot reflects the drill's end state.
+  const auto final_scrape = HttpGet(url + "/readyz");
+  ASSERT_TRUE(final_scrape.ok());
+  EXPECT_EQ(final_scrape->status, 200);
+}
+
+TEST(TelemetryServerTest, TopOnceJsonRoundTripsAgainstLiveDrill) {
+  // `ftms top <url> --once --json` must emit exactly the /vars document.
+  // Needs the CLI binary; the ctest wiring passes it via FTMS_CLI_BIN.
+  const char* cli = std::getenv("FTMS_CLI_BIN");
+  if (cli == nullptr || cli[0] == '\0') {
+    GTEST_SKIP() << "FTMS_CLI_BIN not set";
+  }
+
+  HubRig rig;
+  rig.hub.Publish(42);
+  auto server = rig.Serve();
+
+  const std::string out_path =
+      ::testing::TempDir() + "/top_once_json_out.json";
+  const std::string command = std::string(cli) + " top " + server->url() +
+                              " --once --json > " + out_path;
+  ASSERT_EQ(std::system(command.c_str()), 0);
+  std::ifstream in(out_path);
+  const std::string body((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_EQ(body, rig.hub.Latest()->vars_json);
+  std::remove(out_path.c_str());
+
+  // The human-readable frame renders against the same endpoint.
+  ASSERT_EQ(std::system((std::string(cli) + " top " + server->url() +
+                         " --once > /dev/null")
+                            .c_str()),
+            0);
+}
+
+}  // namespace
+}  // namespace ftms

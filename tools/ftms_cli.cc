@@ -24,13 +24,26 @@
 //        [--timeseries ts.json]          bench/profile and time-series
 //        [--md|--json]                   artifacts; exits 1 on malformed
 //                                        inputs.
+//   ftms top <url> [--once] [--json]     live ANSI dashboard over a
+//        [--interval-ms N] [--frames N]  running drill's telemetry
+//                                        endpoint (FTMS_TELEMETRY_PORT);
+//                                        --once --json dumps /vars for
+//                                        scripting.
 //
 // Schemes: sr | sg | nc | ib | sr2 | nc2.
+//
+// Telemetry environment knobs (see README "Live telemetry"):
+//   FTMS_TELEMETRY_PORT        enable the exporter (0 = ephemeral port)
+//   FTMS_TELEMETRY_PORT_FILE   write the bound port here (for scripts)
+//   FTMS_TELEMETRY_CYCLE_DELAY_MS  slow the drill for live observation
+//   FTMS_TELEMETRY_LINGER_MS   keep serving after the drill completes
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "model/cost.h"
 #include "model/reliability_model.h"
@@ -42,6 +55,7 @@
 #include "reliability/birth_death.h"
 #include "reliability/markov_sim.h"
 #include "server/server.h"
+#include "telemetry/top.h"
 #include "util/metrics.h"
 #include "util/profiler.h"
 #include "util/timeseries.h"
@@ -62,7 +76,9 @@ int Usage() {
       "  ftms qos <sr|sg|nc|ib|sr2|nc2> [C] [D] [--json] "
       "[--journal-out FILE]\n"
       "  ftms report <journal.jsonl> [--metrics BENCH.json] "
-      "[--timeseries ts.json] [--md|--json]\n");
+      "[--timeseries ts.json] [--md|--json]\n"
+      "  ftms top <url> [--once] [--json] [--interval-ms N] "
+      "[--frames N]\n");
   return 2;
 }
 
@@ -249,6 +265,34 @@ int CmdQos(int argc, char** argv) {
     return 1;
   }
   auto server = std::move(*server_or);
+
+  // With FTMS_TELEMETRY_PORT set the drill is live-observable; announce
+  // the bound port (and write it to FTMS_TELEMETRY_PORT_FILE for
+  // scripts racing against an ephemeral port 0).
+  if (const TelemetryServer* telemetry = server->telemetry_server()) {
+    std::fprintf(stderr, "telemetry: serving %s\n",
+                 telemetry->url().c_str());
+    if (const char* port_file = std::getenv("FTMS_TELEMETRY_PORT_FILE");
+        port_file != nullptr && port_file[0] != '\0') {
+      if (std::FILE* f = std::fopen(port_file, "w")) {
+        std::fprintf(f, "%d\n", telemetry->port());
+        std::fclose(f);
+      }
+    }
+  }
+  // FTMS_TELEMETRY_CYCLE_DELAY_MS slows the drill to human/scraper speed.
+  const char* delay_env = std::getenv("FTMS_TELEMETRY_CYCLE_DELAY_MS");
+  const int cycle_delay_ms = delay_env != nullptr ? std::atoi(delay_env) : 0;
+  const auto run_cycles = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      server->RunCycles(1);
+      if (cycle_delay_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(cycle_delay_ms));
+      }
+    }
+  };
+
   const int num_objects = server->layout().num_clusters();
   for (int i = 0; i < num_objects; ++i) {
     MediaObject obj;
@@ -264,9 +308,9 @@ int CmdQos(int argc, char** argv) {
   // different group positions.
   for (int i = 0; i < 2 * num_objects; ++i) {
     if (!server->StartStream(i % num_objects).ok()) break;
-    server->RunCycles(1);
+    run_cycles(1);
   }
-  server->RunCycles(4);
+  run_cycles(4);
   // Dual-parity schemes drill their full tolerance: TWO disks of cluster 0
   // go down concurrently and both are rebuilt (the second rebuild starts
   // while the cluster still runs on P+Q-repaired reads).
@@ -277,19 +321,19 @@ int CmdQos(int argc, char** argv) {
       std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
       return 1;
     }
-    server->RunCycles(1);
+    run_cycles(1);
   }
-  server->RunCycles(c);  // degraded operation across the transition window
+  run_cycles(c);  // degraded operation across the transition window
   for (int fail_disk = 0; fail_disk < fail_count; ++fail_disk) {
     if (Status s = server->StartRebuild(fail_disk); !s.ok()) {
       std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
       return 1;
     }
     for (int i = 0; i < 200 && server->rebuild().Active(); ++i) {
-      server->RunCycles(1);
+      run_cycles(1);
     }
   }
-  server->RunCycles(4);  // settle after the repair
+  run_cycles(4);  // settle after the repair
 
   ConformanceWatchdog watchdog(&server->scheduler(), &journal);
   const auto findings = watchdog.Run();
@@ -359,6 +403,9 @@ int CmdQos(int argc, char** argv) {
       std::fprintf(stderr, "wrote %s\n", out);
     }
   }
+  // Final snapshot at the last serial point, BEFORE the registry dump:
+  // a post-run scrape of /metrics is byte-identical to FTMS_METRICS_OUT.
+  server->PublishTelemetry();
   if (MetricsRegistry* registry = MetricsRegistry::GlobalIfEnabled()) {
     if (const char* out = std::getenv("FTMS_METRICS_OUT")) {
       if (out[0] != '\0' && registry->WritePrometheusFile(out).ok()) {
@@ -386,11 +433,48 @@ int CmdQos(int argc, char** argv) {
       }
     }
   }
+  // FTMS_TELEMETRY_LINGER_MS keeps the exporter serving the final
+  // snapshot after the drill, so scripts can scrape the settled state.
+  if (server->telemetry_server() != nullptr) {
+    if (const char* linger = std::getenv("FTMS_TELEMETRY_LINGER_MS");
+        linger != nullptr && std::atoi(linger) > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(std::atoi(linger)));
+    }
+  }
   if (!ConformanceWatchdog::AllOk(findings)) {
     std::fprintf(stderr, "conformance: VIOLATION of a paper bound\n");
     return 1;
   }
   return 0;
+}
+
+// `ftms top <url>`: live dashboard over a drill's telemetry endpoint.
+int CmdTop(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  TopOptions options;
+  options.url = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--once") == 0) {
+      options.once = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      options.json = true;
+    } else if (std::strcmp(argv[i], "--no-color") == 0) {
+      options.color = false;
+    } else if (std::strcmp(argv[i], "--interval-ms") == 0 &&
+               i + 1 < argc) {
+      options.interval_ms = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc) {
+      options.max_frames = std::atoi(argv[++i]);
+    } else {
+      return Usage();
+    }
+  }
+  // Trim a trailing slash so endpoint concatenation stays clean.
+  if (!options.url.empty() && options.url.back() == '/') {
+    options.url.pop_back();
+  }
+  return RunTop(options);
 }
 
 // Renders a recorded run (journal JSONL + optional bench/profile and
@@ -548,5 +632,6 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(argv[1], "qos") == 0) return CmdQos(argc, argv);
   if (std::strcmp(argv[1], "report") == 0) return CmdReport(argc, argv);
+  if (std::strcmp(argv[1], "top") == 0) return CmdTop(argc, argv);
   return Usage();
 }

@@ -10,6 +10,8 @@ Usage:
                                                      # counts (trace optional)
     tools/trace_summary.py --timeseries TS.json      # validate a
                                                      # FTMS_TIMESERIES_OUT dump
+    tools/trace_summary.py --scrape FILE             # validate a telemetry
+                                                     # scrape (/metrics or /vars)
 
 Summary mode prints, per event category ("phase" of the run: sched,
 failure, rebuild, ...), the span count, total simulated microseconds, and
@@ -32,7 +34,8 @@ as written by EventJournal::WriteJsonl / FTMS_QOS_OUT):
   * every line parses as a JSON object with exactly the fields
     kind/scheme/sim_us/cycle/disk/cluster/stream/value;
   * kind is one of the known semantic event kinds and scheme is one of
-    SR/SG/NC/IB;
+    SR/SG/NC/IB (dual-parity SR2/NC2, and "sim" for the ring-cap
+    journal_dropped footer);
   * sim_us never runs backwards within a scheme's run — a decrease is
     only allowed together with a cycle reset (a fresh rig reusing the
     journal), never mid-run.
@@ -45,6 +48,12 @@ TimeSeriesRecorder::WriteJson / FTMS_TIMESERIES_OUT):
     length;
   * timestamps are strictly increasing integers and values are finite.
 It then prints per-series point counts.
+
+--scrape FILE validates a saved scrape from the live telemetry exporter,
+auto-detecting the document type: a body starting with '{' is checked as
+a /vars JSON document (schema tag, required blocks, finite numbers in the
+metrics object); anything else is checked as Prometheus exposition text
+exactly like --prom.
 
 Exit status: 0 = ok, 1 = validation failure, 2 = usage / file error.
 """
@@ -124,11 +133,13 @@ JOURNAL_KINDS = {
     "admission_rejected",
     "slo_breach",
     "sim_horizon",
+    # Ring-cap truncation footer appended by EventJournal::WriteJsonl.
+    "journal_dropped",
 }
 JOURNAL_FIELDS = (
     "kind", "scheme", "sim_us", "cycle", "disk", "cluster", "stream", "value"
 )
-JOURNAL_SCHEMES = {"SR", "SG", "NC", "IB", "SR2", "NC2"}
+JOURNAL_SCHEMES = {"SR", "SG", "NC", "IB", "SR2", "NC2", "sim"}
 
 
 def check_journal(path):
@@ -300,6 +311,76 @@ def check_prometheus(path):
     return ok
 
 
+VARS_SCHEMA = "ftms.telemetry.vars.v1"
+# Top-level blocks every /vars document carries ("metrics" is optional:
+# it only appears when a registry is attached).
+VARS_REQUIRED = ("schema", "seq", "sim_us", "cycle", "ready", "status_line",
+                 "rebuild", "clusters", "slo_burn", "qos")
+
+
+def check_vars(path, doc):
+    ok = True
+    missing = [k for k in VARS_REQUIRED if k not in doc]
+    if missing:
+        ok = fail(f"{path}: missing key(s) {missing}")
+    if doc.get("schema") != VARS_SCHEMA:
+        ok = fail(f"{path}: schema is {doc.get('schema')!r}, "
+                  f"expected {VARS_SCHEMA!r}")
+    for key in ("seq", "sim_us", "cycle"):
+        if key in doc and not isinstance(doc[key], int):
+            ok = fail(f"{path}: {key!r} is {doc[key]!r}, expected an integer")
+    if "ready" in doc and not isinstance(doc["ready"], bool):
+        ok = fail(f"{path}: 'ready' is {doc['ready']!r}, expected a bool")
+    rebuild = doc.get("rebuild")
+    if rebuild is not None and (
+            not isinstance(rebuild, dict)
+            or not {"active", "disk", "progress"} <= set(rebuild)):
+        ok = fail(f"{path}: 'rebuild' lacks active/disk/progress")
+    clusters = doc.get("clusters")
+    if clusters is not None:
+        if not isinstance(clusters, list):
+            ok = fail(f"{path}: 'clusters' is not an array")
+        else:
+            for i, c in enumerate(clusters):
+                if not isinstance(c, dict) or \
+                        not {"cluster", "util", "failed"} <= set(c):
+                    ok = fail(f"{path}: clusters[{i}] lacks "
+                              f"cluster/util/failed")
+    metrics = doc.get("metrics")
+    if metrics is not None:
+        if not isinstance(metrics, dict):
+            ok = fail(f"{path}: 'metrics' is not an object")
+        else:
+            for name, value in metrics.items():
+                if isinstance(value, bool) or not \
+                        isinstance(value, (int, float)) or \
+                        math.isnan(value) or math.isinf(value):
+                    ok = fail(f"{path}: metrics[{name!r}] = {value!r} is "
+                              f"not a finite number")
+    if ok:
+        print(f"{path}: /vars document ok (seq {doc.get('seq')}, "
+              f"{len(doc.get('metrics', {}))} metrics, "
+              f"{len(doc.get('clusters', []))} clusters)")
+    return ok
+
+
+def check_scrape(path):
+    """Validate a saved exporter scrape, auto-detecting its format."""
+    try:
+        with open(path) as f:
+            text = f.read()
+    except OSError as err:
+        print(f"trace_summary: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    if text.lstrip().startswith("{"):
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as err:
+            return fail(f"{path}: not JSON: {err}")
+        return check_vars(path, doc)
+    return check_prometheus(path)
+
+
 def summarize(doc, events):
     tracks = {}
     for ev in events:
@@ -354,12 +435,18 @@ def main():
         "--timeseries", metavar="FILE",
         help="also validate a time-series dump (FTMS_TIMESERIES_OUT) FILE"
     )
+    parser.add_argument(
+        "--scrape", metavar="FILE", action="append", default=[],
+        help="also validate a saved telemetry scrape (/metrics Prometheus "
+        "text or /vars JSON, auto-detected); repeatable"
+    )
     args = parser.parse_args()
 
     if args.trace is None:
-        if not args.journal and not args.timeseries:
+        if not args.journal and not args.timeseries and not args.scrape:
             parser.error(
-                "need a trace file, --journal FILE, and/or --timeseries FILE"
+                "need a trace file, --journal FILE, --timeseries FILE, "
+                "and/or --scrape FILE"
             )
         ok = True
         if args.journal:
@@ -368,6 +455,8 @@ def main():
             ok = check_timeseries(args.timeseries) and ok
         if args.prom:
             ok = check_prometheus(args.prom) and ok
+        for scrape in args.scrape:
+            ok = check_scrape(scrape) and ok
         return 0 if ok else 1
 
     try:
@@ -391,6 +480,8 @@ def main():
             ok = check_journal(args.journal) and ok
         if args.timeseries:
             ok = check_timeseries(args.timeseries) and ok
+        for scrape in args.scrape:
+            ok = check_scrape(scrape) and ok
         if not ok:
             return 1
         real = sum(1 for e in events if e.get("ph") != "M")
@@ -405,6 +496,8 @@ def main():
         ok = check_journal(args.journal) and ok
     if args.timeseries:
         ok = check_timeseries(args.timeseries) and ok
+    for scrape in args.scrape:
+        ok = check_scrape(scrape) and ok
     return 0 if ok else 1
 
 
